@@ -1,0 +1,124 @@
+"""The predecessor experiment (paper Section I, refs [8]/[9]).
+
+Before the HMM result, the authors measured — on a *single* SM of the
+same GTX-680 — the conventional vs the conflict-free permutation of
+1024 floats resident in shared memory: 246 ns vs 165 ns (1.5x).  This
+bench regenerates that comparison in DMM time units across the same
+regime, showing where the 1.5x comes from:
+
+* conventional = ``2 n/w + B_w(P)`` where ``B_w`` is the *bank
+  distribution* (max-multiplicity per warp, the shared-memory twin of
+  ``D_w``);
+* conflict-free = ``4 n/w`` flat, for any permutation;
+* random permutations have ``B_w ~ (expected max load of w balls in w
+  bins) * n/w ~ 3.4 n/w`` at ``w = 32``, so the ratio is
+  ``(2 + 3.4)/4 ~ 1.35`` — the model's account of the measured 1.5x;
+* the worst case (all of a warp into one bank) gives ``(2 + w)/4``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.core.dmm_permutation import (
+    DMMConventionalPermutation,
+    DMMScheduledPermutation,
+    bank_distribution,
+    worst_case_bank_permutation,
+)
+from repro.machine.dmm import DMM
+from repro.permutations.named import (
+    bit_reversal,
+    identical,
+    random_permutation,
+    shuffle,
+)
+
+WIDTH = 32
+N = 1024          # the paper's single-SM experiment size
+
+
+def test_dmm_predecessor_report(report, benchmark):
+    def sweep():
+        dmm = DMM(WIDTH)
+        rows = []
+        perms = {
+            "identical": identical(N),
+            "shuffle": shuffle(N),
+            "bit-reversal": bit_reversal(N),
+            "bank-worst": worst_case_bank_permutation(N, WIDTH),
+        }
+        for seed in range(3):
+            perms[f"random#{seed}"] = random_permutation(N, seed=seed)
+        for name, p in perms.items():
+            conv = DMMConventionalPermutation(p, WIDTH).time(dmm)
+            sched = DMMScheduledPermutation.plan(p, WIDTH).time(dmm)
+            rows.append([
+                name, bank_distribution(p, WIDTH), conv, sched,
+                round(conv / sched, 2),
+            ])
+        # The paper's 1.5x regime: random permutations.
+        random_ratios = [r[4] for r in rows if r[0].startswith("random")]
+        assert all(1.1 < r < 1.8 for r in random_ratios)
+        # Identity: conventional wins; bank-worst: (2 + w)/4 = 8.5.
+        ident = [r for r in rows if r[0] == "identical"][0]
+        assert ident[2] < ident[3]
+        worst = [r for r in rows if r[0] == "bank-worst"][0]
+        assert worst[4] == pytest.approx((2 + WIDTH) / 4, rel=1e-9)
+        # Conflict-free time is one constant.
+        assert len({r[3] for r in rows}) == 1
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "dmm_predecessor",
+        format_table(
+            ["permutation", "B_w(P)", "conventional", "conflict-free",
+             "ratio"],
+            rows,
+            title=(f"Single-DMM permutation of n = {N}, w = {WIDTH} "
+                   "(paper's refs [8]/[9]: 246 ns vs 165 ns = 1.5x on "
+                   "random)"),
+        ),
+    )
+
+
+def test_random_bank_distribution_statistics(report, benchmark):
+    """B_w/(n/w) for random permutations concentrates near the expected
+    maximum load of w balls in w bins (~3.4 at w = 32)."""
+
+    def collect():
+        values = [
+            bank_distribution(random_permutation(N, seed=s), WIDTH)
+            / (N / WIDTH)
+            for s in range(50)
+        ]
+        stats = summarize(values)
+        assert 2.5 < stats.average < 4.5
+        return stats
+
+    stats = benchmark.pedantic(collect, rounds=1, iterations=1)
+    report(
+        "dmm_bank_distribution",
+        format_table(
+            ["quantity", "min", "average", "max"],
+            [["B_w / (n/w), 50 random perms", stats.minimum,
+              stats.average, stats.maximum]],
+            title=f"expected max bank load at w = {WIDTH}",
+        ),
+    )
+
+
+@pytest.mark.parametrize("algo", ["conventional", "scheduled"])
+def test_bench_dmm_apply(benchmark, algo):
+    p = random_permutation(N, seed=9)
+    a = np.random.default_rng(0).random(N).astype(np.float32)
+    if algo == "conventional":
+        engine = DMMConventionalPermutation(p, WIDTH)
+    else:
+        engine = DMMScheduledPermutation.plan(p, WIDTH)
+    out = benchmark(engine.apply, a)
+    expected = np.empty_like(a)
+    expected[p] = a
+    assert np.array_equal(out, expected)

@@ -1,0 +1,92 @@
+"""Figure 3: the worked DMM/UMM pipeline example, cycle-accurately.
+
+Replays the paper's two-warp example on the cycle-accurate engine and
+asserts the exact stage counts and completion times the figure shows
+(3 stages -> l + 2 on the DMM, 5 stages -> l + 4 on the UMM), then
+cross-validates the cycle engine against the closed-form cost model on
+a large random round, and times both.
+
+Figure note: the OCR of Figure 3 garbles W1's addresses; the text pins
+the constraints (W1 conflict-free on the DMM, two address groups on the
+UMM), satisfied by W1 = {10, 11, 12, 13}.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import render_pipeline
+from repro.analysis.tables import format_table
+from repro.machine.cost_model import global_round_stages, round_time
+from repro.machine.dmm import DMM
+from repro.machine.umm import UMM
+
+W0 = np.array([7, 5, 15, 0])
+W1 = np.array([10, 11, 12, 13])
+STREAM = np.concatenate([W0, W1])
+LATENCY = 5
+
+
+def test_figure3_report(report, benchmark):
+    def run():
+        dmm = DMM(4, LATENCY)
+        umm = UMM(4, LATENCY)
+        d_report = dmm.simulate([STREAM])
+        u_report = umm.simulate([STREAM])
+        assert d_report.total_stages == 3
+        assert d_report.total_time == 3 + LATENCY - 1
+        assert u_report.total_stages == 5
+        assert u_report.total_time == 5 + LATENCY - 1
+        return d_report, u_report
+
+    d_report, u_report = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["DMM (banks)", d_report.total_stages, d_report.total_time,
+         f"3 + l - 1 = {3 + LATENCY - 1}"],
+        ["UMM (groups)", u_report.total_stages, u_report.total_time,
+         f"5 + l - 1 = {5 + LATENCY - 1}"],
+    ]
+    text = format_table(
+        ["machine", "pipeline stages", "completion time", "paper"],
+        rows,
+        title=(f"Figure 3 — W0 = {W0.tolist()}, W1 = {W1.tolist()}, "
+               f"w = 4, l = {LATENCY}"),
+    )
+    text += "\n\nDMM timeline:\n" + render_pipeline(d_report)
+    text += "\n\nUMM timeline:\n" + render_pipeline(u_report)
+    report("fig3_pipeline", text)
+
+
+def test_bench_cycle_vs_closed_form(benchmark, report):
+    """The cycle engine and the closed form agree on a large random
+    round; the closed form is the one the table benches rely on."""
+    rng = np.random.default_rng(0)
+    addrs = rng.integers(0, 1 << 14, 4096).astype(np.int64)
+    umm = UMM(32, 100)
+
+    def both():
+        cyc = umm.simulate([addrs]).total_time
+        closed = round_time(global_round_stages(addrs, 32), 100)
+        assert cyc == closed
+        return cyc
+
+    t = benchmark.pedantic(both, rounds=3, iterations=1)
+    assert t > 0
+
+
+def test_bench_closed_form_speed(benchmark):
+    """Timed: the vectorised stage counting on a 1M-element round —
+    this is what makes the Table II/III sweeps tractable."""
+    rng = np.random.default_rng(1)
+    addrs = rng.integers(0, 1 << 20, 1 << 20).astype(np.int64)
+    stages = benchmark(global_round_stages, addrs, 32)
+    assert stages > 0
+
+
+@pytest.mark.parametrize("num_warps", [4, 64])
+def test_bench_cycle_engine(benchmark, num_warps):
+    """Timed: the cycle-accurate engine itself (per-warp Python loop)."""
+    rng = np.random.default_rng(2)
+    addrs = rng.integers(0, 1 << 12, num_warps * 32).astype(np.int64)
+    umm = UMM(32, 100)
+    result = benchmark(umm.simulate, [addrs])
+    assert result.total_time > 0

@@ -1,0 +1,95 @@
+"""Figure 6: the 4x4 routing example of the scheduled permutation.
+
+Replays the paper's exact input permutation, renders the matrix after
+each of the three steps (as destination labels, like the figure), and
+asserts the per-step invariants that make the routing valid.  Also
+times the decomposition across sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import render_routing_steps
+from repro.core.scheduled import ScheduledPermutation
+from repro.core.scheduler import decompose
+from repro.permutations.named import random_permutation
+
+# Destination (row, col) labels of the figure's input matrix, flattened.
+FIG6_P = np.array([12, 13, 8, 9, 1, 0, 3, 7, 2, 6, 5, 14, 4, 15, 11, 10])
+M = 4
+
+
+def _labels(dest_of_cell: np.ndarray) -> np.ndarray:
+    """Render a matrix of destination indices as '(r,c)' strings."""
+    out = np.empty((M, M), dtype=object)
+    for i in range(M * M):
+        r, c = divmod(int(dest_of_cell[i]), M)
+        out[i // M, i % M] = f"({r},{c})"
+    return out
+
+
+def test_fig6_report(report, benchmark):
+    def route():
+        d = decompose(FIG6_P)
+        i = np.arange(M * M)
+        src_row, src_col = i // M, i % M
+        col1 = d.gamma1[src_row, src_col]
+        row2 = d.delta[col1, src_row]
+        col3 = d.gamma3[row2, col1]
+        assert np.array_equal(row2 * M + col3, FIG6_P)
+        return col1, row2, col3
+
+    col1, row2, col3 = benchmark.pedantic(route, rounds=1, iterations=1)
+    i = np.arange(M * M)
+    src_row = i // M
+
+    # Positions of each element after each step; cell label = its
+    # final destination, as in the figure.
+    def matrix_after(rows, cols):
+        dest_of_cell = np.empty(M * M, dtype=np.int64)
+        dest_of_cell[rows * M + cols] = FIG6_P
+        return _labels(dest_of_cell)
+
+    steps = [
+        ("Input", matrix_after(src_row, i % M)),
+        ("After Step 1 (row-wise to colour column)",
+         matrix_after(src_row, col1)),
+        ("After Step 2 (column-wise to destination row)",
+         matrix_after(row2, col1)),
+        ("After Step 3 (row-wise to destination column)",
+         matrix_after(row2, col3)),
+    ]
+    text = render_routing_steps(
+        [(label, mat) for label, mat in steps]
+    )
+    # The final matrix must read (0,0) (0,1) ... row-major, exactly as
+    # the figure's last panel.
+    final = steps[-1][1]
+    for r in range(M):
+        for c in range(M):
+            assert final[r, c] == f"({r},{c})"
+    report("fig6_routing", "Figure 6 — routing of the paper's 4x4 "
+           "example\n(labels are each element's final destination; the "
+           "intermediate panels depend on which Konig colouring is "
+           "chosen and may differ from the paper's while satisfying the "
+           "same invariants)\n\n" + text)
+
+
+def test_fig6_full_engine(benchmark):
+    """The complete scheduled engine on the figure's permutation."""
+    plan = ScheduledPermutation.plan(FIG6_P, width=4)
+    a = np.arange(16.0)
+
+    out = benchmark(plan.apply, a)
+    expected = np.empty_like(a)
+    expected[FIG6_P] = a
+    assert np.array_equal(out, expected)
+
+
+@pytest.mark.parametrize("m", [16, 64, 128])
+def test_bench_decompose(benchmark, m):
+    """Timed: the global three-step decomposition (Konig colouring over
+    rows) across sizes."""
+    p = random_permutation(m * m, seed=m)
+    d = benchmark(decompose, p)
+    assert d.m == m

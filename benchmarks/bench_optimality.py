@@ -1,0 +1,76 @@
+"""Optimality (Section VII): scheduled time vs the lower bound.
+
+The paper proves permutation needs at least ``2(n/w + l - 1)`` time
+units and the scheduled algorithm is optimal up to a constant.  This
+bench regenerates that claim as a table: the measured scheduled time
+over the measured lower bound converges to ``8 + 8/d`` (16 global
+rounds over 2, plus the d-fold-parallel shared rounds), while the
+conventional algorithm's ratio on a worst-case permutation grows like
+``w/2 + 2`` — unbounded in the width.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core import theory
+from repro.core.conventional import DDesignatedPermutation
+from repro.core.scheduled import ScheduledPermutation
+from repro.machine.params import MachineParams
+from repro.permutations.named import transpose_permutation
+
+WIDTH = 32
+LATENCY = 100
+
+
+def test_optimality_report(report, benchmark):
+    def sweep():
+        rows = []
+        for d in (1, 8):
+            machine = MachineParams(width=WIDTH, latency=LATENCY,
+                                    num_dmms=d, shared_capacity=None)
+            limit = 8 + 8 / d
+            for m in (64, 128, 256, 512):
+                n = m * m
+                p = transpose_permutation(n)
+                sched = ScheduledPermutation.plan(p, width=WIDTH).simulate(
+                    machine
+                ).time
+                conv = DDesignatedPermutation(p).simulate(machine).time
+                lb = theory.lower_bound(n, WIDTH, LATENCY)
+                assert sched == theory.scheduled_time(n, WIDTH, LATENCY, d)
+                assert sched / lb <= limit + 1e-9
+                rows.append([
+                    d, m, n, lb, sched, round(sched / lb, 3),
+                    round(limit, 3), conv, round(conv / lb, 3),
+                ])
+            # Convergence towards the limit as n grows.
+            tail = [r for r in rows if r[0] == d][-1]
+            assert abs(tail[5] - limit) < 0.6
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "optimality",
+        format_table(
+            ["d", "sqrt(n)", "n", "lower bound", "scheduled",
+             "sched/LB", "limit 8+8/d", "conventional (transpose)",
+             "conv/LB"],
+            rows,
+            title=(f"Optimality — scheduled time vs the 2(n/w + l - 1) "
+                   f"lower bound (w = {WIDTH}, l = {LATENCY}); the "
+                   "conventional ratio tends to w/2 + 2 = 18"),
+        ),
+    )
+
+
+@pytest.mark.parametrize("d", [1, 8])
+def test_bench_ratio_formula(benchmark, d):
+    """Timed: the closed-form side of the optimality computation."""
+    def compute():
+        return [
+            theory.optimality_ratio(n, WIDTH, LATENCY, d)
+            for n in (1 << 14, 1 << 18, 1 << 22)
+        ]
+
+    ratios = benchmark(compute)
+    assert ratios[-1] <= 8 + 8 / d + 1e-9

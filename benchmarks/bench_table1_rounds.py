@@ -1,0 +1,143 @@
+"""Table I: memory-access rounds and running time of every algorithm.
+
+Regenerates the paper's Table I twice over:
+
+* **round counts** — measured from the simulator's classified traces
+  and asserted equal to the paper's numbers (2/1 casual+coalesced for
+  the conventional algorithms up to 11/5/8/8 for scheduled, 32 total);
+* **running time** — measured simulated time units asserted equal to
+  the closed forms of :mod:`repro.core.theory`.
+
+The timed section benchmarks the cost accounting itself (a full
+32-round simulation of a 64K-element scheduled permutation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core import theory
+from repro.core.colwise import ColumnwiseSchedule
+from repro.core.conventional import (
+    DDesignatedPermutation,
+    SDesignatedPermutation,
+)
+from repro.core.distribution import distribution
+from repro.core.rowwise import RowwiseSchedule
+from repro.core.scheduled import ScheduledPermutation
+from repro.core.transpose import TiledTranspose
+from repro.machine.params import MachineParams
+from repro.permutations.named import random_permutation
+
+M = 128
+N = M * M
+WIDTH = 32
+MACHINE = MachineParams(width=WIDTH, latency=100, num_dmms=8)
+
+
+def _random_rows(rows, m, seed):
+    rng = np.random.default_rng(seed)
+    return np.stack([rng.permutation(m) for _ in range(rows)]).astype(np.int64)
+
+
+def _traces():
+    p = random_permutation(N, seed=0)
+    gamma = _random_rows(M, M, 1)
+    return {
+        "d-designated": DDesignatedPermutation(p).simulate(MACHINE),
+        "s-designated": SDesignatedPermutation(p).simulate(MACHINE),
+        "transpose": TiledTranspose(M, WIDTH).simulate(MACHINE),
+        "row-wise": RowwiseSchedule.plan(gamma, WIDTH).simulate(MACHINE),
+        "column-wise": ColumnwiseSchedule.plan(gamma, WIDTH).simulate(MACHINE),
+        "scheduled": ScheduledPermutation.plan(p, width=WIDTH).simulate(
+            MACHINE
+        ),
+    }, p
+
+
+CATEGORIES = [
+    ("casual read", "casual reads (global)"),
+    ("casual write", "casual writes (global)"),
+    ("coalesced read", "coalesced reads (global)"),
+    ("coalesced write", "coalesced writes (global)"),
+    ("conflict-free read", "conflict-free reads (shared)"),
+    ("conflict-free write", "conflict-free writes (shared)"),
+]
+
+
+def test_table1_round_counts(report, benchmark):
+    traces, _p = benchmark.pedantic(_traces, rounds=1, iterations=1)
+    rows = []
+    for name, trace in traces.items():
+        measured = trace.count_classified()
+        row = [name]
+        for table_key, trace_key in CATEGORIES:
+            got = measured.get(trace_key, 0)
+            expect = theory.TABLE1_ROUNDS[name][table_key]
+            assert got == expect, (
+                f"{name}: {table_key} = {got}, Table I says {expect}"
+            )
+            row.append(got)
+        row.append(trace.num_rounds)
+        rows.append(row)
+    report(
+        "table1_rounds",
+        format_table(
+            ["algorithm"] + [c[0] for c in CATEGORIES] + ["total"],
+            rows,
+            title=f"Table I (measured round counts; n = {N}, w = {WIDTH})",
+        ),
+    )
+
+
+def test_table1_running_times(report, benchmark):
+    traces, p = benchmark.pedantic(_traces, rounds=1, iterations=1)
+    w, latency, d = WIDTH, MACHINE.latency, MACHINE.num_dmms
+    dw = distribution(p, w)
+    from repro.permutations.ops import invert
+    dw_inv = distribution(invert(p), w)
+    expectations = {
+        "d-designated": theory.conventional_time(N, w, latency, dw),
+        "s-designated": theory.conventional_time(N, w, latency, dw_inv),
+        "transpose": theory.transpose_time(N, w, latency, d),
+        "row-wise": theory.rowwise_time(N, w, latency, d),
+        "column-wise": theory.columnwise_time(N, w, latency, d),
+        "scheduled": theory.scheduled_time(N, w, latency, d),
+    }
+    rows = []
+    for name, trace in traces.items():
+        assert trace.time == expectations[name], (
+            f"{name}: measured {trace.time} != formula {expectations[name]}"
+        )
+        rows.append([name, trace.time, expectations[name]])
+    rows.append(
+        ["(lower bound)", "-", theory.lower_bound(N, w, latency)]
+    )
+    report(
+        "table1_times",
+        format_table(
+            ["algorithm", "measured time units", "Table I formula"],
+            rows,
+            title=f"Table I running times (n = {N}, w = {w}, l = {latency},"
+                  f" d = {d})",
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def scheduled_plan():
+    return ScheduledPermutation.plan(random_permutation(N, seed=2), width=WIDTH)
+
+
+def test_bench_simulate_scheduled(benchmark, scheduled_plan):
+    """Timed: charging all 32 rounds of a 16K-element scheduled
+    permutation on the HMM simulator."""
+    trace = benchmark(scheduled_plan.simulate, MACHINE)
+    assert trace.num_rounds == 32
+
+
+def test_bench_simulate_conventional(benchmark):
+    p = random_permutation(N, seed=3)
+    algo = DDesignatedPermutation(p)
+    trace = benchmark(algo.simulate, MACHINE)
+    assert trace.num_rounds == 3

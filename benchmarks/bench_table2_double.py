@@ -1,0 +1,173 @@
+"""Table II(b): double (64-bit) payloads and the 48 KB shared-memory wall.
+
+The paper's Table II(b) stops at ``sqrt(n) = 2048`` because the
+row-wise kernel needs two shared row buffers — ``2 * 4096 * 8 B =
+64 KB`` exceeds the GTX-680's 48 KB for doubles ("it is not possible to
+implement our scheduled algorithm for 4096 x 4096 double numbers").
+
+This bench
+
+* regenerates the double sweep under the element-width extension
+  (doubles span two 32-bit cells, so payload rounds cost two
+  transactions per warp) and asserts the paper's characteristic
+  ratios: scheduled doubles ~1.5x floats (paper: 275/173 = 1.59),
+  conventional-on-random barely above 1x (paper: 452/425 = 1.07,
+  casual-round-dominated), conventional-on-identical well above
+  (paper: 54.6/33.2 = 1.64, bandwidth-bound);
+* asserts the capacity arithmetic of the paper exactly (4096 doubles
+  rejected, 4096 floats and 2048 doubles accepted);
+* wall-clock benchmarks the float64 online phase.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.conventional import DDesignatedPermutation
+from repro.core.rowwise import RowwiseSchedule
+from repro.core.scheduled import ScheduledPermutation
+from repro.errors import SharedMemoryCapacityError
+from repro.machine.hmm import HMM
+from repro.machine.params import GTX680_SHARED_BYTES, MachineParams
+from repro.machine.requests import Kernel
+from repro.permutations.named import named_permutation
+
+WIDTH = 32
+MACHINE = MachineParams(width=WIDTH, latency=100, num_dmms=8)
+SIDES = (64, 128, 256)
+PERMS = ("identical", "shuffle", "random", "bit-reversal", "transpose")
+
+
+def _sweep():
+    times = {"d-designated": {}, "scheduled": {}}
+    for name in PERMS:
+        times["d-designated"][name] = {}
+        times["scheduled"][name] = {}
+        for m in SIDES:
+            p = named_permutation(name, m * m, seed=7)
+            times["d-designated"][name][m] = (
+                DDesignatedPermutation(p)
+                .simulate(MACHINE, dtype=np.float64).time
+            )
+            times["scheduled"][name][m] = (
+                ScheduledPermutation.plan(p, width=WIDTH)
+                .simulate(MACHINE, dtype=np.float64).time
+            )
+    return times
+
+
+def _assert_paper_ratios(times):
+    """Double/float ratios must match Table II(b)'s regimes."""
+    for m in SIDES:
+        n = m * m
+        p_rand = named_permutation("random", n, seed=7)
+        p_id = named_permutation("identical", n)
+        f32_sched = ScheduledPermutation.plan(p_rand, width=WIDTH).simulate(
+            MACHINE, dtype=np.float32
+        ).time
+        assert 1.2 < times["scheduled"]["random"][m] / f32_sched < 1.8
+        f32_rand = DDesignatedPermutation(p_rand).simulate(
+            MACHINE, dtype=np.float32
+        ).time
+        assert times["d-designated"]["random"][m] / f32_rand < 1.2
+        f32_id = DDesignatedPermutation(p_id).simulate(
+            MACHINE, dtype=np.float32
+        ).time
+        assert times["d-designated"]["identical"][m] / f32_id > 1.2
+
+
+def test_table2b_report(report, benchmark):
+    times = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    _assert_paper_ratios(times)
+    blocks = []
+    for algo, data in times.items():
+        rows = [[name] + [data[name][m] for m in SIDES] for name in PERMS]
+        blocks.append(format_table(
+            ["P \\ sqrt(n)"] + [str(m) for m in SIDES],
+            rows,
+            title=f"Table II(b) analogue — {algo} (double, HMM time units)",
+        ))
+    # Capacity summary rows, mirroring the truncated column of II(b).
+    cap_rows = []
+    for m in (1024, 2048, 4096):
+        for dtype in (np.float32, np.float64):
+            needed = 2 * m * np.dtype(dtype).itemsize
+            fits = needed <= GTX680_SHARED_BYTES
+            cap_rows.append([
+                m, np.dtype(dtype).name, needed,
+                "ok" if fits else "REJECTED (paper: not implementable)",
+            ])
+    blocks.append(format_table(
+        ["sqrt(n)", "dtype", "shared bytes/block", "on 48 KB GTX-680"],
+        cap_rows,
+        title="shared-memory capacity (why Table II(b) stops at 2048)",
+    ))
+    report("table2b_double", "\n\n".join(blocks))
+
+
+def test_bench_capacity_wall(benchmark):
+    """The exact paper constraint, enforced by the simulator's kernel
+    admission check (no 16M-element plan needed: footprint is declared
+    per kernel exactly as a CUDA launch declares it)."""
+
+    def check():
+        hmm = HMM(MachineParams.gtx680())
+        # sqrt(n) = 4096 doubles: 64 KB > 48 KB -> rejected.
+        with pytest.raises(SharedMemoryCapacityError):
+            hmm.check_capacity(
+                Kernel("rowwise-4096-double", (),
+                       shared_bytes_per_block=2 * 4096 * 8)
+            )
+        # sqrt(n) = 4096 floats and 2048 doubles fit.
+        hmm.check_capacity(
+            Kernel("rowwise-4096-float", (),
+                   shared_bytes_per_block=2 * 4096 * 4)
+        )
+        hmm.check_capacity(
+            Kernel("rowwise-2048-double", (),
+                   shared_bytes_per_block=2 * 2048 * 8)
+        )
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_bench_simulated_rejection_end_to_end(benchmark):
+    """A scheduled plan whose shared footprint exceeds a (scaled-down)
+    capacity is rejected at simulation time."""
+    plan = ScheduledPermutation.plan(
+        named_permutation("random", 256 * 256, seed=1), width=WIDTH
+    )
+    # 4096 B: admits every float32 kernel (rowwise 2 KB, transpose tile
+    # 4 KB) but rejects the float64 transpose tile (8 KB).
+    tiny = MachineParams(width=WIDTH, latency=100, num_dmms=8,
+                         shared_capacity=2 * 256 * 8)
+
+    def run():
+        with pytest.raises(SharedMemoryCapacityError):
+            plan.simulate(tiny, dtype=np.float64)
+        return plan.simulate(tiny, dtype=np.float32).time
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) > 0
+
+
+# ---------------------------------------------------------------------------
+# Wall-clock, float64 payload
+# ---------------------------------------------------------------------------
+
+_N = 256 * 256
+
+
+@pytest.fixture(scope="module")
+def payload64():
+    return np.random.default_rng(0).random(_N)
+
+
+@pytest.mark.parametrize("perm_name", PERMS)
+def test_bench_apply_scheduled_double(benchmark, payload64, perm_name):
+    p = named_permutation(perm_name, _N, seed=2)
+    plan = ScheduledPermutation.plan(p, width=WIDTH)
+    out = benchmark(plan.apply, payload64)
+    expected = np.empty_like(payload64)
+    expected[p] = payload64
+    assert np.array_equal(out, expected)

@@ -1,0 +1,165 @@
+"""Table II(a): the three algorithms across five permutations and sizes
+(float payload).
+
+Regenerates the paper's central result in HMM time units: the sweep of
+D-designated, S-designated and scheduled over identical / shuffle /
+random / bit-reversal / transpose at ``sqrt(n)`` in {64, 128, 256, 512}
+(scaled from the paper's 256..4096; the model is self-similar in ``n``
+— see EXPERIMENTS.md).
+
+Shape assertions (the paper's findings):
+* the scheduled time is one constant per size, independent of P;
+* conventional wins on the low-distribution permutations
+  (identical, shuffle) and loses on the high-distribution ones
+  (random, bit-reversal, transpose) at every size — the base model has
+  no L2, so there is no small-n exception here (that regime is
+  reproduced by bench_ablation_cache.py);
+* conventional time tracks D_w(P) exactly (Lemma 4).
+
+The timed sections benchmark the online ``apply`` of each algorithm on
+real float32 data at sqrt(n) = 256.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.conventional import (
+    DDesignatedPermutation,
+    SDesignatedPermutation,
+)
+from repro.core.scheduled import ScheduledPermutation
+from repro.machine.params import MachineParams
+from repro.permutations.named import named_permutation
+
+WIDTH = 32
+MACHINE = MachineParams(width=WIDTH, latency=100, num_dmms=8)
+#: sqrt(n) sweep; 256..1024 are the paper's own sizes (it goes to 4096,
+#: which pure-Python planning makes impractically slow per run).
+SIDES = (64, 128, 256, 512, 1024)
+PERMS = ("identical", "shuffle", "random", "bit-reversal", "transpose")
+
+
+def _sweep():
+    """times[algo][perm][m] in HMM time units."""
+    times = {"d-designated": {}, "s-designated": {}, "scheduled": {}}
+    for name in PERMS:
+        for algo in times:
+            times[algo][name] = {}
+        for m in SIDES:
+            p = named_permutation(name, m * m, seed=42)
+            times["d-designated"][name][m] = (
+                DDesignatedPermutation(p).simulate(MACHINE).time
+            )
+            times["s-designated"][name][m] = (
+                SDesignatedPermutation(p).simulate(MACHINE).time
+            )
+            times["scheduled"][name][m] = (
+                ScheduledPermutation.plan(p, width=WIDTH)
+                .simulate(MACHINE).time
+            )
+    return times
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return _sweep()
+
+
+def _assert_paper_shape(sweep):
+    """The paper's Table II findings, asserted on the sweep."""
+    for m in SIDES:
+        values = {sweep["scheduled"][name][m] for name in PERMS}
+        assert len(values) == 1, f"scheduled time varies at m={m}: {values}"
+        sched = sweep["scheduled"]["identical"][m]
+        for easy in ("identical", "shuffle"):
+            assert sweep["d-designated"][easy][m] < sched
+        for hard in ("random", "bit-reversal", "transpose"):
+            assert sweep["d-designated"][hard][m] > sched
+            assert sweep["s-designated"][hard][m] > sched
+
+
+def test_table2a_report(report, benchmark, sweep):
+    benchmark.pedantic(_assert_paper_shape, args=(sweep,), rounds=1,
+                       iterations=1)
+    blocks = []
+    for algo, data in sweep.items():
+        rows = [
+            [name] + [data[name][m] for m in SIDES] for name in PERMS
+        ]
+        blocks.append(format_table(
+            ["P \\ sqrt(n)"] + [str(m) for m in SIDES],
+            rows,
+            title=f"Table II(a) analogue — {algo} (float, HMM time units)",
+        ))
+    # Visual shape check: both engines scale linearly in n; the gap is
+    # the constant factor the paper is about.
+    from repro.analysis.charts import scaling_chart
+
+    sizes = [float(m * m) for m in SIDES]
+    blocks.append(scaling_chart(
+        sizes,
+        {
+            "conv (bit-rev)": [
+                float(sweep["d-designated"]["bit-reversal"][m])
+                for m in SIDES
+            ],
+            "scheduled": [
+                float(sweep["scheduled"]["bit-reversal"][m]) for m in SIDES
+            ],
+        },
+        title="scaling (time units vs n, bit-reversal)",
+    ))
+    report("table2a_float", "\n\n".join(blocks))
+
+
+def test_scheduled_constant_and_winners(sweep):
+    """Plain-pytest twin of the shape assertions (also covered inside
+    the report bench for --benchmark-only runs)."""
+    _assert_paper_shape(sweep)
+
+
+def test_conventional_tracks_distribution(sweep):
+    from repro.core.distribution import distribution
+    from repro.core.theory import conventional_time
+
+    for name in PERMS:
+        for m in SIDES:
+            p = named_permutation(name, m * m, seed=42)
+            expected = conventional_time(
+                m * m, WIDTH, MACHINE.latency, distribution(p, WIDTH)
+            )
+            assert sweep["d-designated"][name][m] == expected
+
+
+# ---------------------------------------------------------------------------
+# Wall-clock of the online phase (float32, sqrt(n) = 256)
+# ---------------------------------------------------------------------------
+
+_M = 256
+_N = _M * _M
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return np.random.default_rng(0).random(_N).astype(np.float32)
+
+
+@pytest.mark.parametrize("perm_name", PERMS)
+def test_bench_apply_scheduled(benchmark, payload, perm_name):
+    p = named_permutation(perm_name, _N, seed=1)
+    plan = ScheduledPermutation.plan(p, width=WIDTH)
+    out = benchmark(plan.apply, payload)
+    expected = np.empty_like(payload)
+    expected[p] = payload
+    assert np.array_equal(out, expected)
+
+
+@pytest.mark.parametrize("perm_name", PERMS)
+def test_bench_apply_conventional(benchmark, payload, perm_name):
+    p = named_permutation(perm_name, _N, seed=1)
+    algo = DDesignatedPermutation(p)
+    out = benchmark(algo.apply, payload)
+    expected = np.empty_like(payload)
+    expected[p] = payload
+    assert np.array_equal(out, expected)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Bitonic sorting network with permutation-engine data movement.
+
+Sorting networks exchange data along fixed permutations known offline —
+the paper's setting.  This example sorts through Batcher's bitonic
+network fetching partners via pluggable permutation engines and prices
+every stage on the HMM.
+
+It demonstrates the *easy* end of the distribution spectrum: an
+XOR-partner fetch leaves the low ``log2(w)`` index bits intact, so each
+warp's partners stay consecutive — ``D_w = n/w``, fully coalesced — and
+the 3-round conventional algorithm wins every stage.  The paper's own
+Table II shows the same for the shuffle permutation ("used for shuffle
+exchanging in sorting networks"): low-distribution workloads do not
+need the scheduled algorithm, high-distribution ones (FFT bit-reversal,
+transpose, random — see the other examples) do.  ``D_w(P)`` is the
+quantity that tells the two regimes apart in advance.
+
+Run:  python examples/bitonic_sort_network.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.tables import format_table
+from repro.apps.bitonic import BitonicSorter, xor_permutation
+
+N = 64 * 64           # 4K keys
+WIDTH = 32
+MACHINE = repro.MachineParams(width=WIDTH, latency=100, num_dmms=8)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    keys = rng.random(N)
+
+    # --- sort through scheduled permutation engines --------------------
+    def scheduled_factory(p):
+        return repro.ScheduledPermutation.plan(p, width=WIDTH).apply
+
+    sorter = BitonicSorter(N, scheduled_factory)
+    out = sorter.sort(keys)
+    assert np.array_equal(out, np.sort(keys)), "network failed to sort!"
+    print(f"bitonic network sorted {N} keys correctly "
+          f"({sorter.num_stages} compare-exchange stages)\n")
+
+    # --- per-distance cost of the partner fetch ------------------------
+    distances = sorter.stage_distances()
+    rows = []
+    total_conv = total_sched = 0
+    for j in sorted(set(distances)):
+        p = xor_permutation(N, j)
+        uses = distances.count(j)
+        conv_t = repro.DDesignatedPermutation(p).simulate(MACHINE).time
+        sched_t = repro.ScheduledPermutation.plan(
+            p, width=WIDTH
+        ).simulate(MACHINE).time
+        dw = repro.distribution(p, WIDTH)
+        rows.append([j, uses, dw, conv_t, sched_t,
+                     "scheduled" if sched_t < conv_t else "conventional"])
+        total_conv += conv_t * uses
+        total_sched += sched_t * uses
+    print(format_table(
+        ["distance j", "stages", "D_w", "conventional", "scheduled",
+         "winner"],
+        rows,
+        title=f"partner-fetch cost per stage distance (time units; "
+              f"n/w = {N // WIDTH})",
+    ))
+
+    print(f"\nwhole network, conventional fetches : {total_conv}")
+    print(f"whole network, scheduled fetches    : {total_sched}")
+    print("\nXOR partners keep warps inside one address group "
+          f"(D_w = n/w = {N // WIDTH} for every stage), so the "
+          "conventional fetch is already optimal here — the scheduled "
+          "algorithm's strength is the high-distribution regime "
+          "(bit-reversal, transpose, random; see the FFT example and the "
+          "Table II benchmark).  Computing D_w(P) offline tells you which "
+          "engine to deploy before moving a single byte.")
+
+
+if __name__ == "__main__":
+    main()

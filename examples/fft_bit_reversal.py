@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""FFT with a scheduled bit-reversal stage (the paper's motivating use).
+
+The radix-2 decimation-in-time FFT starts with a bit-reversal reorder —
+a worst-case permutation for the conventional algorithm
+(``D_w = n``).  This example:
+
+1. computes an FFT whose reorder runs through the scheduled
+   permutation and verifies it against ``numpy.fft.fft``;
+2. prices the reorder stage on the HMM under both algorithms, showing
+   the scheduled schedule keeps the whole FFT's memory access regular.
+
+Run:  python examples/fft_bit_reversal.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.tables import format_table
+from repro.apps.fft import Radix2FFT
+
+N = 256 * 256
+WIDTH = 32
+MACHINE = repro.MachineParams(width=WIDTH, latency=100, num_dmms=8)
+
+
+def main() -> None:
+    p = repro.permutations.bit_reversal(N)
+    plan = repro.ScheduledPermutation.plan(p, width=WIDTH)
+
+    # --- correctness: FFT through the scheduled engine ----------------
+    fft_plan = Radix2FFT(N, engine=plan.apply)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=N) + 1j * rng.normal(size=N)
+    ours = fft_plan(x)
+    reference = np.fft.fft(x)
+    err = float(np.max(np.abs(ours - reference)))
+    print(f"FFT of n = {N}: max |ours - numpy.fft| = {err:.3e}")
+    assert err < 1e-6
+
+    # --- cost of the reorder stage on the HMM -------------------------
+    sched = plan.simulate(MACHINE)
+    conv = repro.DDesignatedPermutation(p).simulate(MACHINE)
+    dw = repro.distribution(p, WIDTH)
+    print()
+    print(format_table(
+        ["reorder algorithm", "rounds", "time units"],
+        [
+            ["conventional (casual writes)", conv.num_rounds, conv.time],
+            ["scheduled (all regular)", sched.num_rounds, sched.time],
+        ],
+        title=f"bit-reversal reorder of the FFT (D_w = {dw} = n)",
+    ))
+    print(f"\nreorder speedup: {conv.time / sched.time:.2f}x")
+
+    # Each of the log2(n) butterfly stages is a fully coalesced pass
+    # (3 streaming rounds), so the reorder is the only irregular step —
+    # exactly the situation the paper's algorithm targets.
+    stages = int(np.log2(N))
+    butterfly_time = 3 * repro.theory.coalesced_round_time(
+        N, WIDTH, MACHINE.latency
+    )
+    print(f"\neach of the {stages} butterfly stages costs "
+          f"~{butterfly_time} time units (coalesced); with the scheduled "
+          "reorder, no stage of the whole FFT pays casual-access penalties.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Matrix transpose three ways, plus the diagonal-arrangement ablation.
+
+Transpose is one of the paper's two worst-case permutations for the
+conventional algorithm (``D_w = n``).  This example compares, on the
+simulated HMM:
+
+1. the conventional D-designated permutation with the transpose
+   permutation (3 rounds, one fully-casual),
+2. the paper's dedicated tiled transpose with the *diagonal* shared
+   arrangement (Figure 4) — 4 clean rounds,
+3. the same tiled transpose with the naive arrangement — its shared
+   read is a w-way bank conflict,
+4. the full scheduled permutation (which of course also handles
+   transpose, in 32 rounds).
+
+Run:  python examples/matrix_transpose.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.figures import render_diagonal_arrangement
+from repro.analysis.tables import format_table
+
+M = 256
+N = M * M
+WIDTH = 32
+MACHINE = repro.MachineParams(width=WIDTH, latency=100, num_dmms=8)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    mat = rng.random((M, M)).astype(np.float32)
+
+    # --- correctness ----------------------------------------------------
+    tiled = repro.TiledTranspose(M, WIDTH)
+    naive = repro.TiledTranspose(M, WIDTH, diagonal=False)
+    assert np.array_equal(tiled.apply(mat), mat.T)
+    assert np.array_equal(naive.apply(mat), mat.T)
+
+    p = repro.permutations.transpose_permutation(N)
+    sched = repro.ScheduledPermutation.plan(p, width=WIDTH)
+    flat = mat.reshape(-1)
+    assert np.array_equal(
+        sched.apply(flat).reshape(M, M), mat.T
+    )
+    print(f"all three engines transpose a {M}x{M} matrix correctly\n")
+
+    # --- cost comparison --------------------------------------------------
+    conv_t = repro.DDesignatedPermutation(p).simulate(MACHINE)
+    tiled_t = tiled.simulate(MACHINE)
+    naive_t = naive.simulate(MACHINE)
+    sched_t = sched.simulate(MACHINE)
+    rows = [
+        ["conventional (casual write)", conv_t.num_rounds, conv_t.time],
+        ["tiled + diagonal (Fig. 4)", tiled_t.num_rounds, tiled_t.time],
+        ["tiled + naive shared layout", naive_t.num_rounds, naive_t.time],
+        ["scheduled permutation", sched_t.num_rounds, sched_t.time],
+    ]
+    print(format_table(
+        ["engine", "rounds", "time units"], rows,
+        title=f"transposing {M}x{M} floats on the HMM",
+    ))
+
+    shared_naive = sum(
+        r.stages for k in naive_t.kernels for r in k.rounds
+        if r.space == "shared" and r.kind == "read"
+    )
+    shared_diag = sum(
+        r.stages for k in tiled_t.kernels for r in k.rounds
+        if r.space == "shared" and r.kind == "read"
+    )
+    print(f"\nablation: the naive shared layout pays {shared_naive} stages "
+          f"on its column read vs {shared_diag} with the diagonal "
+          f"arrangement — a {shared_naive // shared_diag}-way bank conflict "
+          f"(= w = {WIDTH}), exactly as Section V predicts.")
+
+    print("\nFigure 4 — diagonal arrangement of one w x w tile "
+          "(w = 4 shown):")
+    print(render_diagonal_arrangement(4))
+
+
+if __name__ == "__main__":
+    main()

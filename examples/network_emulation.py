@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Emulating processor-network communication with offline permutation.
+
+The paper's Section I: "communication on processor networks such as
+hypercubes, meshes, and so on can be emulated by permutation."  Each
+communication step of a network is a fixed, known-in-advance
+permutation — the exact setting of the offline problem.  This example
+prices one step of several classic networks on the HMM under both
+engines and shows `D_w(P)` sorting them into conventional-friendly and
+scheduled-friendly patterns.
+
+Run:  python examples/network_emulation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.tables import format_table
+from repro.permutations.networks import (
+    all_to_all_blocks,
+    hypercube_step,
+    shear,
+    snake,
+    torus_shift,
+)
+
+N = 128 * 128
+WIDTH = 32
+MACHINE = repro.MachineParams(width=WIDTH, latency=100, num_dmms=8)
+
+
+def main() -> None:
+    patterns = {
+        "torus shift (0,+1)": torus_shift(N, 0, 1),
+        "torus shift (+1,0)": torus_shift(N, 1, 0),
+        "hypercube dim 2": hypercube_step(N, 2),
+        "hypercube dim 10": hypercube_step(N, 10),
+        "shear (step 1)": shear(N, 1),
+        "snake order": snake(N),
+        "all-to-all, 128 nodes": all_to_all_blocks(N, 128),
+        "random (reference)": repro.permutations.random_permutation(
+            N, seed=0
+        ),
+    }
+
+    rows = []
+    a = np.random.default_rng(1).random(N).astype(np.float32)
+    for name, p in patterns.items():
+        plan = repro.ScheduledPermutation.plan(p, width=WIDTH)
+        out = plan.apply(a)
+        expected = np.empty_like(a)
+        expected[p] = a
+        assert np.array_equal(out, expected), f"{name} misrouted!"
+        conv = repro.DDesignatedPermutation(p).simulate(MACHINE).time
+        sched = plan.simulate(MACHINE).time
+        dw = repro.distribution(p, WIDTH)
+        rows.append([
+            name, dw, round(dw / N, 3), conv, sched,
+            "scheduled" if sched < conv else "conventional",
+        ])
+
+    print(format_table(
+        ["network step", "D_w", "D_w/n", "conventional", "scheduled",
+         "winner"],
+        rows,
+        title=(f"one communication step on n = {N} elements "
+               f"(w = {WIDTH}, l = {MACHINE.latency}, "
+               f"d = {MACHINE.num_dmms})"),
+    ))
+    print(
+        "\nNeighbour-style steps (torus shifts, hypercube exchanges, "
+        "snake, shear) move whole contiguous runs, so each warp touches "
+        "1-2 groups (D_w/n ~ 1/w) and the conventional engine is right "
+        "for them.  The complete exchange (all-to-all) is a block "
+        "transpose — D_w = n, the paper's worst case — and random "
+        "traffic is nearly as bad: both want the scheduled engine.  "
+        "D_w(P), computable offline in O(n), makes the choice "
+        "mechanical."
+    )
+
+    # --- the library does the choosing: a multi-step emulation ---------
+    from repro.apps.emulation import NetworkEmulator
+
+    sequence = [
+        ("shift-east", torus_shift(N, 0, 1)),
+        ("all-to-all", all_to_all_blocks(N, int(np.sqrt(N)))),
+        ("shift-south", torus_shift(N, 1, 0)),
+        ("all-to-all again", all_to_all_blocks(N, int(np.sqrt(N)))),
+    ]
+    totals = {}
+    for policy in ("conventional", "scheduled", "auto"):
+        emu = NetworkEmulator(sequence, MACHINE, policy=policy)
+        totals[policy] = emu.total_predicted_time
+    auto = NetworkEmulator(sequence, MACHINE, policy="auto")
+    a = np.random.default_rng(2).random(N).astype(np.float32)
+    assert np.array_equal(auto.run(a), auto.reference(a))
+    print("\nfour-step emulation, total predicted cost per policy:")
+    for policy, t in totals.items():
+        print(f"  {policy:<13} {t} time units")
+    print(f"  (auto mixes engines per step: {auto.engine_mix()})")
+
+
+if __name__ == "__main__":
+    main()

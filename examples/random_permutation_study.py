@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Table III in miniature: how do *typical* permutations behave?
+
+Samples random permutations, measures the three algorithms' simulated
+times and the distribution ``D_w(P)/n``, and prints min/average/max —
+the paper's Table III format.  Also sweeps the `tiled_transpose` family
+to show ``D_w`` interpolating between the best and worst case and the
+crossover moving with it.
+
+Run:  python examples/random_permutation_study.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.permutations.families import tiled_transpose
+
+N = 128 * 128
+WIDTH = 32
+TRIALS = 20
+MACHINE = repro.MachineParams(width=WIDTH, latency=100, num_dmms=8)
+
+
+def main() -> None:
+    conv_d, conv_s, sched, fracs = [], [], [], []
+    for seed in range(TRIALS):
+        p = repro.permutations.random_permutation(N, seed=seed)
+        conv_d.append(repro.DDesignatedPermutation(p).simulate(MACHINE).time)
+        conv_s.append(repro.SDesignatedPermutation(p).simulate(MACHINE).time)
+        sched.append(
+            repro.ScheduledPermutation.plan(p, width=WIDTH)
+            .simulate(MACHINE).time
+        )
+        fracs.append(repro.distribution_fraction(p, WIDTH))
+
+    rows = []
+    for name, values in (
+        ("d-designated", conv_d),
+        ("s-designated", conv_s),
+        ("scheduled", sched),
+    ):
+        s = summarize(values)
+        rows.append([name, s.minimum, s.average, s.maximum])
+    frac = summarize(fracs)
+    rows.append(["D_w(P)/n", frac.minimum, frac.average, frac.maximum])
+    print(format_table(
+        ["quantity", "min", "average", "max"], rows,
+        title=f"{TRIALS} random permutations of n = {N} "
+              f"(time units; paper Table III format)",
+    ))
+    expected = repro.expected_random_distribution(N, WIDTH) / N
+    print(f"\nclosed-form E[D_w/n] = {expected:.5f} — random permutations "
+          "sit at the worst-case end, so the scheduled algorithm wins for "
+          "almost all of the n! permutations "
+          f"(here {summarize(sched).average / summarize(conv_d).average:.2f}x "
+          "of the conventional time).")
+
+    # --- sweeping the distribution ------------------------------------
+    print("\nsweeping D_w with block-transpose granularity "
+          "(tile m = identity ... tile 1 = full transpose):")
+    rows = []
+    m = int(np.sqrt(N))
+    tile = m
+    while tile >= 1:
+        p = tiled_transpose(N, tile)
+        d = repro.distribution(p, WIDTH)
+        conv_t = repro.DDesignatedPermutation(p).simulate(MACHINE).time
+        sched_t = repro.ScheduledPermutation.plan(
+            p, width=WIDTH
+        ).simulate(MACHINE).time
+        rows.append([
+            tile, d, round(d / N, 4), conv_t, sched_t,
+            "scheduled" if sched_t < conv_t else "conventional",
+        ])
+        tile //= 2
+    print(format_table(
+        ["tile", "D_w", "D_w/n", "conventional", "scheduled", "winner"],
+        rows,
+    ))
+    print("\nthe winner flips exactly where D_w crosses the scheduled "
+          "algorithm's (permutation-independent) budget — the quantitative "
+          "version of the paper's Table II story.")
+
+
+if __name__ == "__main__":
+    main()

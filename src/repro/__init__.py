@@ -1,0 +1,111 @@
+"""repro — An Optimal Offline Permutation Algorithm on the Hierarchical
+Memory Machine (ICPP 2013), reproduced in Python.
+
+The package provides:
+
+* the **scheduled offline permutation** — the paper's optimal
+  32-round algorithm (:class:`ScheduledPermutation`);
+* the **conventional baselines** it is compared against
+  (:class:`DDesignatedPermutation`, :class:`SDesignatedPermutation`);
+* a faithful **simulator of the HMM / DMM / UMM** memory-machine models
+  (:class:`HMM`, :class:`MachineParams`, and the
+  :mod:`repro.machine` subpackage), replacing the paper's GTX-680;
+* the **König edge-colouring** machinery the schedule is built on
+  (:mod:`repro.coloring`);
+* permutation **workload generators** (:mod:`repro.permutations`);
+* a cache-blocked **CPU backend** as a real-hardware analogue
+  (:mod:`repro.cpu`).
+
+Quick start
+-----------
+>>> import numpy as np, repro
+>>> p = repro.permutations.bit_reversal(1024)
+>>> plan = repro.ScheduledPermutation.plan(p, width=8)
+>>> b = plan.apply(np.arange(1024.0))
+>>> trace = plan.simulate(repro.MachineParams(width=8, latency=16, num_dmms=4))
+>>> trace.num_rounds
+32
+"""
+
+from repro import analysis, apps, coloring, core, cpu, machine, permutations, util
+from repro.core.conventional import (
+    DDesignatedPermutation,
+    SDesignatedPermutation,
+)
+from repro.core.colwise import ColumnwiseSchedule
+from repro.core.distribution import (
+    distribution,
+    distribution_fraction,
+    expected_random_distribution,
+    theoretical_distribution,
+)
+from repro.core.io import load_plan, save_plan
+from repro.core.selector import AutoPermutation, predict_times, recommend
+from repro.core.padded import PaddedScheduledPermutation, padded_length
+from repro.core.rowwise import RowwiseSchedule
+from repro.core.scheduled import ScheduledPermutation, scheduled_permute
+from repro.core.scheduler import ThreeStepDecomposition, decompose
+from repro.core.transpose import TiledTranspose
+from repro.core import theory
+from repro.errors import (
+    ColoringError,
+    MachineError,
+    NotAPermutationError,
+    ReproError,
+    SchedulingError,
+    SharedMemoryCapacityError,
+    SizeError,
+    ValidationError,
+)
+from repro.machine.cache import L2Cache
+from repro.machine.hmm import HMM
+from repro.machine.params import MachineParams
+from repro.permutations.ops import apply_permutation, invert
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoPermutation",
+    "ColoringError",
+    "ColumnwiseSchedule",
+    "DDesignatedPermutation",
+    "HMM",
+    "L2Cache",
+    "MachineError",
+    "MachineParams",
+    "NotAPermutationError",
+    "PaddedScheduledPermutation",
+    "ReproError",
+    "RowwiseSchedule",
+    "SDesignatedPermutation",
+    "ScheduledPermutation",
+    "SchedulingError",
+    "SharedMemoryCapacityError",
+    "SizeError",
+    "ThreeStepDecomposition",
+    "TiledTranspose",
+    "ValidationError",
+    "__version__",
+    "analysis",
+    "apply_permutation",
+    "apps",
+    "coloring",
+    "core",
+    "cpu",
+    "decompose",
+    "distribution",
+    "distribution_fraction",
+    "expected_random_distribution",
+    "invert",
+    "load_plan",
+    "machine",
+    "padded_length",
+    "permutations",
+    "predict_times",
+    "recommend",
+    "save_plan",
+    "scheduled_permute",
+    "theoretical_distribution",
+    "theory",
+    "util",
+]

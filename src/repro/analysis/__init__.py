@@ -1,0 +1,28 @@
+"""Reporting helpers: text tables, summary statistics, ASCII figures.
+
+The benchmark harness prints paper-style tables; these utilities keep
+the formatting in one place so every bench reads the same way.
+"""
+
+from repro.analysis.charts import bar_chart, loglog_slope, scaling_chart
+from repro.analysis.tables import format_table
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.figures import (
+    render_diagonal_arrangement,
+    render_matrix,
+    render_pipeline,
+    render_routing_steps,
+)
+
+__all__ = [
+    "Summary",
+    "bar_chart",
+    "format_table",
+    "loglog_slope",
+    "render_diagonal_arrangement",
+    "render_matrix",
+    "render_pipeline",
+    "render_routing_steps",
+    "scaling_chart",
+    "summarize",
+]

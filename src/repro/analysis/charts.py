@@ -1,0 +1,98 @@
+"""ASCII charts for terminal benchmark reports.
+
+The benches print paper-style tables; these helpers add quick visual
+shape checks — horizontal bar charts and log-log trend lines — without
+any plotting dependency (the environment is headless).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import SizeError
+
+_BAR = "#"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart; bars scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise SizeError("labels and values must have equal length")
+    if any(v < 0 for v in values):
+        raise SizeError("bar_chart values must be non-negative")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    peak = max(values) or 1.0
+    label_width = max(len(str(lab)) for lab in labels)
+    for lab, val in zip(labels, values):
+        bar = _BAR * max(1 if val > 0 else 0, round(val / peak * width))
+        lines.append(f"{str(lab).rjust(label_width)} | {bar} {val:g}")
+    return "\n".join(lines)
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    The shape check for scaling tables: a slope of ~1 means linear in
+    ``n``, ~2 quadratic, etc.  Requires positive data and at least two
+    points.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise SizeError("need two or more matching points")
+    if any(v <= 0 for v in xs) or any(v <= 0 for v in ys):
+        raise SizeError("log-log slope needs positive values")
+    lx = [math.log(v) for v in xs]
+    ly = [math.log(v) for v in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    var = sum((a - mx) ** 2 for a in lx)
+    if var == 0:
+        raise SizeError("x values are all equal")
+    return cov / var
+
+
+def scaling_chart(
+    sizes: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Per-size grouped bars plus the fitted log-log slope per series.
+
+    Renders, for each size, one bar per series (scaled globally), and a
+    footer line reporting each series' growth exponent.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    all_values = [v for vals in series.values() for v in vals]
+    if not all_values:
+        return "\n".join(lines + ["(no data)"])
+    peak = max(all_values) or 1.0
+    name_width = max(len(k) for k in series)
+    for idx, size in enumerate(sizes):
+        lines.append(f"n = {size:g}")
+        for name, vals in series.items():
+            val = vals[idx]
+            bar = _BAR * max(1 if val > 0 else 0,
+                             round(val / peak * width))
+            lines.append(f"  {name.rjust(name_width)} | {bar} {val:g}")
+    slopes = ", ".join(
+        f"{name}: O(n^{loglog_slope(sizes, vals):.2f})"
+        for name, vals in series.items()
+        if len(set(vals)) > 1
+    )
+    if slopes:
+        lines.append(f"growth: {slopes}")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""ASCII renderings of the paper's worked figures.
+
+Used by the figure benchmarks and examples to print, next to the
+measured numbers, the same pictures the paper draws:
+
+* Figure 3 — the pipeline-injection timeline on the DMM/UMM;
+* Figure 4 — the diagonal arrangement of a ``w x w`` tile;
+* Figure 6 — the matrix after each routing step of the scheduled
+  permutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.pipeline import CycleReport
+
+
+def render_matrix(mat: np.ndarray, cell_width: int | None = None) -> str:
+    """Render a small integer matrix as aligned text."""
+    mat = np.asarray(mat)
+    if cell_width is None:
+        cell_width = max(
+            (len(str(v)) for v in mat.reshape(-1).tolist()), default=1
+        )
+    return "\n".join(
+        " ".join(str(v).rjust(cell_width) for v in row)
+        for row in mat.tolist()
+    )
+
+
+def render_routing_steps(steps: list[tuple[str, np.ndarray]]) -> str:
+    """Render the Figure-6 routing sequence: labelled matrices."""
+    blocks = []
+    for label, mat in steps:
+        blocks.append(f"{label}:\n{render_matrix(np.asarray(mat))}")
+    return "\n\n".join(blocks)
+
+
+def render_diagonal_arrangement(width: int) -> str:
+    """Figure 4: which tile element ``[i,j]`` sits at each shared slot.
+
+    Slot ``i*w + (i+j) mod w`` holds ``[i, j]``; equivalently slot
+    ``(i, k)`` holds ``[i, (k - i) mod w]``.
+    """
+    rows = []
+    for i in range(width):
+        cells = [f"[{i},{(k - i) % width}]" for k in range(width)]
+        rows.append(" ".join(cells))
+    return "\n".join(rows)
+
+
+def render_pipeline(report: CycleReport) -> str:
+    """Figure 3: one line per stage-group injection.
+
+    Shows at which time unit each warp's stage group entered the MMU
+    pipeline and the total completion time.
+    """
+    lines = [
+        f"t={t:<4} warp W{w} round {r} ({size} request"
+        f"{'s' if size != 1 else ''})"
+        for t, w, r, size in report.injections
+    ]
+    lines.append(
+        f"total: {report.total_stages} stages, completed at "
+        f"t={report.total_time}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Summary statistics for repeated-trial experiments (Table III style)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Minimum / average / maximum of a sample, as Table III reports."""
+
+    minimum: float
+    average: float
+    maximum: float
+    count: int
+
+    def row(self) -> tuple[float, float, float]:
+        return (self.minimum, self.average, self.maximum)
+
+
+def summarize(values) -> Summary:
+    """Summarise a sequence of numbers; empty input yields zeros."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return Summary(0.0, 0.0, 0.0, 0)
+    return Summary(
+        minimum=float(arr.min()),
+        average=float(arr.mean()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+    )

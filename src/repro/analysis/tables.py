@@ -1,0 +1,48 @@
+"""Aligned text tables for benchmark output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Numbers are right-aligned, text left-aligned; floats are shown with
+    4 significant decimals.  Returns the table as a single string.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, text in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(text))
+            else:
+                widths.append(len(text))
+
+    def align(text: str, i: int, original: object) -> str:
+        if isinstance(original, (int, float)) and not isinstance(original, bool):
+            return text.rjust(widths[i])
+        return text.ljust(widths[i])
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths[: len(headers)]))
+    for row, raw in zip(str_rows, rows):
+        lines.append(
+            "  ".join(align(t, i, raw[i]) for i, t in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Application substrates motivating offline permutation (paper Section I).
+
+The paper motivates the offline permutation with "many applications in
+the area of parallel computing": FFT data reordering, sorting-network
+stages, matrix computation and processor-network emulation.  This
+subpackage implements two of those applications end to end so the
+examples can drive the permutation engines inside a real workload:
+
+* :mod:`repro.apps.fft` — an iterative radix-2 Cooley–Tukey FFT whose
+  decimation-in-time reorder *is* the bit-reversal permutation;
+* :mod:`repro.apps.bitonic` — Batcher's bitonic sorting network, whose
+  stages exchange data along XOR-partner (butterfly) permutations.
+
+Both accept a pluggable *permutation engine* so any of the package's
+algorithms (conventional, scheduled, CPU-blocked) can supply the data
+movement.
+"""
+
+from repro.apps.fft import Radix2FFT, fft, ifft
+from repro.apps.bitonic import BitonicSorter, bitonic_sort, xor_permutation
+from repro.apps.emulation import NetworkEmulator, PlannedStep
+
+__all__ = [
+    "BitonicSorter",
+    "NetworkEmulator",
+    "PlannedStep",
+    "Radix2FFT",
+    "bitonic_sort",
+    "fft",
+    "ifft",
+    "xor_permutation",
+]

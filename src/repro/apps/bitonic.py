@@ -1,0 +1,133 @@
+"""Batcher's bitonic sorting network with permutation-driven exchanges.
+
+Sorting networks are the paper's second motivating workload ("sorting
+networks such as bitonic sorting also involve permutation in each
+stage").  A bitonic network on ``n = 2**k`` keys runs
+``k (k + 1) / 2`` compare-exchange stages; in stage ``(k, j)`` every
+element exchanges with its partner at index ``i XOR j`` — the butterfly
+permutation, an involution.
+
+:class:`BitonicSorter` fetches partner values through a pluggable
+permutation engine (one engine per distinct ``j``), so the data
+movement of the whole network can be routed through any of this
+package's permutation algorithms and costed on the HMM.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import SizeError
+from repro.util.validation import check_power_of_two
+
+PermutationEngine = Callable[[np.ndarray], np.ndarray]
+EngineFactory = Callable[[np.ndarray], PermutationEngine]
+
+
+def xor_permutation(n: int, j: int) -> np.ndarray:
+    """The partner permutation of a bitonic stage: ``p[i] = i XOR j``.
+
+    ``j`` must be a power of two below ``n``.  An involution, so the
+    destination-designated convention coincides with the gather:
+    ``b[i] = a[i XOR j]``.
+    """
+    check_power_of_two(n, "n")
+    check_power_of_two(j, "j")
+    if j >= n:
+        raise SizeError(f"stage distance j = {j} must be below n = {n}")
+    return np.arange(n, dtype=np.int64) ^ j
+
+
+def _default_factory(p: np.ndarray) -> PermutationEngine:
+    def engine(a: np.ndarray) -> np.ndarray:
+        out = np.empty_like(a)
+        out[p] = a
+        return out
+
+    return engine
+
+
+class BitonicSorter:
+    """A reusable bitonic sorting network for length-``n`` arrays.
+
+    Parameters
+    ----------
+    n:
+        Array length; a power of two.
+    engine_factory:
+        Maps a partner permutation ``p`` to an engine ``a -> b`` with
+        ``b[p[i]] = a[i]``.  Called once per distinct stage distance
+        (``log2(n)`` times) at construction — the *offline* planning the
+        paper's algorithm is designed for; each engine is then reused
+        across all stages with that distance.
+    """
+
+    def __init__(
+        self, n: int, engine_factory: EngineFactory | None = None
+    ) -> None:
+        check_power_of_two(n, "n")
+        self.n = n
+        factory = engine_factory or _default_factory
+        self._engines: dict[int, PermutationEngine] = {}
+        j = 1
+        while j < n:
+            self._engines[j] = factory(xor_permutation(n, j))
+            j *= 2
+
+    @property
+    def num_stages(self) -> int:
+        """Number of compare-exchange stages: k(k+1)/2 for n = 2**k."""
+        k = self.n.bit_length() - 1
+        return k * (k + 1) // 2
+
+    def stage_distances(self) -> list[int]:
+        """The sequence of partner distances the network executes."""
+        out: list[int] = []
+        k = 2
+        while k <= self.n:
+            j = k // 2
+            while j >= 1:
+                out.append(j)
+                j //= 2
+            k *= 2
+        return out
+
+    def sort(self, x: np.ndarray, descending: bool = False) -> np.ndarray:
+        """Sort ``x`` with the full network; returns a new array."""
+        x = np.asarray(x)
+        if x.shape != (self.n,):
+            raise SizeError(f"input must have shape ({self.n},), got {x.shape}")
+        data = x.copy()
+        i = np.arange(self.n)
+        k = 2
+        while k <= self.n:
+            j = k // 2
+            while j >= 1:
+                partner = self._engines[j](data)
+                ascending_block = (i & k) == 0
+                keep_min = ascending_block ^ ((i & j) != 0)
+                if descending:
+                    keep_min = ~keep_min
+                data = np.where(
+                    keep_min,
+                    np.minimum(data, partner),
+                    np.maximum(data, partner),
+                )
+                j //= 2
+            k *= 2
+        return data
+
+
+def bitonic_sort(
+    x: np.ndarray,
+    engine_factory: EngineFactory | None = None,
+    descending: bool = False,
+) -> np.ndarray:
+    """One-shot bitonic sort (see :class:`BitonicSorter` to reuse the
+    planned network)."""
+    x = np.asarray(x)
+    return BitonicSorter(x.shape[0], engine_factory).sort(
+        x, descending=descending
+    )

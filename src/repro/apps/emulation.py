@@ -1,0 +1,133 @@
+"""Multi-step network emulation driver.
+
+The paper's Section I names processor-network emulation as an offline
+permutation workload: a network algorithm is a fixed *sequence* of
+communication steps, each a permutation known in advance.
+:class:`NetworkEmulator` packages the workflow:
+
+* plan every step once (engines chosen per step by the closed-form
+  selector — mixed conventional/scheduled schedules are the norm, as
+  the network-emulation example shows);
+* push payloads through the whole sequence;
+* account the total HMM cost and compare against single-engine
+  alternatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.conventional import DDesignatedPermutation
+from repro.core.scheduled import ScheduledPermutation
+from repro.core.selector import predict_times
+from repro.errors import SizeError
+from repro.machine.params import MachineParams
+from repro.util.validation import check_permutation
+
+
+@dataclass(frozen=True)
+class PlannedStep:
+    """One emulated communication step."""
+
+    name: str
+    engine_name: str
+    engine: object
+    predicted_time: int
+
+
+class NetworkEmulator:
+    """Plan and run a fixed sequence of communication permutations.
+
+    Parameters
+    ----------
+    steps:
+        ``(name, permutation)`` pairs, executed in order.
+    params:
+        Machine the costs are predicted/charged on.
+    policy:
+        ``"auto"`` (per-step selector), ``"conventional"`` or
+        ``"scheduled"`` to force one engine everywhere.
+    """
+
+    def __init__(
+        self,
+        steps: list[tuple[str, np.ndarray]],
+        params: MachineParams | None = None,
+        policy: str = "auto",
+    ) -> None:
+        if policy not in ("auto", "conventional", "scheduled"):
+            raise SizeError(
+                f"policy must be auto|conventional|scheduled, got {policy!r}"
+            )
+        self.params = params or MachineParams()
+        self.steps: list[PlannedStep] = []
+        n = None
+        for name, p in steps:
+            p = check_permutation(p)
+            if n is None:
+                n = int(p.shape[0])
+            elif p.shape[0] != n:
+                raise SizeError(
+                    "all steps must permute the same length; "
+                    f"{name!r} has {p.shape[0]} != {n}"
+                )
+            self.steps.append(self._plan_step(name, p, policy))
+        self.n = n or 0
+
+    def _plan_step(self, name: str, p: np.ndarray, policy: str) -> PlannedStep:
+        prediction = predict_times(p, self.params)
+        if policy == "conventional":
+            choice = "d-designated"
+        elif policy == "scheduled":
+            if prediction.scheduled is None:
+                raise SizeError(
+                    f"step {name!r}: scheduled engine infeasible for "
+                    f"n = {p.shape[0]} on this machine"
+                )
+            choice = "scheduled"
+        else:
+            choice = prediction.best
+        if choice == "scheduled":
+            engine = ScheduledPermutation.plan(p, width=self.params.width)
+            time = prediction.scheduled
+        else:
+            engine = DDesignatedPermutation(p)
+            time = prediction.d_designated
+        assert time is not None
+        return PlannedStep(
+            name=name, engine_name=choice, engine=engine,
+            predicted_time=int(time),
+        )
+
+    @property
+    def total_predicted_time(self) -> int:
+        """Model cost of running the whole sequence once."""
+        return sum(s.predicted_time for s in self.steps)
+
+    def engine_mix(self) -> dict[str, int]:
+        """How many steps each engine won."""
+        mix: dict[str, int] = {}
+        for s in self.steps:
+            mix[s.engine_name] = mix.get(s.engine_name, 0) + 1
+        return mix
+
+    def run(self, a: np.ndarray) -> np.ndarray:
+        """Push a payload through every step, in order."""
+        a = np.asarray(a)
+        if a.shape != (self.n,):
+            raise SizeError(f"a must have shape ({self.n},), got {a.shape}")
+        for step in self.steps:
+            a = step.engine.apply(a)
+        return a
+
+    def reference(self, a: np.ndarray) -> np.ndarray:
+        """Ground truth: plain scatters through every step."""
+        a = np.asarray(a)
+        for step in self.steps:
+            p = step.engine.p
+            out = np.empty_like(a)
+            out[np.asarray(p, dtype=np.int64)] = a
+            a = out
+        return a

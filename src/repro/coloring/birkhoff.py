@@ -1,0 +1,86 @@
+"""Birkhoff–von Neumann decomposition of balanced integer matrices.
+
+A non-negative integer matrix whose rows and columns all sum to the
+same value ``S`` is ``S`` times a doubly-stochastic matrix, and by the
+Birkhoff–von Neumann theorem decomposes into a weighted sum of
+permutation matrices.  This is the *count-matrix* view of König edge
+colouring: the count matrix of a ``D``-regular bipartite multigraph is
+balanced with ``S = D``, and each extracted permutation matrix is one
+(or, with weight ``c``, ``c`` consecutive) colour classes.
+
+The decomposition extracts at most ``nnz - 2m + 2`` permutation
+matrices (far fewer than ``D`` when multiplicities are large), so it is
+the preferred representation when only the *count* structure matters —
+the ablation benchmark compares it against per-edge colouring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import maximum_bipartite_matching
+
+from repro.errors import ColoringError
+
+
+def birkhoff_decomposition(
+    counts: np.ndarray,
+) -> list[tuple[int, np.ndarray]]:
+    """Decompose a balanced non-negative integer matrix.
+
+    Returns a list of ``(weight, perm)`` pairs where ``perm[u]`` is the
+    column matched to row ``u``, and
+    ``counts == sum(weight * P(perm))`` with each ``P`` a permutation
+    matrix.  Raises :class:`~repro.errors.ColoringError` if the matrix
+    is not square and balanced.
+    """
+    counts = np.array(counts, dtype=np.int64, copy=True)
+    if counts.ndim != 2 or counts.shape[0] != counts.shape[1]:
+        raise ColoringError(
+            f"count matrix must be square, got shape {counts.shape}"
+        )
+    if counts.size == 0:
+        return []
+    if counts.min() < 0:
+        raise ColoringError("count matrix entries must be non-negative")
+    row_sums = counts.sum(axis=1)
+    col_sums = counts.sum(axis=0)
+    total = int(row_sums[0])
+    if np.any(row_sums != total) or np.any(col_sums != total):
+        raise ColoringError(
+            "count matrix is not balanced: row/column sums differ"
+        )
+
+    result: list[tuple[int, np.ndarray]] = []
+    remaining = total
+    while remaining > 0:
+        rows, cols = np.nonzero(counts)
+        data = np.ones(rows.shape[0], dtype=np.int8)
+        graph = csr_matrix(
+            (data, (rows, cols)), shape=counts.shape
+        )
+        match = maximum_bipartite_matching(graph, perm_type="column")
+        if np.any(match < 0):
+            raise ColoringError(
+                "balanced matrix unexpectedly has no perfect matching"
+            )
+        perm = match.astype(np.int64)
+        weight = int(counts[np.arange(counts.shape[0]), perm].min())
+        counts[np.arange(counts.shape[0]), perm] -= weight
+        result.append((weight, perm))
+        remaining -= weight
+    return result
+
+
+def recompose(
+    decomposition: list[tuple[int, np.ndarray]], size: int
+) -> np.ndarray:
+    """Rebuild the count matrix from a Birkhoff decomposition.
+
+    Inverse of :func:`birkhoff_decomposition`; used by tests to verify
+    exact reconstruction.
+    """
+    counts = np.zeros((size, size), dtype=np.int64)
+    for weight, perm in decomposition:
+        counts[np.arange(size), perm] += weight
+    return counts

@@ -1,0 +1,149 @@
+"""Regular bipartite multigraph representation.
+
+Edges are stored as parallel arrays ``left[e] -> right[e]`` (an *edge
+list*), which keeps the identity of each edge instance — essential,
+because the schedulers need a colour per **element**, and distinct
+elements may induce identical ``(left, right)`` pairs (parallel edges).
+
+A count-matrix view (``counts[u, v]`` = edge multiplicity) is derived on
+demand for matching-based algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import NotRegularError, SizeError
+
+
+@dataclass(frozen=True)
+class RegularBipartiteMultigraph:
+    """A ``degree``-regular bipartite multigraph on ``L + R`` nodes.
+
+    Parameters
+    ----------
+    left, right:
+        Equal-length ``int64`` arrays; edge ``e`` joins left node
+        ``left[e]`` to right node ``right[e]``.
+    num_left, num_right:
+        Number of nodes on each side.  Regularity forces
+        ``num_left == num_right`` whenever there is at least one edge.
+    """
+
+    left: np.ndarray
+    right: np.ndarray
+    num_left: int
+    num_right: int
+    degree: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        left = np.ascontiguousarray(np.asarray(self.left, dtype=np.int64))
+        right = np.ascontiguousarray(np.asarray(self.right, dtype=np.int64))
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        if left.shape != right.shape or left.ndim != 1:
+            raise SizeError("left and right must be equal-length 1-D arrays")
+        if self.num_left < 0 or self.num_right < 0:
+            raise SizeError("node counts must be non-negative")
+        if left.size:
+            if left.min() < 0 or left.max() >= self.num_left:
+                raise SizeError("left endpoints out of range")
+            if right.min() < 0 or right.max() >= self.num_right:
+                raise SizeError("right endpoints out of range")
+        degree = self._check_regular()
+        object.__setattr__(self, "degree", degree)
+
+    def _check_regular(self) -> int:
+        """Verify regularity and return the common degree."""
+        if self.num_edges == 0:
+            return 0
+        left_deg = np.bincount(self.left, minlength=self.num_left)
+        right_deg = np.bincount(self.right, minlength=self.num_right)
+        degrees = np.unique(np.concatenate([left_deg, right_deg]))
+        if degrees.size != 1:
+            raise NotRegularError(
+                "bipartite multigraph is not regular: degrees range "
+                f"from {degrees.min()} to {degrees.max()}"
+            )
+        return int(degrees[0])
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, left, right, num_left: int | None = None, num_right: int | None = None
+    ) -> "RegularBipartiteMultigraph":
+        """Build from edge endpoint arrays, inferring node counts if omitted."""
+        left = np.asarray(left, dtype=np.int64)
+        right = np.asarray(right, dtype=np.int64)
+        if num_left is None:
+            num_left = int(left.max()) + 1 if left.size else 0
+        if num_right is None:
+            num_right = int(right.max()) + 1 if right.size else 0
+        return cls(left, right, num_left, num_right)
+
+    @classmethod
+    def from_count_matrix(cls, counts: np.ndarray) -> "RegularBipartiteMultigraph":
+        """Build from a multiplicity matrix ``counts[u, v]``.
+
+        Edge instances for the same ``(u, v)`` pair are emitted
+        consecutively, so ``edge_buckets`` round-trips.
+        """
+        counts = np.asarray(counts)
+        if counts.ndim != 2:
+            raise SizeError("count matrix must be two-dimensional")
+        if counts.size and counts.min() < 0:
+            raise SizeError("count matrix entries must be non-negative")
+        u, v = np.nonzero(counts)
+        reps = counts[u, v].astype(np.int64)
+        left = np.repeat(u.astype(np.int64), reps)
+        right = np.repeat(v.astype(np.int64), reps)
+        return cls(left, right, counts.shape[0], counts.shape[1])
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of edge instances (with multiplicity)."""
+        return int(self.left.shape[0])
+
+    def count_matrix(self) -> np.ndarray:
+        """Dense multiplicity matrix ``counts[u, v]`` (int64)."""
+        counts = np.zeros((self.num_left, self.num_right), dtype=np.int64)
+        np.add.at(counts, (self.left, self.right), 1)
+        return counts
+
+    def edge_buckets(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Group edge ids by ``(left, right)`` pair.
+
+        Returns ``(order, starts, keys)`` where ``order`` lists edge ids
+        sorted by pair key ``left * num_right + right``, ``starts`` are
+        CSR offsets into ``order`` for each unique pair, and ``keys``
+        are the unique pair keys.  Matching-based colouring uses this to
+        hand out one edge *instance* per extracted matching edge.
+        """
+        keys_all = self.left * np.int64(max(self.num_right, 1)) + self.right
+        order = np.argsort(keys_all, kind="stable").astype(np.int64)
+        sorted_keys = keys_all[order]
+        if sorted_keys.size:
+            boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
+            starts = np.concatenate(
+                [[0], boundaries, [sorted_keys.size]]
+            ).astype(np.int64)
+            keys = sorted_keys[starts[:-1]]
+        else:
+            starts = np.zeros(1, dtype=np.int64)
+            keys = np.empty(0, dtype=np.int64)
+        return order, starts, keys
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RegularBipartiteMultigraph(L={self.num_left}, R={self.num_right}, "
+            f"E={self.num_edges}, degree={self.degree})"
+        )

@@ -1,0 +1,76 @@
+"""The paper's algorithms: conventional baselines and the scheduled
+offline permutation.
+
+* :mod:`repro.core.conventional` — the D-designated (``b[p[i]] = a[i]``)
+  and S-designated (``b[i] = a[q[i]]``) baselines (Section IV);
+* :mod:`repro.core.transpose` — tiled matrix transpose with the
+  diagonal shared-memory arrangement (Section V, Figure 4);
+* :mod:`repro.core.rowwise` — conflict-free row-wise permutation driven
+  by per-row König bank colourings and the ``s``/``t`` schedule arrays
+  (Section VI);
+* :mod:`repro.core.colwise` — column-wise permutation as
+  transpose ∘ row-wise ∘ transpose (Section VI);
+* :mod:`repro.core.scheduler` — the global three-step decomposition via
+  König colouring over rows (Section VII, Figure 6);
+* :mod:`repro.core.scheduled` — :class:`ScheduledPermutation`, the
+  public plan/apply/simulate API for the optimal algorithm;
+* :mod:`repro.core.distribution` — the distribution ``D_w(P)`` measure
+  (Section IV) with closed forms for the named permutations;
+* :mod:`repro.core.theory` — Table I round counts, running-time
+  formulas and the optimality lower bound.
+"""
+
+from repro.core.conventional import (
+    ConventionalPermutation,
+    DDesignatedPermutation,
+    SDesignatedPermutation,
+)
+from repro.core.transpose import TiledTranspose
+from repro.core.rowwise import RowwiseSchedule
+from repro.core.colwise import ColumnwiseSchedule
+from repro.core.scheduler import ThreeStepDecomposition, decompose
+from repro.core.selector import AutoPermutation, predict_times, recommend
+from repro.core.scheduled import ScheduledPermutation
+from repro.core.distribution import (
+    distribution,
+    distribution_fraction,
+    expected_random_distribution,
+    theoretical_distribution,
+)
+from repro.core.dmm_permutation import (
+    DMMConventionalPermutation,
+    DMMScheduledPermutation,
+    bank_distribution,
+    worst_case_bank_permutation,
+)
+from repro.core.io import load_plan, save_plan
+from repro.core.padded import PaddedScheduledPermutation, padded_length
+from repro.core import theory
+
+__all__ = [
+    "AutoPermutation",
+    "ColumnwiseSchedule",
+    "ConventionalPermutation",
+    "DDesignatedPermutation",
+    "DMMConventionalPermutation",
+    "DMMScheduledPermutation",
+    "PaddedScheduledPermutation",
+    "RowwiseSchedule",
+    "SDesignatedPermutation",
+    "ScheduledPermutation",
+    "ThreeStepDecomposition",
+    "TiledTranspose",
+    "bank_distribution",
+    "decompose",
+    "distribution",
+    "distribution_fraction",
+    "expected_random_distribution",
+    "load_plan",
+    "padded_length",
+    "predict_times",
+    "recommend",
+    "save_plan",
+    "theoretical_distribution",
+    "theory",
+    "worst_case_bank_permutation",
+]

@@ -1,0 +1,127 @@
+"""Conventional offline permutation algorithms (paper Section IV).
+
+Both baselines perform three rounds of memory access; their cost is
+dominated by the one *casual* round, whose stage count equals the
+permutation's distribution ``D_w(P)`` (Lemma 4):
+
+* **D-designated** — ``for all i: b[p[i]] <- a[i]``: coalesced reads of
+  ``a`` and ``p``, casual **write** of ``b``;
+* **S-designated** — ``for all i: b[i] <- a[q[i]]`` with ``q = p⁻¹``:
+  coalesced read of ``q``, casual **read** of ``a``, coalesced write of
+  ``b``.  (On real GPUs the paper finds casual reads cheaper than
+  casual writes thanks to cache-coherency effects; in the base model
+  they cost the same.)
+
+Like every executor in :mod:`repro.core`, the data movement goes through
+:mod:`repro.machine.memory` traced arrays, so applying the algorithm and
+simulating its cost share one code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.hmm import HMM
+from repro.machine.memory import NullRecorder, TraceRecorder, TracedGlobalArray
+from repro.machine.params import MachineParams
+from repro.machine.requests import coalesced_addresses
+from repro.machine.trace import ProgramTrace
+from repro.permutations.ops import invert
+from repro.util.validation import check_permutation
+
+
+def _as_hmm(machine: HMM | MachineParams | None) -> HMM:
+    if machine is None:
+        return HMM()
+    if isinstance(machine, MachineParams):
+        return HMM(machine)
+    return machine
+
+
+class ConventionalPermutation:
+    """Shared scaffolding for the two conventional baselines."""
+
+    #: Subclasses set the kernel name used in traces.
+    kernel_name = "conventional"
+
+    def __init__(self, p: np.ndarray) -> None:
+        p = check_permutation(p)
+        # The paper stores the permutation as 32-bit int ("at most
+        # ceil(log n) <= 32 bits are necessary"); keep that so index
+        # reads are charged single-cell bandwidth.
+        self.p = p.astype(np.int32) if p.shape[0] <= 2**31 else p
+        self.n = int(self.p.shape[0])
+
+    # -- to be provided by subclasses --------------------------------
+
+    def _run(self, a: np.ndarray, recorder: TraceRecorder) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- public API ---------------------------------------------------
+
+    def apply(
+        self, a: np.ndarray, recorder: TraceRecorder | None = None
+    ) -> np.ndarray:
+        """Permute ``a``; optionally record access rounds."""
+        a = np.asarray(a)
+        if a.shape != (self.n,):
+            raise ValueError(
+                f"a must have shape ({self.n},), got {a.shape}"
+            )
+        rec = recorder if recorder is not None else NullRecorder()
+        rec.begin_kernel(self.kernel_name)
+        out = self._run(a, rec)
+        rec.end_kernel()
+        return out
+
+    def simulate(
+        self,
+        machine: HMM | MachineParams | None = None,
+        dtype=np.float32,
+    ) -> ProgramTrace:
+        """Charge the algorithm on an HMM and return the cost trace."""
+        rec = TraceRecorder(hmm=_as_hmm(machine), name=self.kernel_name)
+        self.apply(np.zeros(self.n, dtype=dtype), recorder=rec)
+        assert rec.trace is not None
+        return rec.trace
+
+
+class DDesignatedPermutation(ConventionalPermutation):
+    """Destination-designated baseline: ``b[p[i]] <- a[i]``."""
+
+    kernel_name = "d-designated"
+
+    def _run(self, a: np.ndarray, rec: TraceRecorder) -> np.ndarray:
+        ga = TracedGlobalArray(a, "a", rec)
+        gp = TracedGlobalArray(self.p, "p", rec)
+        gb = TracedGlobalArray(np.empty_like(a), "b", rec)
+        idx = coalesced_addresses(self.n)
+        values = ga.gather(idx)       # coalesced read of a
+        dest = gp.gather(idx)         # coalesced read of p
+        gb.scatter(dest, values)      # casual write of b
+        return gb.data
+
+
+class SDesignatedPermutation(ConventionalPermutation):
+    """Source-designated baseline: ``b[i] <- a[q[i]]`` with ``q = p⁻¹``.
+
+    The inverse permutation is computed once at construction (it is part
+    of the offline input in the paper: "suppose that q(0..n-1) are
+    stored in an array").
+    """
+
+    kernel_name = "s-designated"
+
+    def __init__(self, p: np.ndarray) -> None:
+        super().__init__(p)
+        self.q = invert(self.p).astype(self.p.dtype)
+
+    def _run(self, a: np.ndarray, rec: TraceRecorder) -> np.ndarray:
+        ga = TracedGlobalArray(a, "a", rec)
+        gq = TracedGlobalArray(self.q, "q", rec)
+        gb = TracedGlobalArray(np.empty_like(a), "b", rec)
+        idx = coalesced_addresses(self.n)
+        src = gq.gather(idx)          # coalesced read of q
+        values = ga.gather(src)       # casual read of a
+        gb.scatter(idx, values)       # coalesced write of b
+        return gb.data

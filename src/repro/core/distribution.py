@@ -1,0 +1,123 @@
+"""The distribution ``D_w(P)`` of a permutation (paper Section IV).
+
+``D_w(P)`` is the total number of distinct destination address groups
+summed over all warps when the D-designated algorithm writes ``b``:
+
+    D_w(P) = sum over warps k of |{ p[i] div w : i in warp k }|
+
+It ranges from ``n/w`` (identity: one group per warp) to ``n`` (every
+thread of every warp hits its own group — bit-reversal and transpose
+for large enough ``n``).  Lemma 4: the conventional algorithms' casual
+round costs exactly ``D_w(P) + l - 1`` time units, so ``D_w`` *is* the
+conventional algorithms' performance axis — which is why the paper's
+Table III reports ``D_w(P)/n`` alongside the running times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SizeError
+from repro.util.validation import check_permutation
+
+
+def distribution(p: np.ndarray, width: int, group_width: int | None = None) -> int:
+    """Compute ``D_w(P)`` exactly (vectorised, O(n log w)).
+
+    ``len(p)`` must be a multiple of ``width`` (the paper's standing
+    assumption; warps are full).
+
+    ``group_width`` (default: ``width``) sets the address-group size in
+    *elements* independently of the warp size — used by the
+    element-width extension, where ``k``-cell elements shrink the
+    effective group to ``w/k`` elements while warps stay ``w`` threads.
+    """
+    p = check_permutation(p)
+    if width < 1:
+        raise SizeError(f"width must be >= 1, got {width}")
+    group_width = width if group_width is None else group_width
+    if group_width < 1:
+        raise SizeError(f"group_width must be >= 1, got {group_width}")
+    n = p.shape[0]
+    if n == 0:
+        return 0
+    if n % width != 0:
+        raise SizeError(f"n = {n} must be a multiple of the width {width}")
+    groups = (p // group_width).reshape(n // width, width)
+    ordered = np.sort(groups, axis=1)
+    distinct = 1 + (ordered[:, 1:] != ordered[:, :-1]).sum(axis=1)
+    return int(distinct.sum())
+
+
+def distribution_fraction(p: np.ndarray, width: int) -> float:
+    """``D_w(P) / n`` — the normalised distribution of Table III."""
+    p = check_permutation(p)
+    if p.shape[0] == 0:
+        return 0.0
+    return distribution(p, width) / p.shape[0]
+
+
+def expected_random_distribution(n: int, width: int) -> float:
+    """Expected ``D_w(P)`` for a uniformly random permutation.
+
+    Per warp, the ``w`` destinations are a uniform sample *without
+    replacement* of ``w`` cells out of ``n``; the chance that a given
+    group (of ``w`` cells) is missed is ``C(n-w, w) / C(n, w)``, so
+
+        E[D_w] = (n/w) * (n/w) * (1 - prod_{k<w} (n - w - k)/(n - k))
+
+    For ``n >> w²`` this tends to ``n (1 - eps)`` with
+    ``eps ~ (w-1)/(2 n / w)`` — matching Table III's observation that
+    ``D_w/n ~ 0.9999`` at ``n = 4M``.
+    """
+    if width < 1:
+        raise SizeError(f"width must be >= 1, got {width}")
+    if n == 0:
+        return 0.0
+    if n % width != 0:
+        raise SizeError(f"n = {n} must be a multiple of the width {width}")
+    groups = n // width
+    k = np.arange(width, dtype=np.float64)
+    miss = np.prod((n - width - k) / (n - k))
+    return groups * groups * (1.0 - miss)
+
+
+def theoretical_distribution(name: str, n: int, width: int) -> int:
+    """Closed-form ``D_w`` for the named permutations (paper Section IV).
+
+    * identical: ``n/w``;
+    * shuffle: every warp's ``w`` destinations span ``2w`` consecutive
+      cells, i.e. 2 groups (3 when ``n <= 2w²``-ish boundary cases —
+      computed exactly below);
+    * bit-reversal and transpose: ``n`` for ``n >= w²`` (every thread
+      in a warp lands in its own group), less for smaller ``n``.
+
+    Exact for all sizes: falls back to direct evaluation for the
+    regimes where the asymptotic form does not hold yet, so this
+    function is *always* equal to ``distribution(named_permutation(...))``
+    (property-tested).
+    """
+    from repro.permutations.named import named_permutation
+
+    key = name.strip().lower().replace("_", "-")
+    if key == "identical":
+        if n % width:
+            raise SizeError(f"n = {n} must be a multiple of the width {width}")
+        return n // width
+    if key == "shuffle" and width >= 2 and n >= 2 * width:
+        # Every warp lies entirely in one half of the array, so its w
+        # destinations are w evenly-spaced cells spanning 2w - 1
+        # addresses starting at a group-aligned (+0 or +1) offset:
+        # exactly 2 distinct groups per warp.
+        return 2 * (n // width)
+    if key in ("bit-reversal", "transpose") and n >= width * width:
+        # Bit-reversal: the warp-local bits become the top group bits.
+        # Transpose: a warp's destinations are spaced m >= w apart.
+        # Either way every thread lands in its own group.
+        return n
+    if key == "random":
+        raise SizeError(
+            "random has no fixed distribution; use "
+            "expected_random_distribution"
+        )
+    return distribution(named_permutation(key, n), width)

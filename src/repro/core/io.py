@@ -1,0 +1,99 @@
+"""Schedule persistence.
+
+The scheduled algorithm's whole point is that planning happens *once*,
+offline — so plans must be storable.  A plan serialises to a single
+compressed ``.npz``: the permutation, the width, the three-step
+decomposition and the six ``s``/``t`` arrays, exactly the data the
+paper's implementation keeps in global memory between kernel launches.
+Loading rebuilds the plan without re-running any colouring.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.colwise import ColumnwiseSchedule
+from repro.core.rowwise import RowwiseSchedule
+from repro.core.scheduled import ScheduledPermutation
+from repro.core.scheduler import ThreeStepDecomposition
+from repro.core.transpose import TiledTranspose
+from repro.errors import ValidationError
+
+#: Format tag stored in every file; bump on incompatible change.
+FORMAT_VERSION = 1
+
+
+def save_plan(path, plan: ScheduledPermutation) -> None:
+    """Serialise a planned scheduled permutation to ``path`` (.npz)."""
+    if not isinstance(plan, ScheduledPermutation):
+        raise ValidationError(
+            f"expected a ScheduledPermutation, got {type(plan).__name__}"
+        )
+    np.savez_compressed(
+        Path(path),
+        format_version=np.int64(FORMAT_VERSION),
+        p=plan.p,
+        width=np.int64(plan.width),
+        colors=plan.decomposition.colors,
+        gamma1=plan.decomposition.gamma1,
+        delta=plan.decomposition.delta,
+        gamma3=plan.decomposition.gamma3,
+        s1=plan.step1.s,
+        t1=plan.step1.t,
+        s2=plan.step2.rowwise.s,
+        t2=plan.step2.rowwise.t,
+        s3=plan.step3.s,
+        t3=plan.step3.t,
+    )
+
+
+def load_plan(path) -> ScheduledPermutation:
+    """Rebuild a plan saved by :func:`save_plan`.
+
+    The loaded plan is verified end to end (decomposition routing and
+    conflict-freedom) before being returned, so a corrupted file fails
+    loudly rather than permuting silently wrong.
+    """
+    with np.load(Path(path)) as data:
+        version = int(data["format_version"])
+        if version != FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported plan format version {version}; this build "
+                f"reads version {FORMAT_VERSION}"
+            )
+        p = data["p"]
+        width = int(data["width"])
+        decomposition = ThreeStepDecomposition(
+            gamma1=data["gamma1"],
+            delta=data["delta"],
+            gamma3=data["gamma3"],
+            colors=data["colors"],
+        )
+        m = decomposition.m
+        step1 = RowwiseSchedule(
+            gamma=decomposition.gamma1, s=data["s1"], t=data["t1"],
+            width=width,
+        )
+        step2 = ColumnwiseSchedule(
+            rowwise=RowwiseSchedule(
+                gamma=decomposition.delta, s=data["s2"], t=data["t2"],
+                width=width,
+            ),
+            transpose=TiledTranspose(m, width),
+        )
+        step3 = RowwiseSchedule(
+            gamma=decomposition.gamma3, s=data["s3"], t=data["t3"],
+            width=width,
+        )
+    plan = ScheduledPermutation(
+        p=p,
+        width=width,
+        decomposition=decomposition,
+        step1=step1,
+        step2=step2,
+        step3=step3,
+    )
+    plan.verify()
+    return plan

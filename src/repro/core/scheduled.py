@@ -1,0 +1,247 @@
+"""The scheduled offline permutation — the paper's main contribution.
+
+:class:`ScheduledPermutation` packages the full pipeline:
+
+* **plan** (offline, done once per permutation): the global three-step
+  decomposition (Section VII) plus a conflict-free row-wise schedule
+  for each of the three passes (Section VI).  The schedules are plain
+  arrays — ``s``/``t`` pairs in 16-bit integers, exactly what the
+  paper's CUDA implementation stores in global memory.
+* **apply** (online): five kernels — row-wise, transpose, row-wise,
+  transpose, row-wise — every round coalesced or conflict-free.
+* **simulate**: replay on an :class:`~repro.machine.hmm.HMM`, giving
+  the 32-round trace whose time is ``16(n/w + l - 1)`` plus the
+  (d-fold parallel) shared terms — independent of the permutation.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import ScheduledPermutation
+>>> from repro.permutations import bit_reversal
+>>> p = bit_reversal(256)
+>>> plan = ScheduledPermutation.plan(p, width=4)
+>>> a = np.arange(256.0)
+>>> b = plan.apply(a)
+>>> expected = np.empty_like(a); expected[p] = a
+>>> bool((b == expected).all())
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.colwise import ColumnwiseSchedule
+from repro.core.rowwise import RowwiseSchedule
+from repro.core.scheduler import ThreeStepDecomposition, decompose
+from repro.errors import SizeError
+from repro.machine.hmm import HMM
+from repro.machine.memory import TraceRecorder
+from repro.machine.params import MachineParams
+from repro.machine.trace import ProgramTrace
+from repro.util.validation import check_permutation, check_square
+
+
+@dataclass
+class ScheduledPermutation:
+    """A fully planned optimal offline permutation."""
+
+    p: np.ndarray
+    width: int
+    decomposition: ThreeStepDecomposition
+    step1: RowwiseSchedule
+    step2: ColumnwiseSchedule
+    step3: RowwiseSchedule
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def plan(
+        cls, p: np.ndarray, width: int = 32, backend: str = "auto"
+    ) -> "ScheduledPermutation":
+        """Plan the scheduled permutation for ``p``.
+
+        ``len(p)`` must be a perfect square whose root is a multiple of
+        ``width``.  ``backend`` picks the König colouring implementation
+        for both the global and the per-row colourings.
+        """
+        p = check_permutation(p)
+        n = int(p.shape[0])
+        check_square(n, width, "len(p)")
+        decomposition = decompose(p, backend=backend)
+        step1 = RowwiseSchedule.plan(decomposition.gamma1, width, backend)
+        step2 = ColumnwiseSchedule.plan(decomposition.delta, width, backend)
+        step3 = RowwiseSchedule.plan(decomposition.gamma3, width, backend)
+        return cls(
+            p=p,
+            width=width,
+            decomposition=decomposition,
+            step1=step1,
+            step2=step2,
+            step3=step3,
+        )
+
+    @property
+    def n(self) -> int:
+        return int(self.p.shape[0])
+
+    @property
+    def m(self) -> int:
+        return self.decomposition.m
+
+    def schedule_bytes(self) -> int:
+        """Total bytes of precomputed schedule data (the offline output).
+
+        Three row-wise passes, each with an ``s`` and a ``t`` array of
+        ``n`` entries.
+        """
+        arrays = (
+            self.step1.s, self.step1.t,
+            self.step2.rowwise.s, self.step2.rowwise.t,
+            self.step3.s, self.step3.t,
+        )
+        return int(sum(a.nbytes for a in arrays))
+
+    def shared_bytes(self, dtype) -> int:
+        """Worst per-block shared-memory footprint across the 5 kernels."""
+        return max(
+            self.step1.shared_bytes(dtype),
+            self.step2.shared_bytes(dtype),
+            self.step3.shared_bytes(dtype),
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def apply(
+        self, a: np.ndarray, recorder: TraceRecorder | None = None
+    ) -> np.ndarray:
+        """Permute ``a`` (length ``n``): returns ``b`` with
+        ``b[p[i]] == a[i]``.
+
+        Runs the five kernels in sequence; with a recorder attached,
+        every one of the 32 access rounds is charged/collected.
+        """
+        a = np.asarray(a)
+        if a.shape != (self.n,):
+            raise SizeError(f"a must have shape ({self.n},), got {a.shape}")
+        mat = a.reshape(self.m, self.m)
+        mat = self.step1.apply(mat, recorder)          # row-wise
+        mat = self.step2.apply(mat, recorder)          # transpose, row-wise, transpose
+        mat = self.step3.apply(mat, recorder)          # row-wise
+        return mat.reshape(-1)
+
+    def apply_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Permute every row of ``batch`` (shape ``(k, n)``) with one
+        plan — the throughput mode for workloads like batched FFTs.
+
+        Follows the exact per-element data movement of :meth:`apply`
+        (the same schedules drive every pass), vectorised over the
+        leading axis; on the HMM each of the ``k`` payloads costs one
+        :meth:`simulate` time.
+        """
+        batch = np.asarray(batch)
+        if batch.ndim != 2 or batch.shape[1] != self.n:
+            raise SizeError(
+                f"batch must have shape (k, {self.n}), got {batch.shape}"
+            )
+        m = self.m
+        mats = batch.reshape(batch.shape[0], m, m)
+        mats = self.step1.apply_batch(mats)
+        mats = self.step2.rowwise.apply_batch(
+            mats.transpose(0, 2, 1)
+        ).transpose(0, 2, 1)
+        mats = self.step3.apply_batch(mats)
+        return mats.reshape(batch.shape[0], self.n)
+
+    def simulate(
+        self,
+        machine: HMM | MachineParams | None = None,
+        dtype=np.float32,
+    ) -> ProgramTrace:
+        """Charge the five kernels on an HMM and return the 32-round trace."""
+        if machine is None:
+            machine = HMM()
+        elif isinstance(machine, MachineParams):
+            machine = HMM(machine)
+        rec = TraceRecorder(hmm=machine, name="scheduled")
+        self.apply(np.zeros(self.n, dtype=dtype), recorder=rec)
+        assert rec.trace is not None
+        return rec.trace
+
+    def inverse(self, backend: str = "auto") -> "ScheduledPermutation":
+        """Plan the inverse permutation from this plan's decomposition.
+
+        If this plan realises ``p`` as ``rowwise(g1) ∘ colwise(delta) ∘
+        rowwise(g3)``, then ``p⁻¹`` is ``rowwise(g3⁻¹) ∘
+        colwise(delta⁻¹) ∘ rowwise(g1⁻¹)`` — the per-row/per-column
+        inverses applied in reverse order.  The expensive global König
+        colouring is *reused*; only the three cheap bank colourings are
+        recomputed for the inverted families.
+        """
+        m = self.m
+        d = self.decomposition
+
+        def invert_rows(arr: np.ndarray) -> np.ndarray:
+            out = np.empty_like(arr)
+            rows = np.arange(arr.shape[0])[:, None]
+            out[rows, arr] = np.broadcast_to(
+                np.arange(m, dtype=arr.dtype), arr.shape
+            )
+            return out
+
+        gamma1_inv = invert_rows(np.asarray(d.gamma3, dtype=np.int64))
+        delta_inv = invert_rows(np.asarray(d.delta, dtype=np.int64))
+        gamma3_inv = invert_rows(np.asarray(d.gamma1, dtype=np.int64))
+
+        from repro.permutations.ops import invert as invert_perm
+
+        p_inv = invert_perm(self.p)
+        # Colour (= intermediate column) of each inverse-route element:
+        # the element starting at position q = p[i] travels i's route
+        # backwards through the same column.
+        colors_inv = np.empty(self.n, dtype=np.int64)
+        colors_inv[self.p] = d.colors
+        decomposition = ThreeStepDecomposition(
+            gamma1=gamma1_inv,
+            delta=delta_inv,
+            gamma3=gamma3_inv,
+            colors=colors_inv,
+        )
+        decomposition.route(p_inv)
+        width = self.width
+        return ScheduledPermutation(
+            p=p_inv,
+            width=width,
+            decomposition=decomposition,
+            step1=RowwiseSchedule.plan(gamma1_inv, width, backend),
+            step2=ColumnwiseSchedule.plan(delta_inv, width, backend),
+            step3=RowwiseSchedule.plan(gamma3_inv, width, backend),
+        )
+
+    def verify(self) -> None:
+        """Run every internal consistency check (tests and
+        :func:`repro.core.io.load_plan` call this): the decomposition
+        must route ``p`` exactly and every row-wise schedule must be
+        conflict-free *and* encode its ``gamma``."""
+        self.decomposition.route(self.p)
+        self.step1.verify()
+        self.step2.rowwise.verify()
+        self.step3.verify()
+
+
+def scheduled_permute(
+    a: np.ndarray, p: np.ndarray, width: int = 32, backend: str = "auto"
+) -> np.ndarray:
+    """One-shot convenience: plan and apply in one call.
+
+    For repeated permutations with the same ``p`` (the algorithm's
+    intended use — "offline" means ``p`` is known in advance), plan once
+    with :meth:`ScheduledPermutation.plan` and reuse it.
+    """
+    return ScheduledPermutation.plan(p, width=width, backend=backend).apply(a)

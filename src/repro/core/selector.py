@@ -1,0 +1,164 @@
+"""Automatic engine selection.
+
+The paper's bottom line is a *decision rule*: the conventional
+algorithm wins when the permutation's distribution is small (or ``n``
+is latency-dominated), the scheduled algorithm wins otherwise — and
+because the permutation is known offline, the decision can be made by
+arithmetic before moving a byte.  This module packages that rule:
+
+* :func:`predict_times` — closed-form time of every engine for a given
+  permutation, machine and dtype (no planning, no simulation: just
+  ``D_w`` and Table I formulas);
+* :func:`recommend` — the engine with the smallest predicted time;
+* :class:`AutoPermutation` — plans the recommended engine and exposes
+  the usual ``apply``/``simulate`` interface.
+
+The prediction is exact (the formulas are the simulator, pinned by
+tests), so ``AutoPermutation`` is never slower than either fixed
+choice on the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import theory
+from repro.core.conventional import (
+    DDesignatedPermutation,
+    SDesignatedPermutation,
+)
+from repro.core.distribution import distribution
+from repro.core.scheduled import ScheduledPermutation
+from repro.errors import SizeError
+from repro.machine.hmm import HMM
+from repro.machine.memory import TraceRecorder, element_cells_of
+from repro.machine.params import MachineParams
+from repro.machine.trace import ProgramTrace
+from repro.permutations.ops import invert
+from repro.util.validation import check_permutation, isqrt_exact
+
+
+@dataclass(frozen=True)
+class EnginePrediction:
+    """Predicted model times (time units) for each engine, plus the
+    inputs the decision was made from."""
+
+    d_designated: int
+    s_designated: int
+    scheduled: int | None       #: None when n is not a valid square size
+    distribution_value: int
+    inverse_distribution_value: int
+    best: str
+
+    def as_rows(self) -> list[list[object]]:
+        rows: list[list[object]] = [
+            ["d-designated", self.d_designated],
+            ["s-designated", self.s_designated],
+        ]
+        if self.scheduled is not None:
+            rows.append(["scheduled", self.scheduled])
+        return rows
+
+
+def _scheduled_feasible(n: int, width: int) -> bool:
+    try:
+        isqrt = isqrt_exact(n, "n")
+    except SizeError:
+        return False
+    return isqrt % width == 0 and n > 0
+
+
+def predict_times(
+    p: np.ndarray,
+    params: MachineParams | None = None,
+    dtype=np.float32,
+) -> EnginePrediction:
+    """Closed-form engine times for permutation ``p`` (O(n), no plan).
+
+    Uses the element-width-aware formulas; the casual rounds use the
+    mixed distribution ``D(p, w, w/k)``.
+    """
+    p = check_permutation(p)
+    params = params or MachineParams()
+    n = int(p.shape[0])
+    w, latency, d = params.width, params.latency, params.num_dmms
+    if n % w != 0:
+        raise SizeError(f"n = {n} must be a multiple of the width {w}")
+    k = element_cells_of(dtype)
+    group = w // k if k <= w and w % k == 0 else 1
+    dw = distribution(p, w, group)
+    dw_inv = distribution(invert(p), w, group)
+    conv_d = theory.conventional_time(n, w, latency, dw, k)
+    conv_s = theory.conventional_time(n, w, latency, dw_inv, k)
+    sched: int | None = None
+    if _scheduled_feasible(n, w):
+        shared_needed = 2 * isqrt_exact(n) * np.dtype(dtype).itemsize
+        cap = params.shared_capacity
+        if cap is None or shared_needed <= cap:
+            sched = theory.scheduled_time(n, w, latency, d, k)
+    candidates: list[tuple[int, str]] = [
+        (conv_d, "d-designated"), (conv_s, "s-designated")
+    ]
+    if sched is not None:
+        candidates.append((sched, "scheduled"))
+    best = min(candidates)[1]
+    return EnginePrediction(
+        d_designated=conv_d,
+        s_designated=conv_s,
+        scheduled=sched,
+        distribution_value=dw,
+        inverse_distribution_value=dw_inv,
+        best=best,
+    )
+
+
+def recommend(
+    p: np.ndarray,
+    params: MachineParams | None = None,
+    dtype=np.float32,
+) -> str:
+    """The engine name with the smallest predicted time."""
+    return predict_times(p, params, dtype).best
+
+
+class AutoPermutation:
+    """Plan whichever engine the model predicts fastest.
+
+    Mirrors the fixed engines' interface: ``apply(a, recorder)`` and
+    ``simulate(machine, dtype)``.
+    """
+
+    def __init__(
+        self,
+        p: np.ndarray,
+        params: MachineParams | None = None,
+        dtype=np.float32,
+        backend: str = "auto",
+    ) -> None:
+        self.params = params or MachineParams()
+        self.prediction = predict_times(p, self.params, dtype)
+        self.choice = self.prediction.best
+        if self.choice == "scheduled":
+            self.engine = ScheduledPermutation.plan(
+                p, width=self.params.width, backend=backend
+            )
+        elif self.choice == "s-designated":
+            self.engine = SDesignatedPermutation(p)
+        else:
+            self.engine = DDesignatedPermutation(p)
+
+    def apply(
+        self, a: np.ndarray, recorder: TraceRecorder | None = None
+    ) -> np.ndarray:
+        return self.engine.apply(a, recorder)
+
+    def simulate(
+        self,
+        machine: HMM | MachineParams | None = None,
+        dtype=np.float32,
+    ) -> ProgramTrace:
+        return self.engine.simulate(
+            machine if machine is not None else self.params, dtype=dtype
+        )

@@ -1,0 +1,243 @@
+"""Closed-form round counts and running times (paper Table I) and the
+optimality lower bound (Section VII).
+
+Every formula here is checked against the simulator by the test suite
+and printed next to measured values by the Table I benchmark.
+
+Notation: ``n`` elements, width ``w``, global latency ``l``, ``d``
+DMMs.  The paper states times for the single-UMM view (global rounds
+dominate); this module exposes both the paper's forms and the exact
+HMM-model totals including the d-fold-parallel shared rounds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SizeError
+
+#: Table I — memory-access rounds per algorithm, by category.
+#: (casual rounds are global; the conventional algorithms have exactly
+#: one casual round each.)
+TABLE1_ROUNDS: dict[str, dict[str, int]] = {
+    "d-designated": {
+        "casual read": 0, "casual write": 1,
+        "coalesced read": 2, "coalesced write": 0,
+        "conflict-free read": 0, "conflict-free write": 0,
+    },
+    "s-designated": {
+        "casual read": 1, "casual write": 0,
+        "coalesced read": 1, "coalesced write": 1,
+        "conflict-free read": 0, "conflict-free write": 0,
+    },
+    "transpose": {
+        "casual read": 0, "casual write": 0,
+        "coalesced read": 1, "coalesced write": 1,
+        "conflict-free read": 1, "conflict-free write": 1,
+    },
+    "row-wise": {
+        "casual read": 0, "casual write": 0,
+        "coalesced read": 3, "coalesced write": 1,
+        "conflict-free read": 2, "conflict-free write": 2,
+    },
+    "column-wise": {
+        "casual read": 0, "casual write": 0,
+        "coalesced read": 5, "coalesced write": 3,
+        "conflict-free read": 4, "conflict-free write": 4,
+    },
+    "scheduled": {
+        "casual read": 0, "casual write": 0,
+        "coalesced read": 11, "coalesced write": 5,
+        "conflict-free read": 8, "conflict-free write": 8,
+    },
+}
+
+
+def total_rounds(algorithm: str) -> int:
+    """Total memory-access rounds of an algorithm (32 for scheduled)."""
+    try:
+        return sum(TABLE1_ROUNDS[algorithm].values())
+    except KeyError:
+        raise SizeError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{sorted(TABLE1_ROUNDS)}"
+        ) from None
+
+
+def _check(n: int, w: int, l: int, d: int = 1) -> None:
+    if w < 1 or l < 1 or d < 1:
+        raise SizeError("w, l and d must be >= 1")
+    if n < 0 or n % w != 0:
+        raise SizeError(f"n = {n} must be a non-negative multiple of w = {w}")
+
+
+def coalesced_round_time(n: int, w: int, l: int, element_cells: int = 1) -> int:
+    """Lemma 1: one coalesced global round by ``n`` threads:
+    ``k n/w + l - 1`` for ``k``-cell elements (``k = 1``: the paper's
+    floats; ``k = 2``: doubles, two transactions per warp)."""
+    _check(n, w, l)
+    if element_cells < 1:
+        raise SizeError(f"element_cells must be >= 1, got {element_cells}")
+    return element_cells * (n // w) + l - 1 if n else 0
+
+
+def conflict_free_round_time(n: int, w: int, d: int = 1) -> int:
+    """Lemma 1 on the HMM: one conflict-free shared round by ``n``
+    threads spread over ``d`` DMMs: ``n / (d w)`` (shared latency 1).
+
+    Assumes ``d`` divides the block count evenly; use
+    :func:`shared_round_time_blocks` for the exact uneven-split cost.
+    """
+    _check(n, w, 1, d)
+    return -(-(n // w) // d) if n else 0
+
+
+def shared_round_time_blocks(blocks: int, warps_per_block: int, d: int) -> int:
+    """Exact conflict-free shared round cost for a kernel of ``blocks``
+    blocks of ``warps_per_block`` warps each, assigned round-robin to
+    ``d`` DMMs: the busiest DMM holds ``ceil(blocks/d)`` blocks."""
+    if blocks < 0 or warps_per_block < 0 or d < 1:
+        raise SizeError("blocks, warps_per_block >= 0 and d >= 1 required")
+    if blocks == 0:
+        return 0
+    return -(-blocks // d) * warps_per_block
+
+
+def casual_round_time(distribution_value: int, l: int) -> int:
+    """Lemma 4: a casual global round with distribution ``D``:
+    ``D + l - 1``."""
+    if distribution_value < 0 or l < 1:
+        raise SizeError("distribution must be >= 0 and l >= 1")
+    return distribution_value + l - 1 if distribution_value else 0
+
+
+def conventional_time(
+    n: int, w: int, l: int, distribution_value: int, element_cells: int = 1
+) -> int:
+    """Running time of either conventional algorithm (Table I):
+    ``2(n/w + l - 1) + D_w(P) + l - 1`` for single-cell elements.
+
+    For ``k``-cell elements (``k`` dividing ``w``): the payload round
+    costs ``k n/w``, the 32-bit index round ``n/w``, and the casual
+    round exactly the mixed distribution ``distribution(p, w, w // k)``
+    — warps stay ``w`` threads, but each element's ``k`` aligned cells
+    land together in a ``w/k``-element group.
+    """
+    _check(n, w, l)
+    return (
+        coalesced_round_time(n, w, l, element_cells)   # payload stream
+        + coalesced_round_time(n, w, l)                # 32-bit index
+        + casual_round_time(distribution_value, l)
+    )
+
+
+def _matrix_side(n: int, w: int) -> int:
+    import math
+
+    m = math.isqrt(n)
+    if m * m != n or (n and m % w != 0):
+        raise SizeError(
+            f"n = {n} must be a perfect square with sqrt(n) a multiple of "
+            f"w = {w} for the matrix kernels"
+        )
+    return m
+
+
+def transpose_time(
+    n: int, w: int, l: int, d: int = 1, element_cells: int = 1
+) -> int:
+    """Transpose (Table I): 2 coalesced global + 2 conflict-free shared
+    rounds.  The kernel runs one block of ``w`` warps per ``w x w``
+    tile, so the shared rounds cost ``ceil((m/w)²/d) * w`` each.  Both
+    global rounds move payload, so they scale with ``element_cells``."""
+    _check(n, w, l, d)
+    if n == 0:
+        return 0
+    m = _matrix_side(n, w)
+    shared = shared_round_time_blocks((m // w) ** 2, w, d)
+    return 2 * coalesced_round_time(n, w, l, element_cells) + 2 * shared
+
+
+def rowwise_time(
+    n: int, w: int, l: int, d: int = 1, element_cells: int = 1
+) -> int:
+    """Row-wise permutation (Table I): 4 global + 4 shared rounds.  The
+    kernel runs one block of ``m/w`` warps per row, so the shared rounds
+    cost ``ceil(m/d) * m/w`` each.  Two of the global rounds move
+    payload (``a``, ``b``); the other two read the 16-bit ``s``/``t``
+    schedules (single-cell)."""
+    _check(n, w, l, d)
+    if n == 0:
+        return 0
+    m = _matrix_side(n, w)
+    shared = shared_round_time_blocks(m, m // w, d)
+    return (
+        2 * coalesced_round_time(n, w, l, element_cells)
+        + 2 * coalesced_round_time(n, w, l)
+        + 4 * shared
+    )
+
+
+def columnwise_time(
+    n: int, w: int, l: int, d: int = 1, element_cells: int = 1
+) -> int:
+    """Column-wise permutation = transpose + row-wise + transpose."""
+    return rowwise_time(n, w, l, d, element_cells) + 2 * transpose_time(
+        n, w, l, d, element_cells
+    )
+
+
+def scheduled_time(
+    n: int, w: int, l: int, d: int = 1, element_cells: int = 1
+) -> int:
+    """Scheduled permutation, exact HMM model: 16 coalesced global
+    rounds (10 payload + 6 schedule-index) + 16 conflict-free shared
+    rounds (d-fold parallel)."""
+    return 2 * rowwise_time(n, w, l, d, element_cells) + columnwise_time(
+        n, w, l, d, element_cells
+    )
+
+
+def scheduled_time_paper(n: int, w: int, l: int) -> int:
+    """The paper's headline form ``16(n/w + l - 1)``: the 16 global
+    rounds only, shared rounds charged to the DMMs' parallelism."""
+    return 16 * coalesced_round_time(n, w, l)
+
+
+def lower_bound(n: int, w: int, l: int) -> int:
+    """Section VII's lower bound: every element must be read once and
+    written once; ``w`` cells move per time unit and an access costs
+    ``l``: ``2(n/w + l - 1)`` time units."""
+    _check(n, w, l)
+    return 2 * coalesced_round_time(n, w, l)
+
+
+def worst_case_crossover(w: int, l: int, d: int = 1) -> float:
+    """The ``n`` above which the scheduled algorithm beats the
+    conventional one on a worst-case (``D_w = n``) permutation.
+
+    Setting ``2(n/w + l−1) + n + l−1 = 16(n/w + l−1) + 16 n/(wd)``
+    gives
+
+        n* = 13 (l − 1) / (1 − 14/w − 16/(wd))
+
+    Returns ``inf`` when the denominator is non-positive (small widths:
+    the scheduled algorithm's 32 rounds never pay off).  At the
+    GTX-680-like ``w = 32, d = 8, l = 100``: ``n* = 2574`` — matching
+    the simulated winner flip between ``n = 1024`` and ``n = 4096``
+    (the paper's *measured* crossover sits far higher, at 256K, because
+    the L2 cache extends the conventional regime; see the A2 ablation).
+    """
+    if w < 1 or l < 1 or d < 1:
+        raise SizeError("w, l and d must be >= 1")
+    denom = 1.0 - 14.0 / w - 16.0 / (w * d)
+    if denom <= 0:
+        return float("inf")
+    return 13.0 * (l - 1) / denom
+
+
+def optimality_ratio(n: int, w: int, l: int, d: int = 1) -> float:
+    """Scheduled time over the lower bound; tends to 8 + 8/d as
+    ``n/w >> l`` (16 global + 16/d shared round-equivalents over 2)."""
+    lb = lower_bound(n, w, l)
+    if lb == 0:
+        return 0.0
+    return scheduled_time(n, w, l, d) / lb

@@ -1,0 +1,151 @@
+"""Tiled matrix transpose with the diagonal arrangement (Section V).
+
+A ``m x m`` matrix is partitioned into ``(m/w)²`` tiles of ``w x w``.
+Each tile is staged through shared memory using the **diagonal
+arrangement** (Figure 4): tile element ``(i, j)`` is stored at shared
+address ``i*w + (i + j) mod w``, so
+
+* the elements of one tile **row** sit in ``w`` distinct banks, and
+* the elements of one tile **column** also sit in ``w`` distinct banks,
+
+making both the row-major write and the column-major read conflict-free
+— four memory-access rounds total (Table I: 1 coalesced read, 1
+coalesced write, 1 conflict-free read, 1 conflict-free write).
+
+The naive arrangement (``i*w + j``) is also provided: its column read
+is a ``w``-way bank conflict, which the ablation benchmark
+(DESIGN.md F4) quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SizeError
+from repro.machine.hmm import HMM
+from repro.machine.memory import (
+    NullRecorder,
+    TraceRecorder,
+    TracedGlobalArray,
+    TracedSharedArray,
+)
+from repro.machine.params import MachineParams
+from repro.machine.trace import ProgramTrace
+
+
+class TiledTranspose:
+    """Transpose of an ``m x m`` matrix on the HMM.
+
+    Parameters
+    ----------
+    m:
+        Matrix side; must be a multiple of ``width``.
+    width:
+        Machine width ``w`` (tile side, bank count, warp size).
+    diagonal:
+        Use the paper's diagonal shared arrangement (default).  With
+        ``False`` the naive arrangement is used — correct, but the
+        shared read becomes a full ``w``-way bank conflict.
+    """
+
+    def __init__(self, m: int, width: int = 32, diagonal: bool = True) -> None:
+        if width < 1:
+            raise SizeError(f"width must be >= 1, got {width}")
+        if m < width or m % width != 0:
+            raise SizeError(
+                f"matrix side m = {m} must be a positive multiple of the "
+                f"width {width}"
+            )
+        self.m = m
+        self.width = width
+        self.diagonal = diagonal
+        self._build_addresses()
+
+    def _build_addresses(self) -> None:
+        """Precompute the four per-thread address streams.
+
+        One block per ``w x w`` tile; block ``(I, J)`` has ``w²``
+        threads indexed ``(i, j)``.  Addresses are built once and reused
+        by every :meth:`apply` call.
+        """
+        m, w = self.m, self.width
+        mt = m // w                      # tiles per side
+        num_blocks = mt * mt
+        block = np.arange(num_blocks, dtype=np.int64)
+        tile_row = (block // mt)[:, None]    # I
+        tile_col = (block % mt)[:, None]     # J
+        thread = np.arange(w * w, dtype=np.int64)
+        i = (thread // w)[None, :]
+        j = (thread % w)[None, :]
+
+        self.num_blocks = num_blocks
+        self.block_threads = w * w
+        self.read_addr = ((tile_row * w + i) * m + (tile_col * w + j)).reshape(-1)
+        self.write_addr = ((tile_col * w + i) * m + (tile_row * w + j)).reshape(-1)
+        if self.diagonal:
+            slot_write = i * w + (i + j) % w
+            slot_read = j * w + (i + j) % w
+        else:
+            slot_write = i * w + j
+            slot_read = j * w + i
+        ones = np.ones((num_blocks, 1), dtype=np.int64)
+        self.shared_write_addr = (ones * slot_write)
+        self.shared_read_addr = (ones * slot_read)
+
+    def shared_bytes(self, dtype) -> int:
+        """Shared memory per block: one ``w x w`` tile of ``dtype``."""
+        return self.width * self.width * np.dtype(dtype).itemsize
+
+    def apply(
+        self, mat: np.ndarray, recorder: TraceRecorder | None = None
+    ) -> np.ndarray:
+        """Transpose ``mat`` (shape ``(m, m)``), optionally tracing."""
+        mat = np.asarray(mat)
+        if mat.shape != (self.m, self.m):
+            raise SizeError(
+                f"matrix must have shape ({self.m}, {self.m}), got {mat.shape}"
+            )
+        rec = recorder if recorder is not None else NullRecorder()
+        ga = TracedGlobalArray(mat, "a", rec)
+        gb = TracedGlobalArray(np.empty_like(mat), "b", rec)
+        tile = TracedSharedArray(
+            self.num_blocks,
+            self.block_threads,
+            mat.dtype,
+            "tile",
+            rec,
+            block_threads=self.block_threads,
+        )
+        rec.begin_kernel("transpose", self.shared_bytes(mat.dtype))
+        values = ga.gather(self.read_addr)
+        tile.scatter(
+            self.shared_write_addr,
+            values.reshape(self.num_blocks, self.block_threads),
+        )
+        staged = tile.gather(self.shared_read_addr)
+        gb.scatter(self.write_addr, staged.reshape(-1))
+        rec.end_kernel()
+        return gb.data.reshape(self.m, self.m)
+
+    def simulate(
+        self,
+        machine: HMM | MachineParams | None = None,
+        dtype=np.float32,
+    ) -> ProgramTrace:
+        """Charge one transpose kernel on an HMM and return the trace."""
+        if machine is None:
+            machine = HMM()
+        elif isinstance(machine, MachineParams):
+            machine = HMM(machine)
+        rec = TraceRecorder(hmm=machine, name="transpose")
+        self.apply(np.zeros((self.m, self.m), dtype=dtype), recorder=rec)
+        assert rec.trace is not None
+        return rec.trace
+
+
+def diagonal_slot(i: np.ndarray, j: np.ndarray, width: int) -> np.ndarray:
+    """Shared address of tile element ``(i, j)`` under the diagonal
+    arrangement: ``i*w + (i + j) mod w`` (Figure 4)."""
+    i = np.asarray(i, dtype=np.int64)
+    j = np.asarray(j, dtype=np.int64)
+    return i * width + (i + j) % width

@@ -1,0 +1,32 @@
+"""Real-hardware analogue: cache-blocked permutation on the CPU.
+
+The paper's headline is that a 32-round schedule with *regular* memory
+access beats a 3-round algorithm with *random* access.  The same effect
+exists on CPUs — random gather/scatter defeats the cache hierarchy the
+way casual access defeats coalescing — so this subpackage implements
+
+* :mod:`repro.cpu.naive` — the conventional one-pass gather/scatter,
+* :mod:`repro.cpu.blocked` — a three-pass permutation reusing the
+  scheduler's row/column decomposition so that every pass touches
+  memory row-locally (cache-resident rows, blocked transposes),
+* :mod:`repro.cpu.tuning` — transpose block-size selection.
+
+The wall-clock benchmark (DESIGN.md A3) measures the crossover on the
+actual host, mirroring Table II's shape with real time instead of model
+time units.
+"""
+
+from repro.cpu.naive import gather_permute, scatter_permute
+from repro.cpu.blocked import BlockedPermutation, blocked_transpose
+from repro.cpu.inplace import InplacePermutation, cycle_permute
+from repro.cpu.tuning import default_block_size
+
+__all__ = [
+    "BlockedPermutation",
+    "InplacePermutation",
+    "blocked_transpose",
+    "cycle_permute",
+    "default_block_size",
+    "gather_permute",
+    "scatter_permute",
+]

@@ -1,0 +1,48 @@
+"""Conventional one-pass permutation on the CPU.
+
+The two variants mirror the paper's D-designated and S-designated
+algorithms: ``scatter_permute`` writes randomly (``b[p] = a``),
+``gather_permute`` reads randomly (``b = a[q]``).  Both stream one
+array and hit the other at the permutation's whim — the CPU-cache
+analogue of a casual round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.permutations.ops import invert
+from repro.util.validation import check_permutation
+
+
+def scatter_permute(a: np.ndarray, p: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """D-designated on the CPU: ``b[p[i]] = a[i]`` (random writes).
+
+    ``out`` may be supplied to avoid allocation in benchmarks.
+    """
+    a = np.asarray(a)
+    p = check_permutation(p)
+    if out is None:
+        out = np.empty_like(a)
+    out[p] = a
+    return out
+
+
+def gather_permute(a: np.ndarray, q: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """S-designated on the CPU: ``b[i] = a[q[i]]`` (random reads).
+
+    ``q`` is the *inverse* of the destination-designated permutation —
+    use :func:`inverse_for_gather` to derive it.
+    """
+    a = np.asarray(a)
+    q = check_permutation(q)
+    if out is None:
+        out = np.empty_like(a)
+    np.take(a, q, out=out)
+    return out
+
+
+def inverse_for_gather(p: np.ndarray) -> np.ndarray:
+    """The gather index achieving the same result as ``scatter_permute``:
+    ``gather_permute(a, inverse_for_gather(p)) == scatter_permute(a, p)``."""
+    return invert(p)

@@ -1,0 +1,32 @@
+"""Cache-tuning knobs for the CPU backend.
+
+The blocked transpose's tile must fit two tiles (source + destination)
+comfortably in the L1 data cache; 64 x 64 doubles = 32 KB per tile is
+the classic sweet spot for 32–48 KB L1s, so the default scales the tile
+side with the element size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Target bytes for one transpose tile (half a typical 64 KB budget).
+_TILE_BYTES = 32 * 1024
+
+
+def default_block_size(dtype, m: int | None = None) -> int:
+    """Pick a transpose tile side for element type ``dtype``.
+
+    Returns a power of two between 16 and 256 such that a square tile
+    occupies about 32 KB; never exceeds the matrix side ``m`` when
+    given.
+    """
+    itemsize = np.dtype(dtype).itemsize
+    side = int((_TILE_BYTES // max(itemsize, 1)) ** 0.5)
+    block = 16
+    while block * 2 <= side and block < 256:
+        block *= 2
+    if m is not None:
+        while block > m and block > 1:
+            block //= 2
+    return block

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  Errors are
+grouped along the package's three main layers:
+
+* validation of user input (:class:`ValidationError` and subclasses),
+* the machine simulator (:class:`MachineError` and subclasses),
+* schedule construction (:class:`SchedulingError` and subclasses).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+# ---------------------------------------------------------------------------
+# Input validation
+# ---------------------------------------------------------------------------
+
+
+class ValidationError(ReproError, ValueError):
+    """Invalid user input (bad permutation, incompatible sizes, ...)."""
+
+
+class NotAPermutationError(ValidationError):
+    """An index array was expected to be a permutation of ``0..n-1``."""
+
+
+class SizeError(ValidationError):
+    """An array size does not satisfy a structural requirement.
+
+    The scheduled algorithm requires ``n`` to be a perfect square whose
+    root is a multiple of the machine width; several kernels additionally
+    require power-of-two sizes.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Machine simulator
+# ---------------------------------------------------------------------------
+
+
+class MachineError(ReproError):
+    """Base class for errors raised by the machine simulator."""
+
+
+class InvalidMachineError(MachineError, ValueError):
+    """Machine parameters are structurally invalid (e.g. width < 1)."""
+
+
+class SharedMemoryCapacityError(MachineError):
+    """A kernel requires more shared memory per DMM than available.
+
+    Mirrors the paper's GTX-680 limit: 48 KB of shared memory per
+    streaming multiprocessor makes ``sqrt(n) = 4096`` doubles infeasible
+    (Table II(b) stops at 2048).
+    """
+
+
+class AccessRoundError(MachineError, ValueError):
+    """An access round is malformed (bad shape, negative addresses, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Scheduling / colouring
+# ---------------------------------------------------------------------------
+
+
+class SchedulingError(ReproError):
+    """Base class for errors during offline schedule construction."""
+
+
+class ColoringError(SchedulingError):
+    """An edge colouring could not be constructed or failed verification."""
+
+
+class NotRegularError(ColoringError, ValueError):
+    """A bipartite multigraph expected to be regular is not."""

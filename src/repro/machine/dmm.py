@@ -1,0 +1,57 @@
+"""Standalone Discrete Memory Machine (DMM).
+
+The DMM (paper Section II) is the shared-memory model: ``w`` banks,
+bank of address ``i`` is ``i mod w``, latency ``l`` (1 inside the HMM,
+but the standalone model keeps it general, as in the paper's earlier
+work on conflict-free permutation within a single SM).
+
+This thin class bundles the closed-form cost (via
+:mod:`repro.machine.cost_model`) with the cycle-accurate engine for
+single-memory studies — the Figure 3 reproduction, the diagonal
+arrangement ablation — without the full HMM machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidMachineError
+from repro.machine.cost_model import round_time, shared_warp_stages
+from repro.machine.pipeline import CycleReport, simulate_access_sequence
+
+
+class DMM:
+    """Discrete Memory Machine of ``width`` banks and access ``latency``."""
+
+    space = "shared"
+
+    def __init__(self, width: int, latency: int = 1) -> None:
+        if width < 1 or latency < 1:
+            raise InvalidMachineError("width and latency must be >= 1")
+        self.width = width
+        self.latency = latency
+
+    def bank(self, addresses: np.ndarray) -> np.ndarray:
+        """The memory bank of each address: ``B(i) = i mod w``."""
+        return np.asarray(addresses, dtype=np.int64) % self.width
+
+    def round_stages(self, addresses: np.ndarray) -> int:
+        """Pipeline stages of one round (sum of per-warp conflict counts)."""
+        return int(shared_warp_stages(addresses, self.width).sum())
+
+    def round_time(self, addresses: np.ndarray) -> int:
+        """Closed-form completion time of one round: ``stages + l - 1``."""
+        return round_time(self.round_stages(addresses), self.latency)
+
+    def is_conflict_free(self, addresses: np.ndarray) -> bool:
+        """True iff every warp's requests land in distinct banks."""
+        per_warp = shared_warp_stages(addresses, self.width)
+        return bool(per_warp.size == 0 or per_warp.max() <= 1)
+
+    def simulate(
+        self, rounds: list[np.ndarray], barrier: bool = True
+    ) -> CycleReport:
+        """Cycle-accurate run of a round sequence (see Figure 3)."""
+        return simulate_access_sequence(
+            rounds, self.width, self.latency, self.space, barrier=barrier
+        )

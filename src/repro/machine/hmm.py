@@ -1,0 +1,137 @@
+"""The Hierarchical Memory Machine simulator.
+
+:class:`HMM` executes *kernels* — sequences of
+:class:`~repro.machine.requests.AccessRound` — under the paper's cost
+model:
+
+* global rounds are charged UMM-style: the stage totals of **all**
+  warps (across every DMM) add up, and the round completes in
+  ``stages + l - 1`` time units;
+* shared rounds are charged DMM-style **per DMM**: blocks are assigned
+  round-robin to the ``d`` DMMs, DMMs run independently, and the round
+  costs the maximum per-DMM stage total plus ``shared_latency - 1``;
+* consecutive rounds are barrier-separated (the paper's definition of a
+  round), so kernel time is the sum of round times;
+* kernels whose declared shared-memory footprint exceeds the per-block
+  capacity are rejected — reproducing the GTX-680's 48 KB limit that
+  truncates Table II(b).
+
+An optional :class:`~repro.machine.cache.L2Cache` can be attached, in
+which case global stage counts are filtered through the cache model
+(an extension over the paper; see DESIGN.md A2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import SharedMemoryCapacityError
+from repro.machine.cache import L2Cache, cached_global_stages
+from repro.machine.cost_model import (
+    classify_round,
+    global_round_stages,
+    round_time,
+    shared_round_stages,
+)
+from repro.machine.params import MachineParams
+from repro.machine.requests import AccessRound, Kernel
+from repro.machine.trace import (
+    KernelTrace,
+    ProgramTrace,
+    RoundCost,
+    make_round_cost,
+)
+
+
+class HMM:
+    """Hierarchical Memory Machine: ``d`` DMMs + one UMM.
+
+    Parameters
+    ----------
+    params:
+        Machine parameters; defaults to the GTX-680-like configuration.
+    l2_cache:
+        Optional global-memory cache model.  When present, each global
+        round's stages are computed with hit/miss-weighted costs and the
+        cache state persists across rounds and kernels (reset with
+        :meth:`reset_cache`).
+    """
+
+    def __init__(
+        self,
+        params: MachineParams | None = None,
+        l2_cache: L2Cache | None = None,
+    ) -> None:
+        self.params = params or MachineParams()
+        self.l2_cache = l2_cache
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_round(self, rnd: AccessRound) -> RoundCost:
+        """Charge a single access round and return its cost."""
+        width = self.params.width
+        classification = classify_round(rnd, width)
+        if rnd.space == "global":
+            if self.l2_cache is not None:
+                stages = cached_global_stages(
+                    rnd.addresses, width, self.l2_cache, rnd.array,
+                    rnd.element_cells,
+                )
+            else:
+                stages = global_round_stages(
+                    rnd.addresses, width, rnd.element_cells
+                )
+            time = round_time(stages, self.params.latency)
+        else:
+            block_size = rnd.block_size or width
+            stages = shared_round_stages(
+                rnd.addresses, width, block_size, self.params.num_dmms
+            )
+            time = round_time(stages, self.params.shared_latency)
+        return make_round_cost(rnd, classification, stages, time)
+
+    def check_capacity(self, kernel: Kernel) -> None:
+        """Reject kernels exceeding the per-block shared capacity."""
+        cap = self.params.shared_capacity
+        if cap is not None and kernel.shared_bytes_per_block > cap:
+            raise SharedMemoryCapacityError(
+                f"kernel {kernel.name!r} needs "
+                f"{kernel.shared_bytes_per_block} B of shared memory per "
+                f"block but the machine provides {cap} B "
+                "(the paper hits the same wall for sqrt(n)=4096 doubles)"
+            )
+
+    def run_kernel(self, kernel: Kernel) -> KernelTrace:
+        """Execute one kernel; rounds are barrier-separated."""
+        self.check_capacity(kernel)
+        trace = KernelTrace(name=kernel.name)
+        for rnd in kernel.rounds:
+            trace.rounds.append(self.run_round(rnd))
+        return trace
+
+    def run_program(
+        self, kernels: Iterable[Kernel], name: str = "program"
+    ) -> ProgramTrace:
+        """Execute a sequence of kernels (accepts a lazy generator).
+
+        Kernels are consumed one at a time so address arrays of large
+        programs never need to coexist in memory.
+        """
+        trace = ProgramTrace(name=name)
+        for kernel in kernels:
+            trace.kernels.append(self.run_kernel(kernel))
+        return trace
+
+    def reset_cache(self) -> None:
+        """Clear the L2 model's state (between benchmark repetitions)."""
+        if self.l2_cache is not None:
+            self.l2_cache.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cache = ", l2" if self.l2_cache is not None else ""
+        return (
+            f"HMM(w={self.params.width}, l={self.params.latency}, "
+            f"d={self.params.num_dmms}{cache})"
+        )

@@ -1,0 +1,252 @@
+"""Access-capturing array wrappers.
+
+The kernel executors in :mod:`repro.core` perform their data movement
+through these wrappers, so the **same code path** that computes the
+result also emits the exact access rounds the simulator charges — the
+address streams can never drift from the actual computation.
+
+* :class:`TracedGlobalArray` — a flat array in the UMM's global memory;
+  ``gather``/``scatter`` take one address per thread.
+* :class:`TracedSharedArray` — per-block arrays in the DMMs' shared
+  memories; addresses are block-local.
+* :class:`TraceRecorder` — receives the rounds.  It either charges them
+  immediately against an :class:`~repro.machine.hmm.HMM` (constant
+  memory, used for large ``n``) or collects
+  :class:`~repro.machine.requests.Kernel` objects for later inspection.
+  A ``TraceRecorder(None)`` is a cheap no-op so the pure-NumPy fast
+  path pays almost nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AccessRoundError
+from repro.machine.hmm import HMM
+from repro.machine.requests import AccessRound, Kernel
+from repro.machine.trace import KernelTrace, ProgramTrace
+
+
+class TraceRecorder:
+    """Collects access rounds emitted by traced arrays.
+
+    Parameters
+    ----------
+    hmm:
+        When given, every recorded round is charged immediately and only
+        its :class:`~repro.machine.trace.RoundCost` is kept (address
+        arrays are dropped — essential for multi-million element runs).
+    collect_rounds:
+        When ``True``, raw :class:`AccessRound` objects are also kept in
+        ``self.kernels`` for inspection (tests, small examples).
+    """
+
+    def __init__(
+        self,
+        hmm: HMM | None = None,
+        collect_rounds: bool = False,
+        name: str = "program",
+    ) -> None:
+        self.hmm = hmm
+        self.collect_rounds = collect_rounds
+        self.trace: ProgramTrace | None = (
+            ProgramTrace(name=name) if hmm is not None else None
+        )
+        self.kernels: list[Kernel] = []
+        self._current: KernelTrace | None = None
+        self._current_rounds: list[AccessRound] = []
+        self._current_name: str | None = None
+        self._current_shared_bytes = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether recording has any effect (used to skip work)."""
+        return self.hmm is not None or self.collect_rounds
+
+    # ------------------------------------------------------------------
+    # Kernel boundaries
+    # ------------------------------------------------------------------
+
+    def begin_kernel(self, name: str, shared_bytes_per_block: int = 0) -> None:
+        if self._current_name is not None:
+            raise AccessRoundError(
+                f"kernel {self._current_name!r} is still open"
+            )
+        self._current_name = name
+        self._current_shared_bytes = shared_bytes_per_block
+        self._current_rounds = []
+        if self.hmm is not None:
+            # Enforce the shared-capacity limit up front, as a real
+            # launch would fail at kernel-invocation time.
+            probe = Kernel(name, (), shared_bytes_per_block)
+            self.hmm.check_capacity(probe)
+            self._current = KernelTrace(name=name)
+
+    def end_kernel(self) -> None:
+        if self._current_name is None:
+            raise AccessRoundError("no kernel is open")
+        if self.collect_rounds:
+            self.kernels.append(
+                Kernel(
+                    self._current_name,
+                    tuple(self._current_rounds),
+                    self._current_shared_bytes,
+                )
+            )
+        if self.trace is not None and self._current is not None:
+            self.trace.kernels.append(self._current)
+        self._current = None
+        self._current_rounds = []
+        self._current_name = None
+        self._current_shared_bytes = 0
+
+    def record(self, rnd: AccessRound) -> None:
+        if self._current_name is None:
+            raise AccessRoundError(
+                "access round emitted outside a kernel; call begin_kernel"
+            )
+        if self.hmm is not None and self._current is not None:
+            self._current.rounds.append(self.hmm.run_round(rnd))
+        if self.collect_rounds:
+            self._current_rounds.append(rnd)
+
+
+#: Recorder that ignores everything — the fast path.
+class NullRecorder(TraceRecorder):
+    """A recorder that drops all rounds (pure-computation runs)."""
+
+    def __init__(self) -> None:
+        super().__init__(hmm=None, collect_rounds=False)
+
+    def begin_kernel(self, name: str, shared_bytes_per_block: int = 0) -> None:
+        pass
+
+    def end_kernel(self) -> None:
+        pass
+
+    def record(self, rnd: AccessRound) -> None:  # pragma: no cover - trivial
+        pass
+
+
+def element_cells_of(dtype) -> int:
+    """Cells (32-bit words) per element of ``dtype``.
+
+    The model's cell is the paper's float/int word; doubles span two
+    cells (their global accesses cost two transactions per group),
+    while sub-word types (the uint16 schedule arrays) still occupy one
+    cell slot each — conservatively charging them full-word bandwidth.
+    """
+    return max(1, np.dtype(dtype).itemsize // 4)
+
+
+class TracedGlobalArray:
+    """A flat array living in the simulated global memory."""
+
+    def __init__(
+        self, data: np.ndarray, name: str, recorder: TraceRecorder
+    ) -> None:
+        self.data = np.ascontiguousarray(np.asarray(data).reshape(-1))
+        self.name = name
+        self.recorder = recorder
+        self.element_cells = element_cells_of(self.data.dtype)
+
+    @property
+    def size(self) -> int:
+        return int(self.data.shape[0])
+
+    def gather(self, addresses: np.ndarray) -> np.ndarray:
+        """One read round: thread ``i`` reads ``data[addresses[i]]``."""
+        addresses = np.asarray(addresses, dtype=np.int64).reshape(-1)
+        if self.recorder.active:
+            self.recorder.record(
+                AccessRound(
+                    "global", "read", addresses, self.name,
+                    element_cells=self.element_cells,
+                )
+            )
+        return self.data[addresses]
+
+    def scatter(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """One write round: thread ``i`` writes ``values[i]`` to
+        ``data[addresses[i]]``."""
+        addresses = np.asarray(addresses, dtype=np.int64).reshape(-1)
+        if self.recorder.active:
+            self.recorder.record(
+                AccessRound(
+                    "global", "write", addresses, self.name,
+                    element_cells=self.element_cells,
+                )
+            )
+        self.data[addresses] = np.asarray(values).reshape(-1)
+
+
+class TracedSharedArray:
+    """Per-block arrays living in the DMMs' shared memories.
+
+    ``data`` has shape ``(num_blocks, cells_per_block)``; all addressing
+    is block-local.  ``block_threads`` is the number of threads per
+    block (needed to assign warps to DMMs); it may differ from the cell
+    count.
+    """
+
+    def __init__(
+        self,
+        num_blocks: int,
+        cells_per_block: int,
+        dtype,
+        name: str,
+        recorder: TraceRecorder,
+        block_threads: int,
+    ) -> None:
+        if num_blocks < 1 or cells_per_block < 1 or block_threads < 1:
+            raise AccessRoundError(
+                "num_blocks, cells_per_block and block_threads must be >= 1"
+            )
+        self.data = np.empty((num_blocks, cells_per_block), dtype=dtype)
+        self.name = name
+        self.recorder = recorder
+        self.block_threads = block_threads
+
+    def _check(self, addresses: np.ndarray) -> np.ndarray:
+        addresses = np.asarray(addresses, dtype=np.int64)
+        expected = (self.data.shape[0], self.block_threads)
+        if addresses.shape != expected:
+            raise AccessRoundError(
+                f"shared address array must have shape {expected} "
+                f"(blocks x threads), got {addresses.shape}"
+            )
+        return addresses
+
+    def gather(self, addresses: np.ndarray) -> np.ndarray:
+        """One read round: thread ``t`` of block ``b`` reads
+        ``data[b, addresses[b, t]]``."""
+        addresses = self._check(addresses)
+        if self.recorder.active:
+            self.recorder.record(
+                AccessRound(
+                    "shared",
+                    "read",
+                    addresses.reshape(-1),
+                    self.name,
+                    block_size=self.block_threads,
+                )
+            )
+        block = np.arange(self.data.shape[0])[:, None]
+        return self.data[block, addresses]
+
+    def scatter(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """One write round: thread ``t`` of block ``b`` writes to
+        ``data[b, addresses[b, t]]``."""
+        addresses = self._check(addresses)
+        if self.recorder.active:
+            self.recorder.record(
+                AccessRound(
+                    "shared",
+                    "write",
+                    addresses.reshape(-1),
+                    self.name,
+                    block_size=self.block_threads,
+                )
+            )
+        block = np.arange(self.data.shape[0])[:, None]
+        self.data[block, addresses] = values

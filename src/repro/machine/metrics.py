@@ -1,0 +1,96 @@
+"""Derived metrics over cost traces.
+
+Turns raw :class:`~repro.machine.trace.ProgramTrace` numbers into the
+quantities a performance engineer asks about: how close to the
+machine's bandwidth bound is this run, where does the time go, and what
+would a perfect (lower-bound) execution cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SizeError
+from repro.machine.params import MachineParams
+from repro.machine.trace import ProgramTrace
+
+
+def _lower_bound(n: int, width: int, latency: int) -> int:
+    """``2(n/w + l - 1)`` — duplicated from :mod:`repro.core.theory`
+    (which sits above this layer) to keep the machine package
+    self-contained; pinned equal by a test."""
+    if n <= 0:
+        return 0
+    return 2 * (n // width + latency - 1)
+
+
+@dataclass(frozen=True)
+class TraceMetrics:
+    """Summary metrics of one algorithm run on the HMM.
+
+    Attributes
+    ----------
+    time:
+        Total model time units.
+    bound:
+        The ``2(n/w + l - 1)`` lower bound for this ``n``.
+    efficiency:
+        ``bound / time`` in (0, 1]; 1 means bandwidth-optimal.
+    global_stage_share:
+        Fraction of the total time spent in global pipeline stages
+        (the bandwidth term) as opposed to latency and shared rounds.
+    latency_share:
+        Fraction of the total time that is pure latency (the
+        ``l - 1`` tails of global rounds).
+    casual_rounds:
+        Number of rounds classified casual (0 for the scheduled
+        algorithm, by construction).
+    """
+
+    time: int
+    bound: int
+    efficiency: float
+    global_stage_share: float
+    latency_share: float
+    casual_rounds: int
+
+
+def analyze(
+    trace: ProgramTrace, n: int, params: MachineParams
+) -> TraceMetrics:
+    """Compute :class:`TraceMetrics` for a program trace moving ``n``
+    elements on a machine described by ``params``."""
+    if n < 0:
+        raise SizeError(f"n must be non-negative, got {n}")
+    time = trace.time
+    bound = _lower_bound(n - n % params.width, params.width, params.latency)
+    global_stages = 0
+    latency_total = 0
+    casual = 0
+    for kernel in trace.kernels:
+        for rnd in kernel.rounds:
+            if rnd.classification == "casual":
+                casual += 1
+            if rnd.space == "global" and rnd.time > 0:
+                global_stages += rnd.stages
+                latency_total += rnd.time - rnd.stages
+    return TraceMetrics(
+        time=time,
+        bound=bound,
+        efficiency=(bound / time) if time else 1.0,
+        global_stage_share=(global_stages / time) if time else 0.0,
+        latency_share=(latency_total / time) if time else 0.0,
+        casual_rounds=casual,
+    )
+
+
+def format_metrics(metrics: TraceMetrics) -> str:
+    """One-paragraph human-readable rendering."""
+    return (
+        f"time {metrics.time} units vs lower bound {metrics.bound} "
+        f"(efficiency {metrics.efficiency:.1%}); "
+        f"{metrics.global_stage_share:.1%} global bandwidth, "
+        f"{metrics.latency_share:.1%} latency, "
+        f"{metrics.casual_rounds} casual round"
+        f"{'s' if metrics.casual_rounds != 1 else ''}"
+    )

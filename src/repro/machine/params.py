@@ -1,0 +1,79 @@
+"""Machine parameters for the DMM / UMM / HMM models.
+
+The paper's models have three parameters (Section II): the number of
+threads ``p`` (implied by each kernel), the width ``w`` and the memory
+access latency ``l``.  The HMM adds ``d``, the number of DMMs.  We also
+carry the per-DMM shared-memory capacity so the simulator can reject
+kernels the GTX-680 could not run (Table II(b) stops at
+``sqrt(n) = 2048`` doubles because ``2 * 4096 * 8 B = 64 KB > 48 KB``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidMachineError
+
+#: Shared memory per streaming multiprocessor on the GeForce GTX-680.
+GTX680_SHARED_BYTES = 48 * 1024
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Parameters of a Hierarchical Memory Machine.
+
+    Attributes
+    ----------
+    width:
+        ``w`` — number of memory banks per DMM, number of addresses per
+        global address group, and number of threads per warp.  32 on
+        CUDA hardware.
+    latency:
+        ``l`` — global (UMM) memory latency in time units.  The paper
+        notes real GPUs have "several hundred clock cycles"; the
+        default follows that.
+    num_dmms:
+        ``d`` — number of DMMs (streaming multiprocessors); 8 on the
+        GTX-680.
+    shared_latency:
+        Latency of the shared memory; the paper fixes it at 1.
+    shared_capacity:
+        Per-block shared memory capacity in bytes, or ``None`` for
+        unlimited.  Defaults to the GTX-680's 48 KB.
+    """
+
+    width: int = 32
+    latency: int = 100
+    num_dmms: int = 8
+    shared_latency: int = 1
+    shared_capacity: int | None = GTX680_SHARED_BYTES
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise InvalidMachineError(f"width must be >= 1, got {self.width}")
+        if self.latency < 1:
+            raise InvalidMachineError(f"latency must be >= 1, got {self.latency}")
+        if self.num_dmms < 1:
+            raise InvalidMachineError(
+                f"num_dmms must be >= 1, got {self.num_dmms}"
+            )
+        if self.shared_latency < 1:
+            raise InvalidMachineError(
+                f"shared_latency must be >= 1, got {self.shared_latency}"
+            )
+        if self.shared_capacity is not None and self.shared_capacity < 0:
+            raise InvalidMachineError(
+                f"shared_capacity must be >= 0, got {self.shared_capacity}"
+            )
+
+    @classmethod
+    def gtx680(cls, latency: int = 100) -> "MachineParams":
+        """Parameters mirroring the paper's GeForce GTX-680 testbed."""
+        return cls(width=32, latency=latency, num_dmms=8)
+
+    @classmethod
+    def textbook(cls, width: int = 4, latency: int = 5) -> "MachineParams":
+        """Small parameters matching the paper's worked figures."""
+        return cls(
+            width=width, latency=latency, num_dmms=1, shared_capacity=None
+        )

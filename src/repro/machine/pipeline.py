@@ -1,0 +1,288 @@
+"""Cycle-accurate simulation of the MMU pipeline (Figure 3).
+
+The closed-form costs in :mod:`repro.machine.cost_model` assert that a
+sequence of rounds occupying ``S`` pipeline stages finishes in
+``S + l - 1`` time units.  This module *derives* such numbers by
+explicit discrete-time simulation of the model's rules:
+
+* warps are dispatched for memory access in round-robin order among
+  warps with pending requests (Section II);
+* a dispatched warp's requests are decomposed into *stage groups* —
+  maximal sets that one pipeline stage can hold: distinct banks on the
+  DMM, a single address group on the UMM (Figure 3);
+* the MMU accepts one stage group per time unit; a group entering the
+  pipeline at time ``t`` completes at ``t + l - 1``;
+* a thread cannot issue a new request until its previous one completed,
+  so a warp's round ``r+1`` becomes eligible only after every group of
+  round ``r`` has completed.
+
+The engine therefore exhibits both pipelining (many warps hide the
+latency) and serialisation (a single warp pays ``l`` per round) — the
+phenomena the paper's running-time formulas capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AccessRoundError
+
+
+def split_stage_groups(
+    addresses: np.ndarray, width: int, space: str
+) -> list[np.ndarray]:
+    """Decompose one warp's requests into pipeline stage groups.
+
+    For the shared memory (``space="shared"``), each group holds at most
+    one request per bank: request ``r`` to bank ``b`` goes into group
+    ``k`` where ``r`` is the ``k``-th request (in thread order) hitting
+    ``b``.  For the global memory (``space="global"``), each group holds
+    the requests of exactly one address group (first-appearance order).
+
+    Returns a list of index arrays into ``addresses``; inactive (``-1``)
+    requests are skipped.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    active = np.nonzero(addresses >= 0)[0]
+    if active.size == 0:
+        return []
+    if space == "shared":
+        banks = addresses[active] % width
+        occurrence = _occurrence_index(banks)
+        num_groups = int(occurrence.max()) + 1
+        return [active[occurrence == g] for g in range(num_groups)]
+    if space == "global":
+        groups = addresses[active] // width
+        _uniques, first_pos = np.unique(groups, return_index=True)
+        order = np.argsort(first_pos)
+        return [
+            active[groups == g]
+            for g in _uniques[order]
+        ]
+    raise AccessRoundError(f"invalid space {space!r}")
+
+
+def _occurrence_index(values: np.ndarray) -> np.ndarray:
+    """For each element, how many earlier elements have the same value."""
+    order = np.argsort(values, kind="stable")
+    sorted_vals = values[order]
+    starts = np.concatenate([[0], np.nonzero(np.diff(sorted_vals))[0] + 1])
+    run_id = np.zeros(values.shape[0], dtype=np.int64)
+    run_id[starts[1:]] = 1
+    run_id = np.cumsum(run_id)
+    rank_in_run = np.arange(values.shape[0], dtype=np.int64) - starts[run_id]
+    out = np.empty_like(rank_in_run)
+    out[order] = rank_in_run
+    return out
+
+
+@dataclass
+class CycleReport:
+    """Result of a cycle-accurate run.
+
+    ``total_time`` counts elapsed time units from the first dispatch to
+    the completion of the last request.  ``injections`` records
+    ``(time, warp, round_index, group_size)`` for every stage group, and
+    ``round_completion[w][r]`` the completion time of warp ``w``'s round
+    ``r``.
+    """
+
+    total_time: int
+    injections: list[tuple[int, int, int, int]] = field(default_factory=list)
+    round_completion: list[list[int]] = field(default_factory=list)
+
+    @property
+    def total_stages(self) -> int:
+        return len(self.injections)
+
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles in which a stage group entered the pipeline."""
+        return len({t for t, _, _, _ in self.injections})
+
+
+#: Warp dispatch policies for the cycle engine.  The paper specifies
+#: round-robin ("warps are dispatched in a round-robin manner"); the
+#: alternatives exist to show the model's costs are policy-insensitive
+#: for the regular access patterns the scheduled algorithm produces.
+POLICIES = ("round-robin", "fifo", "most-work")
+
+
+class PipelineSimulator:
+    """Discrete-time simulator of one memory (DMM *or* UMM) MMU.
+
+    ``policy`` selects which ready warp is dispatched next:
+
+    * ``"round-robin"`` — the paper's rule (default);
+    * ``"fifo"`` — earliest-ready warp first (oldest-first);
+    * ``"most-work"`` — the ready warp with the most remaining rounds
+      (straggler-avoiding).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        latency: int,
+        space: str,
+        policy: str = "round-robin",
+    ) -> None:
+        if space not in ("global", "shared"):
+            raise AccessRoundError(f"invalid space {space!r}")
+        if width < 1 or latency < 1:
+            raise AccessRoundError("width and latency must be >= 1")
+        if policy not in POLICIES:
+            raise AccessRoundError(
+                f"invalid policy {policy!r}; expected one of {POLICIES}"
+            )
+        self.width = width
+        self.latency = latency
+        self.space = space
+        self.policy = policy
+
+    def run(self, warp_rounds: list[list[np.ndarray]]) -> CycleReport:
+        """Simulate warps each executing a sequence of rounds.
+
+        ``warp_rounds[w]`` is the ordered list of address arrays warp
+        ``w`` must access (each array = one round for that warp, at most
+        ``width`` requests).
+        """
+        num_warps = len(warp_rounds)
+        # Pre-split every round into stage groups.
+        groups: list[list[list[np.ndarray]]] = [
+            [
+                split_stage_groups(np.asarray(rnd), self.width, self.space)
+                for rnd in rounds
+            ]
+            for rounds in warp_rounds
+        ]
+        next_round = [0] * num_warps           # round index per warp
+        ready_at = [0] * num_warps             # earliest dispatch time
+        completion: list[list[int]] = [[] for _ in range(num_warps)]
+
+        time = 0
+        rr = 0                                  # round-robin pointer
+        report = CycleReport(total_time=0)
+        pending = sum(
+            1 for w in range(num_warps) if next_round[w] < len(groups[w])
+        )
+        while pending:
+            # Find the next ready warp according to the dispatch policy.
+            chosen = -1
+            if self.policy == "round-robin":
+                for offset in range(num_warps):
+                    w = (rr + offset) % num_warps
+                    if next_round[w] < len(groups[w]) and ready_at[w] <= time:
+                        chosen = w
+                        break
+            else:
+                ready = [
+                    w for w in range(num_warps)
+                    if next_round[w] < len(groups[w]) and ready_at[w] <= time
+                ]
+                if ready:
+                    if self.policy == "fifo":
+                        chosen = min(ready, key=lambda w: (ready_at[w], w))
+                    else:  # most-work
+                        chosen = max(
+                            ready,
+                            key=lambda w: (len(groups[w]) - next_round[w], -w),
+                        )
+            if chosen < 0:
+                # Everyone is waiting on latency; jump to the earliest
+                # ready time.
+                time = min(
+                    ready_at[w]
+                    for w in range(num_warps)
+                    if next_round[w] < len(groups[w])
+                )
+                continue
+            r = next_round[chosen]
+            warp_groups = groups[chosen][r]
+            if not warp_groups:
+                # A round with no active requests is free.
+                completion[chosen].append(time)
+                next_round[chosen] += 1
+            else:
+                # Inject the k stage groups over k consecutive cycles.
+                for g in warp_groups:
+                    time += 1
+                    report.injections.append((time, chosen, r, int(len(g))))
+                done = time + self.latency - 1
+                completion[chosen].append(done)
+                ready_at[chosen] = done
+                next_round[chosen] += 1
+            rr = (chosen + 1) % num_warps
+            pending = sum(
+                1 for w in range(num_warps) if next_round[w] < len(groups[w])
+            )
+
+        report.total_time = max(
+            (c for comp in completion for c in comp), default=0
+        )
+        report.round_completion = completion
+        return report
+
+
+def simulate_access_sequence(
+    rounds: list[np.ndarray],
+    width: int,
+    latency: int,
+    space: str,
+    barrier: bool = True,
+) -> CycleReport:
+    """Cycle-accurately simulate a grid executing ``rounds`` in order.
+
+    Each element of ``rounds`` is a flat per-thread address array (all
+    rounds must agree on the thread count); threads are grouped into
+    warps of ``width``.
+
+    With ``barrier=True`` (the paper's definition of a *round*: "all
+    threads perform a single memory access"), a global barrier separates
+    consecutive rounds, so the total time is exactly the sum of the
+    per-round closed forms — this twin is pinned to
+    :func:`repro.machine.cost_model.round_time` by tests.  With
+    ``barrier=False`` warps run free and may overlap their later rounds
+    with other warps' earlier ones, exhibiting the extra latency hiding
+    real hardware enjoys (explored by an ablation benchmark).
+    """
+    if not rounds:
+        return CycleReport(total_time=0)
+    num_threads = np.asarray(rounds[0]).shape[0]
+    for rnd in rounds:
+        if np.asarray(rnd).shape[0] != num_threads:
+            raise AccessRoundError("all rounds must have the same thread count")
+    num_warps = -(-num_threads // width)
+
+    def warp_slices(rnd: np.ndarray) -> list[np.ndarray]:
+        arr = np.asarray(rnd)
+        return [
+            arr[w * width : min((w + 1) * width, num_threads)]
+            for w in range(num_warps)
+        ]
+
+    sim = PipelineSimulator(width, latency, space)
+    if not barrier:
+        warp_rounds = [
+            [np.asarray(rnd)[w * width : min((w + 1) * width, num_threads)]
+             for rnd in rounds]
+            for w in range(num_warps)
+        ]
+        return sim.run(warp_rounds)
+
+    # Barrier mode: run each round in isolation and concatenate times —
+    # the pipeline fully drains at each barrier.
+    merged = CycleReport(total_time=0)
+    offset = 0
+    for r, rnd in enumerate(rounds):
+        report = sim.run([[s] for s in warp_slices(rnd)])
+        for t, w, _r, size in report.injections:
+            merged.injections.append((t + offset, w, r, size))
+        if not merged.round_completion:
+            merged.round_completion = [[] for _ in range(num_warps)]
+        for w, comp in enumerate(report.round_completion):
+            merged.round_completion[w].extend(c + offset for c in comp)
+        offset += report.total_time
+    merged.total_time = offset
+    return merged

@@ -1,0 +1,164 @@
+"""Access rounds and kernels — the simulator's unit of work.
+
+A *round* of memory access (Section III) is one access per thread, all
+to the same memory space.  A *kernel* is an ordered sequence of rounds
+executed by a fixed thread grid; the scheduled permutation issues five
+kernels (three row-wise, two transpose), the conventional algorithms
+one each.
+
+Thread organisation convention
+------------------------------
+
+Threads are identified by their flat index.  Warps are groups of
+``width`` consecutive threads.  For shared rounds, threads are also
+grouped into *blocks* of ``block_size`` consecutive threads; block
+``b`` runs on DMM ``b % num_dmms`` and its shared addresses live in
+that block's private shared arrays.  The address ``-1`` marks a thread
+that does not participate in the round (its warp may still be
+dispatched for the others).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.errors import AccessRoundError
+
+Space = Literal["global", "shared"]
+Kind = Literal["read", "write"]
+
+
+def coalesced_addresses(num_threads: int) -> np.ndarray:
+    """The canonical fully-coalesced address stream ``0..num_threads-1``.
+
+    Thread ``i`` accessing element ``i`` of an array is the paper's
+    archetypal coalesced round (reading ``a``, ``p``, ``s``, ``t`` or
+    writing ``b`` row-major).
+    """
+    return np.arange(num_threads, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class AccessRound:
+    """One memory access per thread.
+
+    Attributes
+    ----------
+    space:
+        ``"global"`` (UMM, coalescing matters) or ``"shared"`` (DMM,
+        bank conflicts matter).
+    kind:
+        ``"read"`` or ``"write"`` — does not affect cost in the model,
+        but is tracked so traces can be compared against Table I's
+        per-column round counts.
+    addresses:
+        ``int64`` array, one address per thread; ``-1`` = inactive.
+        For shared rounds, addresses are block-local (each block has
+        its own shared arrays).
+    array:
+        Name of the accessed array (``"a"``, ``"b"``, ``"p"``, ``"x"``,
+        ...) for reporting.
+    block_size:
+        Threads per block; required for shared rounds (to map blocks to
+        DMMs), optional for global rounds.
+    element_cells:
+        How many 32-bit cells one element occupies (1 for the paper's
+        float/int payloads, 2 for doubles).  Global rounds charge the
+        expanded cell footprint; shared banks remain element-addressed
+        (the GTX-680's Kepler SMs have a 64-bit bank mode, so the
+        paper's conflict-free schedules stay conflict-free for
+        doubles).
+    """
+
+    space: Space
+    kind: Kind
+    addresses: np.ndarray
+    array: str = "?"
+    block_size: int | None = None
+    element_cells: int = 1
+
+    def __post_init__(self) -> None:
+        addresses = np.ascontiguousarray(
+            np.asarray(self.addresses, dtype=np.int64)
+        )
+        object.__setattr__(self, "addresses", addresses)
+        if self.space not in ("global", "shared"):
+            raise AccessRoundError(f"invalid space {self.space!r}")
+        if self.kind not in ("read", "write"):
+            raise AccessRoundError(f"invalid kind {self.kind!r}")
+        if addresses.ndim != 1:
+            raise AccessRoundError(
+                f"addresses must be 1-D, got shape {addresses.shape}"
+            )
+        if self.element_cells < 1:
+            raise AccessRoundError(
+                f"element_cells must be >= 1, got {self.element_cells}"
+            )
+        if addresses.size and addresses.min() < -1:
+            raise AccessRoundError("addresses must be >= -1")
+        if self.space == "shared":
+            if self.block_size is None or self.block_size < 1:
+                raise AccessRoundError(
+                    "shared rounds require a positive block_size"
+                )
+            if addresses.size % self.block_size != 0:
+                raise AccessRoundError(
+                    f"{addresses.size} threads do not divide into blocks "
+                    f"of {self.block_size}"
+                )
+
+    @property
+    def num_threads(self) -> int:
+        return int(self.addresses.shape[0])
+
+    @property
+    def num_blocks(self) -> int:
+        if self.block_size is None:
+            return 1
+        return self.num_threads // self.block_size
+
+    def label(self) -> str:
+        """Human-readable identifier like ``"global read a"``."""
+        return f"{self.space} {self.kind} {self.array}"
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """An ordered sequence of access rounds executed by one thread grid.
+
+    ``shared_bytes_per_block`` declares the kernel's shared-memory
+    footprint so :class:`~repro.machine.hmm.HMM` can enforce the
+    capacity limit (the paper's 48 KB constraint).
+    """
+
+    name: str
+    rounds: tuple[AccessRound, ...]
+    shared_bytes_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rounds", tuple(self.rounds))
+        if self.shared_bytes_per_block < 0:
+            raise AccessRoundError("shared_bytes_per_block must be >= 0")
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def count_rounds(self) -> dict[str, int]:
+        """Round counts keyed like Table I's columns.
+
+        Keys: ``"global read"``, ``"global write"``, ``"shared read"``,
+        ``"shared write"``.
+        """
+        counts = {
+            "global read": 0,
+            "global write": 0,
+            "shared read": 0,
+            "shared write": 0,
+        }
+        for rnd in self.rounds:
+            counts[f"{rnd.space} {rnd.kind}"] += 1
+        return counts

@@ -1,0 +1,141 @@
+"""Cost traces produced by the HMM simulator.
+
+Traces record, per round: the stage count, the classification
+(coalesced / conflict-free / casual) and the completion time in model
+time units.  Kernel and program traces aggregate them and can render
+the Table-I-style round-count summary the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.requests import AccessRound, Kernel
+
+
+@dataclass(frozen=True)
+class RoundCost:
+    """Cost of one access round.
+
+    ``stages`` is the total number of pipeline stages the round
+    occupied (for shared rounds: the maximum over DMMs, since DMMs run
+    in parallel); ``time`` the completion time ``stages + l - 1``.
+    """
+
+    space: str
+    kind: str
+    array: str
+    classification: str
+    stages: int
+    time: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.space} {self.kind} {self.array}"
+
+
+@dataclass
+class KernelTrace:
+    """Aggregated cost of one kernel (sequence of rounds)."""
+
+    name: str
+    rounds: list[RoundCost] = field(default_factory=list)
+
+    @property
+    def time(self) -> int:
+        """Total kernel time: rounds are barrier-separated (Section III)."""
+        return sum(r.time for r in self.rounds)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def count_rounds(self) -> dict[str, int]:
+        """Round counts in Table I's four categories."""
+        counts = {
+            "global read": 0,
+            "global write": 0,
+            "shared read": 0,
+            "shared write": 0,
+        }
+        for r in self.rounds:
+            counts[f"{r.space} {r.kind}"] += 1
+        return counts
+
+    def count_classified(self) -> dict[str, int]:
+        """Round counts in Table I's six classified categories."""
+        counts: dict[str, int] = {}
+        for r in self.rounds:
+            key = f"{r.classification} {r.kind}s ({r.space})"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+@dataclass
+class ProgramTrace:
+    """Aggregated cost of a whole algorithm (sequence of kernels)."""
+
+    name: str
+    kernels: list[KernelTrace] = field(default_factory=list)
+
+    @property
+    def time(self) -> int:
+        return sum(k.time for k in self.kernels)
+
+    @property
+    def num_rounds(self) -> int:
+        return sum(k.num_rounds for k in self.kernels)
+
+    def count_rounds(self) -> dict[str, int]:
+        counts = {
+            "global read": 0,
+            "global write": 0,
+            "shared read": 0,
+            "shared write": 0,
+        }
+        for kernel in self.kernels:
+            for key, value in kernel.count_rounds().items():
+                counts[key] += value
+        return counts
+
+    def count_classified(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for kernel in self.kernels:
+            for key, value in kernel.count_classified().items():
+                counts[key] = counts.get(key, 0) + value
+        return counts
+
+    def summary(self) -> str:
+        """Multi-line human-readable report (used by examples/benches)."""
+        lines = [f"program {self.name!r}: {self.time} time units, "
+                 f"{self.num_rounds} rounds"]
+        for kernel in self.kernels:
+            lines.append(
+                f"  kernel {kernel.name!r}: {kernel.time} time units, "
+                f"{kernel.num_rounds} rounds"
+            )
+            for r in kernel.rounds:
+                lines.append(
+                    f"    {r.label:<28} {r.classification:<13} "
+                    f"stages={r.stages:<10} time={r.time}"
+                )
+        return "\n".join(lines)
+
+
+def make_round_cost(
+    rnd: AccessRound, classification: str, stages: int, time: int
+) -> RoundCost:
+    """Bundle an :class:`AccessRound` with its measured cost."""
+    return RoundCost(
+        space=rnd.space,
+        kind=rnd.kind,
+        array=rnd.array,
+        classification=classification,
+        stages=stages,
+        time=time,
+    )
+
+
+def empty_kernel_trace(kernel: Kernel) -> KernelTrace:
+    """A fresh trace for ``kernel`` (rounds appended by the simulator)."""
+    return KernelTrace(name=kernel.name)

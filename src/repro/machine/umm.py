@@ -1,0 +1,53 @@
+"""Standalone Unified Memory Machine (UMM).
+
+The UMM (paper Section II) is the global-memory model: addresses are
+partitioned into *address groups* of ``w`` consecutive cells
+(``group(i) = i div w``); a warp's round occupies one pipeline stage
+per distinct group it touches, so fully-coalesced access costs one
+stage per warp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidMachineError
+from repro.machine.cost_model import global_warp_stages, round_time
+from repro.machine.pipeline import CycleReport, simulate_access_sequence
+
+
+class UMM:
+    """Unified Memory Machine of width ``width`` and access ``latency``."""
+
+    space = "global"
+
+    def __init__(self, width: int, latency: int) -> None:
+        if width < 1 or latency < 1:
+            raise InvalidMachineError("width and latency must be >= 1")
+        self.width = width
+        self.latency = latency
+
+    def address_group(self, addresses: np.ndarray) -> np.ndarray:
+        """The address group of each address: ``group(i) = i div w``."""
+        return np.asarray(addresses, dtype=np.int64) // self.width
+
+    def round_stages(self, addresses: np.ndarray) -> int:
+        """Pipeline stages of one round (sum of per-warp group counts)."""
+        return int(global_warp_stages(addresses, self.width).sum())
+
+    def round_time(self, addresses: np.ndarray) -> int:
+        """Closed-form completion time of one round: ``stages + l - 1``."""
+        return round_time(self.round_stages(addresses), self.latency)
+
+    def is_coalesced(self, addresses: np.ndarray) -> bool:
+        """True iff every warp's requests fall in a single group."""
+        per_warp = global_warp_stages(addresses, self.width)
+        return bool(per_warp.size == 0 or per_warp.max() <= 1)
+
+    def simulate(
+        self, rounds: list[np.ndarray], barrier: bool = True
+    ) -> CycleReport:
+        """Cycle-accurate run of a round sequence (see Figure 3)."""
+        return simulate_access_sequence(
+            rounds, self.width, self.latency, self.space, barrier=barrier
+        )

@@ -1,0 +1,130 @@
+"""Additional structured permutation families.
+
+The paper motivates offline permutation with applications — FFT stages,
+sorting networks, processor-network emulation (Section I).  These extra
+families exercise those applications and widen the benchmark and
+property-test surface beyond the paper's five permutations.
+
+All are destination-designated: ``b[p[i]] = a[i]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SizeError
+from repro.util.validation import check_power_of_two, isqrt_exact
+
+
+def unshuffle(n: int) -> np.ndarray:
+    """Inverse perfect shuffle (right bit-rotation); ``n`` a power of two."""
+    check_power_of_two(n, "n")
+    if n == 1:
+        return np.zeros(1, dtype=np.int64)
+    i = np.arange(n, dtype=np.int64)
+    return (i >> 1) | ((i & 1) << (n.bit_length() - 2))
+
+
+def reversal(n: int) -> np.ndarray:
+    """Array reversal: ``p[i] = n - 1 - i``.
+
+    Perfectly coalesced reads but each warp writes a single (different)
+    group in reverse order — distribution ``n/w``, yet strided backwards;
+    a useful probe that the cost model only counts *groups*, not order.
+    """
+    if n < 0:
+        raise SizeError(f"n must be non-negative, got {n}")
+    return np.arange(n - 1, -1, -1, dtype=np.int64)
+
+
+def rotation(n: int, k: int) -> np.ndarray:
+    """Cyclic rotation by ``k``: ``p[i] = (i + k) mod n``.
+
+    For ``k`` not a multiple of the width every warp straddles two
+    address groups, giving distribution ``~2 n/w``.
+    """
+    if n <= 0:
+        raise SizeError(f"n must be positive, got {n}")
+    return (np.arange(n, dtype=np.int64) + int(k)) % n
+
+
+def stride(n: int, s: int) -> np.ndarray:
+    """Stride permutation ``p[i] = (i * s) mod n`` for ``gcd(s, n) = 1``.
+
+    Emulates column access of an ``s``-row matrix; for large odd ``s``
+    the distribution approaches ``n``, matching transpose-like worst
+    cases.
+    """
+    if n <= 0:
+        raise SizeError(f"n must be positive, got {n}")
+    s = int(s) % n
+    if np.gcd(s, n) != 1:
+        raise SizeError(f"stride {s} must be coprime with n = {n}")
+    return (np.arange(n, dtype=np.int64) * s) % n
+
+
+def gray_code(n: int) -> np.ndarray:
+    """Binary-reflected Gray code permutation ``p[i] = i ^ (i >> 1)``.
+
+    Adjacent sources map to destinations differing in one bit — used in
+    hypercube-network emulation, one of the paper's motivating uses.
+    ``n`` must be a power of two.
+    """
+    check_power_of_two(n, "n")
+    i = np.arange(n, dtype=np.int64)
+    return i ^ (i >> 1)
+
+
+def butterfly(n: int, stage: int) -> np.ndarray:
+    """Butterfly-exchange permutation of FFT stage ``stage``.
+
+    Swaps bit 0 with bit ``stage`` of the index — the wiring between
+    consecutive stages of a radix-2 butterfly network.  ``stage = 0`` is
+    the identity.  ``n`` must be a power of two and ``stage`` less than
+    ``log2(n)``.
+    """
+    check_power_of_two(n, "n")
+    bits = n.bit_length() - 1
+    if not 0 <= stage < bits:
+        raise SizeError(f"stage must be in [0, {bits}), got {stage}")
+    i = np.arange(n, dtype=np.int64)
+    low = i & 1
+    high = (i >> stage) & 1
+    swapped = i & ~np.int64((1 << stage) | 1)
+    return swapped | (high) | (low << stage)
+
+
+def block_swap(n: int, block: int) -> np.ndarray:
+    """Swap adjacent blocks of ``block`` elements pairwise.
+
+    ``p`` exchanges block ``2k`` with block ``2k+1``; with ``block``
+    equal to the machine width this is fully coalesced, with ``block <
+    width`` it splits warps across two groups.  ``n`` must be a multiple
+    of ``2 * block``.
+    """
+    if block <= 0 or n % (2 * block) != 0:
+        raise SizeError(
+            f"n = {n} must be a positive multiple of 2*block = {2 * block}"
+        )
+    i = np.arange(n, dtype=np.int64)
+    block_index = i // block
+    return np.where(block_index % 2 == 0, i + block, i - block)
+
+
+def tiled_transpose(n: int, tile: int) -> np.ndarray:
+    """Transpose of tiles: swap tile (I, J) with tile (J, I), keeping
+    intra-tile layout.
+
+    A relaxation of full transpose whose distribution interpolates
+    between ``n/w`` (``tile = m``) and ``n`` (``tile = 1``); used by the
+    ablation benches to sweep ``D_w`` continuously.  ``n`` must be a
+    perfect square with side divisible by ``tile``.
+    """
+    m = isqrt_exact(n, "n")
+    if tile <= 0 or m % tile != 0:
+        raise SizeError(f"tile = {tile} must divide the matrix side {m}")
+    i = np.arange(n, dtype=np.int64)
+    row, col = i // m, i % m
+    tile_row, tile_col = row // tile, col // tile
+    in_row, in_col = row % tile, col % tile
+    return (tile_col * tile + in_row) * m + (tile_row * tile + in_col)

@@ -1,0 +1,29 @@
+"""Index <-> (row, column) conversions for the matrix view.
+
+The scheduled algorithm (Section VII) regards the flat arrays ``a`` and
+``b`` as row-major ``m x m`` matrices with ``m = sqrt(n)``.  These
+helpers centralise that mapping so planners and kernels agree on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SizeError
+
+
+def to_row_col(index: np.ndarray, m: int) -> tuple[np.ndarray, np.ndarray]:
+    """Split flat row-major indices into ``(row, col)`` for an ``m x m`` matrix."""
+    if m <= 0:
+        raise SizeError(f"matrix side m must be positive, got {m}")
+    index = np.asarray(index, dtype=np.int64)
+    return index // m, index % m
+
+
+def from_row_col(row: np.ndarray, col: np.ndarray, m: int) -> np.ndarray:
+    """Combine ``(row, col)`` into flat row-major indices of an ``m x m`` matrix."""
+    if m <= 0:
+        raise SizeError(f"matrix side m must be positive, got {m}")
+    row = np.asarray(row, dtype=np.int64)
+    col = np.asarray(col, dtype=np.int64)
+    return row * m + col

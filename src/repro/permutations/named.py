@@ -1,0 +1,125 @@
+"""The five permutations evaluated in the paper (Section IV).
+
+All generators return destination-designated permutations ``p`` with
+``b[p[i]] = a[i]`` as ``int64`` arrays, constructed with fully
+vectorised NumPy (no Python-level loops), so generating multi-million
+element permutations is instantaneous.
+
+Paper definitions (Section IV):
+
+* **Identical** — ``p(i) = i``.
+* **Shuffle** — on the binary representation ``i = b_{k-1} ... b_1 b_0``,
+  ``shuffle(i) = b_{k-2} ... b_0 b_{k-1}`` (left rotation by one bit).
+  This is the shuffle-exchange wiring of sorting networks.
+* **Random** — one of the ``n!`` permutations uniformly at random.
+* **Bit-reversal** — ``p(b_{k-1} ... b_0) = b_0 ... b_{k-1}``; the data
+  reordering of radix-2 FFTs.
+* **Transpose** — read a ``sqrt(n) x sqrt(n)`` matrix in row-major
+  order, write it in column-major order:
+  ``p(i*m + j) = j*m + i``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import SizeError
+from repro.util.rng import SeedLike, resolve_rng
+from repro.util.validation import check_power_of_two, isqrt_exact
+
+
+def identical(n: int) -> np.ndarray:
+    """The identity permutation: ``p[i] = i``.
+
+    The conventional algorithms' best case — a straight coalesced copy
+    with distribution ``D_w = n/w``.
+    """
+    if n < 0:
+        raise SizeError(f"n must be non-negative, got {n}")
+    return np.arange(n, dtype=np.int64)
+
+
+def shuffle(n: int) -> np.ndarray:
+    """The perfect-shuffle permutation (left bit-rotation).
+
+    ``n`` must be a power of two.  ``p[i]`` moves the most significant
+    bit of ``i`` to the least significant position, doubling the low
+    bits: for ``i < n/2``, ``p[i] = 2i``; for ``i >= n/2``,
+    ``p[i] = 2i - n + 1``.  Its distribution is small
+    (``D_w ~ 2n/w``), so the conventional algorithm handles it well.
+    """
+    check_power_of_two(n, "n")
+    i = np.arange(n, dtype=np.int64)
+    return ((i << 1) & (n - 1)) | (i >> (n.bit_length() - 2)) if n > 1 else i
+
+
+def bit_reversal(n: int) -> np.ndarray:
+    """The bit-reversal permutation used by radix-2 FFTs.
+
+    ``n`` must be a power of two.  Constructed by the classic doubling
+    recurrence, vectorised: ``rev(2m) interleaves rev(m)`` — O(log n)
+    NumPy operations total.
+    """
+    check_power_of_two(n, "n")
+    bits = n.bit_length() - 1
+    # Doubling recurrence: if rev_k[i] reverses the k low bits of i, then
+    # appending bit b at position k of i prepends b to the reversal, so
+    # rev_{k+1} = concat(2*rev_k, 2*rev_k + 1).
+    rev = np.zeros(1, dtype=np.int64)
+    for _ in range(bits):
+        rev = np.concatenate([rev << 1, (rev << 1) | 1])
+    return rev
+
+
+def transpose_permutation(n: int) -> np.ndarray:
+    """The matrix-transpose permutation on a flattened square matrix.
+
+    ``n`` must be a perfect square ``m**2``.  Element ``(i, j)`` of the
+    row-major matrix moves to ``(j, i)``: ``p[i*m + j] = j*m + i``.
+    One of the two worst cases for the conventional algorithm
+    (``D_w = n`` once ``m >= w``).
+    """
+    m = isqrt_exact(n, "n")
+    idx = np.arange(n, dtype=np.int64)
+    return (idx % m) * m + idx // m
+
+
+def random_permutation(n: int, seed: SeedLike = None) -> np.ndarray:
+    """A uniformly random permutation of ``0..n-1``.
+
+    The paper's Table III shows random permutations behave like the
+    worst case for the conventional algorithm (``D_w/n ~ 0.9999``).
+    """
+    if n < 0:
+        raise SizeError(f"n must be non-negative, got {n}")
+    rng = resolve_rng(seed)
+    return rng.permutation(n).astype(np.int64, copy=False)
+
+
+#: The five permutations of the paper's evaluation section, by name.
+PAPER_PERMUTATIONS: dict[str, Callable[..., np.ndarray]] = {
+    "identical": identical,
+    "shuffle": shuffle,
+    "random": random_permutation,
+    "bit-reversal": bit_reversal,
+    "transpose": transpose_permutation,
+}
+
+
+def named_permutation(name: str, n: int, seed: SeedLike = None) -> np.ndarray:
+    """Build one of the paper's five permutations by name.
+
+    ``name`` is one of ``identical``, ``shuffle``, ``random``,
+    ``bit-reversal`` or ``transpose`` (hyphen/underscore insensitive).
+    """
+    key = name.strip().lower().replace("_", "-")
+    if key not in PAPER_PERMUTATIONS:
+        raise SizeError(
+            f"unknown permutation {name!r}; expected one of "
+            f"{sorted(PAPER_PERMUTATIONS)}"
+        )
+    if key == "random":
+        return random_permutation(n, seed)
+    return PAPER_PERMUTATIONS[key](n)

@@ -1,0 +1,103 @@
+"""Processor-network emulation permutations.
+
+The paper's Section I lists network emulation among offline
+permutation's applications: "communication on processor networks such
+as hypercubes, meshes, and so on can be emulated by permutation".
+This module provides the standard network communication patterns as
+destination-designated permutations so the engines can route them:
+
+* :func:`torus_shift` — 2-D torus neighbour exchange (mesh with
+  wraparound);
+* :func:`hypercube_step` — dimension-``k`` hypercube exchange (alias of
+  the butterfly/XOR family);
+* :func:`shear` — row-dependent cyclic column shift (shear-sort's
+  data movement);
+* :func:`snake` — boustrophedon (snake-order) relabelling of a mesh;
+* :func:`all_to_all_blocks` — the block transpose of a complete
+  exchange among ``q`` nodes holding ``n/q`` elements each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SizeError
+from repro.permutations.matrix_view import from_row_col, to_row_col
+from repro.util.validation import check_power_of_two, isqrt_exact
+
+
+def torus_shift(n: int, dr: int, dc: int) -> np.ndarray:
+    """Shift every element of the ``sqrt(n)``-torus by ``(dr, dc)``.
+
+    Element at mesh position ``(r, c)`` moves to
+    ``((r+dr) mod m, (c+dc) mod m)`` — one neighbour-exchange step of a
+    2-D torus network.
+    """
+    m = isqrt_exact(n, "n")
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    i = np.arange(n, dtype=np.int64)
+    r, c = to_row_col(i, m)
+    return from_row_col((r + dr) % m, (c + dc) % m, m)
+
+
+def hypercube_step(n: int, dimension: int) -> np.ndarray:
+    """One hypercube exchange along ``dimension``: partner = ``i XOR
+    2**dimension``."""
+    check_power_of_two(n, "n")
+    bits = n.bit_length() - 1
+    if not 0 <= dimension < bits:
+        raise SizeError(
+            f"dimension must be in [0, {bits}), got {dimension}"
+        )
+    return np.arange(n, dtype=np.int64) ^ (1 << dimension)
+
+
+def shear(n: int, step: int = 1) -> np.ndarray:
+    """Row-dependent column rotation: row ``r`` shifts by ``r * step``.
+
+    The column phase of shear-sort; unlike a uniform rotation its
+    distribution grows with ``step`` because different rows straddle
+    different group boundaries.
+    """
+    m = isqrt_exact(n, "n")
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    i = np.arange(n, dtype=np.int64)
+    r, c = to_row_col(i, m)
+    return from_row_col(r, (c + r * step) % m, m)
+
+
+def snake(n: int) -> np.ndarray:
+    """Boustrophedon relabelling: odd rows reverse.
+
+    Converts row-major order into snake order — the layout shear-sort
+    and mesh sorting algorithms assume.
+    An involution.
+    """
+    m = isqrt_exact(n, "n")
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    i = np.arange(n, dtype=np.int64)
+    r, c = to_row_col(i, m)
+    return from_row_col(r, np.where(r % 2 == 1, m - 1 - c, c), m)
+
+
+def all_to_all_blocks(n: int, nodes: int) -> np.ndarray:
+    """Complete exchange among ``nodes`` processors.
+
+    Processor ``s`` holds elements ``[s*n/nodes, (s+1)*n/nodes)``; chunk
+    ``d`` of processor ``s`` must arrive as chunk ``s`` of processor
+    ``d`` — a block transpose of the ``nodes x nodes`` chunk matrix.
+    The MPI ``Alltoall`` data movement, as one offline permutation.
+    """
+    if nodes <= 0 or n % (nodes * nodes) != 0:
+        raise SizeError(
+            f"n = {n} must be a multiple of nodes² = {nodes * nodes}"
+        )
+    chunk = n // (nodes * nodes)
+    i = np.arange(n, dtype=np.int64)
+    src = i // (n // nodes)               # source processor
+    dst = (i % (n // nodes)) // chunk     # destination processor
+    offset = i % chunk
+    return dst * (n // nodes) + src * chunk + offset

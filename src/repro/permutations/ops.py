@@ -1,0 +1,127 @@
+"""Permutation algebra: inversion, composition, cycle structure.
+
+The scheduled algorithm manipulates permutations heavily during planning
+(the S-designated baseline needs the inverse, the row-wise schedule
+composes per-row permutations), so these primitives are vectorised and
+validated once at the boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SizeError
+from repro.util.rng import SeedLike, resolve_rng
+from repro.util.validation import check_permutation
+
+
+def invert(p: np.ndarray) -> np.ndarray:
+    """Return the inverse permutation ``q`` with ``q[p[i]] = i``.
+
+    If ``p`` is destination-designated (``b[p[i]] = a[i]``) then the
+    inverse is the source-designated form ``b[i] = a[q[i]]`` used by the
+    S-designated conventional algorithm.
+    """
+    p = check_permutation(p)
+    q = np.empty_like(p)
+    q[p] = np.arange(p.shape[0], dtype=p.dtype)
+    return q
+
+
+def compose(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Return the composition ``r = p after q``: ``r[i] = p[q[i]]``.
+
+    In destination terms: applying ``q`` then ``p`` moves element ``i``
+    to ``p[q[i]]``.
+    """
+    p = check_permutation(p, "p")
+    q = check_permutation(q, "q")
+    if p.shape != q.shape:
+        raise SizeError(
+            f"cannot compose permutations of sizes {p.size} and {q.size}"
+        )
+    return p[q]
+
+
+def apply_permutation(a: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """Reference implementation of the task itself: ``b[p[i]] = a[i]``.
+
+    This is the semantic ground truth every algorithm in
+    :mod:`repro.core` is tested against.
+    """
+    a = np.asarray(a)
+    p = check_permutation(p)
+    if a.shape[0] != p.shape[0] or a.ndim != 1:
+        raise SizeError(
+            f"a (shape {a.shape}) and p (shape {p.shape}) must be equal-length"
+            " 1-D arrays"
+        )
+    b = np.empty_like(a)
+    b[p] = a
+    return b
+
+
+def cycles(p: np.ndarray) -> list[np.ndarray]:
+    """Decompose ``p`` into its cycles (each as an index array).
+
+    Cycles are reported with their smallest element first, ordered by
+    that element.  O(n) total.
+    """
+    p = check_permutation(p)
+    n = p.shape[0]
+    seen = np.zeros(n, dtype=bool)
+    out: list[np.ndarray] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        cycle = [start]
+        seen[start] = True
+        j = int(p[start])
+        while j != start:
+            cycle.append(j)
+            seen[j] = True
+            j = int(p[j])
+        out.append(np.asarray(cycle, dtype=np.int64))
+    return out
+
+
+def cycle_lengths(p: np.ndarray) -> np.ndarray:
+    """Return the multiset of cycle lengths of ``p`` (sorted ascending)."""
+    return np.sort(np.asarray([c.shape[0] for c in cycles(p)], dtype=np.int64))
+
+
+def order(p: np.ndarray) -> int:
+    """Return the order of ``p`` in the symmetric group (lcm of cycles)."""
+    lengths = cycle_lengths(p)
+    return int(np.lcm.reduce(lengths)) if lengths.size else 1
+
+
+def parity(p: np.ndarray) -> int:
+    """Return the sign of ``p``: ``+1`` for even, ``-1`` for odd.
+
+    Computed from the cycle structure: a cycle of length ``k``
+    contributes ``k - 1`` transpositions.
+    """
+    p = check_permutation(p)
+    lengths = cycle_lengths(p)
+    transpositions = int(p.shape[0] - lengths.shape[0])
+    return -1 if transpositions % 2 else 1
+
+
+def random_derangement(n: int, seed: SeedLike = None) -> np.ndarray:
+    """A uniformly random derangement (no fixed points) of ``0..n-1``.
+
+    Rejection-sampled; the acceptance probability tends to ``1/e`` so
+    the expected number of attempts is < 3.  ``n = 1`` is rejected since
+    no derangement exists.
+    """
+    if n < 0:
+        raise SizeError(f"n must be non-negative, got {n}")
+    if n == 1:
+        raise SizeError("no derangement of a single element exists")
+    rng = resolve_rng(seed)
+    idx = np.arange(n, dtype=np.int64)
+    while True:
+        p = rng.permutation(n).astype(np.int64, copy=False)
+        if n == 0 or not np.any(p == idx):
+            return p

@@ -1,0 +1,33 @@
+"""Shared low-level utilities: validation helpers, RNG plumbing, array ops."""
+
+from repro.util.validation import (
+    check_permutation,
+    check_power_of_two,
+    check_square,
+    is_permutation,
+    is_power_of_two,
+    isqrt_exact,
+)
+from repro.util.arrays import (
+    as_1d,
+    as_index_array,
+    interleave,
+    reshape_square,
+    smallest_index_dtype,
+)
+from repro.util.rng import resolve_rng
+
+__all__ = [
+    "as_1d",
+    "as_index_array",
+    "check_permutation",
+    "check_power_of_two",
+    "check_square",
+    "interleave",
+    "is_permutation",
+    "is_power_of_two",
+    "isqrt_exact",
+    "reshape_square",
+    "resolve_rng",
+    "smallest_index_dtype",
+]

@@ -1,0 +1,25 @@
+"""Deterministic random-number plumbing.
+
+Every randomised entry point in the package accepts a ``seed`` argument
+that may be ``None`` (fresh entropy), an integer, or an existing
+:class:`numpy.random.Generator`.  Centralising the resolution logic keeps
+experiments reproducible: benchmarks always pass explicit integer seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = int | np.random.Generator | None
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    * ``None``       -> fresh OS-entropy generator,
+    * ``int``        -> ``np.random.default_rng(seed)``,
+    * ``Generator``  -> returned unchanged (allows sharing streams).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,102 @@
+"""Structural validation helpers used across the package.
+
+The scheduled permutation algorithm places structural requirements on its
+inputs (permutations must be bijections, sizes must be perfect squares,
+widths must divide the matrix side).  These helpers centralise the checks
+so every public entry point reports consistent, early errors instead of
+producing silently-wrong schedules.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import NotAPermutationError, SizeError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def check_power_of_two(value: int, what: str = "value") -> int:
+    """Validate that ``value`` is a positive power of two and return it."""
+    if not is_power_of_two(int(value)):
+        raise SizeError(f"{what} must be a positive power of two, got {value}")
+    return int(value)
+
+
+def isqrt_exact(n: int, what: str = "n") -> int:
+    """Return ``sqrt(n)`` when ``n`` is a perfect square, else raise.
+
+    The scheduled algorithm views the length-``n`` array as a
+    ``sqrt(n) x sqrt(n)`` matrix, so ``n`` must be a perfect square.
+    """
+    if n < 0:
+        raise SizeError(f"{what} must be non-negative, got {n}")
+    root = math.isqrt(int(n))
+    if root * root != n:
+        raise SizeError(f"{what} must be a perfect square, got {n}")
+    return root
+
+
+def check_square(n: int, width: int, what: str = "n") -> int:
+    """Validate the scheduled-permutation size constraint.
+
+    ``n`` must be a perfect square and ``sqrt(n)`` must be a multiple of
+    the machine width ``w`` (the paper assumes both; its experiments use
+    powers of two, but the algorithm only needs divisibility).
+
+    Returns ``sqrt(n)``.
+    """
+    root = isqrt_exact(n, what)
+    if width <= 0:
+        raise SizeError(f"width must be positive, got {width}")
+    if root % width != 0:
+        raise SizeError(
+            f"sqrt({what}) = {root} must be a multiple of the width {width}"
+        )
+    return root
+
+
+def is_permutation(p: np.ndarray) -> bool:
+    """Return ``True`` iff ``p`` is a permutation of ``0..len(p)-1``.
+
+    Runs in O(n) time and O(n) extra space using a presence bitmap; this
+    is considerably faster than sorting for the multi-million element
+    permutations used in the benchmarks.
+    """
+    p = np.asarray(p)
+    if p.ndim != 1:
+        return False
+    n = p.shape[0]
+    if n == 0:
+        return True
+    if not np.issubdtype(p.dtype, np.integer):
+        return False
+    if p.min() < 0 or p.max() >= n:
+        return False
+    seen = np.zeros(n, dtype=bool)
+    seen[p] = True
+    return bool(seen.all())
+
+
+def check_permutation(p: np.ndarray, what: str = "p") -> np.ndarray:
+    """Validate that ``p`` is a permutation and return it as ``int64``.
+
+    Raises :class:`~repro.errors.NotAPermutationError` otherwise.
+    """
+    arr = np.asarray(p)
+    if arr.ndim != 1:
+        raise NotAPermutationError(
+            f"{what} must be one-dimensional, got shape {arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise NotAPermutationError(
+            f"{what} must have an integer dtype, got {arr.dtype}"
+        )
+    if not is_permutation(arr):
+        raise NotAPermutationError(f"{what} is not a permutation of 0..{arr.size - 1}")
+    return arr.astype(np.int64, copy=False)

@@ -1,0 +1,80 @@
+"""Tests for ASCII charts."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, loglog_slope, scaling_chart
+from repro.errors import SizeError
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].startswith(" a |")
+        assert lines[2].count("#") == 10          # max value fills width
+        assert lines[1].count("#") == 5
+
+    def test_zero_values(self):
+        out = bar_chart(["x"], [0.0])
+        assert "0" in out
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], [])
+
+    def test_mismatched(self):
+        with pytest.raises(SizeError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(SizeError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestLogLogSlope:
+    def test_linear(self):
+        assert loglog_slope([1, 2, 4, 8], [3, 6, 12, 24]) == pytest.approx(1.0)
+
+    def test_quadratic(self):
+        xs = [1, 2, 4, 8]
+        assert loglog_slope(xs, [x * x for x in xs]) == pytest.approx(2.0)
+
+    def test_constant(self):
+        assert loglog_slope([1, 2, 4], [5, 5, 5]) == pytest.approx(0.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(SizeError):
+            loglog_slope([1], [1])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SizeError):
+            loglog_slope([1, 2], [0, 1])
+
+    def test_rejects_equal_x(self):
+        with pytest.raises(SizeError):
+            loglog_slope([2, 2], [1, 3])
+
+
+class TestScalingChart:
+    def test_structure(self):
+        out = scaling_chart(
+            [64, 256],
+            {"conv": [10, 40], "sched": [20, 30]},
+            title="scaling",
+        )
+        assert "scaling" in out
+        assert "n = 64" in out and "n = 256" in out
+        assert "growth:" in out
+        assert "conv: O(n^1.00)" in out
+
+    def test_empty(self):
+        assert "(no data)" in scaling_chart([], {})
+
+    def test_measured_simulator_scaling(self):
+        """The scheduled time grows linearly in n (slope 1 in the
+        bandwidth-dominated regime)."""
+        from repro.core.theory import scheduled_time
+
+        sizes = [(32 * k) ** 2 for k in (8, 16, 32, 64)]
+        times = [scheduled_time(n, 32, 1, 8) for n in sizes]
+        assert loglog_slope(sizes, times) == pytest.approx(1.0, abs=0.05)

@@ -1,0 +1,43 @@
+"""Tests for ASCII figure rendering."""
+
+import numpy as np
+
+from repro.analysis.figures import (
+    render_diagonal_arrangement,
+    render_matrix,
+    render_pipeline,
+    render_routing_steps,
+)
+from repro.machine.umm import UMM
+
+
+def test_render_matrix_alignment():
+    out = render_matrix(np.array([[1, 22], [333, 4]]))
+    lines = out.splitlines()
+    assert len(lines) == 2
+    # All cells padded to the widest value.
+    assert lines[0] == "  1  22"
+    assert lines[1] == "333   4"
+
+
+def test_render_routing_steps():
+    out = render_routing_steps(
+        [("Input", np.eye(2, dtype=int)), ("After", np.ones((2, 2), int))]
+    )
+    assert "Input:" in out and "After:" in out
+
+
+def test_render_diagonal_matches_figure4():
+    out = render_diagonal_arrangement(4)
+    lines = out.splitlines()
+    assert lines[0].split() == ["[0,0]", "[0,1]", "[0,2]", "[0,3]"]
+    assert lines[1].split() == ["[1,3]", "[1,0]", "[1,1]", "[1,2]"]
+    assert lines[2].split() == ["[2,2]", "[2,3]", "[2,0]", "[2,1]"]
+    assert lines[3].split() == ["[3,1]", "[3,2]", "[3,3]", "[3,0]"]
+
+
+def test_render_pipeline():
+    report = UMM(4, 3).simulate([np.array([7, 5, 15, 0])])
+    out = render_pipeline(report)
+    assert "warp W0" in out
+    assert f"t={report.total_time}" in out

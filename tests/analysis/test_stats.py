@@ -1,0 +1,28 @@
+"""Tests for summary statistics."""
+
+import pytest
+
+from repro.analysis.stats import Summary, summarize
+
+
+def test_basic():
+    s = summarize([3, 1, 2])
+    assert s == Summary(minimum=1.0, average=2.0, maximum=3.0, count=3)
+    assert s.row() == (1.0, 2.0, 3.0)
+
+
+def test_single_value():
+    s = summarize([5])
+    assert s.minimum == s.average == s.maximum == 5.0
+
+
+def test_empty():
+    s = summarize([])
+    assert s.count == 0
+    assert s.row() == (0.0, 0.0, 0.0)
+
+
+def test_generator_input():
+    s = summarize(x * x for x in range(4))
+    assert s.maximum == 9.0
+    assert s.average == pytest.approx(3.5)

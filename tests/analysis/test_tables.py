@@ -1,0 +1,33 @@
+"""Tests for table formatting."""
+
+from repro.analysis.tables import format_table
+
+
+def test_basic_table():
+    out = format_table(
+        ["name", "value"],
+        [["alpha", 1], ["beta", 22]],
+        title="demo",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "alpha" in lines[3]
+
+
+def test_numeric_right_alignment():
+    out = format_table(["x"], [[1], [100]])
+    rows = out.splitlines()[2:]
+    assert rows[0].endswith("1")
+    assert rows[1].endswith("100")
+
+
+def test_float_formatting():
+    out = format_table(["v"], [[3.14159265]])
+    assert "3.142" in out
+
+
+def test_empty_rows():
+    out = format_table(["a", "b"], [])
+    assert "a" in out

@@ -1,0 +1,112 @@
+"""Tests for the bitonic sorting network substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.bitonic import BitonicSorter, bitonic_sort, xor_permutation
+from repro.core.scheduled import ScheduledPermutation
+from repro.errors import SizeError
+
+
+class TestXorPermutation:
+    def test_values(self):
+        assert np.array_equal(xor_permutation(8, 2), [2, 3, 0, 1, 6, 7, 4, 5])
+
+    def test_involution(self):
+        p = xor_permutation(64, 8)
+        assert np.array_equal(p[p], np.arange(64))
+
+    def test_rejects_bad_j(self):
+        with pytest.raises(SizeError):
+            xor_permutation(8, 3)
+        with pytest.raises(SizeError):
+            xor_permutation(8, 8)
+
+
+class TestSorting:
+    @pytest.mark.parametrize("n", [2, 4, 16, 256])
+    def test_sorts_random(self, n):
+        x = np.random.default_rng(n).random(n)
+        assert np.array_equal(bitonic_sort(x), np.sort(x))
+
+    def test_descending(self):
+        x = np.random.default_rng(0).random(64)
+        assert np.array_equal(
+            bitonic_sort(x, descending=True), np.sort(x)[::-1]
+        )
+
+    def test_already_sorted(self):
+        x = np.arange(32.0)
+        assert np.array_equal(bitonic_sort(x), x)
+
+    def test_with_duplicates(self):
+        x = np.array([3, 1, 3, 1, 2, 2, 0, 0], dtype=float)
+        assert np.array_equal(bitonic_sort(x), np.sort(x))
+
+    def test_integers(self):
+        x = np.random.default_rng(1).integers(0, 100, 128)
+        assert np.array_equal(bitonic_sort(x), np.sort(x))
+
+    def test_rejects_non_power(self):
+        with pytest.raises(SizeError):
+            bitonic_sort(np.zeros(12))
+
+    def test_rejects_wrong_length(self):
+        sorter = BitonicSorter(8)
+        with pytest.raises(SizeError):
+            sorter.sort(np.zeros(16))
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_property_sorts(self, k, seed):
+        n = 2**k
+        x = np.random.default_rng(seed).normal(size=n)
+        assert np.array_equal(bitonic_sort(x), np.sort(x))
+
+
+class TestNetworkStructure:
+    def test_num_stages(self):
+        # n = 2**k: k(k+1)/2 stages.
+        assert BitonicSorter(2).num_stages == 1
+        assert BitonicSorter(8).num_stages == 6
+        assert BitonicSorter(1024).num_stages == 55
+
+    def test_stage_distances_counts(self):
+        sorter = BitonicSorter(16)
+        distances = sorter.stage_distances()
+        assert len(distances) == sorter.num_stages
+        # Distance 1 appears once per phase (4 phases for n=16).
+        assert distances.count(1) == 4
+
+    def test_factory_called_once_per_distance(self):
+        seen = []
+
+        def factory(p):
+            seen.append(p.copy())
+
+            def engine(a):
+                out = np.empty_like(a)
+                out[p] = a
+                return out
+
+            return engine
+
+        BitonicSorter(16, factory)
+        assert len(seen) == 4      # j in {1, 2, 4, 8}
+
+
+class TestScheduledEngineIntegration:
+    def test_sort_through_scheduled_permutation(self):
+        n = 64
+        def factory(p):
+            return ScheduledPermutation.plan(p, width=4).apply
+
+        x = np.random.default_rng(2).random(n)
+        assert np.array_equal(
+            bitonic_sort(x, engine_factory=factory), np.sort(x)
+        )

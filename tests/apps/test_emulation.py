@@ -1,0 +1,89 @@
+"""Tests for the multi-step network emulator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.emulation import NetworkEmulator
+from repro.errors import SizeError
+from repro.machine.params import MachineParams
+from repro.permutations.named import identical, random_permutation
+from repro.permutations.networks import all_to_all_blocks, torus_shift
+
+BIG = MachineParams(width=32, latency=100, num_dmms=8, shared_capacity=None)
+N = 64 * 64
+
+
+def _steps():
+    return [
+        ("shift-east", torus_shift(N, 0, 1)),
+        ("all-to-all", all_to_all_blocks(N, 64)),
+        ("shift-south", torus_shift(N, 1, 0)),
+    ]
+
+
+class TestPlanning:
+    def test_auto_mixes_engines(self):
+        emu = NetworkEmulator(_steps(), BIG, policy="auto")
+        mix = emu.engine_mix()
+        # Torus shifts are low-distribution (conventional), the complete
+        # exchange is the worst case (scheduled).
+        assert mix.get("d-designated", 0) == 2
+        assert mix.get("scheduled", 0) == 1
+
+    def test_forced_policies(self):
+        conv = NetworkEmulator(_steps(), BIG, policy="conventional")
+        assert set(conv.engine_mix()) == {"d-designated"}
+        sched = NetworkEmulator(_steps(), BIG, policy="scheduled")
+        assert set(sched.engine_mix()) == {"scheduled"}
+
+    def test_auto_total_never_worse(self):
+        auto = NetworkEmulator(_steps(), BIG, policy="auto")
+        conv = NetworkEmulator(_steps(), BIG, policy="conventional")
+        sched = NetworkEmulator(_steps(), BIG, policy="scheduled")
+        assert auto.total_predicted_time <= conv.total_predicted_time
+        assert auto.total_predicted_time <= sched.total_predicted_time
+
+    def test_rejects_mixed_lengths(self):
+        with pytest.raises(SizeError):
+            NetworkEmulator(
+                [("a", identical(64)), ("b", identical(128))], BIG
+            )
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SizeError):
+            NetworkEmulator(_steps(), BIG, policy="fastest")
+
+    def test_scheduled_policy_rejects_infeasible(self):
+        # n = 96 is not a valid scheduled size at width 32.
+        with pytest.raises(SizeError):
+            NetworkEmulator(
+                [("odd", random_permutation(96, seed=0))],
+                BIG, policy="scheduled",
+            )
+
+
+class TestExecution:
+    def test_run_matches_reference(self):
+        emu = NetworkEmulator(_steps(), BIG)
+        a = np.random.default_rng(0).random(N).astype(np.float32)
+        assert np.array_equal(emu.run(a), emu.reference(a))
+
+    def test_policies_agree_on_output(self):
+        a = np.random.default_rng(1).random(N).astype(np.float32)
+        outs = {
+            policy: NetworkEmulator(_steps(), BIG, policy=policy).run(a)
+            for policy in ("auto", "conventional", "scheduled")
+        }
+        assert np.array_equal(outs["auto"], outs["conventional"])
+        assert np.array_equal(outs["auto"], outs["scheduled"])
+
+    def test_empty_sequence_is_identity(self):
+        emu = NetworkEmulator([], BIG)
+        a = np.zeros(0)
+        assert emu.run(a).size == 0
+        assert emu.total_predicted_time == 0
+
+    def test_shape_check(self):
+        emu = NetworkEmulator(_steps(), BIG)
+        with pytest.raises(SizeError):
+            emu.run(np.zeros(3))

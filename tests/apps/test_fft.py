@@ -1,0 +1,81 @@
+"""Tests for the radix-2 FFT substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.fft import Radix2FFT, fft, ifft
+from repro.core.scheduled import ScheduledPermutation
+from repro.errors import SizeError
+from repro.permutations.named import bit_reversal
+
+
+class TestAgainstNumpy:
+    @pytest.mark.parametrize("n", [1, 2, 4, 16, 128, 1024])
+    def test_matches_numpy_fft(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.random(n) + 1j * rng.random(n)
+        assert np.allclose(fft(x), np.fft.fft(x))
+
+    @pytest.mark.parametrize("n", [2, 8, 64])
+    def test_inverse(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.random(n) + 1j * rng.random(n)
+        assert np.allclose(ifft(fft(x)), x)
+        assert np.allclose(ifft(x), np.fft.ifft(x))
+
+    def test_real_input(self):
+        x = np.arange(32.0)
+        assert np.allclose(fft(x), np.fft.fft(x))
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_property_matches_numpy(self, k, seed):
+        n = 2**k
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(fft(x), np.fft.fft(x))
+
+
+class TestPluggableEngine:
+    def test_scheduled_engine_same_result(self):
+        n = 256
+        plan = ScheduledPermutation.plan(bit_reversal(n), width=4)
+        rng = np.random.default_rng(0)
+        x = rng.random(n) + 1j * rng.random(n)
+        assert np.allclose(fft(x, engine=plan.apply), np.fft.fft(x))
+
+    def test_engine_called_once_per_transform(self):
+        calls = []
+
+        def engine(a):
+            calls.append(1)
+            out = np.empty_like(a)
+            out[bit_reversal(a.shape[0])] = a
+            return out
+
+        plan = Radix2FFT(16, engine)
+        plan(np.arange(16.0))
+        plan(np.arange(16.0))
+        assert len(calls) == 2
+
+
+class TestValidation:
+    def test_rejects_non_power(self):
+        with pytest.raises(SizeError):
+            Radix2FFT(12)
+
+    def test_rejects_wrong_length(self):
+        plan = Radix2FFT(8)
+        with pytest.raises(SizeError):
+            plan(np.zeros(4))
+
+    def test_plan_reusable(self):
+        plan = Radix2FFT(64)
+        for seed in range(3):
+            x = np.random.default_rng(seed).random(64)
+            assert np.allclose(plan(x), np.fft.fft(x))

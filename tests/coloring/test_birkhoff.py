@@ -1,0 +1,68 @@
+"""Tests for the Birkhoff-von Neumann decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.birkhoff import birkhoff_decomposition, recompose
+from repro.errors import ColoringError
+
+
+def test_permutation_matrix_is_single_term():
+    counts = np.array([[0, 3, 0], [0, 0, 3], [3, 0, 0]])
+    terms = birkhoff_decomposition(counts)
+    assert len(terms) == 1
+    weight, perm = terms[0]
+    assert weight == 3
+    assert np.array_equal(perm, [1, 2, 0])
+
+
+def test_exact_reconstruction():
+    counts = np.array([[2, 1, 1], [1, 2, 1], [1, 1, 2]])
+    terms = birkhoff_decomposition(counts)
+    assert np.array_equal(recompose(terms, 3), counts)
+    assert sum(w for w, _ in terms) == 4
+
+
+def test_rejects_unbalanced():
+    with pytest.raises(ColoringError):
+        birkhoff_decomposition(np.array([[1, 0], [1, 1]]))
+
+
+def test_rejects_negative():
+    with pytest.raises(ColoringError):
+        birkhoff_decomposition(np.array([[-1, 2], [2, -1]]))
+
+
+def test_rejects_non_square():
+    with pytest.raises(ColoringError):
+        birkhoff_decomposition(np.ones((2, 3), dtype=int))
+
+
+def test_empty():
+    assert birkhoff_decomposition(np.zeros((0, 0), dtype=int)) == []
+
+
+def test_zero_matrix():
+    assert birkhoff_decomposition(np.zeros((3, 3), dtype=int)) == []
+
+
+@settings(deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_property_reconstruction(size, degree, seed):
+    rng = np.random.default_rng(seed)
+    counts = np.zeros((size, size), dtype=np.int64)
+    for _ in range(degree):
+        counts[np.arange(size), rng.permutation(size)] += 1
+    terms = birkhoff_decomposition(counts)
+    assert np.array_equal(recompose(terms, size), counts)
+    # Each term must be a genuine permutation.
+    for _w, perm in terms:
+        assert np.array_equal(np.sort(perm), np.arange(size))
+    # Weights sum to the common row sum.
+    assert sum(w for w, _ in terms) == degree

@@ -1,0 +1,78 @@
+"""Tests for the hybrid (Euler + matching) colouring backend."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import edge_coloring
+from repro.coloring.hybrid import hybrid_coloring
+from repro.coloring.multigraph import RegularBipartiteMultigraph
+from repro.coloring.verify import verify_edge_coloring
+from repro.errors import ColoringError
+
+
+def _random_regular(nodes, degree, seed):
+    rng = np.random.default_rng(seed)
+    left = np.tile(np.arange(nodes, dtype=np.int64), degree)
+    right = np.concatenate(
+        [rng.permutation(nodes).astype(np.int64) for _ in range(degree)]
+    )
+    return RegularBipartiteMultigraph(left, right, nodes, nodes)
+
+
+@pytest.mark.parametrize("degree", [1, 2, 3, 4, 5, 6, 7, 8, 12, 48])
+def test_all_degrees_proper(degree):
+    g = _random_regular(6, degree, seed=degree)
+    colors = hybrid_coloring(g)
+    verify_edge_coloring(g, colors, expect_colors=degree)
+
+
+def test_empty():
+    g = RegularBipartiteMultigraph(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 0, 0
+    )
+    assert hybrid_coloring(g).size == 0
+
+
+def test_parallel_edges():
+    g = RegularBipartiteMultigraph.from_edges(
+        [0, 0, 0, 1, 1, 1], [0, 0, 1, 1, 1, 0], 2, 2
+    )
+    colors = hybrid_coloring(g)
+    verify_edge_coloring(g, colors, expect_colors=3)
+
+
+def test_rejects_unequal_sides():
+    # A non-empty regular bipartite multigraph cannot have unequal
+    # sides, so the representation itself rejects it (NotRegularError
+    # is a ColoringError); the backend's own guard covers hand-built
+    # dataclass instances.
+    with pytest.raises(ColoringError):
+        RegularBipartiteMultigraph.from_edges([0, 1], [0, 1], 2, 3)
+
+
+def test_auto_uses_hybrid_for_odd_degrees():
+    g = _random_regular(5, 3, seed=0)
+    colors = edge_coloring(g, backend="auto")
+    verify_edge_coloring(g, colors, expect_colors=3)
+
+
+def test_large_mixed_degree():
+    """Degree 48 = 16 * 3: the hybrid needs very few matchings and
+    still colours a biggish graph quickly."""
+    g = _random_regular(64, 48, seed=1)
+    colors = hybrid_coloring(g)
+    verify_edge_coloring(g, colors, expect_colors=48)
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_property_any_degree_proper(nodes, degree, seed):
+    g = _random_regular(nodes, degree, seed)
+    colors = hybrid_coloring(g)
+    verify_edge_coloring(g, colors, expect_colors=degree)

@@ -1,0 +1,62 @@
+"""Tests for the proper-colouring verifier."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.multigraph import RegularBipartiteMultigraph
+from repro.coloring.verify import is_proper_edge_coloring, verify_edge_coloring
+from repro.errors import ColoringError
+
+
+def _k22():
+    # Complete bipartite K_{2,2}: degree 2.
+    return RegularBipartiteMultigraph.from_edges(
+        [0, 0, 1, 1], [0, 1, 0, 1], 2, 2
+    )
+
+
+def test_accepts_proper():
+    g = _k22()
+    colors = np.array([0, 1, 1, 0])
+    assert is_proper_edge_coloring(g, colors)
+    verify_edge_coloring(g, colors, expect_colors=2)
+
+
+def test_rejects_shared_left_node():
+    g = _k22()
+    colors = np.array([0, 0, 1, 1])  # node u0 sees colour 0 twice
+    assert not is_proper_edge_coloring(g, colors)
+    with pytest.raises(ColoringError):
+        verify_edge_coloring(g, colors)
+
+
+def test_rejects_shared_right_node():
+    g = _k22()
+    colors = np.array([0, 1, 0, 1])  # node v0 sees colour 0 twice
+    assert not is_proper_edge_coloring(g, colors)
+
+
+def test_rejects_too_many_colors():
+    g = _k22()
+    colors = np.array([0, 1, 2, 3])  # proper but uses 4 colours
+    assert is_proper_edge_coloring(g, colors)
+    with pytest.raises(ColoringError):
+        verify_edge_coloring(g, colors, expect_colors=2)
+
+
+def test_rejects_negative_color():
+    g = _k22()
+    assert not is_proper_edge_coloring(g, np.array([-1, 0, 0, 1]))
+
+
+def test_rejects_wrong_length():
+    g = _k22()
+    with pytest.raises(ColoringError):
+        verify_edge_coloring(g, np.array([0, 1]))
+
+
+def test_empty_graph_ok():
+    g = RegularBipartiteMultigraph(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 0, 0
+    )
+    verify_edge_coloring(g, np.empty(0, dtype=np.int64), expect_colors=0)

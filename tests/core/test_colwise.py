@@ -1,0 +1,86 @@
+"""Tests for the column-wise permutation (Section VI, Lemma 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.colwise import ColumnwiseSchedule
+from repro.core.theory import columnwise_time
+from repro.errors import SizeError
+from repro.machine.params import MachineParams
+
+
+def _random_delta(m, seed):
+    rng = np.random.default_rng(seed)
+    return np.stack([rng.permutation(m) for _ in range(m)]).astype(np.int64)
+
+
+class TestCorrectness:
+    def test_moves_within_columns(self):
+        m = 8
+        delta = _random_delta(m, 0)
+        sched = ColumnwiseSchedule.plan(delta, width=4)
+        mat = np.random.default_rng(1).random((m, m))
+        out = sched.apply(mat)
+        # Element (r, k) must land at (delta[k, r], k).
+        expected = np.empty_like(mat)
+        for k in range(m):
+            expected[delta[k], k] = mat[:, k]
+        assert np.array_equal(out, expected)
+
+    def test_identity(self):
+        m = 8
+        delta = np.tile(np.arange(m), (m, 1))
+        sched = ColumnwiseSchedule.plan(delta, width=4)
+        mat = np.random.default_rng(2).random((m, m))
+        assert np.array_equal(sched.apply(mat), mat)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(SizeError):
+            ColumnwiseSchedule.plan(np.zeros((4, 8), dtype=np.int64), width=4)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.sampled_from([4, 8]),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_property_column_semantics(self, m, seed):
+        delta = _random_delta(m, seed)
+        sched = ColumnwiseSchedule.plan(delta, width=4)
+        mat = np.random.default_rng(seed + 1).random((m, m))
+        out = sched.apply(mat)
+        for k in range(m):
+            assert np.array_equal(out[delta[k], k], mat[:, k])
+
+
+class TestRounds:
+    def test_table1_round_counts(self, tiny_machine):
+        sched = ColumnwiseSchedule.plan(_random_delta(16, 3), width=4)
+        trace = sched.simulate(tiny_machine)
+        assert trace.count_rounds() == {
+            "global read": 5,
+            "global write": 3,
+            "shared read": 4,
+            "shared write": 4,
+        }
+        assert len(trace.kernels) == 3   # transpose, rowwise, transpose
+
+    def test_all_rounds_clean(self, tiny_machine):
+        sched = ColumnwiseSchedule.plan(_random_delta(16, 4), width=4)
+        trace = sched.simulate(tiny_machine)
+        for kernel in trace.kernels:
+            for r in kernel.rounds:
+                assert r.classification in ("coalesced", "conflict-free")
+
+    def test_time_matches_theory(self):
+        m = 16
+        delta = _random_delta(m, 5)
+        for d in (1, 2):
+            params = MachineParams(
+                width=4, latency=6, num_dmms=d, shared_capacity=None
+            )
+            sched = ColumnwiseSchedule.plan(delta, width=4)
+            assert sched.simulate(params).time == columnwise_time(
+                m * m, 4, 6, d
+            )

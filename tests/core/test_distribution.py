@@ -1,0 +1,142 @@
+"""Tests for the distribution measure D_w(P) (Section IV)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import (
+    distribution,
+    distribution_fraction,
+    expected_random_distribution,
+    theoretical_distribution,
+)
+from repro.errors import SizeError
+from repro.permutations.named import (
+    bit_reversal,
+    identical,
+    random_permutation,
+    shuffle,
+    transpose_permutation,
+)
+
+
+class TestDistribution:
+    def test_identity_is_minimum(self):
+        assert distribution(identical(64), 4) == 16   # n / w
+
+    def test_transpose_is_maximum(self):
+        # n = 256, m = 16 >= w = 4: every thread its own group.
+        assert distribution(transpose_permutation(256), 4) == 256
+
+    def test_bit_reversal_is_maximum(self):
+        assert distribution(bit_reversal(256), 4) == 256
+
+    def test_shuffle_is_two_groups_per_warp(self):
+        assert distribution(shuffle(256), 4) == 2 * 64
+
+    def test_manual_example(self):
+        # w = 2, p = [0, 2, 1, 3]: warp 0 -> groups {0, 1} (2),
+        # warp 1 -> groups {0, 1} (2): D = 4.
+        p = np.array([0, 2, 1, 3])
+        assert distribution(p, 2) == 4
+
+    def test_bounds(self):
+        for seed in range(5):
+            p = random_permutation(64, seed=seed)
+            d = distribution(p, 4)
+            assert 16 <= d <= 64
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(SizeError):
+            distribution(identical(10), 4)
+
+    def test_width_one_is_n(self):
+        assert distribution(random_permutation(16, seed=0), 1) == 16
+
+    def test_empty(self):
+        assert distribution(np.empty(0, dtype=np.int64), 4) == 0
+
+    @settings(deadline=None)
+    @given(
+        st.sampled_from([2, 4, 8]),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_property_bounds(self, width, warps, seed):
+        n = width * warps
+        p = np.random.default_rng(seed).permutation(n).astype(np.int64)
+        d = distribution(p, width)
+        assert n // width <= d <= n
+
+    @settings(deadline=None)
+    @given(
+        st.sampled_from([2, 4]),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_property_matches_bruteforce(self, width, warps, seed):
+        n = width * warps
+        p = np.random.default_rng(seed).permutation(n).astype(np.int64)
+        brute = sum(
+            len({int(p[i]) // width for i in range(k * width, (k + 1) * width)})
+            for k in range(warps)
+        )
+        assert distribution(p, width) == brute
+
+
+class TestDistributionFraction:
+    def test_identity(self):
+        assert distribution_fraction(identical(64), 4) == pytest.approx(0.25)
+
+    def test_transpose(self):
+        assert distribution_fraction(transpose_permutation(256), 4) == 1.0
+
+    def test_table3_regime(self):
+        """Table III: for random 4M perms, D_w/n in [0.99987, 0.99990]
+        at width 32.  At our scaled size the same near-1 behaviour holds
+        and matches the closed-form expectation."""
+        n, w = 1 << 16, 32
+        fractions = [
+            distribution_fraction(random_permutation(n, seed=s), w)
+            for s in range(3)
+        ]
+        expect = expected_random_distribution(n, w) / n
+        for f in fractions:
+            assert abs(f - expect) < 0.01
+            assert f > 0.95
+
+
+class TestExpectedRandom:
+    def test_matches_simulation(self):
+        n, w = 4096, 8
+        sim = np.mean(
+            [distribution(random_permutation(n, seed=s), w) for s in range(20)]
+        )
+        assert expected_random_distribution(n, w) == pytest.approx(
+            sim, rel=0.02
+        )
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(SizeError):
+            expected_random_distribution(10, 4)
+
+    def test_empty(self):
+        assert expected_random_distribution(0, 4) == 0.0
+
+
+class TestTheoretical:
+    @pytest.mark.parametrize("name", ["identical", "shuffle", "bit-reversal",
+                                      "transpose"])
+    @pytest.mark.parametrize("n,width", [(256, 4), (1024, 8), (4096, 8),
+                                         (64, 8), (16, 4)])
+    def test_matches_measured(self, name, n, width):
+        from repro.permutations.named import named_permutation
+        p = named_permutation(name, n)
+        assert theoretical_distribution(name, n, width) == distribution(
+            p, width
+        )
+
+    def test_random_rejected(self):
+        with pytest.raises(SizeError):
+            theoretical_distribution("random", 64, 4)

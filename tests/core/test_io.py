@@ -1,0 +1,79 @@
+"""Tests for schedule persistence (save_plan / load_plan)."""
+
+import numpy as np
+import pytest
+
+from repro.core.io import FORMAT_VERSION, load_plan, save_plan
+from repro.core.scheduled import ScheduledPermutation
+from repro.errors import ValidationError
+from repro.machine.params import MachineParams
+from repro.permutations.named import random_permutation
+
+
+@pytest.fixture
+def plan():
+    return ScheduledPermutation.plan(
+        random_permutation(256, seed=5), width=4
+    )
+
+
+class TestRoundtrip:
+    def test_apply_identical_after_reload(self, plan, tmp_path):
+        path = tmp_path / "plan.npz"
+        save_plan(path, plan)
+        loaded = load_plan(path)
+        a = np.random.default_rng(0).random(256)
+        assert np.array_equal(loaded.apply(a), plan.apply(a))
+        assert np.array_equal(loaded.p, plan.p)
+        assert loaded.width == plan.width
+
+    def test_simulate_identical_after_reload(self, plan, tmp_path):
+        path = tmp_path / "plan.npz"
+        save_plan(path, plan)
+        loaded = load_plan(path)
+        machine = MachineParams(width=4, latency=9, num_dmms=2,
+                                shared_capacity=None)
+        assert loaded.simulate(machine).time == plan.simulate(machine).time
+
+    def test_schedule_arrays_preserved_bitwise(self, plan, tmp_path):
+        path = tmp_path / "plan.npz"
+        save_plan(path, plan)
+        loaded = load_plan(path)
+        assert np.array_equal(loaded.step1.s, plan.step1.s)
+        assert np.array_equal(loaded.step3.t, plan.step3.t)
+        assert loaded.step1.s.dtype == plan.step1.s.dtype
+
+    def test_loaded_plan_is_verified(self, plan, tmp_path):
+        path = tmp_path / "plan.npz"
+        save_plan(path, plan)
+        load_plan(path).verify()
+
+
+class TestErrors:
+    def test_save_rejects_non_plan(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_plan(tmp_path / "x.npz", "not a plan")
+
+    def test_version_mismatch_rejected(self, plan, tmp_path):
+        path = tmp_path / "plan.npz"
+        save_plan(path, plan)
+        with np.load(path) as data:
+            contents = {k: data[k] for k in data.files}
+        contents["format_version"] = np.int64(FORMAT_VERSION + 1)
+        np.savez_compressed(path, **contents)
+        with pytest.raises(ValidationError):
+            load_plan(path)
+
+    def test_corrupted_schedule_detected(self, plan, tmp_path):
+        """A tampered s array must fail verification at load."""
+        path = tmp_path / "plan.npz"
+        save_plan(path, plan)
+        with np.load(path) as data:
+            contents = {k: data[k] for k in data.files}
+        s1 = contents["s1"].copy()
+        s1[0, 0], s1[0, 1] = s1[0, 1], s1[0, 0]
+        contents["s1"] = s1
+        np.savez_compressed(path, **contents)
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            load_plan(path)

@@ -1,0 +1,102 @@
+"""Tests for arbitrary-length permutation via padding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.padded import PaddedScheduledPermutation, padded_length
+from repro.errors import SizeError
+from repro.machine.params import MachineParams
+from repro.permutations.named import random_permutation
+
+
+class TestPaddedLength:
+    def test_exact_sizes_unchanged(self):
+        assert padded_length(64, 4) == 64
+        assert padded_length(1024, 32) == 1024
+
+    def test_rounds_up(self):
+        assert padded_length(65, 4) == 144      # m = 9 -> 12, N = 144
+        assert padded_length(10, 4) == 16
+        assert padded_length(17, 4) == 64       # m = 5 -> 8
+
+    def test_zero(self):
+        assert padded_length(0, 4) == 0
+
+    def test_invalid(self):
+        with pytest.raises(SizeError):
+            padded_length(-1, 4)
+        with pytest.raises(SizeError):
+            padded_length(4, 0)
+
+    @given(st.integers(min_value=1, max_value=10**6),
+           st.sampled_from([2, 4, 8, 32]))
+    def test_property_bounds(self, n, width):
+        big = padded_length(n, width)
+        assert big >= n
+        import math
+        m = math.isqrt(big)
+        assert m * m == big and m % width == 0
+        # Never more than one extra width-row in each dimension.
+        assert math.isqrt(big) - width < math.isqrt(n - 1) + 1 if n > 1 else True
+
+
+class TestPaddedApply:
+    def test_non_square_length(self):
+        n = 100                                  # not a valid size at w=4
+        p = random_permutation(n, seed=0)
+        plan = PaddedScheduledPermutation.plan(p, width=4)
+        a = np.random.default_rng(1).random(n)
+        expected = np.empty_like(a)
+        expected[p] = a
+        assert np.array_equal(plan.apply(a), expected)
+
+    def test_prime_length(self):
+        n = 97
+        p = random_permutation(n, seed=2)
+        plan = PaddedScheduledPermutation.plan(p, width=4)
+        a = np.arange(n, dtype=np.float64)
+        expected = np.empty_like(a)
+        expected[p] = a
+        assert np.array_equal(plan.apply(a), expected)
+
+    def test_exact_size_zero_overhead(self):
+        p = random_permutation(64, seed=3)
+        plan = PaddedScheduledPermutation.plan(p, width=4)
+        assert plan.overhead == 0.0
+        assert plan.padded_n == 64
+
+    def test_overhead_reported(self):
+        p = random_permutation(65, seed=4)
+        plan = PaddedScheduledPermutation.plan(p, width=4)
+        assert plan.padded_n == 144
+        assert plan.overhead == pytest.approx(144 / 65 - 1)
+
+    def test_shape_check(self):
+        plan = PaddedScheduledPermutation.plan(
+            random_permutation(10, seed=5), width=4
+        )
+        with pytest.raises(SizeError):
+            plan.apply(np.zeros(16))
+
+    def test_simulate_prices_padded_size(self):
+        p = random_permutation(100, seed=6)
+        plan = PaddedScheduledPermutation.plan(p, width=4)
+        machine = MachineParams(width=4, latency=5, num_dmms=1,
+                                shared_capacity=None)
+        from repro.core.theory import scheduled_time
+        assert plan.simulate(machine).time == scheduled_time(
+            plan.padded_n, 4, 5, 1
+        )
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=1, max_value=300),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    def test_property_any_length(self, n, seed):
+        p = random_permutation(n, seed=seed)
+        plan = PaddedScheduledPermutation.plan(p, width=4)
+        a = np.random.default_rng(seed).random(n)
+        expected = np.empty_like(a)
+        expected[p] = a
+        assert np.array_equal(plan.apply(a), expected)

@@ -1,0 +1,140 @@
+"""Tests for the Table I formulas and the lower bound."""
+
+import pytest
+
+from repro.core import theory
+from repro.errors import SizeError
+
+
+class TestTable1Rounds:
+    def test_totals(self):
+        assert theory.total_rounds("d-designated") == 3
+        assert theory.total_rounds("s-designated") == 3
+        assert theory.total_rounds("transpose") == 4
+        assert theory.total_rounds("row-wise") == 8
+        assert theory.total_rounds("column-wise") == 16
+        assert theory.total_rounds("scheduled") == 32
+
+    def test_composition_identities(self):
+        """Table I is internally consistent: column-wise = row-wise +
+        2 * transpose; scheduled = 2 * row-wise + column-wise."""
+        for key in theory.TABLE1_ROUNDS["scheduled"]:
+            rw = theory.TABLE1_ROUNDS["row-wise"][key]
+            tp = theory.TABLE1_ROUNDS["transpose"][key]
+            cw = theory.TABLE1_ROUNDS["column-wise"][key]
+            sc = theory.TABLE1_ROUNDS["scheduled"][key]
+            assert cw == rw + 2 * tp
+            assert sc == 2 * rw + cw
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SizeError):
+            theory.total_rounds("bogosort")
+
+
+class TestFormulas:
+    def test_lemma1(self):
+        assert theory.coalesced_round_time(128, 4, 10) == 32 + 9
+        assert theory.conflict_free_round_time(128, 4, 1) == 32
+        assert theory.conflict_free_round_time(128, 4, 4) == 8
+
+    def test_casual(self):
+        assert theory.casual_round_time(100, 10) == 109
+        assert theory.casual_round_time(0, 10) == 0
+
+    def test_conventional(self):
+        n, w, latency = 256, 4, 5
+        assert theory.conventional_time(n, w, latency, 64) == \
+            2 * (64 + 4) + 64 + 4
+
+    def test_scheduled_composition(self):
+        n, w, latency, d = 1024, 4, 7, 2
+        assert theory.scheduled_time(n, w, latency, d) == (
+            2 * theory.rowwise_time(n, w, latency, d)
+            + theory.columnwise_time(n, w, latency, d)
+        )
+        assert theory.columnwise_time(n, w, latency, d) == (
+            theory.rowwise_time(n, w, latency, d)
+            + 2 * theory.transpose_time(n, w, latency, d)
+        )
+
+    def test_scheduled_headline_form(self):
+        """16(n/w + l - 1) — the paper's stated running time — equals
+        the global-round part of the exact model."""
+        n, w, latency = 4096, 32, 100
+        assert theory.scheduled_time_paper(n, w, latency) == 16 * (
+            n // w + latency - 1
+        )
+
+    def test_zero_elements_free(self):
+        assert theory.scheduled_time(0, 4, 5, 1) == 0
+        assert theory.lower_bound(0, 4, 5) == 0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(SizeError):
+            theory.coalesced_round_time(10, 4, 5)
+
+
+class TestCrossover:
+    def test_gtx_value(self):
+        # w = 32, d = 8, l = 100: n* = 13*99/0.5 = 2574.
+        assert theory.worst_case_crossover(32, 100, 8) == pytest.approx(2574)
+
+    def test_small_width_never_crosses(self):
+        assert theory.worst_case_crossover(8, 100, 1) == float("inf")
+
+    def test_predicts_simulated_winner_flip(self):
+        """Sizes straddling n* must have opposite winners on a
+        worst-case permutation."""
+        from repro.core.conventional import DDesignatedPermutation
+        from repro.core.scheduled import ScheduledPermutation
+        from repro.machine.params import MachineParams
+        from repro.permutations.named import transpose_permutation
+
+        w, latency, d = 32, 100, 8
+        star = theory.worst_case_crossover(w, latency, d)
+        machine = MachineParams(width=w, latency=latency, num_dmms=d,
+                                shared_capacity=None)
+        below, above = 32 * 32, 64 * 64
+        assert below < star < above
+        for n, sched_wins in ((below, False), (above, True)):
+            p = transpose_permutation(n)
+            conv = DDesignatedPermutation(p).simulate(machine).time
+            sched = ScheduledPermutation.plan(p, width=w).simulate(
+                machine
+            ).time
+            assert (sched < conv) == sched_wins
+
+    def test_crossover_grows_with_latency(self):
+        assert theory.worst_case_crossover(32, 200, 8) > \
+            theory.worst_case_crossover(32, 50, 8)
+
+    def test_invalid(self):
+        with pytest.raises(SizeError):
+            theory.worst_case_crossover(0, 100, 8)
+
+
+class TestOptimality:
+    def test_lower_bound(self):
+        assert theory.lower_bound(256, 4, 5) == 2 * (64 + 4)
+
+    def test_scheduled_is_constant_factor(self):
+        """Section VII: the scheduled algorithm is optimal up to a
+        constant; the ratio tends to 8 + 8/d as n grows."""
+        w, latency = 32, 100
+        for d in (1, 8):
+            ratios = [
+                theory.optimality_ratio(n, w, latency, d)
+                for n in (1 << 14, 1 << 18, 1 << 22)
+            ]
+            # Monotone approach to the limit.
+            limit = 8 + 8 / d
+            for r in ratios:
+                assert r <= limit + 1e-9
+            assert abs(ratios[-1] - limit) < 0.5
+
+    def test_conventional_not_optimal_for_bad_permutations(self):
+        """With D_w = n the conventional algorithm is ~w/2 times the
+        lower bound — unboundedly worse than scheduled's constant 16."""
+        n, w, latency = 1 << 20, 32, 100
+        conv = theory.conventional_time(n, w, latency, n)
+        assert conv / theory.lower_bound(n, w, latency) > 16

@@ -1,0 +1,85 @@
+"""Tests for the in-place cycle-following permutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.cpu.inplace import InplacePermutation, cycle_permute
+from repro.cpu.naive import scatter_permute
+from repro.errors import SizeError
+from repro.permutations.named import identical, random_permutation
+from tests.conftest import permutations_st
+
+
+class TestCyclePermute:
+    def test_matches_scatter(self):
+        p = random_permutation(64, seed=0)
+        a = np.random.default_rng(1).random(64)
+        expected = scatter_permute(a, p)
+        result = cycle_permute(a.copy(), p)
+        assert np.array_equal(result, expected)
+
+    def test_in_place(self):
+        p = random_permutation(16, seed=2)
+        a = np.arange(16.0)
+        out = cycle_permute(a, p)
+        assert out is a
+
+    def test_identity_untouched(self):
+        a = np.arange(8.0)
+        assert np.array_equal(cycle_permute(a.copy(), identical(8)), a)
+
+    def test_single_swap(self):
+        p = np.array([1, 0])
+        assert np.array_equal(
+            cycle_permute(np.array([10.0, 20.0]), p), [20.0, 10.0]
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SizeError):
+            cycle_permute(np.zeros(4), np.arange(8))
+
+    @settings(deadline=None, max_examples=30)
+    @given(permutations_st(max_n=128))
+    def test_property_matches_scatter(self, p):
+        a = np.random.default_rng(0).random(p.size)
+        assert np.array_equal(
+            cycle_permute(a.copy(), p), scatter_permute(a, p)
+        )
+
+
+class TestInplacePlan:
+    def test_matches_scatter(self):
+        p = random_permutation(128, seed=3)
+        plan = InplacePermutation(p)
+        a = np.random.default_rng(4).random(128)
+        assert np.array_equal(plan.apply(a.copy()), scatter_permute(a, p))
+
+    def test_num_cycles_excludes_fixed_points(self):
+        # (0 1)(2)(3): one non-trivial cycle.
+        p = np.array([1, 0, 2, 3])
+        assert InplacePermutation(p).num_cycles == 1
+
+    def test_identity_no_cycles(self):
+        assert InplacePermutation(identical(16)).num_cycles == 0
+
+    def test_plan_reusable(self):
+        p = random_permutation(32, seed=5)
+        plan = InplacePermutation(p)
+        for seed in range(3):
+            a = np.random.default_rng(seed).random(32)
+            assert np.array_equal(
+                plan.apply(a.copy()), scatter_permute(a, p)
+            )
+
+    def test_wrong_length(self):
+        plan = InplacePermutation(identical(8))
+        with pytest.raises(SizeError):
+            plan.apply(np.zeros(4))
+
+    @settings(deadline=None, max_examples=30)
+    @given(permutations_st(max_n=128))
+    def test_property_matches_scatter(self, p):
+        plan = InplacePermutation(p)
+        a = np.random.default_rng(1).random(p.size)
+        assert np.array_equal(plan.apply(a.copy()), scatter_permute(a, p))

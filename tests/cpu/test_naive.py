@@ -1,0 +1,47 @@
+"""Tests for the naive CPU permutation backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.cpu.naive import gather_permute, inverse_for_gather, scatter_permute
+from repro.errors import NotAPermutationError
+from tests.conftest import permutations_st
+
+
+def test_scatter_semantics():
+    a = np.array([10.0, 20.0, 30.0])
+    p = np.array([2, 0, 1])
+    assert np.array_equal(scatter_permute(a, p), [20.0, 30.0, 10.0])
+
+
+def test_gather_equals_scatter_with_inverse():
+    rng = np.random.default_rng(0)
+    a = rng.random(64)
+    p = rng.permutation(64)
+    q = inverse_for_gather(p)
+    assert np.array_equal(gather_permute(a, q), scatter_permute(a, p))
+
+
+def test_out_parameter_reused():
+    a = np.arange(8.0)
+    p = np.arange(8)
+    out = np.empty(8)
+    result = scatter_permute(a, p, out=out)
+    assert result is out
+    out2 = np.empty(8)
+    result2 = gather_permute(a, p, out=out2)
+    assert result2 is out2
+
+
+def test_rejects_non_permutation():
+    with pytest.raises(NotAPermutationError):
+        scatter_permute(np.arange(3.0), np.array([0, 0, 1]))
+
+
+@given(permutations_st(max_n=128))
+def test_property_scatter_gather_roundtrip(p):
+    a = np.random.default_rng(1).random(p.size)
+    b = scatter_permute(a, p)
+    back = gather_permute(b, p)
+    assert np.array_equal(back, a)

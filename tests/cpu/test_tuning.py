@@ -1,0 +1,24 @@
+"""Tests for CPU tuning heuristics."""
+
+import numpy as np
+
+from repro.cpu.tuning import default_block_size
+
+
+def test_power_of_two():
+    for dtype in (np.float32, np.float64, np.int16):
+        b = default_block_size(dtype)
+        assert b & (b - 1) == 0
+
+
+def test_smaller_elements_bigger_tiles():
+    assert default_block_size(np.float32) >= default_block_size(np.float64)
+
+
+def test_clamped_to_matrix_side():
+    assert default_block_size(np.float64, m=8) <= 8
+
+
+def test_reasonable_range():
+    for dtype in (np.int8, np.float64, np.complex128):
+        assert 1 <= default_block_size(dtype) <= 256

@@ -1,0 +1,95 @@
+"""End-to-end invariants tying all layers together."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.conventional import (
+    DDesignatedPermutation,
+    SDesignatedPermutation,
+)
+from repro.core.scheduled import ScheduledPermutation
+from repro.core.theory import lower_bound, scheduled_time
+from repro.cpu.blocked import BlockedPermutation
+from repro.cpu.naive import scatter_permute
+from repro.machine.params import MachineParams
+from repro.permutations.named import random_permutation
+from repro.permutations.ops import apply_permutation
+from tests.conftest import square_permutations_st
+
+
+@settings(deadline=None, max_examples=15)
+@given(square_permutations_st(widths=(2, 4), max_mult=3))
+def test_property_all_engines_agree(p_width):
+    """Every permutation engine in the package produces the identical
+    output: the reference scatter, both conventional baselines, the
+    scheduled algorithm and the CPU blocked backend."""
+    p, width = p_width
+    a = np.random.default_rng(0).random(p.size)
+    reference = apply_permutation(a, p)
+    assert np.array_equal(scatter_permute(a, p), reference)
+    assert np.array_equal(DDesignatedPermutation(p).apply(a), reference)
+    assert np.array_equal(SDesignatedPermutation(p).apply(a), reference)
+    sched = ScheduledPermutation.plan(p, width=width)
+    assert np.array_equal(sched.apply(a), reference)
+    blocked = BlockedPermutation.plan(p)
+    assert np.array_equal(blocked.apply(a), reference)
+
+
+@settings(deadline=None, max_examples=10)
+@given(square_permutations_st(widths=(4,), max_mult=3))
+def test_property_scheduled_time_formula_exact(p_width):
+    """For every valid permutation and several machines, the simulated
+    scheduled time equals the closed form exactly."""
+    p, width = p_width
+    plan = ScheduledPermutation.plan(p, width=width)
+    for d in (1, 2):
+        for latency in (1, 7):
+            params = MachineParams(
+                width=width, latency=latency, num_dmms=d,
+                shared_capacity=None,
+            )
+            assert plan.simulate(params).time == scheduled_time(
+                p.size, width, latency, d
+            )
+
+
+def test_every_algorithm_respects_lower_bound():
+    """No algorithm can beat 2(n/w + l - 1); the simulator agrees."""
+    n, width = 1024, 4
+    p = random_permutation(n, seed=0)
+    params = MachineParams(width=width, latency=9, num_dmms=4,
+                           shared_capacity=None)
+    lb = lower_bound(n, width, 9)
+    for trace in (
+        DDesignatedPermutation(p).simulate(params),
+        SDesignatedPermutation(p).simulate(params),
+        ScheduledPermutation.plan(p, width=width).simulate(params),
+    ):
+        assert trace.time >= lb
+
+
+def test_composed_permutations_compose_results():
+    """Permuting by q then by p equals permuting by p∘q."""
+    from repro.permutations.ops import compose
+
+    n, width = 256, 4
+    rng = np.random.default_rng(1)
+    p = rng.permutation(n)
+    q = rng.permutation(n)
+    a = rng.random(n)
+    plan_q = ScheduledPermutation.plan(q, width=width)
+    plan_p = ScheduledPermutation.plan(p, width=width)
+    plan_pq = ScheduledPermutation.plan(compose(p, q), width=width)
+    assert np.allclose(plan_p.apply(plan_q.apply(a)), plan_pq.apply(a))
+
+
+def test_inverse_roundtrip_through_scheduled():
+    from repro.permutations.ops import invert
+
+    n, width = 64, 4
+    p = random_permutation(n, seed=2)
+    a = np.random.default_rng(3).random(n)
+    there = ScheduledPermutation.plan(p, width=width).apply(a)
+    back = ScheduledPermutation.plan(invert(p), width=width).apply(there)
+    assert np.array_equal(back, a)

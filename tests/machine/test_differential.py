@@ -1,0 +1,82 @@
+"""Differential tests: the vectorised cost model vs brute-force Python
+re-implementations of the paper's definitions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cost_model import (
+    global_warp_stages,
+    shared_warp_stages,
+)
+
+
+def _brute_global(addresses, width, element_cells=1):
+    """Direct transcription of Section II: distinct address groups per
+    warp, over the expanded cell footprint."""
+    out = []
+    n = len(addresses)
+    for start in range(0, n, width):
+        warp = [a for a in addresses[start : start + width] if a >= 0]
+        groups = set()
+        for a in warp:
+            for c in range(element_cells):
+                groups.add((a * element_cells + c) // width)
+        out.append(len(groups) if warp else 0)
+    return out
+
+
+def _brute_shared(addresses, width):
+    """Max bank multiplicity per warp."""
+    out = []
+    n = len(addresses)
+    for start in range(0, n, width):
+        warp = [a for a in addresses[start : start + width] if a >= 0]
+        if not warp:
+            out.append(0)
+            continue
+        counts: dict[int, int] = {}
+        for a in warp:
+            counts[a % width] = counts.get(a % width, 0) + 1
+        out.append(max(counts.values()))
+    return out
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.sampled_from([1, 2, 3, 4, 8]),
+    st.lists(st.integers(min_value=-1, max_value=300), min_size=1,
+             max_size=80),
+)
+def test_property_global_matches_bruteforce(width, addr_list):
+    addrs = np.asarray(addr_list, dtype=np.int64)
+    assert global_warp_stages(addrs, width).tolist() == _brute_global(
+        addr_list, width
+    )
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.sampled_from([1, 2, 3, 4, 8]),
+    st.sampled_from([1, 2, 4]),
+    st.lists(st.integers(min_value=-1, max_value=300), min_size=1,
+             max_size=60),
+)
+def test_property_global_cells_matches_bruteforce(width, k, addr_list):
+    addrs = np.asarray(addr_list, dtype=np.int64)
+    assert global_warp_stages(addrs, width, k).tolist() == _brute_global(
+        addr_list, width, k
+    )
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.sampled_from([1, 2, 3, 4, 8]),
+    st.lists(st.integers(min_value=-1, max_value=300), min_size=1,
+             max_size=80),
+)
+def test_property_shared_matches_bruteforce(width, addr_list):
+    addrs = np.asarray(addr_list, dtype=np.int64)
+    assert shared_warp_stages(addrs, width).tolist() == _brute_shared(
+        addr_list, width
+    )

@@ -1,0 +1,90 @@
+"""Tests for the warp dispatch policies of the cycle engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AccessRoundError
+from repro.machine.pipeline import POLICIES, PipelineSimulator
+
+
+def _warp_rounds(num_warps, num_rounds, seed, width=4):
+    rng = np.random.default_rng(seed)
+    return [
+        [rng.integers(0, 64, width).astype(np.int64)
+         for _ in range(num_rounds)]
+        for _ in range(num_warps)
+    ]
+
+
+def test_invalid_policy_rejected():
+    with pytest.raises(AccessRoundError):
+        PipelineSimulator(4, 5, "global", policy="random")
+
+
+def test_all_policies_same_single_round_cost():
+    """One round per warp: every policy injects the same stage groups,
+    so the completion time is policy-independent."""
+    warp_rounds = _warp_rounds(6, 1, seed=0)
+    times = {
+        policy: PipelineSimulator(4, 8, "global", policy)
+        .run(warp_rounds).total_time
+        for policy in POLICIES
+    }
+    assert len(set(times.values())) == 1
+
+
+def test_all_policies_complete_all_work():
+    warp_rounds = _warp_rounds(4, 3, seed=1)
+    expected_stages = None
+    for policy in POLICIES:
+        report = PipelineSimulator(4, 8, "shared", policy).run(warp_rounds)
+        if expected_stages is None:
+            expected_stages = report.total_stages
+        assert report.total_stages == expected_stages
+        # Every warp completed every round.
+        assert all(len(c) == 3 for c in report.round_completion)
+
+
+def test_most_work_prioritises_longer_queue():
+    """With a 1-stage latency, the most-work policy picks the warp with
+    more remaining rounds first."""
+    warp_rounds = [
+        [np.arange(4, dtype=np.int64)],                    # 1 round
+        [np.arange(4, dtype=np.int64) for _ in range(3)],  # 3 rounds
+    ]
+    report = PipelineSimulator(4, 1, "global", "most-work").run(warp_rounds)
+    first = report.injections[0]
+    assert first[1] == 1       # warp 1 (more work) dispatched first
+
+
+def test_round_robin_starts_with_warp_zero():
+    warp_rounds = _warp_rounds(3, 1, seed=2)
+    report = PipelineSimulator(4, 5, "global", "round-robin").run(warp_rounds)
+    assert report.injections[0][1] == 0
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    st.sampled_from(list(POLICIES)),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_property_policies_respect_stage_conservation(
+    policy, warps, rounds, latency, seed
+):
+    """Whatever the policy: total stages are identical (the work is the
+    work) and the total time is at least stages + l - 1 and at most the
+    fully serialised bound."""
+    warp_rounds = _warp_rounds(warps, rounds, seed)
+    report = PipelineSimulator(4, latency, "global", policy).run(warp_rounds)
+    ref = PipelineSimulator(4, latency, "global", "round-robin").run(
+        warp_rounds
+    )
+    assert report.total_stages == ref.total_stages
+    stages = report.total_stages
+    assert report.total_time >= stages + latency - 1
+    assert report.total_time <= stages + rounds * warps * (latency - 1) + latency

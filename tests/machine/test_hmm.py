@@ -1,0 +1,103 @@
+"""Tests for the HMM simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SharedMemoryCapacityError
+from repro.machine.hmm import HMM
+from repro.machine.params import MachineParams
+from repro.machine.requests import AccessRound, Kernel, coalesced_addresses
+
+
+def _machine(**kw):
+    defaults = dict(width=4, latency=5, num_dmms=2, shared_capacity=None)
+    defaults.update(kw)
+    return HMM(MachineParams(**defaults))
+
+
+class TestRunRound:
+    def test_coalesced_global(self):
+        hmm = _machine()
+        rnd = AccessRound("global", "read", coalesced_addresses(32), "a")
+        cost = hmm.run_round(rnd)
+        assert cost.classification == "coalesced"
+        assert cost.stages == 8          # 32 threads / width 4
+        assert cost.time == 8 + 5 - 1    # Lemma 1
+
+    def test_casual_global(self):
+        hmm = _machine()
+        rnd = AccessRound("global", "write", np.arange(16) * 4, "b")
+        cost = hmm.run_round(rnd)
+        assert cost.classification == "casual"
+        assert cost.stages == 16          # every thread its own group
+        assert cost.time == 16 + 5 - 1
+
+    def test_conflict_free_shared_parallel_dmms(self):
+        hmm = _machine(num_dmms=2)
+        # Two blocks, each one conflict-free warp.
+        addrs = np.concatenate([np.arange(4), np.arange(4)])
+        rnd = AccessRound("shared", "write", addrs, "x", block_size=4)
+        cost = hmm.run_round(rnd)
+        assert cost.classification == "conflict-free"
+        assert cost.stages == 1           # blocks on different DMMs
+        assert cost.time == 1             # shared latency 1
+
+    def test_shared_conflicts_counted(self):
+        hmm = _machine(num_dmms=1)
+        rnd = AccessRound(
+            "shared", "read", np.zeros(4, dtype=np.int64), "x", block_size=4
+        )
+        cost = hmm.run_round(rnd)
+        assert cost.classification == "casual"
+        assert cost.stages == 4
+
+
+class TestKernelsAndPrograms:
+    def _kernel(self, name="k"):
+        return Kernel(
+            name,
+            (
+                AccessRound("global", "read", coalesced_addresses(16), "a"),
+                AccessRound("global", "write", coalesced_addresses(16), "b"),
+            ),
+        )
+
+    def test_kernel_time_sums_rounds(self):
+        hmm = _machine()
+        trace = hmm.run_kernel(self._kernel())
+        assert trace.time == 2 * (4 + 5 - 1)
+        assert trace.num_rounds == 2
+
+    def test_program_accepts_generator(self):
+        hmm = _machine()
+        trace = hmm.run_program(
+            (self._kernel(f"k{i}") for i in range(3)), name="prog"
+        )
+        assert len(trace.kernels) == 3
+        assert trace.time == 3 * 2 * (4 + 5 - 1)
+        assert trace.count_rounds()["global read"] == 3
+
+
+class TestSharedCapacity:
+    def test_kernel_over_capacity_rejected(self):
+        hmm = HMM(MachineParams(width=4, latency=5, shared_capacity=1024))
+        kernel = Kernel("big", (), shared_bytes_per_block=2048)
+        with pytest.raises(SharedMemoryCapacityError):
+            hmm.run_kernel(kernel)
+
+    def test_paper_double_limit(self):
+        """The GTX-680 cannot run sqrt(n)=4096 doubles: 2*4096*8 B = 64 KB
+        exceeds 48 KB (Table II(b) stops at 2048)."""
+        hmm = HMM(MachineParams.gtx680())
+        needed = 2 * 4096 * 8
+        kernel = Kernel("rowwise-double-4096", (), shared_bytes_per_block=needed)
+        with pytest.raises(SharedMemoryCapacityError):
+            hmm.run_kernel(kernel)
+        # floats fit: 2 * 4096 * 4 B = 32 KB.
+        ok = Kernel("rowwise-float-4096", (), shared_bytes_per_block=2 * 4096 * 4)
+        hmm.run_kernel(ok)
+
+    def test_unlimited_capacity(self):
+        hmm = _machine()
+        kernel = Kernel("big", (), shared_bytes_per_block=10**9)
+        hmm.run_kernel(kernel)  # shared_capacity=None: no limit

@@ -1,0 +1,118 @@
+"""Tests for the access-capturing array wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AccessRoundError, SharedMemoryCapacityError
+from repro.machine.hmm import HMM
+from repro.machine.memory import (
+    NullRecorder,
+    TraceRecorder,
+    TracedGlobalArray,
+    TracedSharedArray,
+)
+from repro.machine.params import MachineParams
+
+
+def _collector():
+    return TraceRecorder(collect_rounds=True)
+
+
+class TestTracedGlobalArray:
+    def test_gather_returns_values_and_records(self):
+        rec = _collector()
+        arr = TracedGlobalArray(np.arange(10.0), "a", rec)
+        rec.begin_kernel("k")
+        out = arr.gather(np.array([3, 1, 4, 1]))
+        rec.end_kernel()
+        assert np.array_equal(out, [3.0, 1.0, 4.0, 1.0])
+        kernel = rec.kernels[0]
+        assert kernel.rounds[0].kind == "read"
+        assert np.array_equal(kernel.rounds[0].addresses, [3, 1, 4, 1])
+
+    def test_scatter_writes_and_records(self):
+        rec = _collector()
+        arr = TracedGlobalArray(np.zeros(4), "b", rec)
+        rec.begin_kernel("k")
+        arr.scatter(np.array([2, 0, 3, 1]), np.array([1.0, 2.0, 3.0, 4.0]))
+        rec.end_kernel()
+        assert np.array_equal(arr.data, [2.0, 4.0, 1.0, 3.0])
+        assert rec.kernels[0].rounds[0].kind == "write"
+
+
+class TestTracedSharedArray:
+    def test_block_local_addressing(self):
+        rec = _collector()
+        sh = TracedSharedArray(2, 4, np.float64, "x", rec, block_threads=4)
+        rec.begin_kernel("k")
+        vals = np.array([[1.0, 2, 3, 4], [5, 6, 7, 8]])
+        sh.scatter(np.array([[3, 2, 1, 0], [0, 1, 2, 3]]), vals)
+        out = sh.gather(np.tile(np.arange(4), (2, 1)))
+        rec.end_kernel()
+        assert np.array_equal(out[0], [4.0, 3.0, 2.0, 1.0])
+        assert np.array_equal(out[1], [5.0, 6.0, 7.0, 8.0])
+        # Rounds carry block_size for DMM assignment.
+        assert rec.kernels[0].rounds[0].block_size == 4
+
+    def test_shape_validation(self):
+        rec = _collector()
+        sh = TracedSharedArray(2, 4, np.float64, "x", rec, block_threads=4)
+        rec.begin_kernel("k")
+        with pytest.raises(AccessRoundError):
+            sh.gather(np.arange(8))  # flat, not (blocks, threads)
+
+    def test_invalid_construction(self):
+        with pytest.raises(AccessRoundError):
+            TracedSharedArray(0, 4, float, "x", _collector(), block_threads=4)
+
+
+class TestTraceRecorder:
+    def test_round_outside_kernel_rejected(self):
+        rec = _collector()
+        arr = TracedGlobalArray(np.arange(4.0), "a", rec)
+        with pytest.raises(AccessRoundError):
+            arr.gather(np.arange(4))
+
+    def test_nested_kernel_rejected(self):
+        rec = _collector()
+        rec.begin_kernel("a")
+        with pytest.raises(AccessRoundError):
+            rec.begin_kernel("b")
+
+    def test_end_without_begin(self):
+        with pytest.raises(AccessRoundError):
+            _collector().end_kernel()
+
+    def test_hmm_mode_charges_immediately(self):
+        hmm = HMM(MachineParams(width=4, latency=5, shared_capacity=None))
+        rec = TraceRecorder(hmm=hmm, name="prog")
+        arr = TracedGlobalArray(
+            np.arange(16, dtype=np.float32), "a", rec
+        )
+        rec.begin_kernel("k")
+        arr.gather(np.arange(16))
+        rec.end_kernel()
+        assert rec.trace is not None
+        assert rec.trace.time == 4 + 5 - 1
+        # Doubles span two cells: twice the stages (the extension).
+        rec64 = TraceRecorder(hmm=hmm, name="prog64")
+        arr64 = TracedGlobalArray(np.arange(16.0), "a", rec64)
+        rec64.begin_kernel("k")
+        arr64.gather(np.arange(16))
+        rec64.end_kernel()
+        assert rec64.trace is not None
+        assert rec64.trace.time == 8 + 5 - 1
+        assert rec.kernels == []     # addresses dropped
+
+    def test_capacity_checked_at_kernel_begin(self):
+        hmm = HMM(MachineParams(width=4, latency=5, shared_capacity=16))
+        rec = TraceRecorder(hmm=hmm)
+        with pytest.raises(SharedMemoryCapacityError):
+            rec.begin_kernel("big", shared_bytes_per_block=32)
+
+    def test_null_recorder_is_inert(self):
+        rec = NullRecorder()
+        arr = TracedGlobalArray(np.arange(4.0), "a", rec)
+        out = arr.gather(np.arange(4))      # no begin_kernel needed
+        assert np.array_equal(out, np.arange(4.0))
+        assert not rec.active

@@ -1,0 +1,82 @@
+"""Tests for trace metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.conventional import DDesignatedPermutation
+from repro.core.scheduled import ScheduledPermutation
+from repro.core.theory import lower_bound
+from repro.machine.metrics import _lower_bound, analyze, format_metrics
+from repro.machine.params import MachineParams
+from repro.permutations.named import identical, random_permutation
+
+MACHINE = MachineParams(width=4, latency=5, num_dmms=2, shared_capacity=None)
+N = 256
+
+
+def test_internal_lower_bound_matches_theory():
+    for n in (0, 64, 256, 1 << 16):
+        assert _lower_bound(n, 32, 100) == lower_bound(n, 32, 100)
+
+
+def test_scheduled_metrics():
+    plan = ScheduledPermutation.plan(random_permutation(N, seed=0), width=4)
+    trace = plan.simulate(MACHINE)
+    m = analyze(trace, N, MACHINE)
+    assert m.time == trace.time
+    assert m.casual_rounds == 0
+    assert 0 < m.efficiency < 1
+    assert m.global_stage_share + m.latency_share <= 1.0 + 1e-9
+
+
+def test_conventional_identity_near_bound():
+    """A straight copy is near the bandwidth bound (3 rounds vs the
+    bound's 2)."""
+    algo = DDesignatedPermutation(identical(N))
+    m = analyze(algo.simulate(MACHINE), N, MACHINE)
+    assert m.efficiency > 0.5
+    assert m.casual_rounds == 0     # identity write is coalesced
+
+
+def test_casual_rounds_counted():
+    p = random_permutation(N, seed=1)
+    m = analyze(DDesignatedPermutation(p).simulate(MACHINE), N, MACHINE)
+    assert m.casual_rounds == 1
+
+
+def test_efficiency_ordering():
+    """On a worst-case permutation at GPU scale the scheduled run is
+    more efficient than the conventional one (at tiny n the latency
+    term flips it — the small-n regime)."""
+    from repro.permutations.named import bit_reversal
+
+    big = MachineParams(width=32, latency=100, num_dmms=8,
+                        shared_capacity=None)
+    n = 128 * 128
+    p = bit_reversal(n)
+    conv = analyze(DDesignatedPermutation(p).simulate(big), n, big)
+    sched = analyze(
+        ScheduledPermutation.plan(p, width=32).simulate(big), n, big
+    )
+    assert sched.efficiency > conv.efficiency
+
+
+def test_format_metrics_mentions_everything():
+    p = random_permutation(N, seed=2)
+    m = analyze(DDesignatedPermutation(p).simulate(MACHINE), N, MACHINE)
+    text = format_metrics(m)
+    assert "efficiency" in text and "casual" in text
+
+
+def test_rejects_negative_n():
+    from repro.machine.trace import ProgramTrace
+
+    with pytest.raises(Exception):
+        analyze(ProgramTrace("x"), -1, MACHINE)
+
+
+def test_empty_trace():
+    from repro.machine.trace import ProgramTrace
+
+    m = analyze(ProgramTrace("empty"), 0, MACHINE)
+    assert m.time == 0 and m.efficiency == 1.0

@@ -1,0 +1,45 @@
+"""Tests for MachineParams."""
+
+import pytest
+
+from repro.errors import InvalidMachineError
+from repro.machine.params import GTX680_SHARED_BYTES, MachineParams
+
+
+def test_defaults_are_gpu_like():
+    p = MachineParams()
+    assert p.width == 32
+    assert p.shared_latency == 1
+    assert p.shared_capacity == GTX680_SHARED_BYTES
+
+
+def test_gtx680_preset():
+    p = MachineParams.gtx680(latency=200)
+    assert (p.width, p.num_dmms, p.latency) == (32, 8, 200)
+
+
+def test_textbook_preset():
+    p = MachineParams.textbook()
+    assert p.num_dmms == 1
+    assert p.shared_capacity is None
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"width": 0},
+        {"latency": 0},
+        {"num_dmms": 0},
+        {"shared_latency": 0},
+        {"shared_capacity": -1},
+    ],
+)
+def test_invalid_params_rejected(kwargs):
+    with pytest.raises(InvalidMachineError):
+        MachineParams(**kwargs)
+
+
+def test_frozen():
+    p = MachineParams()
+    with pytest.raises(Exception):
+        p.width = 64  # type: ignore[misc]

@@ -1,0 +1,190 @@
+"""Tests for the cycle-accurate pipeline engine, pinned to Figure 3 and
+to the closed-form costs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AccessRoundError
+from repro.machine.cost_model import (
+    global_round_stages,
+    round_time,
+    shared_warp_stages,
+)
+from repro.machine.pipeline import (
+    PipelineSimulator,
+    simulate_access_sequence,
+    split_stage_groups,
+)
+
+# Figure 3's two warps (width 4, see EXPERIMENTS.md for the figure note):
+W0 = np.array([7, 5, 15, 0])
+W1 = np.array([10, 11, 12, 13])
+
+
+class TestSplitStageGroups:
+    def test_dmm_split(self):
+        groups = split_stage_groups(W0, 4, "shared")
+        # Banks {3,1,3,0}: two stages, the second holding only the
+        # second bank-3 request.
+        assert len(groups) == 2
+        assert sorted(len(g) for g in groups) == [1, 3]
+
+    def test_umm_split(self):
+        groups = split_stage_groups(W0, 4, "global")
+        # Groups {1,1,3,0}: three stages.
+        assert len(groups) == 3
+        sizes = sorted(len(g) for g in groups)
+        assert sizes == [1, 1, 2]
+
+    def test_groups_partition_requests(self):
+        for space in ("shared", "global"):
+            groups = split_stage_groups(W0, 4, space)
+            all_idx = np.sort(np.concatenate(groups))
+            assert np.array_equal(all_idx, np.arange(4))
+
+    def test_inactive_skipped(self):
+        groups = split_stage_groups(np.array([-1, 3, -1, 0]), 4, "shared")
+        assert len(groups) == 1
+        assert len(groups[0]) == 2
+
+    def test_all_inactive(self):
+        assert split_stage_groups(np.full(4, -1), 4, "global") == []
+
+    def test_bad_space(self):
+        with pytest.raises(AccessRoundError):
+            split_stage_groups(W0, 4, "texture")
+
+
+class TestFigure3:
+    """The paper's worked pipeline example (Section II, Figure 3)."""
+
+    def test_dmm_total_time(self):
+        # DMM: W0 occupies 2 stages, W1 one stage: 3 stages total,
+        # completing in 3 + l - 1 time units.
+        for latency in (2, 5, 10):
+            sim = PipelineSimulator(4, latency, "shared")
+            report = sim.run([[W0], [W1]])
+            assert report.total_stages == 3
+            assert report.total_time == 3 + latency - 1
+
+    def test_umm_total_time(self):
+        # UMM: W0 -> 3 groups, W1 -> 2 groups: 5 stages,
+        # 5 + l - 1 time units.
+        for latency in (2, 5, 10):
+            sim = PipelineSimulator(4, latency, "global")
+            report = sim.run([[W0], [W1]])
+            assert report.total_stages == 5
+            assert report.total_time == 5 + latency - 1
+
+    def test_injection_order_round_robin(self):
+        sim = PipelineSimulator(4, 5, "shared")
+        report = sim.run([[W0], [W1]])
+        warps_in_order = [w for _, w, _, _ in report.injections]
+        # W0 dispatched first and injects both its stages, then W1.
+        assert warps_in_order == [0, 0, 1]
+
+
+class TestBarrierModeMatchesClosedForm:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=4),   # rounds
+        st.integers(min_value=1, max_value=3),   # warps
+        st.integers(min_value=1, max_value=8),   # latency
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_property_global_barrier_equals_sum_of_round_times(
+        self, num_rounds, num_warps, latency, seed
+    ):
+        width = 4
+        rng = np.random.default_rng(seed)
+        rounds = [
+            rng.integers(0, 64, num_warps * width).astype(np.int64)
+            for _ in range(num_rounds)
+        ]
+        report = simulate_access_sequence(
+            rounds, width, latency, "global", barrier=True
+        )
+        expected = sum(
+            round_time(global_round_stages(r, width), latency) for r in rounds
+        )
+        assert report.total_time == expected
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_property_shared_barrier_equals_sum(self, num_rounds, num_warps, latency, seed):
+        width = 4
+        rng = np.random.default_rng(seed)
+        rounds = [
+            rng.integers(0, 64, num_warps * width).astype(np.int64)
+            for _ in range(num_rounds)
+        ]
+        report = simulate_access_sequence(
+            rounds, width, latency, "shared", barrier=True
+        )
+        expected = sum(
+            round_time(int(shared_warp_stages(r, width).sum()), latency)
+            for r in rounds
+        )
+        assert report.total_time == expected
+
+
+class TestFreeRunningMode:
+    def test_latency_hiding_beats_barriers(self):
+        """Without barriers, independent warps overlap rounds across the
+        latency — real GPUs' behaviour, strictly faster than the model's
+        barrier accounting."""
+        width, latency = 4, 16
+        num_warps = 8
+        rounds = [
+            np.arange(num_warps * width, dtype=np.int64) for _ in range(3)
+        ]
+        barrier = simulate_access_sequence(
+            rounds, width, latency, "global", barrier=True
+        )
+        free = simulate_access_sequence(
+            rounds, width, latency, "global", barrier=False
+        )
+        assert free.total_time < barrier.total_time
+
+    def test_single_warp_fully_serialises(self):
+        """One warp cannot hide latency: each round costs the full l."""
+        width, latency = 4, 10
+        rounds = [np.arange(4, dtype=np.int64) for _ in range(3)]
+        free = simulate_access_sequence(
+            rounds, width, latency, "global", barrier=False
+        )
+        assert free.total_time == 3 * latency
+
+    def test_enough_warps_reach_full_throughput(self):
+        """With >= l warps, stages dominate: total = stages + l - 1."""
+        width, latency = 4, 4
+        num_warps = 8
+        rounds = [np.arange(num_warps * width, dtype=np.int64)] * 2
+        free = simulate_access_sequence(
+            rounds, width, latency, "global", barrier=False
+        )
+        assert free.total_time == 2 * num_warps + latency - 1
+
+
+class TestEdgeCases:
+    def test_empty_rounds(self):
+        report = simulate_access_sequence([], 4, 5, "global")
+        assert report.total_time == 0
+
+    def test_mismatched_thread_counts(self):
+        with pytest.raises(AccessRoundError):
+            simulate_access_sequence(
+                [np.arange(4), np.arange(8)], 4, 5, "global"
+            )
+
+    def test_round_with_no_active_threads_free(self):
+        rounds = [np.full(4, -1, dtype=np.int64)]
+        report = simulate_access_sequence(rounds, 4, 5, "global")
+        assert report.total_time == 0

@@ -1,0 +1,75 @@
+"""Tests for AccessRound and Kernel containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AccessRoundError
+from repro.machine.requests import AccessRound, Kernel, coalesced_addresses
+
+
+class TestCoalescedAddresses:
+    def test_is_arange(self):
+        assert np.array_equal(coalesced_addresses(8), np.arange(8))
+
+
+class TestAccessRound:
+    def test_basic(self):
+        rnd = AccessRound("global", "read", np.arange(8), "a")
+        assert rnd.num_threads == 8
+        assert rnd.label() == "global read a"
+
+    def test_shared_requires_block_size(self):
+        with pytest.raises(AccessRoundError):
+            AccessRound("shared", "read", np.arange(8), "x")
+
+    def test_shared_block_division(self):
+        with pytest.raises(AccessRoundError):
+            AccessRound("shared", "read", np.arange(8), "x", block_size=3)
+
+    def test_shared_num_blocks(self):
+        rnd = AccessRound("shared", "write", np.arange(8), "x", block_size=4)
+        assert rnd.num_blocks == 2
+
+    def test_rejects_bad_space(self):
+        with pytest.raises(AccessRoundError):
+            AccessRound("texture", "read", np.arange(4), "a")
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(AccessRoundError):
+            AccessRound("global", "modify", np.arange(4), "a")
+
+    def test_rejects_below_minus_one(self):
+        with pytest.raises(AccessRoundError):
+            AccessRound("global", "read", np.array([-2, 0]), "a")
+
+    def test_rejects_2d(self):
+        with pytest.raises(AccessRoundError):
+            AccessRound("global", "read", np.zeros((2, 2), dtype=int), "a")
+
+    def test_inactive_sentinel_allowed(self):
+        rnd = AccessRound("global", "read", np.array([-1, 0, 1, -1]), "a")
+        assert rnd.num_threads == 4
+
+
+class TestKernel:
+    def _rounds(self):
+        return (
+            AccessRound("global", "read", np.arange(4), "a"),
+            AccessRound("shared", "write", np.arange(4), "x", block_size=4),
+            AccessRound("shared", "read", np.arange(4), "x", block_size=4),
+            AccessRound("global", "write", np.arange(4), "b"),
+        )
+
+    def test_count_rounds(self):
+        k = Kernel("k", self._rounds())
+        assert k.count_rounds() == {
+            "global read": 1,
+            "global write": 1,
+            "shared read": 1,
+            "shared write": 1,
+        }
+        assert k.num_rounds == 4
+
+    def test_negative_shared_bytes(self):
+        with pytest.raises(AccessRoundError):
+            Kernel("k", (), shared_bytes_per_block=-1)

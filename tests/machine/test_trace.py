@@ -1,0 +1,67 @@
+"""Tests for trace aggregation."""
+
+import numpy as np
+
+from repro.machine.hmm import HMM
+from repro.machine.params import MachineParams
+from repro.machine.requests import AccessRound, Kernel
+from repro.machine.trace import KernelTrace, ProgramTrace, RoundCost
+
+
+def _cost(space="global", kind="read", cls="coalesced", stages=4, time=8):
+    return RoundCost(space, kind, "a", cls, stages, time)
+
+
+class TestKernelTrace:
+    def test_time_sums(self):
+        t = KernelTrace("k", [_cost(time=8), _cost(kind="write", time=5)])
+        assert t.time == 13
+        assert t.num_rounds == 2
+
+    def test_count_rounds(self):
+        t = KernelTrace(
+            "k",
+            [
+                _cost(),
+                _cost(kind="write"),
+                RoundCost("shared", "read", "x", "conflict-free", 1, 1),
+            ],
+        )
+        counts = t.count_rounds()
+        assert counts["global read"] == 1
+        assert counts["global write"] == 1
+        assert counts["shared read"] == 1
+        assert counts["shared write"] == 0
+
+    def test_count_classified(self):
+        t = KernelTrace("k", [_cost(), _cost(cls="casual", kind="write")])
+        cc = t.count_classified()
+        assert cc["coalesced reads (global)"] == 1
+        assert cc["casual writes (global)"] == 1
+
+
+class TestProgramTrace:
+    def test_aggregation(self):
+        p = ProgramTrace(
+            "prog",
+            [
+                KernelTrace("k1", [_cost(time=3)]),
+                KernelTrace("k2", [_cost(time=4), _cost(time=5)]),
+            ],
+        )
+        assert p.time == 12
+        assert p.num_rounds == 3
+        assert p.count_rounds()["global read"] == 3
+
+    def test_summary_mentions_everything(self):
+        hmm = HMM(MachineParams(width=4, latency=5, shared_capacity=None))
+        kernel = Kernel(
+            "kern",
+            (AccessRound("global", "read", np.arange(8), "a"),),
+        )
+        trace = hmm.run_program([kernel], name="demo")
+        text = trace.summary()
+        assert "demo" in text
+        assert "kern" in text
+        assert "global read a" in text
+        assert "coalesced" in text

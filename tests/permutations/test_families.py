@@ -1,0 +1,146 @@
+"""Tests for the extra permutation families."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SizeError
+from repro.permutations.families import (
+    block_swap,
+    butterfly,
+    gray_code,
+    reversal,
+    rotation,
+    stride,
+    tiled_transpose,
+    unshuffle,
+)
+from repro.permutations.named import shuffle, transpose_permutation
+from repro.permutations.ops import compose, invert
+from repro.util.validation import is_permutation
+
+
+class TestUnshuffle:
+    def test_inverse_of_shuffle(self):
+        for n in (2, 8, 64, 256):
+            assert np.array_equal(unshuffle(n), invert(shuffle(n)))
+
+    def test_is_permutation(self):
+        assert is_permutation(unshuffle(128))
+
+    def test_rejects_non_power(self):
+        with pytest.raises(SizeError):
+            unshuffle(6)
+
+
+class TestReversal:
+    def test_values(self):
+        assert np.array_equal(reversal(4), [3, 2, 1, 0])
+
+    def test_involution(self):
+        p = reversal(37)
+        assert np.array_equal(p[p], np.arange(37))
+
+
+class TestRotation:
+    def test_values(self):
+        assert np.array_equal(rotation(5, 2), [2, 3, 4, 0, 1])
+
+    def test_negative_shift(self):
+        assert np.array_equal(rotation(5, -1), [4, 0, 1, 2, 3])
+
+    def test_full_turn_is_identity(self):
+        assert np.array_equal(rotation(7, 7), np.arange(7))
+
+    @given(st.integers(1, 100), st.integers(-200, 200))
+    def test_property_is_permutation(self, n, k):
+        assert is_permutation(rotation(n, k))
+
+
+class TestStride:
+    def test_values(self):
+        assert np.array_equal(stride(5, 2), [0, 2, 4, 1, 3])
+
+    def test_rejects_non_coprime(self):
+        with pytest.raises(SizeError):
+            stride(8, 2)
+
+    @given(st.integers(2, 64), st.integers(1, 63))
+    def test_property_coprime_is_permutation(self, n, s):
+        if np.gcd(s % n, n) == 1:
+            assert is_permutation(stride(n, s))
+
+
+class TestGrayCode:
+    def test_adjacent_differ_one_bit(self):
+        p = gray_code(64)
+        diffs = p[1:] ^ p[:-1]
+        # Each difference is a power of two.
+        assert np.all(diffs & (diffs - 1) == 0)
+        assert np.all(diffs > 0)
+
+    def test_is_permutation(self):
+        assert is_permutation(gray_code(256))
+
+
+class TestButterfly:
+    def test_stage_zero_is_identity(self):
+        assert np.array_equal(butterfly(16, 0), np.arange(16))
+
+    def test_swaps_bits(self):
+        p = butterfly(8, 2)  # swap bit 0 and bit 2
+        assert p[0b001] == 0b100
+        assert p[0b100] == 0b001
+        assert p[0b101] == 0b101
+        assert p[0b010] == 0b010
+
+    def test_involution(self):
+        for stage in range(4):
+            p = butterfly(16, stage)
+            assert np.array_equal(p[p], np.arange(16))
+
+    def test_rejects_bad_stage(self):
+        with pytest.raises(SizeError):
+            butterfly(16, 4)
+
+
+class TestBlockSwap:
+    def test_values(self):
+        assert np.array_equal(block_swap(8, 2), [2, 3, 0, 1, 6, 7, 4, 5])
+
+    def test_involution(self):
+        p = block_swap(64, 4)
+        assert np.array_equal(p[p], np.arange(64))
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(SizeError):
+            block_swap(10, 4)
+
+
+class TestTiledTranspose:
+    def test_tile_one_is_full_transpose(self):
+        n = 64
+        assert np.array_equal(tiled_transpose(n, 1), transpose_permutation(n))
+
+    def test_tile_m_is_identity(self):
+        assert np.array_equal(tiled_transpose(64, 8), np.arange(64))
+
+    def test_is_permutation_mid_tile(self):
+        assert is_permutation(tiled_transpose(256, 4))
+
+    def test_involution(self):
+        p = tiled_transpose(256, 4)
+        assert np.array_equal(p[p], np.arange(256))
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(SizeError):
+            tiled_transpose(64, 3)
+
+
+def test_compositions_stay_permutations():
+    n = 64
+    p = compose(shuffle(n), gray_code(n))
+    assert is_permutation(p)
+    q = compose(invert(p), p)
+    assert np.array_equal(q, np.arange(n))

@@ -1,0 +1,38 @@
+"""Tests for repro.permutations.matrix_view."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SizeError
+from repro.permutations.matrix_view import from_row_col, to_row_col
+
+
+def test_roundtrip_small():
+    idx = np.arange(16)
+    r, c = to_row_col(idx, 4)
+    assert np.array_equal(from_row_col(r, c, 4), idx)
+
+
+def test_known_values():
+    r, c = to_row_col(np.array([5]), 4)
+    assert (r[0], c[0]) == (1, 1)
+    assert from_row_col(np.array([3]), np.array([2]), 4)[0] == 14
+
+
+def test_rejects_bad_m():
+    with pytest.raises(SizeError):
+        to_row_col(np.arange(4), 0)
+    with pytest.raises(SizeError):
+        from_row_col(np.arange(4), np.arange(4), -1)
+
+
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=0, max_value=2**20),
+)
+def test_property_roundtrip(m, index):
+    r, c = to_row_col(np.array([index]), m)
+    assert 0 <= c[0] < m
+    assert from_row_col(r, c, m)[0] == index

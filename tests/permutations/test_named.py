@@ -1,0 +1,153 @@
+"""Tests for the paper's five permutations (repro.permutations.named)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SizeError
+from repro.permutations.named import (
+    PAPER_PERMUTATIONS,
+    bit_reversal,
+    identical,
+    named_permutation,
+    random_permutation,
+    shuffle,
+    transpose_permutation,
+)
+from repro.util.validation import is_permutation
+
+
+def _reverse_bits(value: int, bits: int) -> int:
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+class TestIdentical:
+    def test_values(self):
+        assert np.array_equal(identical(5), np.arange(5))
+
+    def test_empty(self):
+        assert identical(0).size == 0
+
+    def test_negative(self):
+        with pytest.raises(SizeError):
+            identical(-1)
+
+
+class TestShuffle:
+    def test_is_permutation(self):
+        for k in range(0, 12):
+            assert is_permutation(shuffle(2**k))
+
+    def test_left_rotation_definition(self):
+        # shuffle(b_{k-1} ... b_0) = b_{k-2} ... b_0 b_{k-1}
+        n = 64
+        bits = 6
+        p = shuffle(n)
+        for i in range(n):
+            expected = ((i << 1) & (n - 1)) | (i >> (bits - 1))
+            assert p[i] == expected
+
+    def test_low_half_doubles(self):
+        p = shuffle(16)
+        for i in range(8):
+            assert p[i] == 2 * i
+
+    def test_high_half(self):
+        p = shuffle(16)
+        for i in range(8, 16):
+            assert p[i] == 2 * i - 16 + 1
+
+    def test_rejects_non_power(self):
+        with pytest.raises(SizeError):
+            shuffle(12)
+
+    def test_n1_identity(self):
+        assert np.array_equal(shuffle(1), [0])
+
+    def test_n2_identity(self):
+        # Rotating a single bit is the identity.
+        assert np.array_equal(shuffle(2), [0, 1])
+
+
+class TestBitReversal:
+    def test_matches_reference(self):
+        for bits in range(0, 11):
+            n = 2**bits
+            p = bit_reversal(n)
+            ref = np.array([_reverse_bits(i, bits) for i in range(n)])
+            assert np.array_equal(p, ref)
+
+    def test_is_involution(self):
+        # Reversing twice is the identity.
+        p = bit_reversal(256)
+        assert np.array_equal(p[p], np.arange(256))
+
+    def test_rejects_non_power(self):
+        with pytest.raises(SizeError):
+            bit_reversal(10)
+
+
+class TestTransposePermutation:
+    def test_small(self):
+        # 2x2: [[0,1],[2,3]] -> transpose sends 1 <-> 2.
+        assert np.array_equal(transpose_permutation(4), [0, 2, 1, 3])
+
+    def test_matches_numpy_transpose(self):
+        m = 8
+        p = transpose_permutation(m * m)
+        a = np.arange(m * m)
+        b = np.empty_like(a)
+        b[p] = a
+        assert np.array_equal(b.reshape(m, m), a.reshape(m, m).T)
+
+    def test_is_involution(self):
+        p = transpose_permutation(81)
+        assert np.array_equal(p[p], np.arange(81))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(SizeError):
+            transpose_permutation(8)
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self):
+        assert is_permutation(random_permutation(100, seed=0))
+
+    def test_seed_determinism(self):
+        a = random_permutation(50, seed=7)
+        b = random_permutation(50, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = random_permutation(100, seed=1)
+        b = random_permutation(100, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestNamedPermutation:
+    def test_all_names(self):
+        for name in PAPER_PERMUTATIONS:
+            p = named_permutation(name, 16, seed=0)
+            assert is_permutation(p)
+
+    def test_name_normalisation(self):
+        a = named_permutation("bit-reversal", 16)
+        b = named_permutation("BIT_REVERSAL", 16)
+        assert np.array_equal(a, b)
+
+    def test_unknown_name(self):
+        with pytest.raises(SizeError):
+            named_permutation("sorted", 16)
+
+    @given(st.integers(min_value=0, max_value=10))
+    def test_property_all_named_are_permutations(self, k):
+        n = 4**k if k <= 5 else 2**k  # keep square for transpose
+        for name in ("identical", "shuffle", "bit-reversal", "transpose"):
+            if name == "transpose" and not np.sqrt(n).is_integer():
+                continue
+            assert is_permutation(named_permutation(name, n))

@@ -1,0 +1,124 @@
+"""Tests for the processor-network emulation permutations."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SizeError
+from repro.permutations.networks import (
+    all_to_all_blocks,
+    hypercube_step,
+    shear,
+    snake,
+    torus_shift,
+)
+from repro.util.validation import is_permutation
+
+
+class TestTorusShift:
+    def test_identity_shift(self):
+        assert np.array_equal(torus_shift(16, 0, 0), np.arange(16))
+
+    def test_right_shift(self):
+        p = torus_shift(16, 0, 1)
+        # (0,0) -> (0,1): element 0 goes to 1; (0,3) wraps to (0,0).
+        assert p[0] == 1
+        assert p[3] == 0
+
+    def test_down_shift_wraps(self):
+        p = torus_shift(16, 1, 0)
+        assert p[12] == 0     # (3,0) -> (0,0)
+
+    def test_inverse_shift(self):
+        p = torus_shift(64, 2, 3)
+        q = torus_shift(64, -2, -3)
+        assert np.array_equal(p[q], np.arange(64))
+
+    @given(st.integers(1, 8), st.integers(-10, 10), st.integers(-10, 10))
+    def test_property_is_permutation(self, m, dr, dc):
+        assert is_permutation(torus_shift(m * m, dr, dc))
+
+
+class TestHypercubeStep:
+    def test_matches_xor(self):
+        p = hypercube_step(16, 2)
+        assert np.array_equal(p, np.arange(16) ^ 4)
+
+    def test_involution(self):
+        for dim in range(4):
+            p = hypercube_step(16, dim)
+            assert np.array_equal(p[p], np.arange(16))
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(SizeError):
+            hypercube_step(16, 4)
+
+    def test_all_dimensions_compose_to_complement(self):
+        n = 16
+        i = np.arange(n)
+        result = i.copy()
+        for dim in range(4):
+            result = hypercube_step(n, dim)[result]
+        assert np.array_equal(result, i ^ (n - 1))
+
+
+class TestShear:
+    def test_row_zero_fixed(self):
+        p = shear(16, step=1)
+        assert np.array_equal(p[:4], np.arange(4))
+
+    def test_row_r_shifts_by_r(self):
+        m = 4
+        p = shear(16, step=1)
+        # Row 2, column 0 -> column 2.
+        assert p[2 * m] == 2 * m + 2
+
+    @given(st.integers(1, 8), st.integers(0, 8))
+    def test_property_is_permutation(self, m, step):
+        assert is_permutation(shear(m * m, step))
+
+
+class TestSnake:
+    def test_even_rows_fixed(self):
+        m = 4
+        p = snake(16)
+        assert np.array_equal(p[:m], np.arange(m))
+        assert np.array_equal(p[2 * m : 3 * m], np.arange(2 * m, 3 * m))
+
+    def test_odd_rows_reversed(self):
+        m = 4
+        p = snake(16)
+        assert np.array_equal(p[m : 2 * m], np.arange(2 * m - 1, m - 1, -1))
+
+    def test_involution(self):
+        p = snake(64)
+        assert np.array_equal(p[p], np.arange(64))
+
+
+class TestAllToAll:
+    def test_two_nodes(self):
+        # n = 8, 2 nodes, chunk = 2: node 0 holds [0..4), node 1 [4..8).
+        p = all_to_all_blocks(8, 2)
+        # Node 0's chunk for node 1 (elements 2,3) -> node 1's slot 0.
+        assert p[2] == 4 and p[3] == 5
+        # Node 1's chunk for node 0 (elements 4,5) -> node 0's slot 1.
+        assert p[4] == 2 and p[5] == 3
+
+    def test_diagonal_chunks_fixed(self):
+        p = all_to_all_blocks(16, 2)
+        # Chunk (s == d) stays in place.
+        assert np.array_equal(p[:4], np.arange(4))
+
+    def test_involution(self):
+        p = all_to_all_blocks(64, 4)
+        assert np.array_equal(p[p], np.arange(64))
+
+    def test_rejects_bad_nodes(self):
+        with pytest.raises(SizeError):
+            all_to_all_blocks(10, 2)
+
+    @given(st.sampled_from([1, 2, 4]), st.integers(1, 6))
+    def test_property_is_permutation(self, nodes, chunk):
+        n = nodes * nodes * chunk
+        assert is_permutation(all_to_all_blocks(n, nodes))

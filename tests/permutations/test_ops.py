@@ -1,0 +1,142 @@
+"""Tests for permutation algebra (repro.permutations.ops)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NotAPermutationError, SizeError
+from repro.permutations.ops import (
+    apply_permutation,
+    compose,
+    cycle_lengths,
+    cycles,
+    invert,
+    order,
+    parity,
+    random_derangement,
+)
+from tests.conftest import permutations_st
+
+
+class TestInvert:
+    def test_small(self):
+        p = np.array([2, 0, 1])
+        assert np.array_equal(invert(p), [1, 2, 0])
+
+    def test_identity(self):
+        assert np.array_equal(invert(np.arange(6)), np.arange(6))
+
+    @given(permutations_st())
+    def test_property_double_inverse(self, p):
+        assert np.array_equal(invert(invert(p)), p)
+
+    @given(permutations_st())
+    def test_property_inverse_composes_to_identity(self, p):
+        assert np.array_equal(compose(p, invert(p)), np.arange(p.size))
+        assert np.array_equal(compose(invert(p), p), np.arange(p.size))
+
+
+class TestCompose:
+    def test_order_of_application(self):
+        # r = p after q: r[i] = p[q[i]]
+        p = np.array([1, 2, 0])
+        q = np.array([2, 0, 1])
+        assert np.array_equal(compose(p, q), [0, 1, 2])
+
+    def test_size_mismatch(self):
+        with pytest.raises(SizeError):
+            compose(np.arange(3), np.arange(4))
+
+    @given(permutations_st(max_n=64))
+    def test_property_identity_neutral(self, p):
+        e = np.arange(p.size)
+        assert np.array_equal(compose(p, e), p)
+        assert np.array_equal(compose(e, p), p)
+
+
+class TestApplyPermutation:
+    def test_semantics(self):
+        a = np.array([10.0, 20.0, 30.0])
+        p = np.array([2, 0, 1])
+        b = apply_permutation(a, p)
+        # b[p[i]] = a[i]
+        assert np.array_equal(b, [20.0, 30.0, 10.0])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(SizeError):
+            apply_permutation(np.arange(3.0), np.arange(4))
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(NotAPermutationError):
+            apply_permutation(np.arange(3.0), np.array([0, 0, 2]))
+
+    @given(permutations_st())
+    def test_property_gather_equivalence(self, p):
+        a = np.arange(p.size, dtype=np.float64) * 1.5
+        assert np.array_equal(apply_permutation(a, p), a[invert(p)])
+
+
+class TestCycles:
+    def test_identity_cycles(self):
+        cs = cycles(np.arange(4))
+        assert len(cs) == 4
+        assert all(c.size == 1 for c in cs)
+
+    def test_single_cycle(self):
+        p = np.array([1, 2, 3, 0])
+        cs = cycles(p)
+        assert len(cs) == 1
+        assert np.array_equal(cs[0], [0, 1, 2, 3])
+
+    def test_cycle_lengths_sum_to_n(self):
+        rng = np.random.default_rng(3)
+        p = rng.permutation(50)
+        assert cycle_lengths(p).sum() == 50
+
+    @given(permutations_st(max_n=100))
+    def test_property_cycles_partition(self, p):
+        cs = cycles(p)
+        all_elems = np.sort(np.concatenate(cs)) if cs else np.empty(0)
+        assert np.array_equal(all_elems, np.arange(p.size))
+
+
+class TestOrderParity:
+    def test_order_of_cycle(self):
+        p = np.array([1, 2, 3, 0])  # 4-cycle
+        assert order(p) == 4
+
+    def test_order_lcm(self):
+        # (0 1)(2 3 4): lcm(2, 3) = 6
+        p = np.array([1, 0, 3, 4, 2])
+        assert order(p) == 6
+
+    def test_parity_transposition(self):
+        assert parity(np.array([1, 0])) == -1
+
+    def test_parity_identity(self):
+        assert parity(np.arange(5)) == 1
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_property_parity_multiplicative(self, n, seed1, seed2):
+        p = np.random.default_rng(seed1).permutation(n)
+        q = np.random.default_rng(seed2).permutation(n)
+        assert parity(compose(p, q)) == parity(p) * parity(q)
+
+
+class TestRandomDerangement:
+    def test_no_fixed_points(self):
+        for n in (2, 3, 10, 100):
+            d = random_derangement(n, seed=0)
+            assert not np.any(d == np.arange(n))
+
+    def test_n1_impossible(self):
+        with pytest.raises(SizeError):
+            random_derangement(1)
+
+    def test_empty_ok(self):
+        assert random_derangement(0, seed=0).size == 0

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestCost:
+    def test_default(self, capsys):
+        out = _run(capsys, "cost", "--n", "1024", "--width", "8",
+                   "--latency", "10", "--dmms", "2")
+        assert "d-designated" in out
+        assert "scheduled" in out
+        assert "lower bound" in out
+        assert "D_w(P)" in out
+
+    def test_double(self, capsys):
+        out32 = _run(capsys, "cost", "--n", "1024", "--width", "8",
+                     "--perm", "identical", "--dtype", "float32")
+        out64 = _run(capsys, "cost", "--n", "1024", "--width", "8",
+                     "--perm", "identical", "--dtype", "float64")
+        assert out32 != out64    # doubles cost more
+
+    def test_padded_odd_size(self, capsys):
+        out = _run(capsys, "cost", "--n", "1000", "--width", "8",
+                   "--perm", "random", "--padded")
+        assert "scheduled" in out
+
+    def test_all_named_permutations(self, capsys):
+        for perm in ("identical", "shuffle", "random", "bit-reversal",
+                     "transpose"):
+            out = _run(capsys, "cost", "--n", "256", "--width", "4",
+                       "--perm", perm, "--latency", "5")
+            assert perm in out
+
+
+class TestPlanVerify:
+    def test_roundtrip(self, capsys, tmp_path):
+        path = str(tmp_path / "plan.npz")
+        out = _run(capsys, "plan", "--perm", "random", "--n", "256",
+                   "--width", "4", "--out", path)
+        assert "saved to" in out
+        out = _run(capsys, "verify-plan", path)
+        assert "plan OK" in out
+        assert "n = 256" in out
+
+
+class TestFigures:
+    def test_fig3(self, capsys):
+        out = _run(capsys, "fig3", "--latency", "5")
+        assert "warp W0" in out
+        assert "t=7" in out       # DMM: 3 stages + 5 - 1
+
+    def test_fig4(self, capsys):
+        out = _run(capsys, "fig4")
+        assert "[1,3]" in out     # the rotated second row
+
+    def test_fig6_final_matrix_sorted(self, capsys):
+        out = _run(capsys, "fig6")
+        assert "After Step 3" in out
+        final = out.strip().splitlines()[-4:]
+        assert final[0].split() == ["(0,0)", "(0,1)", "(0,2)", "(0,3)"]
+        assert final[3].split() == ["(3,0)", "(3,1)", "(3,2)", "(3,3)"]
+
+    def test_fig6_input_matches_paper(self, capsys):
+        out = _run(capsys, "fig6")
+        lines = out.splitlines()
+        start = lines.index("Input:") + 1
+        assert lines[start].split() == ["(3,0)", "(3,1)", "(2,0)", "(2,1)"]
+        assert lines[start + 1].split() == ["(0,1)", "(0,0)", "(0,3)", "(1,3)"]
+        assert lines[start + 2].split() == ["(0,2)", "(1,2)", "(1,1)", "(3,2)"]
+        assert lines[start + 3].split() == ["(1,0)", "(3,3)", "(2,3)", "(2,2)"]
+
+
+class TestRecommend:
+    def test_hard_permutation_gets_scheduled(self, capsys):
+        out = _run(capsys, "recommend", "--perm", "bit-reversal",
+                   "--n", "16384")
+        assert "recommended engine: scheduled" in out
+        assert "predicted time units" in out
+
+    def test_easy_permutation_gets_conventional(self, capsys):
+        out = _run(capsys, "recommend", "--perm", "identical",
+                   "--n", "16384")
+        assert "recommended engine: d-designated" in out
+
+    def test_infeasible_size_explains(self, capsys):
+        # n = 2048 is a multiple of 32 but not a valid square size.
+        out = _run(capsys, "recommend", "--perm", "random", "--n", "2048")
+        assert "infeasible" in out
+
+
+class TestDemo:
+    def test_demo_correct(self, capsys):
+        out = _run(capsys, "demo")
+        assert "correct = True" in out
+        assert "speedup" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_plan_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan"])

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion and prints what
+it promises.  Examples assert their own correctness internally, so a
+clean exit is a meaningful check."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ("speedup over conventional", []),
+    "machine_tour.py": ("Figure 3", []),
+    "matrix_transpose.py": ("diagonal", []),
+    "fft_bit_reversal.py": ("reorder speedup", []),
+    "bitonic_sort_network.py": ("sorted", []),
+    "plan_once_run_many.py": ("permuted correctly", []),
+    "network_emulation.py": ("winner", []),
+    "random_permutation_study.py": ("random permutations", []),
+    # Full-scale script exercised at a small side for the smoke test.
+    "full_scale_table2.py": ("constant", ["--side", "128"]),
+}
+
+
+def _run(name: str, args: list[str]) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_example_runs(name):
+    expected, args = CASES[name]
+    out = _run(name, args)
+    assert expected in out
+
+
+def test_every_example_has_a_smoke_test():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(CASES), (
+        "examples and smoke tests out of sync: "
+        f"{scripts.symmetric_difference(set(CASES))}"
+    )

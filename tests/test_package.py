@@ -1,0 +1,56 @@
+"""Package-level sanity: exports resolve, errors form one hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core", "repro.machine", "repro.coloring",
+        "repro.permutations", "repro.cpu", "repro.analysis", "repro.apps",
+        "repro.util",
+    ],
+)
+def test_subpackage_all_exports_resolve(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.__all__ lists missing {name!r}"
+
+
+def test_exception_hierarchy():
+    assert issubclass(errors.ValidationError, errors.ReproError)
+    assert issubclass(errors.ValidationError, ValueError)
+    assert issubclass(errors.NotAPermutationError, errors.ValidationError)
+    assert issubclass(errors.SizeError, errors.ValidationError)
+    assert issubclass(errors.MachineError, errors.ReproError)
+    assert issubclass(errors.SharedMemoryCapacityError, errors.MachineError)
+    assert issubclass(errors.AccessRoundError, errors.MachineError)
+    assert issubclass(errors.SchedulingError, errors.ReproError)
+    assert issubclass(errors.ColoringError, errors.SchedulingError)
+    assert issubclass(errors.NotRegularError, errors.ColoringError)
+
+
+def test_catching_base_catches_everything():
+    """A caller wrapping repro calls in `except ReproError` sees every
+    intentional failure."""
+    import numpy as np
+
+    with pytest.raises(errors.ReproError):
+        repro.distribution(np.array([0, 0, 1]), 1)        # bad permutation
+    with pytest.raises(errors.ReproError):
+        repro.ScheduledPermutation.plan(np.arange(60), width=4)  # bad size
+
+
+def test_version_string():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)

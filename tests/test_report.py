@@ -1,0 +1,25 @@
+"""Tests for the all-in-one smoke report."""
+
+from repro.report import _CHECKS, run_report
+
+
+def test_report_passes():
+    text, ok = run_report()
+    assert ok
+    assert text.count("PASS") == len(_CHECKS)
+    assert "FAIL" not in text
+
+
+def test_report_covers_every_artefact_class():
+    labels = " ".join(label for label, _ in _CHECKS)
+    for artefact in ("Table I", "Table II", "Table III", "Figure 3",
+                     "Figure 4", "Figure 6"):
+        assert artefact in labels
+
+
+def test_cli_report(capsys):
+    from repro.cli import main
+
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert "all claims verified" in out

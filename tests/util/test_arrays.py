@@ -1,0 +1,75 @@
+"""Tests for repro.util.arrays."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SizeError
+from repro.util.arrays import (
+    as_1d,
+    as_index_array,
+    interleave,
+    reshape_square,
+    smallest_index_dtype,
+)
+
+
+class TestAs1d:
+    def test_passthrough(self):
+        a = np.arange(5)
+        assert as_1d(a) is a or np.shares_memory(as_1d(a), a)
+
+    def test_rejects_2d(self):
+        with pytest.raises(SizeError):
+            as_1d(np.zeros((2, 2)))
+
+
+class TestAsIndexArray:
+    def test_converts_dtype(self):
+        out = as_index_array(np.arange(4, dtype=np.uint8))
+        assert out.dtype == np.int64
+
+    def test_rejects_float(self):
+        with pytest.raises(SizeError):
+            as_index_array(np.array([1.5, 2.5]))
+
+
+class TestReshapeSquare:
+    def test_view_not_copy(self):
+        a = np.arange(16)
+        sq = reshape_square(a)
+        assert sq.shape == (4, 4)
+        assert np.shares_memory(sq, a)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(SizeError):
+            reshape_square(np.arange(15))
+
+
+class TestSmallestIndexDtype:
+    def test_thresholds(self):
+        assert smallest_index_dtype(255) == np.uint8
+        assert smallest_index_dtype(256) == np.uint16
+        assert smallest_index_dtype(65535) == np.uint16
+        assert smallest_index_dtype(65536) == np.uint32
+
+    def test_paper_short_int(self):
+        # The paper stores s/t as 16-bit because sqrt(n) <= 4096.
+        assert smallest_index_dtype(4096 - 1) == np.uint16
+
+    def test_negative_rejected(self):
+        with pytest.raises(SizeError):
+            smallest_index_dtype(-1)
+
+
+class TestInterleave:
+    def test_two_arrays(self):
+        a = np.array([0, 2, 4])
+        b = np.array([1, 3, 5])
+        assert np.array_equal(interleave(a, b), np.arange(6))
+
+    def test_empty_call(self):
+        assert interleave().size == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(SizeError):
+            interleave(np.arange(3), np.arange(4))

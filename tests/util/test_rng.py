@@ -1,0 +1,20 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+
+from repro.util.rng import resolve_rng
+
+
+def test_int_seed_is_deterministic():
+    a = resolve_rng(42).integers(0, 1000, 10)
+    b = resolve_rng(42).integers(0, 1000, 10)
+    assert np.array_equal(a, b)
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(1)
+    assert resolve_rng(gen) is gen
+
+
+def test_none_gives_generator():
+    assert isinstance(resolve_rng(None), np.random.Generator)

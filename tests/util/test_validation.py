@@ -1,0 +1,118 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NotAPermutationError, SizeError
+from repro.util.validation import (
+    check_permutation,
+    check_power_of_two,
+    check_square,
+    is_permutation,
+    is_power_of_two,
+    isqrt_exact,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_accepts_powers(self):
+        for k in range(20):
+            assert is_power_of_two(2**k)
+
+    def test_rejects_non_powers(self):
+        for v in (0, -1, -2, 3, 5, 6, 7, 12, 100):
+            assert not is_power_of_two(v)
+
+    def test_check_returns_value(self):
+        assert check_power_of_two(16) == 16
+
+    def test_check_raises(self):
+        with pytest.raises(SizeError):
+            check_power_of_two(12, "n")
+
+
+class TestIsqrtExact:
+    def test_perfect_squares(self):
+        for root in (0, 1, 2, 7, 100, 4096):
+            assert isqrt_exact(root * root) == root
+
+    def test_rejects_non_squares(self):
+        for n in (2, 3, 5, 99, 10**6 + 1):
+            with pytest.raises(SizeError):
+                isqrt_exact(n)
+
+    def test_rejects_negative(self):
+        with pytest.raises(SizeError):
+            isqrt_exact(-4)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_roundtrip(self, root):
+        assert isqrt_exact(root * root) == root
+
+
+class TestCheckSquare:
+    def test_valid(self):
+        assert check_square(64, 4) == 8
+        assert check_square(1024, 32) == 32
+
+    def test_root_not_multiple_of_width(self):
+        with pytest.raises(SizeError):
+            check_square(36, 4)  # sqrt = 6, not a multiple of 4
+
+    def test_not_square(self):
+        with pytest.raises(SizeError):
+            check_square(50, 5)
+
+    def test_bad_width(self):
+        with pytest.raises(SizeError):
+            check_square(64, 0)
+
+
+class TestIsPermutation:
+    def test_identity(self):
+        assert is_permutation(np.arange(10))
+
+    def test_empty(self):
+        assert is_permutation(np.empty(0, dtype=np.int64))
+
+    def test_reversed(self):
+        assert is_permutation(np.arange(9, -1, -1))
+
+    def test_duplicate(self):
+        assert not is_permutation(np.array([0, 1, 1, 3]))
+
+    def test_out_of_range(self):
+        assert not is_permutation(np.array([1, 2, 3, 4]))
+        assert not is_permutation(np.array([-1, 0, 1, 2]))
+
+    def test_wrong_ndim(self):
+        assert not is_permutation(np.arange(4).reshape(2, 2))
+
+    def test_float_dtype(self):
+        assert not is_permutation(np.array([0.0, 1.0, 2.0]))
+
+
+class TestCheckPermutation:
+    def test_returns_int64(self):
+        p = check_permutation(np.arange(5, dtype=np.uint16))
+        assert p.dtype == np.int64
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(NotAPermutationError):
+            check_permutation(np.array([0, 0, 1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(NotAPermutationError):
+            check_permutation(np.arange(4).reshape(2, 2))
+
+    def test_rejects_float(self):
+        with pytest.raises(NotAPermutationError):
+            check_permutation(np.array([0.0, 1.0]))
+
+    @given(st.integers(min_value=0, max_value=500), st.integers(0, 2**32 - 1))
+    def test_property_random_permutations_pass(self, n, seed):
+        rng = np.random.default_rng(seed)
+        p = rng.permutation(n)
+        assert np.array_equal(np.sort(check_permutation(p)), np.arange(n))
