@@ -27,7 +27,17 @@ Quick start
 32
 """
 
-from repro import analysis, apps, coloring, core, cpu, machine, permutations, util
+from repro import (
+    analysis,
+    apps,
+    coloring,
+    core,
+    cpu,
+    machine,
+    permutations,
+    resilience,
+    util,
+)
 from repro.core.conventional import (
     DDesignatedPermutation,
     SDesignatedPermutation,
@@ -49,14 +59,20 @@ from repro.core.transpose import TiledTranspose
 from repro.core import theory
 from repro.errors import (
     ColoringError,
+    FallbackExhaustedError,
     MachineError,
     NotAPermutationError,
+    PlanCorruptionError,
+    PlanIntegrityError,
+    PlanVersionError,
     ReproError,
+    ResilienceError,
     SchedulingError,
     SharedMemoryCapacityError,
     SizeError,
     ValidationError,
 )
+from repro.resilience import FailureReport, FaultPlan, ResilientPermutation
 from repro.machine.cache import L2Cache
 from repro.machine.hmm import HMM
 from repro.machine.params import MachineParams
@@ -69,13 +85,21 @@ __all__ = [
     "ColoringError",
     "ColumnwiseSchedule",
     "DDesignatedPermutation",
+    "FailureReport",
+    "FallbackExhaustedError",
+    "FaultPlan",
     "HMM",
     "L2Cache",
     "MachineError",
     "MachineParams",
     "NotAPermutationError",
     "PaddedScheduledPermutation",
+    "PlanCorruptionError",
+    "PlanIntegrityError",
+    "PlanVersionError",
     "ReproError",
+    "ResilienceError",
+    "ResilientPermutation",
     "RowwiseSchedule",
     "SDesignatedPermutation",
     "ScheduledPermutation",
@@ -103,6 +127,7 @@ __all__ = [
     "permutations",
     "predict_times",
     "recommend",
+    "resilience",
     "save_plan",
     "scheduled_permute",
     "theoretical_distribution",

@@ -4,7 +4,9 @@ Commands
 --------
 ``cost``        price a named permutation on a configurable HMM
 ``plan``        plan a scheduled permutation and save it (.npz)
-``verify-plan`` reload a saved plan and re-verify it
+``verify-plan`` reload a saved plan and re-verify it (exit 1 + one-line
+                diagnostic on a corrupt/stale/unreadable file)
+``resilience-demo`` inject faults; show detection and fallback
 ``fig3``        the paper's Figure 3 pipeline example, cycle-accurately
 ``fig4``        the diagonal arrangement of a w x w tile
 ``fig6``        the 4 x 4 routing example
@@ -110,7 +112,16 @@ def cmd_plan(args) -> str:
 
 
 def cmd_verify_plan(args) -> str:
-    plan = load_plan(args.path)   # load_plan verifies end to end
+    from repro.errors import ReproError
+
+    try:
+        plan = load_plan(args.path)   # load_plan verifies end to end
+    except ReproError as exc:
+        # One-line diagnostic + exit status 1, not a traceback.
+        message = " ".join(str(exc).split())
+        raise SystemExit(
+            f"verify-plan: REJECTED: {type(exc).__name__}: {message}"
+        ) from exc
     return (
         f"plan OK: n = {plan.n}, m = {plan.m}, width = {plan.width}, "
         f"{plan.schedule_bytes()} bytes of schedule data; decomposition "
@@ -223,6 +234,62 @@ def cmd_demo(args) -> str:
     )
 
 
+def cmd_resilience_demo(args) -> str:
+    import tempfile
+    from pathlib import Path
+
+    from repro.errors import PlanIntegrityError
+    from repro.resilience import FaultPlan, ResilientPermutation
+
+    n, width = args.n, args.width
+    p = named_permutation("random", n, seed=args.seed)
+    a = np.random.default_rng(args.seed).random(n).astype(np.float32)
+    expected = np.empty_like(a)
+    expected[p] = a
+    parts = [f"resilience demo — random permutation, n = {n}, "
+             f"w = {width}, fault seed = {args.seed}", ""]
+    faults = FaultPlan(seed=args.seed, transient_coloring_failures=1)
+
+    parts.append("1. checksummed plan files reject every injected fault:")
+    # Padded planning keeps the demo runnable for any n, square or not.
+    plan = PaddedScheduledPermutation.plan(p, width=width).inner
+    with tempfile.TemporaryDirectory() as tmp:
+        for mode in ("bit-flip", "truncate", "delete-key",
+                     "stale-version"):
+            path = Path(tmp) / f"{mode}.npz"
+            save_plan(path, plan)
+            injected = faults.corrupt_plan_file(path, mode)
+            try:
+                load_plan(path)
+                parts.append(f"   {mode:14} NOT DETECTED (bug!)")
+            except PlanIntegrityError as exc:
+                parts.append(
+                    f"   {mode:14} ({injected.detail}) -> "
+                    f"{type(exc).__name__}"
+                )
+
+    parts.append("")
+    parts.append("2. a transient colouring fault is retried, not fatal:")
+    with FaultPlan(seed=args.seed, transient_coloring_failures=1):
+        resilient = ResilientPermutation(p, width=width, sleep=lambda _s: None)
+    ok = bool(np.array_equal(resilient.apply(a), expected))
+    parts.append(_indent(resilient.report.summary()))
+    parts.append(f"   output correct = {ok}")
+
+    parts.append("")
+    parts.append("3. a persistent capacity wall degrades to conventional:")
+    with FaultPlan(seed=args.seed, capacity_threshold=2):
+        resilient = ResilientPermutation(p, width=width, sleep=lambda _s: None)
+    ok = bool(np.array_equal(resilient.apply(a), expected))
+    parts.append(_indent(resilient.report.summary()))
+    parts.append(f"   output correct = {ok}")
+    return "\n".join(parts)
+
+
+def _indent(text: str, prefix: str = "   ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -284,6 +351,15 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--seed", type=int, default=0)
     _add_machine_args(rec)
     rec.set_defaults(func=cmd_recommend)
+
+    res = sub.add_parser(
+        "resilience-demo",
+        help="inject faults, watch them get detected or absorbed",
+    )
+    res.add_argument("--n", type=int, default=32 * 32)
+    res.add_argument("--width", type=int, default=8)
+    res.add_argument("--seed", type=int, default=0)
+    res.set_defaults(func=cmd_resilience_demo)
 
     return parser
 

@@ -26,6 +26,12 @@ from repro.coloring.multigraph import RegularBipartiteMultigraph
 from repro.errors import ColoringError
 from repro.util.validation import is_power_of_two
 
+#: Fault-injection hook (see :mod:`repro.resilience.faults`).  ``None``
+#: in production — the only cost on the happy path is this None check.
+#: When set (by an active ``FaultPlan``), it is called as
+#: ``_fault_hook("euler", graph)`` before colouring and may raise.
+_fault_hook = None
+
 
 def euler_split(graph: RegularBipartiteMultigraph) -> np.ndarray:
     """Split an even-degree regular bipartite multigraph into two halves.
@@ -195,6 +201,8 @@ def euler_split_coloring(graph: RegularBipartiteMultigraph) -> np.ndarray:
     :class:`~repro.errors.ColoringError` when the degree is not a power
     of two (use :func:`repro.coloring.matching_coloring` instead).
     """
+    if _fault_hook is not None:
+        _fault_hook("euler", graph)
     if graph.num_edges == 0:
         return np.empty(0, dtype=np.int64)
     if not is_power_of_two(graph.degree):

@@ -33,6 +33,11 @@ from repro.errors import ColoringError
 
 _INF = float("inf")
 
+#: Fault-injection hook (see :mod:`repro.resilience.faults`).  ``None``
+#: in production; when set it is called as ``_fault_hook("matching",
+#: graph)`` before each colouring and may raise.
+_fault_hook = None
+
 
 # ---------------------------------------------------------------------------
 # Pure-Python Hopcroft-Karp
@@ -104,6 +109,8 @@ def _coloring_by_matchings(
     ``(u, v)`` pairs and must return ``match[u]`` = matched ``v`` (or
     ``-1``) with every left node matched.
     """
+    if _fault_hook is not None:
+        _fault_hook("matching", graph)
     if graph.num_edges == 0:
         return np.empty(0, dtype=np.int64)
     if graph.num_left != graph.num_right:

@@ -6,10 +6,29 @@ compressed ``.npz``: the permutation, the width, the three-step
 decomposition and the six ``s``/``t`` arrays, exactly the data the
 paper's implementation keeps in global memory between kernel launches.
 Loading rebuilds the plan without re-running any colouring.
+
+Because a stored plan is *trusted forever*, format version 2 makes the
+file self-verifying: every file carries a SHA-256 checksum over the
+canonically packed payload arrays plus a library-version stamp.
+:func:`load_plan` verifies the checksum before the (much more
+expensive) structural ``plan.verify()``, and maps every way a file can
+be bad onto a precise exception:
+
+* unreadable / truncated / key-stripped file →
+  :class:`~repro.errors.PlanCorruptionError`,
+* checksum mismatch (bit rot, tampering)   →
+  :class:`~repro.errors.PlanCorruptionError`,
+* written by another format version         →
+  :class:`~repro.errors.PlanVersionError`.
+
+See ``docs/robustness.md`` for the exact file layout and checksum
+definition.
 """
 
 from __future__ import annotations
 
+import hashlib
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -19,74 +38,178 @@ from repro.core.rowwise import RowwiseSchedule
 from repro.core.scheduled import ScheduledPermutation
 from repro.core.scheduler import ThreeStepDecomposition
 from repro.core.transpose import TiledTranspose
-from repro.errors import ValidationError
+from repro.errors import (
+    PlanCorruptionError,
+    PlanVersionError,
+    ValidationError,
+)
 
 #: Format tag stored in every file; bump on incompatible change.
-FORMAT_VERSION = 1
+#: Version history: 1 = raw arrays; 2 = adds ``checksum`` (SHA-256 over
+#: the payload) and ``library_version`` stamps.
+FORMAT_VERSION = 2
+
+#: Payload keys in canonical (checksum) order.  ``checksum`` and
+#: ``library_version`` are metadata and deliberately not part of it.
+PAYLOAD_KEYS = (
+    "format_version",
+    "p",
+    "width",
+    "colors",
+    "gamma1",
+    "delta",
+    "gamma3",
+    "s1",
+    "t1",
+    "s2",
+    "t2",
+    "s3",
+    "t3",
+)
+
+
+def plan_checksum(arrays: dict) -> str:
+    """SHA-256 hex digest over the payload arrays of a plan file.
+
+    Each key of :data:`PAYLOAD_KEYS` contributes, in order: its name,
+    the array's dtype string, its shape, and its C-contiguous bytes —
+    so any bit flip, shape change or retyping changes the digest.
+    """
+    digest = hashlib.sha256()
+    for key in PAYLOAD_KEYS:
+        arr = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(repr(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def _pack(plan: ScheduledPermutation) -> dict:
+    return {
+        "format_version": np.int64(FORMAT_VERSION),
+        "p": plan.p,
+        "width": np.int64(plan.width),
+        "colors": plan.decomposition.colors,
+        "gamma1": plan.decomposition.gamma1,
+        "delta": plan.decomposition.delta,
+        "gamma3": plan.decomposition.gamma3,
+        "s1": plan.step1.s,
+        "t1": plan.step1.t,
+        "s2": plan.step2.rowwise.s,
+        "t2": plan.step2.rowwise.t,
+        "s3": plan.step3.s,
+        "t3": plan.step3.t,
+    }
 
 
 def save_plan(path, plan: ScheduledPermutation) -> None:
-    """Serialise a planned scheduled permutation to ``path`` (.npz)."""
+    """Serialise a planned scheduled permutation to ``path`` (.npz).
+
+    The file is stamped with :data:`FORMAT_VERSION`, the writing
+    library's version, and a SHA-256 checksum over the payload.
+    """
     if not isinstance(plan, ScheduledPermutation):
         raise ValidationError(
             f"expected a ScheduledPermutation, got {type(plan).__name__}"
         )
+    from repro import __version__
+
+    arrays = _pack(plan)
     np.savez_compressed(
         Path(path),
-        format_version=np.int64(FORMAT_VERSION),
-        p=plan.p,
-        width=np.int64(plan.width),
-        colors=plan.decomposition.colors,
-        gamma1=plan.decomposition.gamma1,
-        delta=plan.decomposition.delta,
-        gamma3=plan.decomposition.gamma3,
-        s1=plan.step1.s,
-        t1=plan.step1.t,
-        s2=plan.step2.rowwise.s,
-        t2=plan.step2.rowwise.t,
-        s3=plan.step3.s,
-        t3=plan.step3.t,
+        checksum=np.str_(plan_checksum(arrays)),
+        library_version=np.str_(__version__),
+        **arrays,
     )
+
+
+def _read_payload(path) -> tuple[dict, str]:
+    """Open ``path`` and return ``(payload arrays, stored checksum)``.
+
+    All the ways a file can be unreadable — not a zip at all, truncated
+    mid-archive, a payload key deleted — surface here and are wrapped
+    in :class:`PlanCorruptionError` naming the offending path, instead
+    of leaking raw ``zipfile`` / ``KeyError`` internals.
+    """
+    try:
+        with np.load(Path(path)) as data:
+            version = int(data["format_version"])
+            if version != FORMAT_VERSION:
+                if version == 1:
+                    raise PlanVersionError(
+                        f"{path}: plan file uses format version 1, which "
+                        "carried no integrity checksum and can no longer "
+                        "be trusted or loaded; this build reads version "
+                        f"{FORMAT_VERSION}.  Re-create the file from the "
+                        "original permutation with save_plan() or "
+                        "`python -m repro plan` — planning is "
+                        "deterministic, so the regenerated schedule is "
+                        "identical."
+                    )
+                raise PlanVersionError(
+                    f"{path}: unsupported plan format version {version}; "
+                    f"this build reads version {FORMAT_VERSION}"
+                )
+            arrays = {key: data[key] for key in PAYLOAD_KEYS}
+            stored = str(data["checksum"])
+    except PlanVersionError:
+        raise
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+        raise PlanCorruptionError(
+            f"{path}: plan file is unreadable (truncated or not a "
+            f"save_plan archive): {exc}"
+        ) from exc
+    except KeyError as exc:
+        # np.load's KeyError message is already a sentence naming the
+        # missing key ("s2 is not a file in the archive").
+        raise PlanCorruptionError(
+            f"{path}: plan file is incomplete: {exc.args[0]}"
+        ) from exc
+    return arrays, stored
 
 
 def load_plan(path) -> ScheduledPermutation:
     """Rebuild a plan saved by :func:`save_plan`.
 
-    The loaded plan is verified end to end (decomposition routing and
-    conflict-freedom) before being returned, so a corrupted file fails
-    loudly rather than permuting silently wrong.
+    Verification happens cheapest-first: format version, then the
+    SHA-256 content checksum, then the full structural
+    ``plan.verify()`` (decomposition routing and conflict-freedom) — so
+    a corrupted file fails loudly rather than permuting silently wrong,
+    and fails *early* rather than after an expensive rebuild.
     """
-    with np.load(Path(path)) as data:
-        version = int(data["format_version"])
-        if version != FORMAT_VERSION:
-            raise ValidationError(
-                f"unsupported plan format version {version}; this build "
-                f"reads version {FORMAT_VERSION}"
-            )
-        p = data["p"]
-        width = int(data["width"])
-        decomposition = ThreeStepDecomposition(
-            gamma1=data["gamma1"],
-            delta=data["delta"],
-            gamma3=data["gamma3"],
-            colors=data["colors"],
+    arrays, stored = _read_payload(path)
+    actual = plan_checksum(arrays)
+    if actual != stored:
+        raise PlanCorruptionError(
+            f"{path}: plan checksum mismatch (stored {stored[:12]}..., "
+            f"recomputed {actual[:12]}...); the file was corrupted or "
+            "tampered with — re-plan from the original permutation"
         )
-        m = decomposition.m
-        step1 = RowwiseSchedule(
-            gamma=decomposition.gamma1, s=data["s1"], t=data["t1"],
+    p = arrays["p"]
+    width = int(arrays["width"])
+    decomposition = ThreeStepDecomposition(
+        gamma1=arrays["gamma1"],
+        delta=arrays["delta"],
+        gamma3=arrays["gamma3"],
+        colors=arrays["colors"],
+    )
+    m = decomposition.m
+    step1 = RowwiseSchedule(
+        gamma=decomposition.gamma1, s=arrays["s1"], t=arrays["t1"],
+        width=width,
+    )
+    step2 = ColumnwiseSchedule(
+        rowwise=RowwiseSchedule(
+            gamma=decomposition.delta, s=arrays["s2"], t=arrays["t2"],
             width=width,
-        )
-        step2 = ColumnwiseSchedule(
-            rowwise=RowwiseSchedule(
-                gamma=decomposition.delta, s=data["s2"], t=data["t2"],
-                width=width,
-            ),
-            transpose=TiledTranspose(m, width),
-        )
-        step3 = RowwiseSchedule(
-            gamma=decomposition.gamma3, s=data["s3"], t=data["t3"],
-            width=width,
-        )
+        ),
+        transpose=TiledTranspose(m, width),
+    )
+    step3 = RowwiseSchedule(
+        gamma=decomposition.gamma3, s=arrays["s3"], t=arrays["t3"],
+        width=width,
+    )
     plan = ScheduledPermutation(
         p=p,
         width=width,

@@ -30,8 +30,9 @@ from repro.core.conventional import (
     SDesignatedPermutation,
 )
 from repro.core.distribution import distribution
+from repro.core.padded import PaddedScheduledPermutation
 from repro.core.scheduled import ScheduledPermutation
-from repro.errors import SizeError
+from repro.errors import SizeError, ValidationError
 from repro.machine.hmm import HMM
 from repro.machine.memory import TraceRecorder, element_cells_of
 from repro.machine.params import MachineParams
@@ -68,6 +69,41 @@ def _scheduled_feasible(n: int, width: int) -> bool:
     except SizeError:
         return False
     return isqrt % width == 0 and n > 0
+
+
+#: Engine constructors by name.  Every entry takes the permutation
+#: plus planning options and returns an object with the common
+#: ``apply(a, recorder)`` / ``simulate(machine, dtype)`` interface.
+#: This registry is the single place engines are built — both
+#: :class:`AutoPermutation` and the resilient fallback chain
+#: (:class:`repro.resilience.ResilientPermutation`) go through it.
+ENGINES = ("scheduled", "padded", "d-designated", "s-designated")
+
+
+def build_engine(
+    name: str,
+    p: np.ndarray,
+    width: int = 32,
+    backend: str = "auto",
+):
+    """Construct the named engine for permutation ``p``.
+
+    ``"scheduled"`` and ``"padded"`` run the (potentially failing,
+    potentially expensive) offline planning; the two conventional
+    engines are plain wrappers and cannot fail beyond input validation.
+    """
+    if name == "scheduled":
+        return ScheduledPermutation.plan(p, width=width, backend=backend)
+    if name == "padded":
+        return PaddedScheduledPermutation.plan(p, width=width,
+                                               backend=backend)
+    if name == "s-designated":
+        return SDesignatedPermutation(p)
+    if name == "d-designated":
+        return DDesignatedPermutation(p)
+    raise ValidationError(
+        f"unknown engine {name!r}; expected one of {ENGINES}"
+    )
 
 
 def predict_times(
@@ -140,14 +176,9 @@ class AutoPermutation:
         self.params = params or MachineParams()
         self.prediction = predict_times(p, self.params, dtype)
         self.choice = self.prediction.best
-        if self.choice == "scheduled":
-            self.engine = ScheduledPermutation.plan(
-                p, width=self.params.width, backend=backend
-            )
-        elif self.choice == "s-designated":
-            self.engine = SDesignatedPermutation(p)
-        else:
-            self.engine = DDesignatedPermutation(p)
+        self.engine = build_engine(
+            self.choice, p, width=self.params.width, backend=backend
+        )
 
     def apply(
         self, a: np.ndarray, recorder: TraceRecorder | None = None

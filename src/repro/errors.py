@@ -38,6 +38,30 @@ class SizeError(ValidationError):
     """
 
 
+class PlanIntegrityError(ValidationError):
+    """A persisted plan file cannot be trusted.
+
+    The offline algorithm's whole premise is that a plan is computed
+    once and then applied forever, so a bad plan file is the worst
+    failure mode the system has: it would permute *silently wrong*.
+    :func:`repro.core.io.load_plan` therefore refuses any file whose
+    provenance it cannot establish, raising one of the two subclasses
+    below before any schedule array is handed to an engine.
+    """
+
+
+class PlanCorruptionError(PlanIntegrityError):
+    """A plan file's content does not match its recorded checksum.
+
+    Also raised for structurally broken files — truncated archives,
+    deleted keys — where no checksum can even be read.
+    """
+
+
+class PlanVersionError(PlanIntegrityError):
+    """A plan file was written by an incompatible format version."""
+
+
 # ---------------------------------------------------------------------------
 # Machine simulator
 # ---------------------------------------------------------------------------
@@ -79,3 +103,30 @@ class ColoringError(SchedulingError):
 
 class NotRegularError(ColoringError, ValueError):
     """A bipartite multigraph expected to be regular is not."""
+
+
+# ---------------------------------------------------------------------------
+# Resilience / graceful degradation
+# ---------------------------------------------------------------------------
+
+
+class ResilienceError(ReproError):
+    """Base class for errors raised by :mod:`repro.resilience`."""
+
+
+class FaultInjectionError(ResilienceError):
+    """The fault-injection API was misused (nested activation, unknown
+    fault mode, ...) — never raised by an *injected* fault itself."""
+
+
+class FallbackExhaustedError(ResilienceError):
+    """Every engine in a resilient fallback chain failed.
+
+    Carries the structured :class:`repro.resilience.FailureReport` as
+    ``report`` so callers (and the CLI) can show exactly which engine
+    failed at which stage on which attempt.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report

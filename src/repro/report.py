@@ -168,6 +168,43 @@ def _check_dmm() -> str:
     return f"single-DMM predecessor: {conv / sched:.2f}x (paper 1.5x)"
 
 
+def _check_resilience() -> str:
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.io import load_plan, save_plan
+    from repro.errors import PlanIntegrityError
+    from repro.resilience import FaultPlan, ResilientPermutation
+
+    p = random_permutation(32 * 32, seed=3)
+    a = np.arange(32 * 32, dtype=np.float32)
+    expected = np.empty_like(a)
+    expected[p] = a
+    # Every injected plan-file fault is rejected before apply can run.
+    plan = ScheduledPermutation.plan(p, width=_WIDTH)
+    faults = FaultPlan(seed=3)
+    with tempfile.TemporaryDirectory() as tmp:
+        for mode in ("bit-flip", "truncate", "delete-key",
+                     "stale-version"):
+            path = Path(tmp) / "plan.npz"
+            save_plan(path, plan)
+            faults.corrupt_plan_file(path, mode)
+            try:
+                load_plan(path)
+                raise AssertionError(f"{mode} fault not detected")
+            except PlanIntegrityError:
+                pass
+    # A transient planning fault still yields a correct permutation,
+    # with the degradation recorded in the FailureReport.
+    with FaultPlan(seed=3, transient_coloring_failures=1):
+        resilient = ResilientPermutation(p, width=_WIDTH,
+                                         sleep=lambda _s: None)
+    assert np.array_equal(resilient.apply(a), expected)
+    assert resilient.degraded and resilient.report.attempts_total == 2
+    return ("4/4 file faults rejected, transient fault absorbed "
+            f"(engine: {resilient.report.engine_used})")
+
+
 def _check_optimality() -> str:
     ratio = theory.optimality_ratio(1 << 22, _WIDTH, 100, 8)
     assert ratio <= 9
@@ -185,6 +222,7 @@ _CHECKS: list[tuple[str, Callable[[], str]]] = [
     ("A2        L2 small-n regime", _check_cache),
     ("[8]/[9]   single-DMM variant", _check_dmm),
     ("Sec VII   optimality ratio", _check_optimality),
+    ("Resil.    faults & fallback", _check_resilience),
 ]
 
 

@@ -52,6 +52,60 @@ class TestPlanVerify:
         assert "n = 256" in out
 
 
+class TestVerifyPlanRejection:
+    """A corrupt/unreadable plan exits 1 with a one-line diagnostic."""
+
+    def _saved_plan(self, tmp_path):
+        from repro.core.io import save_plan
+        from repro.core.scheduled import ScheduledPermutation
+        from repro.permutations.named import random_permutation
+
+        path = tmp_path / "plan.npz"
+        save_plan(path, ScheduledPermutation.plan(
+            random_permutation(256, seed=5), width=4
+        ))
+        return path
+
+    @pytest.mark.parametrize(
+        "mode", ["bit-flip", "truncate", "delete-key", "stale-version"]
+    )
+    def test_corrupt_plan_exits_1(self, tmp_path, mode):
+        from repro.resilience import FaultPlan
+
+        path = self._saved_plan(tmp_path)
+        FaultPlan(seed=9).corrupt_plan_file(path, mode)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify-plan", str(path)])
+        # SystemExit with a string message == exit status 1.
+        message = excinfo.value.code
+        assert isinstance(message, str)
+        assert message.startswith("verify-plan: REJECTED:")
+        assert "\n" not in message
+        assert str(path) in message
+
+    def test_missing_file_exits_1(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify-plan", str(tmp_path / "nope.npz")])
+        assert "REJECTED" in excinfo.value.code
+
+    def test_good_plan_still_ok(self, capsys, tmp_path):
+        path = self._saved_plan(tmp_path)
+        out = _run(capsys, "verify-plan", str(path))
+        assert "plan OK" in out
+
+
+class TestResilienceDemo:
+    def test_all_faults_detected_and_absorbed(self, capsys):
+        out = _run(capsys, "resilience-demo", "--n", "256",
+                   "--width", "4")
+        assert out.count("PlanCorruptionError") == 3
+        assert "PlanVersionError" in out
+        assert "NOT DETECTED" not in out
+        assert out.count("output correct = True") == 2
+        assert "engine used:    scheduled" in out
+        assert "engine used:    d-designated" in out
+
+
 class TestFigures:
     def test_fig3(self, capsys):
         out = _run(capsys, "fig3", "--latency", "5")
