@@ -1,0 +1,232 @@
+"""Graceful degradation: a permutation that never answers wrong.
+
+:class:`ResilientPermutation` wraps the engine registry
+(:func:`repro.core.selector.build_engine`) with a declared fallback
+chain — by default
+
+    scheduled  ->  padded  ->  d-designated (conventional)
+
+and the guarantee that *some* engine produces ``b[p[i]] = a[i]`` or a
+:class:`~repro.errors.FallbackExhaustedError` is raised; a wrong answer
+is never returned silently.  The chain is ordered by model speed: the
+paper's optimal scheduled algorithm first, its any-``n`` padded variant
+second, and the conventional scatter — three casual-round cost, but
+planning-free and unconditionally correct — as the last resort.
+
+Failure handling distinguishes two classes:
+
+* **transient** planning faults (:class:`~repro.errors.ColoringError`,
+  :class:`~repro.errors.SchedulingError`) — e.g. a flaky colouring
+  worker — are retried on the *same* engine up to ``max_attempts``
+  times with deterministic exponential backoff;
+* **persistent** faults (:class:`~repro.errors.SizeError`: the size is
+  simply infeasible; :class:`~repro.errors.SharedMemoryCapacityError`:
+  the machine cannot fit the tile) skip straight to the next engine —
+  retrying cannot help.
+
+Every absorbed failure lands in a structured
+:class:`~repro.resilience.reporting.FailureReport`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.io import load_plan
+from repro.core.selector import build_engine
+from repro.errors import (
+    ColoringError,
+    FallbackExhaustedError,
+    PlanIntegrityError,
+    ReproError,
+    ResilienceError,
+    SchedulingError,
+)
+from repro.machine.memory import TraceRecorder
+from repro.resilience.reporting import FailureReport
+from repro.util.validation import check_permutation
+
+#: Default engine order: fastest on the model first, unconditionally
+#: plannable last.
+DEFAULT_CHAIN = ("scheduled", "padded", "d-designated")
+
+#: Errors worth retrying on the same engine.
+TRANSIENT_ERRORS = (ColoringError, SchedulingError)
+
+
+def backoff_delay(attempt: int, base: float = 0.05) -> float:
+    """Deterministic exponential backoff: ``base * 2**(attempt-1)``.
+
+    No jitter on purpose — reproducibility is worth more than herd
+    avoidance in an offline planner, and tests pin the exact schedule.
+    """
+    return base * (2 ** (attempt - 1))
+
+
+class ResilientPermutation:
+    """Plan ``p`` through a fallback chain of engines.
+
+    Parameters
+    ----------
+    p:
+        The permutation to realise (``b[p[i]] = a[i]``).
+    width:
+        Machine width ``w`` for the scheduled engines.
+    backend:
+        Colouring backend forwarded to planning.
+    chain:
+        Engine names to try, in order (default :data:`DEFAULT_CHAIN`).
+    max_attempts:
+        Per-engine attempt budget for transient faults.
+    backoff_base:
+        Base of the deterministic backoff schedule (seconds).
+    sleep:
+        Injectable sleeper (defaults to :func:`time.sleep`); tests pass
+        a recorder to pin the schedule without waiting.
+    self_check:
+        When ``True`` (the default — paranoia is this class's job),
+        every :meth:`apply` output is verified against a direct O(n)
+        scatter before being returned.
+    """
+
+    def __init__(
+        self,
+        p: np.ndarray,
+        width: int = 32,
+        backend: str = "auto",
+        chain: tuple[str, ...] = DEFAULT_CHAIN,
+        max_attempts: int = 3,
+        backoff_base: float = 0.05,
+        sleep=None,
+        self_check: bool = True,
+        _preload_failure: BaseException | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ResilienceError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if not chain:
+            raise ResilienceError("fallback chain must not be empty")
+        self.p = check_permutation(p)
+        self.width = width
+        self.self_check = self_check
+        self._sleep = sleep if sleep is not None else time.sleep
+        self.report = FailureReport(chain=tuple(chain))
+        if _preload_failure is not None:
+            self.report.record("load", "plan-file", 1, _preload_failure,
+                               retried=False)
+        self.engine = None
+        self.choice: str | None = None
+        self._plan_chain(backend, chain, max_attempts, backoff_base)
+
+    @classmethod
+    def _from_engine(cls, p, width, engine, choice,
+                     self_check=True) -> "ResilientPermutation":
+        inst = cls.__new__(cls)
+        inst.p = check_permutation(p)
+        inst.width = width
+        inst.self_check = self_check
+        inst._sleep = time.sleep
+        inst.report = FailureReport(chain=(choice,), engine_used=choice)
+        inst.engine = engine
+        inst.choice = choice
+        return inst
+
+    @classmethod
+    def from_plan_file(
+        cls, path, p: np.ndarray | None = None, **kwargs
+    ) -> "ResilientPermutation":
+        """Load a saved plan, degrading to re-planning when it is bad.
+
+        With only ``path``, a corrupt/stale plan file raises the
+        precise :class:`~repro.errors.PlanIntegrityError`.  When the
+        original permutation ``p`` is also given, the failure is
+        absorbed instead: it is recorded in the report (stage
+        ``"load"``) and the permutation is re-planned from scratch
+        through the normal fallback chain.
+        """
+        try:
+            plan = load_plan(path)
+        except PlanIntegrityError as exc:
+            if p is None:
+                raise
+            return cls(p, _preload_failure=exc, **kwargs)
+        return cls._from_engine(
+            plan.p, plan.width, plan, "scheduled",
+            self_check=kwargs.get("self_check", True),
+        )
+
+    # ------------------------------------------------------------------
+    # Planning with retry + fallback
+    # ------------------------------------------------------------------
+
+    def _plan_chain(self, backend, chain, max_attempts, backoff_base):
+        for name in chain:
+            if self._plan_engine(name, backend, max_attempts,
+                                 backoff_base):
+                return
+        raise FallbackExhaustedError(
+            f"all engines failed for n = {len(self.p)} "
+            f"(chain {' -> '.join(chain)}); see report:\n"
+            + self.report.summary(),
+            report=self.report,
+        )
+
+    def _plan_engine(self, name, backend, max_attempts,
+                     backoff_base) -> bool:
+        for attempt in range(1, max_attempts + 1):
+            try:
+                self.engine = build_engine(
+                    name, self.p, width=self.width, backend=backend
+                )
+            except TRANSIENT_ERRORS as exc:
+                retried = attempt < max_attempts
+                self.report.record("plan", name, attempt, exc, retried)
+                if retried:
+                    self._sleep(backoff_delay(attempt, backoff_base))
+            except ReproError as exc:
+                # Persistent: infeasible size, capacity wall, ... — no
+                # amount of retrying will change the answer.
+                self.report.record("plan", name, attempt, exc,
+                                   retried=False)
+                return False
+            else:
+                self.choice = name
+                self.report.engine_used = name
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        return self.report.degraded
+
+    def apply(
+        self, a: np.ndarray, recorder: TraceRecorder | None = None
+    ) -> np.ndarray:
+        """Permute ``a``; optionally (default) verify the output.
+
+        The self-check compares against the definitionally correct
+        scatter ``expected[p] = a`` — one extra O(n) pass, the price of
+        the never-wrong guarantee.
+        """
+        out = self.engine.apply(a, recorder)
+        if self.self_check:
+            a = np.asarray(a)
+            expected = np.empty_like(a)
+            expected[self.p] = a
+            if not np.array_equal(out, expected):
+                raise ResilienceError(
+                    f"engine {self.choice!r} produced an incorrect "
+                    "permutation (caught by the resilience self-check)"
+                )
+        return out
+
+    def simulate(self, machine=None, dtype=np.float32):
+        """Model cost of whichever engine the chain settled on."""
+        return self.engine.simulate(machine, dtype=dtype)

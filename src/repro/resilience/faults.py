@@ -1,0 +1,223 @@
+"""Deterministic fault injection.
+
+Real deployments of an offline-planned permutation service see three
+families of failure, and this module can manufacture all of them, on
+demand and reproducibly:
+
+* **plan-file corruption** — :meth:`FaultPlan.corrupt_plan_file`
+  damages a saved ``.npz`` plan in one of four ways (single bit flip,
+  truncation, payload-key deletion, stale format version), seeded so
+  the same :class:`FaultPlan` always produces the same damage;
+* **transient planning faults** — while a :class:`FaultPlan` is
+  *active* (used as a context manager), the first ``N`` colouring
+  calls raise :class:`~repro.errors.ColoringError`, modelling flaky
+  solvers / OOM-killed workers during offline planning;
+* **capacity walls** — any colouring of a multigraph whose degree
+  reaches ``capacity_threshold`` raises
+  :class:`~repro.errors.SharedMemoryCapacityError`.  The global
+  three-step decomposition colours a degree-``sqrt(n)`` multigraph, so
+  this reproduces the paper's 48 KB shared-memory wall (Table II(b):
+  ``sqrt(n) = 4096`` doubles are infeasible) at any chosen ``sqrt(n)``.
+
+Production paths pay nothing for this machinery: the colouring modules
+consult a module-level hook that is ``None`` unless a plan is active,
+and activation is strictly scoped by the context manager.
+
+>>> from repro.resilience import FaultPlan
+>>> plan = FaultPlan(seed=7, transient_coloring_failures=1)
+>>> with plan:
+...     pass  # first colouring in here would raise ColoringError
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.coloring import euler as _euler
+from repro.coloring import matching as _matching
+from repro.errors import (
+    ColoringError,
+    FaultInjectionError,
+    SharedMemoryCapacityError,
+)
+
+#: The four supported plan-file fault modes.
+FILE_FAULT_MODES = ("bit-flip", "truncate", "delete-key", "stale-version")
+
+#: Payload keys eligible for bit flips / deletion (format_version is
+#: excluded so every mode maps to exactly one error class).
+_CORRUPTIBLE_KEYS = (
+    "p", "colors", "gamma1", "delta", "gamma3",
+    "s1", "t1", "s2", "t2", "s3", "t3",
+)
+
+#: The currently active plan (at most one; nesting is an error).
+_active: "FaultPlan | None" = None
+
+
+@dataclass(frozen=True)
+class InjectedFileFault:
+    """What :meth:`FaultPlan.corrupt_plan_file` actually did."""
+
+    mode: str
+    path: str
+    key: str | None = None      #: array key flipped/deleted, if any
+    detail: str = ""
+
+
+class FaultPlan:
+    """A seeded, deterministic recipe of faults to inject.
+
+    Parameters
+    ----------
+    seed:
+        Drives every random choice (which key, which bit, how much to
+        truncate).  Same seed, same faults.
+    transient_coloring_failures:
+        How many colouring calls fail with
+        :class:`~repro.errors.ColoringError` while the plan is active.
+        Counters reset on every activation, so one plan can be reused
+        across runs.
+    coloring_sites:
+        Restrict transient failures to the named hook sites
+        (``"euler"``, ``"matching"``); ``None`` hits all of them.
+    capacity_threshold:
+        When set, any colouring of a multigraph with ``degree >=
+        capacity_threshold`` raises
+        :class:`~repro.errors.SharedMemoryCapacityError` — a
+        *persistent* fault (no retry can help), unlike the transient
+        counter.  Degree equals ``sqrt(n)`` for the global colouring.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        transient_coloring_failures: int = 0,
+        coloring_sites: tuple[str, ...] | None = None,
+        capacity_threshold: int | None = None,
+    ) -> None:
+        if transient_coloring_failures < 0:
+            raise FaultInjectionError(
+                "transient_coloring_failures must be >= 0, got "
+                f"{transient_coloring_failures}"
+            )
+        self.seed = int(seed)
+        self.transient_coloring_failures = int(transient_coloring_failures)
+        self.coloring_sites = (
+            tuple(coloring_sites) if coloring_sites is not None else None
+        )
+        self.capacity_threshold = capacity_threshold
+        self._remaining = 0
+        self._corruptions = 0   # per-plan counter -> distinct determinism
+
+    # ------------------------------------------------------------------
+    # Activation (transient + capacity faults)
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "FaultPlan":
+        global _active
+        if _active is not None:
+            raise FaultInjectionError(
+                "a FaultPlan is already active; fault injection does "
+                "not nest"
+            )
+        _active = self
+        self._remaining = self.transient_coloring_failures
+        _euler._fault_hook = self._hook
+        _matching._fault_hook = self._hook
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _active
+        _euler._fault_hook = None
+        _matching._fault_hook = None
+        _active = None
+
+    def _hook(self, site: str, graph) -> None:
+        """Called by the colouring backends before any real work."""
+        if (
+            self.capacity_threshold is not None
+            and graph.degree >= self.capacity_threshold
+        ):
+            raise SharedMemoryCapacityError(
+                f"[injected] colouring degree {graph.degree} >= "
+                f"capacity threshold {self.capacity_threshold} "
+                "(simulated shared-memory wall)"
+            )
+        if self._remaining > 0 and (
+            self.coloring_sites is None or site in self.coloring_sites
+        ):
+            self._remaining -= 1
+            raise ColoringError(
+                f"[injected] transient colouring fault at site "
+                f"{site!r} ({self._remaining} more to come)"
+            )
+
+    # ------------------------------------------------------------------
+    # Plan-file corruption
+    # ------------------------------------------------------------------
+
+    def corrupt_plan_file(self, path, mode: str) -> InjectedFileFault:
+        """Damage the plan file at ``path`` in place.
+
+        ``mode`` is one of :data:`FILE_FAULT_MODES`.  Deterministic:
+        the damage depends only on ``seed``, the number of previous
+        corruptions by this plan, and the file content.
+        """
+        path = Path(path)
+        if mode not in FILE_FAULT_MODES:
+            raise FaultInjectionError(
+                f"unknown fault mode {mode!r}; expected one of "
+                f"{FILE_FAULT_MODES}"
+            )
+        rng = np.random.default_rng([self.seed, self._corruptions])
+        self._corruptions += 1
+        if mode == "truncate":
+            raw = path.read_bytes()
+            keep = max(1, int(len(raw) * rng.uniform(0.2, 0.8)))
+            path.write_bytes(raw[:keep])
+            return InjectedFileFault(
+                mode=mode, path=str(path),
+                detail=f"kept {keep} of {len(raw)} bytes",
+            )
+        with np.load(path) as data:
+            arrays = {k: np.asarray(data[k]) for k in data.files}
+        if mode == "bit-flip":
+            candidates = [k for k in _CORRUPTIBLE_KEYS if k in arrays]
+            if not candidates:
+                raise FaultInjectionError(
+                    f"{path}: no corruptible payload keys found"
+                )
+            key = candidates[int(rng.integers(len(candidates)))]
+            arr = arrays[key]
+            buf = bytearray(arr.tobytes())
+            bit = int(rng.integers(8 * len(buf)))
+            buf[bit // 8] ^= 1 << (bit % 8)
+            arrays[key] = np.frombuffer(
+                bytes(buf), dtype=arr.dtype
+            ).reshape(arr.shape)
+            detail = f"flipped bit {bit}"
+        elif mode == "delete-key":
+            candidates = [k for k in _CORRUPTIBLE_KEYS if k in arrays]
+            if not candidates:
+                raise FaultInjectionError(
+                    f"{path}: no deletable payload keys found"
+                )
+            key = candidates[int(rng.integers(len(candidates)))]
+            del arrays[key]
+            detail = "deleted"
+        else:   # stale-version
+            key = "format_version"
+            arrays[key] = np.int64(1)
+            detail = "rewound format_version to 1"
+        np.savez_compressed(path, **arrays)
+        return InjectedFileFault(mode=mode, path=str(path), key=key,
+                                 detail=detail)
+
+
+def active_fault_plan() -> FaultPlan | None:
+    """The currently active :class:`FaultPlan`, if any (for tests)."""
+    return _active
