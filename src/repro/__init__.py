@@ -36,6 +36,7 @@ from repro import (
     machine,
     permutations,
     resilience,
+    telemetry,
     util,
 )
 from repro.core.conventional import (
@@ -70,9 +71,11 @@ from repro.errors import (
     SchedulingError,
     SharedMemoryCapacityError,
     SizeError,
+    TelemetryError,
     ValidationError,
 )
 from repro.resilience import FailureReport, FaultPlan, ResilientPermutation
+from repro.telemetry import Tracer
 from repro.machine.cache import L2Cache
 from repro.machine.hmm import HMM
 from repro.machine.params import MachineParams
@@ -106,8 +109,10 @@ __all__ = [
     "SchedulingError",
     "SharedMemoryCapacityError",
     "SizeError",
+    "TelemetryError",
     "ThreeStepDecomposition",
     "TiledTranspose",
+    "Tracer",
     "ValidationError",
     "__version__",
     "analysis",
@@ -130,6 +135,7 @@ __all__ = [
     "resilience",
     "save_plan",
     "scheduled_permute",
+    "telemetry",
     "theoretical_distribution",
     "theory",
     "util",

@@ -6,6 +6,8 @@ Commands
 ``plan``        plan a scheduled permutation and save it (.npz)
 ``verify-plan`` reload a saved plan and re-verify it (exit 1 + one-line
                 diagnostic on a corrupt/stale/unreadable file)
+``profile``     trace one permutation end to end: per-phase wall/model
+                table, optional Chrome trace + JSONL event log
 ``resilience-demo`` inject faults; show detection and fallback
 ``fig3``        the paper's Figure 3 pipeline example, cycle-accurately
 ``fig4``        the diagonal arrangement of a w x w tile
@@ -13,7 +15,10 @@ Commands
 ``demo``        a one-screen end-to-end demonstration
 
 Every command returns its report as a string from a ``cmd_*`` function
-(unit-testable) and ``main`` prints it.
+(unit-testable) and ``main`` prints it.  ``cost``, ``demo`` and
+``resilience-demo`` additionally accept ``--telemetry``, which runs the
+command under an active tracer and appends the counters and span tree
+it emitted.
 """
 
 from __future__ import annotations
@@ -112,8 +117,12 @@ def cmd_plan(args) -> str:
 
 
 def cmd_verify_plan(args) -> str:
+    import time
+    from pathlib import Path
+
     from repro.errors import ReproError
 
+    start = time.perf_counter()
     try:
         plan = load_plan(args.path)   # load_plan verifies end to end
     except ReproError as exc:
@@ -122,10 +131,14 @@ def cmd_verify_plan(args) -> str:
         raise SystemExit(
             f"verify-plan: REJECTED: {type(exc).__name__}: {message}"
         ) from exc
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    file_bytes = Path(args.path).stat().st_size
     return (
         f"plan OK: n = {plan.n}, m = {plan.m}, width = {plan.width}, "
         f"{plan.schedule_bytes()} bytes of schedule data; decomposition "
-        "routes correctly and all shared rounds are conflict-free"
+        "routes correctly and all shared rounds are conflict-free\n"
+        f"file: {file_bytes} bytes on disk, loaded and verified in "
+        f"{elapsed_ms:.1f} ms"
     )
 
 
@@ -234,6 +247,74 @@ def cmd_demo(args) -> str:
     )
 
 
+def cmd_profile(args) -> str:
+    import tempfile
+    from pathlib import Path
+
+    from repro import telemetry
+    from repro.machine.metrics import analyze, format_metrics
+
+    p = named_permutation(args.perm, args.n, seed=args.seed)
+    machine = _machine(args)
+    dtype = _DTYPES[args.dtype]
+    sinks = []
+    if args.events_out:
+        sinks.append(telemetry.JsonlSink(args.events_out))
+    tracer = telemetry.Tracer(sinks=sinks)
+    try:
+        with telemetry.use_tracer(tracer):
+            # Each stage runs at top level so tracer.roots() is exactly
+            # the phase table: plan, save, load(+verify), apply,
+            # simulate.
+            plan = ScheduledPermutation.plan(p, width=args.width)
+            with tempfile.TemporaryDirectory() as tmp:
+                path = Path(tmp) / "profile.npz"
+                save_plan(path, plan)
+                plan = load_plan(path)
+            a = np.random.default_rng(args.seed).random(args.n)
+            a = a.astype(dtype)
+            plan.apply(a)
+            trace = plan.simulate(machine, dtype=dtype)
+    finally:
+        for sink in sinks:
+            sink.close()
+    metrics = analyze(trace, args.n, machine)
+
+    rows = []
+    for root in tracer.roots():
+        model = root.attributes.get("model_time", "-")
+        rows.append([root.name, f"{root.duration_ms:.3f}", model])
+    parts = [
+        format_table(
+            ["phase", "wall ms", "model time units"],
+            rows,
+            title=(f"profile: {args.perm}, n = {args.n}, {args.dtype}, "
+                   f"w = {args.width}, l = {args.latency}, "
+                   f"d = {args.dmms}"),
+        ),
+        "",
+        "span tree (wall clock):",
+        _indent(telemetry.render_span_tree(tracer)),
+        "",
+        "counters:",
+    ]
+    for name in sorted(tracer.counters):
+        parts.append(f"   {name} = {tracer.counters[name]:g}")
+    parts.append("")
+    parts.append("model: " + format_metrics(metrics))
+    if args.trace_out:
+        telemetry.write_chrome_trace(
+            tracer, args.trace_out, process_name=f"repro profile {args.perm}"
+        )
+        parts.append(
+            f"wrote Chrome trace to {args.trace_out} "
+            "(load in chrome://tracing or https://ui.perfetto.dev)"
+        )
+    if args.events_out:
+        parts.append(f"wrote JSONL event log to {args.events_out}")
+    return "\n".join(parts)
+
+
 def cmd_resilience_demo(args) -> str:
     import tempfile
     from pathlib import Path
@@ -307,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     cost.add_argument("--padded", action="store_true",
                       help="allow any n via padding")
     _add_machine_args(cost)
+    _add_telemetry_flag(cost)
     cost.set_defaults(func=cmd_cost)
 
     plan = sub.add_parser("plan", help="plan and save a schedule")
@@ -322,6 +404,27 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("path")
     verify.set_defaults(func=cmd_verify_plan)
 
+    prof = sub.add_parser(
+        "profile",
+        help="trace one permutation end to end (plan, I/O, apply, "
+             "simulate) with exportable telemetry",
+    )
+    prof.add_argument("perm", choices=sorted(PAPER_PERMUTATIONS))
+    prof.add_argument("--n", type=int, default=64 * 64)
+    prof.add_argument("--dtype", choices=sorted(_DTYPES), default="float32")
+    prof.add_argument("--seed", type=int, default=0)
+    _add_machine_args(prof)
+    prof.add_argument(
+        "--trace-out",
+        help="write a Chrome trace_event JSON file "
+             "(chrome://tracing / Perfetto)",
+    )
+    prof.add_argument(
+        "--events-out",
+        help="stream span and counter events to a JSONL file",
+    )
+    prof.set_defaults(func=cmd_profile)
+
     fig3 = sub.add_parser("fig3", help="Figure 3 pipeline example")
     fig3.add_argument("--latency", type=int, default=5)
     fig3.set_defaults(func=cmd_fig3)
@@ -334,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig6.set_defaults(func=cmd_fig6)
 
     demo = sub.add_parser("demo", help="one-screen demonstration")
+    _add_telemetry_flag(demo)
     demo.set_defaults(func=cmd_demo)
 
     rep = sub.add_parser(
@@ -359,14 +463,50 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--n", type=int, default=32 * 32)
     res.add_argument("--width", type=int, default=8)
     res.add_argument("--seed", type=int, default=0)
+    _add_telemetry_flag(res)
     res.set_defaults(func=cmd_resilience_demo)
 
     return parser
 
 
+def _add_telemetry_flag(sub) -> None:
+    sub.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="run under an active tracer; append emitted counters and "
+             "the span tree to the output",
+    )
+
+
+def _telemetry_summary(tracer) -> str:
+    from repro import telemetry
+
+    lines = [
+        f"telemetry: {len(tracer.spans)} span(s), "
+        f"{len(tracer.counters)} counter(s)"
+    ]
+    for name in sorted(tracer.counters):
+        lines.append(f"   counter {name} = {tracer.counters[name]:g}")
+    tree = telemetry.render_span_tree(tracer)
+    if tree:
+        lines.append("   spans:")
+        lines.append(_indent(tree))
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    print(args.func(args))
+    if getattr(args, "telemetry", False):
+        from repro import telemetry
+
+        tracer = telemetry.Tracer()
+        with telemetry.use_tracer(tracer):
+            out = args.func(args)
+        print(out)
+        print()
+        print(_telemetry_summary(tracer))
+    else:
+        print(args.func(args))
     return 0
 
 

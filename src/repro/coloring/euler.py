@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.coloring.multigraph import RegularBipartiteMultigraph
 from repro.errors import ColoringError
 from repro.util.validation import is_power_of_two
@@ -201,27 +202,32 @@ def euler_split_coloring(graph: RegularBipartiteMultigraph) -> np.ndarray:
     :class:`~repro.errors.ColoringError` when the degree is not a power
     of two (use :func:`repro.coloring.matching_coloring` instead).
     """
-    if _fault_hook is not None:
-        _fault_hook("euler", graph)
-    if graph.num_edges == 0:
-        return np.empty(0, dtype=np.int64)
-    if not is_power_of_two(graph.degree):
-        raise ColoringError(
-            "Euler-split colouring requires a power-of-two degree, got "
-            f"{graph.degree}; use the 'matching' backend for general degrees"
+    with telemetry.span("coloring.euler", edges=graph.num_edges,
+                        degree=graph.degree):
+        if _fault_hook is not None:
+            _fault_hook("euler", graph)
+        if graph.num_edges == 0:
+            return np.empty(0, dtype=np.int64)
+        if not is_power_of_two(graph.degree):
+            raise ColoringError(
+                "Euler-split colouring requires a power-of-two degree, got "
+                f"{graph.degree}; use the 'matching' backend for general "
+                "degrees"
+            )
+        colors = np.zeros(graph.num_edges, dtype=np.int64)
+        _color_recursive(
+            graph.left,
+            graph.right,
+            graph.num_left,
+            graph.num_right,
+            graph.degree,
+            np.arange(graph.num_edges, dtype=np.int64),
+            colors,
+            base=0,
         )
-    colors = np.zeros(graph.num_edges, dtype=np.int64)
-    _color_recursive(
-        graph.left,
-        graph.right,
-        graph.num_left,
-        graph.num_right,
-        graph.degree,
-        np.arange(graph.num_edges, dtype=np.int64),
-        colors,
-        base=0,
-    )
-    return colors
+        telemetry.count("coloring.euler.calls")
+        telemetry.count("coloring.edges_colored", graph.num_edges)
+        return colors
 
 
 def _color_recursive(

@@ -28,6 +28,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import maximum_bipartite_matching
 
+from repro import telemetry
 from repro.coloring.multigraph import RegularBipartiteMultigraph
 from repro.errors import ColoringError
 
@@ -118,6 +119,14 @@ def _coloring_by_matchings(
             "perfect-matching colouring needs equal sides, got "
             f"{graph.num_left} != {graph.num_right}"
         )
+    with telemetry.span("coloring.matching", edges=graph.num_edges,
+                        degree=graph.degree):
+        return _extract_matchings(graph, matcher)
+
+
+def _extract_matchings(
+    graph: RegularBipartiteMultigraph, matcher
+) -> np.ndarray:
     order, starts, keys = graph.edge_buckets()
     remaining = np.diff(starts).astype(np.int64)  # multiplicity per bucket
     next_slot = starts[:-1].copy()
@@ -152,9 +161,12 @@ def _coloring_by_matchings(
         colors[order[next_slot[bucket]]] = color
         next_slot[bucket] += 1
         remaining[bucket] -= 1
+        telemetry.count("coloring.matchings_extracted")
 
     if np.any(colors < 0):  # pragma: no cover - guarded by regularity
         raise ColoringError("some edges were never coloured")
+    telemetry.count("coloring.matching.calls")
+    telemetry.count("coloring.edges_colored", graph.num_edges)
     return colors
 
 

@@ -33,6 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.colwise import ColumnwiseSchedule
 from repro.core.rowwise import RowwiseSchedule
 from repro.core.scheduled import ScheduledPermutation
@@ -115,13 +116,16 @@ def save_plan(path, plan: ScheduledPermutation) -> None:
         )
     from repro import __version__
 
-    arrays = _pack(plan)
-    np.savez_compressed(
-        Path(path),
-        checksum=np.str_(plan_checksum(arrays)),
-        library_version=np.str_(__version__),
-        **arrays,
-    )
+    with telemetry.span("plan_io.save", n=plan.n) as sp:
+        arrays = _pack(plan)
+        np.savez_compressed(
+            Path(path),
+            checksum=np.str_(plan_checksum(arrays)),
+            library_version=np.str_(__version__),
+            **arrays,
+        )
+        sp.set(file_bytes=Path(path).stat().st_size)
+        telemetry.count("plan_io.saved")
 
 
 def _read_payload(path) -> tuple[dict, str]:
@@ -178,6 +182,22 @@ def load_plan(path) -> ScheduledPermutation:
     a corrupted file fails loudly rather than permuting silently wrong,
     and fails *early* rather than after an expensive rebuild.
     """
+    with telemetry.span("plan_io.load") as sp:
+        try:
+            size = Path(path).stat().st_size
+        except OSError:
+            size = -1
+        sp.set(file_bytes=size)
+        try:
+            plan = _load_plan_inner(path, sp)
+        except Exception:
+            telemetry.count("plan_io.rejected")
+            raise
+        telemetry.count("plan_io.loaded")
+        return plan
+
+
+def _load_plan_inner(path, sp) -> ScheduledPermutation:
     arrays, stored = _read_payload(path)
     actual = plan_checksum(arrays)
     if actual != stored:
@@ -218,5 +238,7 @@ def load_plan(path) -> ScheduledPermutation:
         step2=step2,
         step3=step3,
     )
-    plan.verify()
+    with telemetry.span("plan_io.verify", n=plan.n):
+        plan.verify()
+    sp.set(n=plan.n, width=width)
     return plan

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.scheduled import ScheduledPermutation
 from repro.errors import SizeError
 from repro.machine.memory import TraceRecorder
@@ -56,12 +57,16 @@ class PaddedScheduledPermutation:
         p = check_permutation(p)
         n = int(p.shape[0])
         big_n = padded_length(n, width)
-        padded = np.concatenate(
-            [p, np.arange(n, big_n, dtype=np.int64)]
-        )
-        inner = ScheduledPermutation.plan(padded, width=width,
-                                          backend=backend)
-        return cls(n=n, inner=inner)
+        with telemetry.span("padded.plan", n=n, padded_n=big_n) as sp:
+            padded = np.concatenate(
+                [p, np.arange(n, big_n, dtype=np.int64)]
+            )
+            inner = ScheduledPermutation.plan(padded, width=width,
+                                              backend=backend)
+            plan = cls(n=n, inner=inner)
+            sp.set(overhead=plan.overhead)
+            telemetry.count("plans.padded")
+        return plan
 
     @property
     def padded_n(self) -> int:
@@ -84,10 +89,12 @@ class PaddedScheduledPermutation:
         a = np.asarray(a)
         if a.shape != (self.n,):
             raise SizeError(f"a must have shape ({self.n},), got {a.shape}")
-        padded = np.zeros(self.padded_n, dtype=a.dtype)
-        padded[: self.n] = a
-        out = self.inner.apply(padded, recorder)
-        return out[: self.n]
+        with telemetry.span("padded.apply", n=self.n,
+                            padded_n=self.padded_n):
+            padded = np.zeros(self.padded_n, dtype=a.dtype)
+            padded[: self.n] = a
+            out = self.inner.apply(padded, recorder)
+            return out[: self.n]
 
     def simulate(self, machine=None, dtype=np.float32):
         """Cost of the padded run (the price actually paid on the HMM)."""

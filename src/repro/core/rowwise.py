@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.coloring import RegularBipartiteMultigraph, edge_coloring
 from repro.coloring.verify import verify_edge_coloring
 from repro.errors import SchedulingError, SizeError
@@ -130,8 +131,12 @@ class RowwiseSchedule:
         graph = RegularBipartiteMultigraph.from_edges(
             left, right, rows * width, rows * width
         )
-        colors = edge_coloring(graph, backend=backend)
-        verify_edge_coloring(graph, colors, expect_colors=max(m // width, 1))
+        with telemetry.span("rowwise.plan.coloring", rows=rows, m=m,
+                            backend=backend):
+            colors = edge_coloring(graph, backend=backend)
+            verify_edge_coloring(graph, colors,
+                                 expect_colors=max(m // width, 1))
+            telemetry.count("coloring.rows_colored", rows)
 
         c = colors.reshape(rows, m)
         alpha = c * width + (cols % width)[None, :]

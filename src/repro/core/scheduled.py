@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.colwise import ColumnwiseSchedule
 from repro.core.rowwise import RowwiseSchedule
 from repro.core.scheduler import ThreeStepDecomposition, decompose
@@ -72,10 +73,19 @@ class ScheduledPermutation:
         p = check_permutation(p)
         n = int(p.shape[0])
         check_square(n, width, "len(p)")
-        decomposition = decompose(p, backend=backend)
-        step1 = RowwiseSchedule.plan(decomposition.gamma1, width, backend)
-        step2 = ColumnwiseSchedule.plan(decomposition.delta, width, backend)
-        step3 = RowwiseSchedule.plan(decomposition.gamma3, width, backend)
+        with telemetry.span("scheduled.plan", n=n, width=width,
+                            backend=backend):
+            decomposition = decompose(p, backend=backend)
+            with telemetry.span("scheduled.plan.step1"):
+                step1 = RowwiseSchedule.plan(decomposition.gamma1, width,
+                                             backend)
+            with telemetry.span("scheduled.plan.step2"):
+                step2 = ColumnwiseSchedule.plan(decomposition.delta, width,
+                                                backend)
+            with telemetry.span("scheduled.plan.step3"):
+                step3 = RowwiseSchedule.plan(decomposition.gamma3, width,
+                                             backend)
+            telemetry.count("plans.scheduled")
         return cls(
             p=p,
             width=width,
@@ -131,9 +141,14 @@ class ScheduledPermutation:
         if a.shape != (self.n,):
             raise SizeError(f"a must have shape ({self.n},), got {a.shape}")
         mat = a.reshape(self.m, self.m)
-        mat = self.step1.apply(mat, recorder)          # row-wise
-        mat = self.step2.apply(mat, recorder)          # transpose, row-wise, transpose
-        mat = self.step3.apply(mat, recorder)          # row-wise
+        with telemetry.span("scheduled.apply", n=self.n):
+            with telemetry.span("scheduled.step1"):
+                mat = self.step1.apply(mat, recorder)  # row-wise
+            with telemetry.span("scheduled.step2"):
+                # transpose, row-wise, transpose
+                mat = self.step2.apply(mat, recorder)
+            with telemetry.span("scheduled.step3"):
+                mat = self.step3.apply(mat, recorder)  # row-wise
         return mat.reshape(-1)
 
     def apply_batch(self, batch: np.ndarray) -> np.ndarray:
@@ -169,9 +184,12 @@ class ScheduledPermutation:
             machine = HMM()
         elif isinstance(machine, MachineParams):
             machine = HMM(machine)
-        rec = TraceRecorder(hmm=machine, name="scheduled")
-        self.apply(np.zeros(self.n, dtype=dtype), recorder=rec)
-        assert rec.trace is not None
+        with telemetry.span("scheduled.simulate", n=self.n) as sp:
+            rec = TraceRecorder(hmm=machine, name="scheduled")
+            self.apply(np.zeros(self.n, dtype=dtype), recorder=rec)
+            assert rec.trace is not None
+            sp.set(model_time=rec.trace.time,
+                   model_rounds=rec.trace.num_rounds)
         return rec.trace
 
     def inverse(self, backend: str = "auto") -> "ScheduledPermutation":

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.coloring import RegularBipartiteMultigraph, edge_coloring
 from repro.coloring.verify import verify_edge_coloring
 from repro.errors import SchedulingError
@@ -108,15 +109,22 @@ def decompose(
         return ThreeStepDecomposition(
             empty, empty, empty, np.empty(0, dtype=np.int64)
         )
+    with telemetry.span("plan.decompose", n=int(n), m=m, backend=backend):
+        return _decompose_inner(p, n, m, backend)
 
+
+def _decompose_inner(
+    p: np.ndarray, n: int, m: int, backend: str
+) -> ThreeStepDecomposition:
     i = np.arange(n, dtype=np.int64)
     src_row = i // m
     dst = p
     dst_row, dst_col = dst // m, dst % m
 
     graph = RegularBipartiteMultigraph.from_edges(src_row, dst_row, m, m)
-    colors = edge_coloring(graph, backend=backend)
-    verify_edge_coloring(graph, colors, expect_colors=m)
+    with telemetry.span("plan.decompose.coloring", backend=backend):
+        colors = edge_coloring(graph, backend=backend)
+        verify_edge_coloring(graph, colors, expect_colors=m)
 
     # gamma1[r, c] = colour of element (r, c): elements are enumerated
     # row-major, so this is just a reshape.

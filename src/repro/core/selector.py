@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import theory
 from repro.core.conventional import (
     DDesignatedPermutation,
@@ -92,6 +93,8 @@ def build_engine(
     potentially expensive) offline planning; the two conventional
     engines are plain wrappers and cannot fail beyond input validation.
     """
+    telemetry.count(f"engines.built.{name}" if name in ENGINES
+                    else "engines.built.unknown")
     if name == "scheduled":
         return ScheduledPermutation.plan(p, width=width, backend=backend)
     if name == "padded":
@@ -122,6 +125,11 @@ def predict_times(
     w, latency, d = params.width, params.latency, params.num_dmms
     if n % w != 0:
         raise SizeError(f"n = {n} must be a multiple of the width {w}")
+    with telemetry.span("selector.predict", n=n) as _sp:
+        return _predict_times_inner(p, params, dtype, n, w, latency, d, _sp)
+
+
+def _predict_times_inner(p, params, dtype, n, w, latency, d, _sp):
     k = element_cells_of(dtype)
     group = w // k if k <= w and w % k == 0 else 1
     dw = distribution(p, w, group)
@@ -140,6 +148,7 @@ def predict_times(
     if sched is not None:
         candidates.append((sched, "scheduled"))
     best = min(candidates)[1]
+    _sp.set(best=best, distribution=dw)
     return EnginePrediction(
         d_designated=conv_d,
         s_designated=conv_s,

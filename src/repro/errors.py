@@ -106,6 +106,15 @@ class NotRegularError(ColoringError, ValueError):
 
 
 # ---------------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------------
+
+
+class TelemetryError(ReproError):
+    """A telemetry artefact is malformed (invalid Chrome trace, ...)."""
+
+
+# ---------------------------------------------------------------------------
 # Resilience / graceful degradation
 # ---------------------------------------------------------------------------
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro import telemetry
 from repro.errors import SharedMemoryCapacityError
 from repro.machine.cache import L2Cache, cached_global_stages
 from repro.machine.cost_model import (
@@ -105,10 +106,14 @@ class HMM:
 
     def run_kernel(self, kernel: Kernel) -> KernelTrace:
         """Execute one kernel; rounds are barrier-separated."""
-        self.check_capacity(kernel)
-        trace = KernelTrace(name=kernel.name)
-        for rnd in kernel.rounds:
-            trace.rounds.append(self.run_round(rnd))
+        with telemetry.span("hmm.kernel", kernel=kernel.name) as sp:
+            self.check_capacity(kernel)
+            trace = KernelTrace(name=kernel.name)
+            for rnd in kernel.rounds:
+                trace.rounds.append(self.run_round(rnd))
+            sp.set(model_time=trace.time, model_rounds=trace.num_rounds)
+            telemetry.count("hmm.rounds", trace.num_rounds)
+            telemetry.count("hmm.time_units", trace.time)
         return trace
 
     def run_program(

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import AccessRoundError
 from repro.machine.hmm import HMM
 from repro.machine.requests import AccessRound, Kernel
@@ -57,6 +58,7 @@ class TraceRecorder:
         self._current_rounds: list[AccessRound] = []
         self._current_name: str | None = None
         self._current_shared_bytes = 0
+        self._current_span = None
 
     @property
     def active(self) -> bool:
@@ -75,11 +77,20 @@ class TraceRecorder:
         self._current_name = name
         self._current_shared_bytes = shared_bytes_per_block
         self._current_rounds = []
+        self._current_span = telemetry.span(
+            "kernel", kernel=name
+        ).__enter__()
         if self.hmm is not None:
             # Enforce the shared-capacity limit up front, as a real
             # launch would fail at kernel-invocation time.
             probe = Kernel(name, (), shared_bytes_per_block)
-            self.hmm.check_capacity(probe)
+            try:
+                self.hmm.check_capacity(probe)
+            except Exception as exc:
+                self._current_span.__exit__(type(exc), exc, None)
+                self._current_span = None
+                self._current_name = None
+                raise
             self._current = KernelTrace(name=name)
 
     def end_kernel(self) -> None:
@@ -95,6 +106,14 @@ class TraceRecorder:
             )
         if self.trace is not None and self._current is not None:
             self.trace.kernels.append(self._current)
+        if self._current_span is not None:
+            if self._current is not None:
+                self._current_span.set(
+                    model_time=self._current.time,
+                    model_rounds=self._current.num_rounds,
+                )
+            self._current_span.__exit__(None, None, None)
+            self._current_span = None
         self._current = None
         self._current_rounds = []
         self._current_name = None

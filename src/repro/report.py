@@ -12,6 +12,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.stats import summarize
 from repro.core import theory
 from repro.core.conventional import (
@@ -227,16 +228,46 @@ _CHECKS: list[tuple[str, Callable[[], str]]] = [
 
 
 def run_report() -> tuple[str, bool]:
-    """Run every check; returns (report text, all_passed)."""
+    """Run every check under a tracer; returns (report text, all_passed).
+
+    Each check runs inside a ``report.check`` span, so every PASS line
+    carries its wall time and the footer names the slowest check and
+    the counters the checks emitted along the way.
+    """
     lines = ["repro smoke report — paper claims at reduced scale", ""]
     all_ok = True
-    for label, check in _CHECKS:
-        try:
-            detail = check()
-            lines.append(f"  PASS  {label}: {detail}")
-        except Exception as exc:  # pragma: no cover - failure path
-            all_ok = False
-            lines.append(f"  FAIL  {label}: {exc!r}")
+    tracer = telemetry.Tracer()
+    timings: list[tuple[str, float]] = []
+    with telemetry.use_tracer(tracer):
+        for label, check in _CHECKS:
+            with telemetry.span("report.check", check=label) as sp:
+                try:
+                    detail = check()
+                    failure = None
+                except Exception as exc:  # pragma: no cover - failure path
+                    all_ok = False
+                    failure = exc
+            timings.append((label, sp.duration_ms))
+            if failure is None:
+                lines.append(
+                    f"  PASS  {label}: {detail}  [{sp.duration_ms:.0f} ms]"
+                )
+            else:  # pragma: no cover - failure path
+                lines.append(f"  FAIL  {label}: {failure!r}")
+    slow_label, slow_ms = max(timings, key=lambda item: item[1])
+    total_ms = sum(ms for _label, ms in timings)
+    counters = ", ".join(
+        f"{name}={value:g}" for name, value in sorted(tracer.counters.items())
+    )
+    lines.append("")
+    lines.append(
+        f"slowest check: {' '.join(slow_label.split())} "
+        f"({slow_ms:.0f} ms of {total_ms:.0f} ms total)"
+    )
+    lines.append(
+        f"telemetry: {len(tracer.spans)} spans; "
+        f"counters: {counters or 'none'}"
+    )
     lines.append("")
     lines.append(
         "all claims verified — run `pytest benchmarks/ --benchmark-only` "

@@ -61,11 +61,22 @@ def _chain_of(error: BaseException) -> str:
 
 @dataclass
 class FailureReport:
-    """Everything that went wrong (and was absorbed) in one run."""
+    """Everything that went wrong (and was absorbed) in one run.
+
+    Beyond the failure records, the report embeds the telemetry of the
+    planning run: ``spans`` is the finished
+    :class:`~repro.telemetry.tracer.Span` tree of every engine attempt
+    and backoff (wall-clock, with ``outcome`` attributes) and
+    ``counters`` the matching totals (``resilience.retries``,
+    ``resilience.fallbacks``, ...) — so a degraded run shows not just
+    *what* failed but *where the time went* while absorbing it.
+    """
 
     records: list[FailureRecord] = field(default_factory=list)
     engine_used: str | None = None
     chain: tuple[str, ...] = ()
+    spans: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
 
     def record(
         self,
@@ -109,4 +120,22 @@ class FailureReport:
         ]
         for rec in self.records:
             lines.append(f"  - {rec.describe()}")
+        if self.spans:
+            lines.append("spans:")
+            for span in sorted(self.spans,
+                               key=lambda s: (s.start_ns, s.span_id)):
+                attrs = span.attributes
+                detail = " ".join(
+                    f"{key}={attrs[key]}"
+                    for key in ("attempt", "outcome", "seconds")
+                    if key in attrs
+                )
+                lines.append(
+                    f"  - {span.name:<20} {span.duration_ms:8.3f} ms"
+                    f"{('  ' + detail) if detail else ''}"
+                )
+        if self.counters:
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                lines.append(f"  - {name} = {self.counters[name]:g}")
         return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""repro.telemetry — structured spans, counters and exportable traces.
+
+The observability layer of the reproduction: a zero-dependency tracer
+(:class:`Tracer`) with nestable wall-clock spans, monotonic counters
+and gauges, pluggable sinks (in-memory, JSONL event log) and exporters
+(Chrome ``trace_event`` JSON for ``chrome://tracing``/Perfetto,
+Prometheus text exposition).  See ``docs/observability.md``.
+
+Instrumented library code calls the *module-level* :func:`span`,
+:func:`count` and :func:`gauge`, which dispatch to the process-wide
+active tracer.  By default there is **no** active tracer and each call
+reduces to one guarded attribute check returning a shared no-op span —
+the hot path stays effectively uninstrumented until someone opts in:
+
+>>> from repro import telemetry
+>>> tracer = telemetry.Tracer()
+>>> with telemetry.use_tracer(tracer):
+...     with telemetry.span("phase", n=64) as sp:
+...         telemetry.count("things.done")
+>>> [s.name for s in tracer.spans]
+['phase']
+>>> tracer.counters
+{'things.done': 1}
+
+``python -m repro profile <perm>`` wires this up end to end and writes
+the exportable artefacts.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.telemetry.export import (
+    chrome_trace,
+    prometheus_text,
+    render_span_tree,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.sinks import (
+    InMemorySink,
+    JsonlSink,
+    Sink,
+    read_jsonl,
+    span_event,
+)
+from repro.telemetry.tracer import NULL_SPAN, NullSpan, Span, Tracer
+
+#: The process-wide active tracer; ``None`` means telemetry is off.
+_ACTIVE: Tracer | None = None
+
+
+def get_tracer() -> Tracer | None:
+    """The currently active tracer, or ``None`` when telemetry is off."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install ``tracer`` as the active tracer; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | None):
+    """Activate ``tracer`` for the duration of the ``with`` block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **attributes):
+    """A span on the active tracer (shared no-op span when inactive)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attributes)
+
+
+def count(name: str, n: float = 1) -> None:
+    """Increment a counter on the active tracer (no-op when inactive)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the active tracer (no-op when inactive)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.gauge(name, value)
+
+
+__all__ = [
+    "InMemorySink",
+    "JsonlSink",
+    "NULL_SPAN",
+    "NullSpan",
+    "Sink",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "count",
+    "gauge",
+    "get_tracer",
+    "prometheus_text",
+    "read_jsonl",
+    "render_span_tree",
+    "set_tracer",
+    "span",
+    "span_event",
+    "use_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

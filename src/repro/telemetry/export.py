@@ -1,0 +1,218 @@
+"""Exporters over a finished :class:`~repro.telemetry.tracer.Tracer`.
+
+* :func:`chrome_trace` — the Chrome ``trace_event`` JSON object format
+  (a ``traceEvents`` list of complete ``"X"`` span events plus ``"C"``
+  counter samples), loadable directly in ``chrome://tracing`` or
+  https://ui.perfetto.dev;
+* :func:`validate_chrome_trace` — a structural validator for that
+  format, shared by the test suite and the CI smoke job;
+* :func:`prometheus_text` — Prometheus text exposition (``# TYPE``
+  lines + samples) of the counters and gauges;
+* :func:`render_span_tree` — indented human-readable tree with
+  durations and attributes, used by ``repro profile`` and the
+  resilience :class:`~repro.resilience.reporting.FailureReport`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.errors import TelemetryError
+from repro.telemetry.sinks import _jsonable
+from repro.telemetry.tracer import Span, Tracer
+
+#: Chrome trace-event phases this library emits.
+_EMITTED_PHASES = ("X", "C", "M")
+
+
+def _base_ns(tracer: Tracer) -> int:
+    starts = [s.start_ns for s in tracer.spans]
+    starts.extend(t for t, _n, _d, _t in tracer.counter_events)
+    return min(starts) if starts else tracer.created_ns
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
+    """Export a tracer to the Chrome ``trace_event`` JSON object format.
+
+    Spans become complete (``"X"``) events with microsecond ``ts``
+    (relative to the first event) and ``dur``; span attributes travel in
+    ``args``.  Counter totals become ``"C"`` events at each increment,
+    so Perfetto plots them as a time series.
+    """
+    base = _base_ns(tracer)
+    events: list[dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 1,
+        "ts": 0,
+        "args": {"name": process_name},
+    }]
+    for span in sorted(tracer.spans, key=lambda s: (s.start_ns, s.span_id)):
+        args = {k: _jsonable(v) for k, v in span.attributes.items()}
+        args["depth"] = span.depth
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (span.start_ns - base) / 1000.0,
+            "dur": span.duration_ns / 1000.0,
+            "pid": 1,
+            "tid": 1,
+            "args": args,
+        })
+    for t_ns, name, _delta, total in tracer.counter_events:
+        events.append({
+            "name": name,
+            "cat": "repro",
+            "ph": "C",
+            "ts": (t_ns - base) / 1000.0,
+            "pid": 1,
+            "tid": 1,
+            "args": {"value": total},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(obj) -> None:
+    """Structurally validate a Chrome trace-event JSON object.
+
+    Checks the subset of the trace-event format this library emits
+    (and that ``chrome://tracing`` / Perfetto require to load a file):
+    a ``traceEvents`` list whose members carry ``name``/``ph``/``pid``,
+    numeric non-negative ``ts``, and, for complete (``"X"``) events, a
+    numeric non-negative ``dur``.  The object must also be JSON
+    serialisable.  Raises :class:`~repro.errors.TelemetryError` on the
+    first violation.
+    """
+    if not isinstance(obj, dict):
+        raise TelemetryError(
+            f"trace must be a JSON object, got {type(obj).__name__}"
+        )
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise TelemetryError("trace must have a 'traceEvents' list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise TelemetryError(f"traceEvents[{i}] is not an object")
+        for key, types in (("name", str), ("ph", str), ("pid", int)):
+            if not isinstance(event.get(key), types):
+                raise TelemetryError(
+                    f"traceEvents[{i}] field {key!r} missing or not "
+                    f"{types.__name__}: {event.get(key)!r}"
+                )
+        ph = event["ph"]
+        if ph not in _EMITTED_PHASES:
+            raise TelemetryError(
+                f"traceEvents[{i}] has unexpected phase {ph!r}"
+            )
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise TelemetryError(
+                f"traceEvents[{i}] 'ts' must be a non-negative number, "
+                f"got {ts!r}"
+            )
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TelemetryError(
+                    f"traceEvents[{i}] complete event needs a "
+                    f"non-negative 'dur', got {dur!r}"
+                )
+        if "args" in event and not isinstance(event["args"], dict):
+            raise TelemetryError(
+                f"traceEvents[{i}] 'args' must be an object"
+            )
+    try:
+        json.dumps(obj)
+    except (TypeError, ValueError) as exc:
+        raise TelemetryError(
+            f"trace is not JSON-serialisable: {exc}"
+        ) from exc
+
+
+def write_chrome_trace(tracer: Tracer, path,
+                       process_name: str = "repro") -> dict:
+    """Export, validate and write the Chrome trace to ``path``."""
+    obj = chrome_trace(tracer, process_name)
+    validate_chrome_trace(obj)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(obj, fh, indent=1)
+    return obj
+
+
+_METRIC_NAME = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    sanitized = _METRIC_NAME.sub("_", name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] == "_"):
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def prometheus_text(tracer: Tracer) -> str:
+    """Prometheus text exposition of the tracer's counters and gauges.
+
+    Counter names additionally get the conventional ``_total`` suffix.
+    Span durations are summarised as one gauge per span name
+    (``repro_span_<name>_ms_sum``) so phase times are scrapeable too.
+    """
+    lines: list[str] = []
+    for name in sorted(tracer.counters):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {tracer.counters[name]:g}")
+    for name in sorted(tracer.gauges):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {tracer.gauges[name]:g}")
+    durations: dict[str, float] = {}
+    for span in tracer.spans:
+        durations[span.name] = durations.get(span.name, 0.0) + span.duration_ms
+    for name in sorted(durations):
+        metric = _metric_name(f"span.{name}.ms") + "_sum"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {durations[name]:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_attrs(span: Span, keys=None) -> str:
+    items = span.attributes.items()
+    if keys is not None:
+        items = [(k, v) for k, v in items if k in keys]
+    if not items:
+        return ""
+    body = ", ".join(f"{k}={_jsonable(v)}" for k, v in items)
+    return f"  [{body}]"
+
+
+def render_span_tree(tracer: Tracer, attr_keys=None) -> str:
+    """Indented tree of all finished spans with durations.
+
+    ``attr_keys`` restricts which attributes are shown (all by
+    default).  Orphan spans (parent never finished) render as roots.
+    """
+    finished = {s.span_id for s in tracer.spans}
+    by_parent: dict[int | None, list[Span]] = {}
+    for span in tracer.spans:
+        parent = (span.parent_id
+                  if span.parent_id in finished else None)
+        by_parent.setdefault(parent, []).append(span)
+
+    lines: list[str] = []
+
+    def emit(span: Span, indent: int) -> None:
+        lines.append(
+            f"{'  ' * indent}{span.name}  {span.duration_ms:.3f} ms"
+            f"{_format_attrs(span, attr_keys)}"
+        )
+        for child in sorted(by_parent.get(span.span_id, ()),
+                            key=lambda s: (s.start_ns, s.span_id)):
+            emit(child, indent + 1)
+
+    for root in sorted(by_parent.get(None, ()),
+                       key=lambda s: (s.start_ns, s.span_id)):
+        emit(root, 0)
+    return "\n".join(lines)

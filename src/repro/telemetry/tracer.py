@@ -1,0 +1,226 @@
+"""Structured spans, counters and gauges — the telemetry core.
+
+A :class:`Tracer` records three kinds of signal:
+
+* **spans** — nestable wall-clock intervals with attributes, opened
+  with ``with tracer.span("coloring.euler", edges=n):``.  Nesting is
+  tracked with an explicit stack, so every finished :class:`Span`
+  knows its parent and depth and the whole run renders as a tree (or
+  exports to Chrome ``trace_event`` JSON, see
+  :mod:`repro.telemetry.export`);
+* **counters** — monotonically increasing totals (rows coloured,
+  fallback activations, fault detections);
+* **gauges** — last-value-wins measurements (plan bytes, overhead
+  fractions).
+
+Everything is collected in memory on the tracer itself (the in-memory
+collector of the sink family); additional :class:`~repro.telemetry.sinks.Sink`
+objects can stream the same events elsewhere (e.g. a JSONL event log).
+
+The module is deliberately zero-dependency (stdlib only) so the
+instrumented hot path — :mod:`repro.core`, :mod:`repro.coloring`,
+:mod:`repro.machine` — never pays an import cost for it.  The
+*inactive* path is a :class:`NullSpan` singleton: entering and exiting
+it does nothing, so uninstrumented runs pay one guarded attribute
+check per site (see :func:`repro.telemetry.span`).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One timed, attributed interval in a :class:`Tracer`.
+
+    Spans are context managers: the interval starts at ``__enter__``
+    and ends at ``__exit__``; attributes can be attached at creation
+    (``tracer.span(name, key=value)``) or later via :meth:`set` —
+    the pattern used to bridge model-time numbers (``model_time``,
+    ``model_rounds``) into the wall-clock view after simulation.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "depth", "start_ns",
+                 "end_ns", "attributes", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes = dict(attributes)
+        self.span_id = -1
+        self.parent_id: int | None = None
+        self.depth = 0
+        self.start_ns = 0
+        self.end_ns: int | None = None
+
+    def set(self, **attributes) -> "Span":
+        """Attach (or overwrite) attributes; returns ``self``."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def duration_ns(self) -> int:
+        end = self.end_ns if self.end_ns is not None else self.start_ns
+        return end - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    def __enter__(self) -> "Span":
+        self._tracer._start(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and "error" not in self.attributes:
+            self.attributes["error"] = exc_type.__name__
+        self._tracer._finish(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "open" if self.end_ns is None else f"{self.duration_ms:.3f} ms"
+        return f"Span({self.name!r}, {state}, depth={self.depth})"
+
+
+class NullSpan:
+    """Reusable do-nothing span — the inactive-tracer fast path.
+
+    Stateless, hence safe to share and re-enter; every method is a
+    no-op so instrumentation sites cost a function call and a guarded
+    attribute check when telemetry is off.
+    """
+
+    __slots__ = ()
+
+    duration_ns = 0
+    duration_ms = 0.0
+    name = ""
+    attributes: dict = {}
+
+    def set(self, **attributes) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The shared no-op span handed out when no tracer is active.
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """In-memory telemetry collector with optional streaming sinks.
+
+    Parameters
+    ----------
+    sinks:
+        Iterable of :class:`~repro.telemetry.sinks.Sink` objects that
+        receive every finished span and every counter/gauge update as
+        it happens (the tracer itself always collects in memory).
+    clock:
+        Nanosecond monotonic clock; injectable for deterministic tests.
+    """
+
+    def __init__(self, sinks=(), clock=time.perf_counter_ns) -> None:
+        self.sinks = list(sinks)
+        self._clock = clock
+        self._stack: list[Span] = []
+        self._next_id = 0
+        self.created_ns = clock()
+        #: Finished spans in completion order (children before parents).
+        self.spans: list[Span] = []
+        #: Counter totals by name.
+        self.counters: dict[str, float] = {}
+        #: Last gauge value by name.
+        self.gauges: dict[str, float] = {}
+        #: Counter increments as ``(t_ns, name, delta, total)``.
+        self.counter_events: list[tuple[int, str, float, float]] = []
+        #: Gauge updates as ``(t_ns, name, value)``.
+        self.gauge_events: list[tuple[int, str, float]] = []
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attributes) -> Span:
+        """A new span; start/stop happen on ``with`` entry/exit."""
+        return Span(self, name, attributes)
+
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def _start(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        if self._stack:
+            parent = self._stack[-1]
+            span.parent_id = parent.span_id
+            span.depth = parent.depth + 1
+        self._stack.append(span)
+        span.start_ns = self._clock()
+
+    def _finish(self, span: Span) -> None:
+        span.end_ns = self._clock()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            # Out-of-order exit (a caller kept a span open across a
+            # sibling): unwind to it rather than corrupt the stack.
+            while self._stack and self._stack.pop() is not span:
+                pass
+        self.spans.append(span)
+        for sink in self.sinks:
+            sink.on_span(span)
+
+    # ------------------------------------------------------------------
+    # Counters and gauges
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, n: float = 1) -> float:
+        """Increment counter ``name`` by ``n``; returns the new total."""
+        total = self.counters.get(name, 0) + n
+        self.counters[name] = total
+        t = self._clock()
+        self.counter_events.append((t, name, n, total))
+        for sink in self.sinks:
+            sink.on_counter(t, name, n, total)
+        return total
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+        t = self._clock()
+        self.gauge_events.append((t, name, value))
+        for sink in self.sinks:
+            sink.on_gauge(t, name, value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        """Finished top-level spans, in start order."""
+        return sorted(
+            (s for s in self.spans if s.parent_id is None),
+            key=lambda s: (s.start_ns, s.span_id),
+        )
+
+    def children(self, span: Span) -> list[Span]:
+        """Finished direct children of ``span``, in start order."""
+        return sorted(
+            (s for s in self.spans if s.parent_id == span.span_id),
+            key=lambda s: (s.start_ns, s.span_id),
+        )
+
+    def find(self, name: str) -> list[Span]:
+        """All finished spans with the given name, in completion order."""
+        return [s for s in self.spans if s.name == name]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Tracer({len(self.spans)} spans, "
+                f"{len(self.counters)} counters, "
+                f"{len(self.gauges)} gauges)")

@@ -1,0 +1,51 @@
+"""The inactive-tracer fast path must be essentially free.
+
+The issue's budget: with no active tracer, instrumentation overhead on
+a small scheduled run stays under 5%.  Comparing two noisy end-to-end
+wall times flakes, so the test bounds the overhead analytically: it
+measures the per-call cost of an inactive instrumentation site, counts
+the sites a small ``apply`` passes through (a generous upper bound),
+and checks the product against 5% of the measured apply time.
+"""
+
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.scheduled import ScheduledPermutation
+from repro.permutations.named import bit_reversal
+
+#: Generous upper bound on inactive telemetry calls per plain apply():
+#: scheduled.apply + three step spans + per-kernel spans and counters.
+_SITES_PER_APPLY = 32
+
+
+def test_noop_overhead_below_5_percent():
+    assert telemetry.get_tracer() is None
+
+    plan = ScheduledPermutation.plan(bit_reversal(4096), width=32)
+    a = np.arange(4096, dtype=np.float32)
+    reps = 10
+    best_apply = min(
+        _timed(lambda: plan.apply(a)) for _ in range(reps)
+    )
+
+    calls = 10_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        with telemetry.span("overhead.probe", n=1):
+            telemetry.count("overhead.probe")
+    per_site = (time.perf_counter() - start) / calls
+
+    overhead = per_site * _SITES_PER_APPLY
+    assert overhead < 0.05 * best_apply, (
+        f"inactive telemetry would cost {overhead * 1e6:.1f} us per "
+        f"apply of {best_apply * 1e6:.1f} us (> 5%)"
+    )
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -51,6 +51,93 @@ class TestPlanVerify:
         assert "plan OK" in out
         assert "n = 256" in out
 
+    def test_verify_reports_file_size_and_load_time(self, capsys,
+                                                    tmp_path):
+        import os
+
+        path = str(tmp_path / "plan.npz")
+        _run(capsys, "plan", "--perm", "random", "--n", "256",
+             "--width", "4", "--out", path)
+        out = _run(capsys, "verify-plan", path)
+        assert f"file: {os.path.getsize(path)} bytes on disk" in out
+        assert "loaded and verified in" in out
+        assert " ms" in out
+
+
+class TestProfile:
+    def test_phase_table_and_footer(self, capsys):
+        out = _run(capsys, "profile", "bit-reversal", "--n", "1024",
+                   "--width", "8")
+        for phase in ("scheduled.plan", "plan_io.save", "plan_io.load",
+                      "scheduled.apply", "scheduled.simulate"):
+            assert phase in out
+        assert "coloring.euler" in out        # colouring visible in tree
+        assert "counters:" in out
+        assert "plans.scheduled = 1" in out
+        assert "model: time" in out           # TraceMetrics footer
+
+    def test_trace_out_is_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.telemetry import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        out = _run(capsys, "profile", "bit-reversal", "--n", "1024",
+                   "--width", "8", "--trace-out", str(path))
+        assert "wrote Chrome trace" in out
+        obj = json.loads(path.read_text())
+        validate_chrome_trace(obj)
+        names = {e["name"] for e in obj["traceEvents"]}
+        for expected in ("scheduled.plan", "plan.decompose.coloring",
+                         "scheduled.step1", "scheduled.step2",
+                         "scheduled.step3", "plan_io.save",
+                         "plan_io.load"):
+            assert expected in names
+
+    def test_events_out_round_trips(self, capsys, tmp_path):
+        from repro.telemetry import read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        out = _run(capsys, "profile", "bit-reversal", "--n", "1024",
+                   "--width", "8", "--events-out", str(path))
+        assert "wrote JSONL event log" in out
+        events = read_jsonl(path)
+        assert {"span", "counter"} <= {e["type"] for e in events}
+
+    def test_model_time_column_matches_simulate(self, capsys):
+        out = _run(capsys, "profile", "bit-reversal", "--n", "1024",
+                   "--width", "8", "--latency", "16", "--dmms", "4")
+        from repro.core.scheduled import ScheduledPermutation
+        from repro.machine.params import MachineParams
+        from repro.permutations.named import bit_reversal
+
+        expected = ScheduledPermutation.plan(
+            bit_reversal(1024), width=8
+        ).simulate(MachineParams(width=8, latency=16, num_dmms=4)).time
+        assert f"model_time={expected}" in out
+
+
+class TestTelemetryFlag:
+    def test_cost_appends_summary(self, capsys):
+        out = _run(capsys, "cost", "--n", "256", "--width", "4",
+                   "--latency", "5", "--telemetry")
+        assert "telemetry:" in out
+        assert "counter plans.scheduled = 1" in out
+        assert "scheduled.plan" in out
+
+    def test_demo_without_flag_has_no_summary(self, capsys):
+        out = _run(capsys, "demo")
+        assert "telemetry:" not in out
+
+    def test_resilience_demo_shows_fallback_spans(self, capsys):
+        out = _run(capsys, "resilience-demo", "--n", "256",
+                   "--width", "4", "--telemetry")
+        assert "counter resilience.retries = 1" in out
+        assert "resilience.plan.scheduled" in out
+        assert "resilience.backoff" in out
+        assert "outcome=persistent-fault" in out
+        assert "outcome=ok" in out
+
 
 class TestVerifyPlanRejection:
     """A corrupt/unreadable plan exits 1 with a one-line diagnostic."""

@@ -19,6 +19,7 @@ CASES = {
     "plan_once_run_many.py": ("permuted correctly", []),
     "network_emulation.py": ("winner", []),
     "random_permutation_study.py": ("random permutations", []),
+    "telemetry_profile.py": ("model-time bridge verified", []),
     # Full-scale script exercised at a small side for the smoke test.
     "full_scale_table2.py": ("constant", ["--side", "128"]),
 }
