@@ -36,6 +36,7 @@ from repro import (
     machine,
     permutations,
     resilience,
+    staticcheck,
     telemetry,
     util,
 )
@@ -59,9 +60,11 @@ from repro.core.scheduler import ThreeStepDecomposition, decompose
 from repro.core.transpose import TiledTranspose
 from repro.core import theory
 from repro.errors import (
+    CertificateError,
     ColoringError,
     FallbackExhaustedError,
     MachineError,
+    MemoryRaceError,
     NotAPermutationError,
     PlanCorruptionError,
     PlanIntegrityError,
@@ -71,6 +74,7 @@ from repro.errors import (
     SchedulingError,
     SharedMemoryCapacityError,
     SizeError,
+    StaticCheckError,
     TelemetryError,
     ValidationError,
 )
@@ -85,6 +89,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AutoPermutation",
+    "CertificateError",
     "ColoringError",
     "ColumnwiseSchedule",
     "DDesignatedPermutation",
@@ -95,6 +100,7 @@ __all__ = [
     "L2Cache",
     "MachineError",
     "MachineParams",
+    "MemoryRaceError",
     "NotAPermutationError",
     "PaddedScheduledPermutation",
     "PlanCorruptionError",
@@ -109,6 +115,7 @@ __all__ = [
     "SchedulingError",
     "SharedMemoryCapacityError",
     "SizeError",
+    "StaticCheckError",
     "TelemetryError",
     "ThreeStepDecomposition",
     "TiledTranspose",
@@ -135,6 +142,7 @@ __all__ = [
     "resilience",
     "save_plan",
     "scheduled_permute",
+    "staticcheck",
     "telemetry",
     "theoretical_distribution",
     "theory",

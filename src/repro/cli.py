@@ -6,6 +6,8 @@ Commands
 ``plan``        plan a scheduled permutation and save it (.npz)
 ``verify-plan`` reload a saved plan and re-verify it (exit 1 + one-line
                 diagnostic on a corrupt/stale/unreadable file)
+``check``       run the project's static lint rules (REP101..REP103)
+                over the package or given paths; exit 1 on findings
 ``profile``     trace one permutation end to end: per-phase wall/model
                 table, optional Chrome trace + JSONL event log
 ``resilience-demo`` inject faults; show detection and fallback
@@ -133,12 +135,49 @@ def cmd_verify_plan(args) -> str:
         ) from exc
     elapsed_ms = (time.perf_counter() - start) * 1e3
     file_bytes = Path(args.path).stat().st_size
+    cert = plan.certificate
+    if cert is not None:
+        cert_line = (
+            f"certificate: {cert.summary()}; bound to payload "
+            f"{str(cert.plan_sha)[:12]}..."
+        )
+    else:
+        cert_line = (
+            "certificate: none embedded (saved with certify=False); "
+            "schedule verified structurally only"
+        )
     return (
         f"plan OK: n = {plan.n}, m = {plan.m}, width = {plan.width}, "
         f"{plan.schedule_bytes()} bytes of schedule data; decomposition "
         "routes correctly and all shared rounds are conflict-free\n"
+        f"colouring: {plan.m} colour classes verified as perfect "
+        "matchings of the row multigraph\n"
+        f"{cert_line}\n"
         f"file: {file_bytes} bytes on disk, loaded and verified in "
         f"{elapsed_ms:.1f} ms"
+    )
+
+
+def cmd_check(args) -> str:
+    from repro.errors import StaticCheckError
+    from repro.staticcheck.lint import LINT_RULES, run_lint
+
+    try:
+        findings = run_lint(
+            paths=args.paths or None, rules=args.rule or None
+        )
+    except StaticCheckError as exc:
+        raise SystemExit(f"check: ERROR: {exc}") from exc
+    if findings:
+        lines = "\n".join(f"  {f.format()}" for f in findings)
+        raise SystemExit(
+            f"check: FAILED: {len(findings)} finding(s)\n{lines}"
+        )
+    rules = sorted(args.rule) if args.rule else sorted(LINT_RULES)
+    scope = ", ".join(str(p) for p in args.paths) if args.paths else \
+        "the repro package"
+    return (
+        f"check OK: {', '.join(rules)} clean over {scope}"
     )
 
 
@@ -399,6 +438,19 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--seed", type=int, default=0)
     plan.add_argument("--out", required=True, help="output .npz path")
     plan.set_defaults(func=cmd_plan)
+
+    check = sub.add_parser(
+        "check", help="run the project's static lint rules"
+    )
+    check.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    check.add_argument(
+        "--rule", action="append", metavar="REPxxx",
+        help="restrict to the given rule (repeatable)",
+    )
+    check.set_defaults(func=cmd_check)
 
     verify = sub.add_parser("verify-plan", help="reload and verify a plan")
     verify.add_argument("path")

@@ -49,7 +49,12 @@ class ConventionalPermutation:
         # The paper stores the permutation as 32-bit int ("at most
         # ceil(log n) <= 32 bits are necessary"); keep that so index
         # reads are charged single-cell bandwidth.
-        self.p = p.astype(np.int32) if p.shape[0] <= 2**31 else p
+        self.p = (
+            # Fixed width is paper-mandated here, not a size assumption.
+            p.astype(np.int32)  # staticcheck: ignore[REP103]
+            if p.shape[0] <= 2**31
+            else p
+        )
         self.n = int(self.p.shape[0])
 
     # -- to be provided by subclasses --------------------------------

@@ -21,8 +21,16 @@ be bad onto a precise exception:
 * written by another format version         →
   :class:`~repro.errors.PlanVersionError`.
 
+On top of integrity, files carry an *optimality proof*: by default
+:func:`save_plan` embeds the static conflict-freedom certificate of
+:mod:`repro.staticcheck` (bound to the payload checksum), and
+:func:`load_plan` re-validates it — a loaded plan is then proven both
+authentic **and** bank-conflict-free/coalesced without running the
+simulator.  The certificate is an optional extra key, so its presence
+does not change the payload checksum or the format version.
+
 See ``docs/robustness.md`` for the exact file layout and checksum
-definition.
+definition, and ``docs/static-analysis.md`` for the certificate.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from repro.core.scheduled import ScheduledPermutation
 from repro.core.scheduler import ThreeStepDecomposition
 from repro.core.transpose import TiledTranspose
 from repro.errors import (
+    CertificateError,
     PlanCorruptionError,
     PlanVersionError,
     ValidationError,
@@ -104,11 +113,17 @@ def _pack(plan: ScheduledPermutation) -> dict:
     }
 
 
-def save_plan(path, plan: ScheduledPermutation) -> None:
+def save_plan(path, plan: ScheduledPermutation, certify: bool = True) -> None:
     """Serialise a planned scheduled permutation to ``path`` (.npz).
 
     The file is stamped with :data:`FORMAT_VERSION`, the writing
-    library's version, and a SHA-256 checksum over the payload.
+    library's version, and a SHA-256 checksum over the payload.  With
+    ``certify=True`` (the default) the static conflict-freedom
+    certificate is computed, bound to that checksum and embedded; a
+    plan that fails its own proof raises
+    :class:`~repro.errors.CertificateError` and nothing is written —
+    a conflicted plan must never be persisted as trusted.  Pass
+    ``certify=False`` to write a bare (still checksummed) file.
     """
     if not isinstance(plan, ScheduledPermutation):
         raise ValidationError(
@@ -118,18 +133,35 @@ def save_plan(path, plan: ScheduledPermutation) -> None:
 
     with telemetry.span("plan_io.save", n=plan.n) as sp:
         arrays = _pack(plan)
+        checksum = plan_checksum(arrays)
+        extra: dict = {}
+        if certify:
+            from repro.staticcheck.certifier import certify_plan
+
+            cert = certify_plan(plan).bound_to(checksum)
+            if not cert.ok:
+                assert cert.counterexample is not None
+                raise CertificateError(
+                    f"refusing to save {path}: plan is not conflict-"
+                    f"free — {cert.counterexample.describe()}"
+                )
+            plan.certificate = cert
+            extra["certificate"] = np.str_(cert.to_json())
         np.savez_compressed(
             Path(path),
-            checksum=np.str_(plan_checksum(arrays)),
+            checksum=np.str_(checksum),
             library_version=np.str_(__version__),
+            **extra,
             **arrays,
         )
-        sp.set(file_bytes=Path(path).stat().st_size)
+        sp.set(file_bytes=Path(path).stat().st_size,
+               certified=bool(certify))
         telemetry.count("plan_io.saved")
 
 
-def _read_payload(path) -> tuple[dict, str]:
-    """Open ``path`` and return ``(payload arrays, stored checksum)``.
+def _read_payload(path) -> tuple[dict, str, str | None]:
+    """Open ``path`` and return ``(payload arrays, stored checksum,
+    certificate JSON or None)``.
 
     All the ways a file can be unreadable — not a zip at all, truncated
     mid-archive, a payload key deleted — surface here and are wrapped
@@ -157,6 +189,10 @@ def _read_payload(path) -> tuple[dict, str]:
                 )
             arrays = {key: data[key] for key in PAYLOAD_KEYS}
             stored = str(data["checksum"])
+            cert_json = (
+                str(data["certificate"])
+                if "certificate" in data.files else None
+            )
     except PlanVersionError:
         raise
     except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
@@ -170,17 +206,21 @@ def _read_payload(path) -> tuple[dict, str]:
         raise PlanCorruptionError(
             f"{path}: plan file is incomplete: {exc.args[0]}"
         ) from exc
-    return arrays, stored
+    return arrays, stored, cert_json
 
 
 def load_plan(path) -> ScheduledPermutation:
     """Rebuild a plan saved by :func:`save_plan`.
 
     Verification happens cheapest-first: format version, then the
-    SHA-256 content checksum, then the full structural
-    ``plan.verify()`` (decomposition routing and conflict-freedom) — so
-    a corrupted file fails loudly rather than permuting silently wrong,
-    and fails *early* rather than after an expensive rebuild.
+    SHA-256 content checksum, then the embedded certificate (well-
+    formed, bound to this exact payload checksum, positive, and
+    matching the plan's ``n``/``width``), then the full structural
+    ``plan.verify()`` (decomposition routing, colouring and
+    conflict-freedom) — so a corrupted file fails loudly rather than
+    permuting silently wrong, and fails *early* rather than after an
+    expensive rebuild.  A validated certificate is attached to the
+    returned plan as ``plan.certificate``.
     """
     with telemetry.span("plan_io.load") as sp:
         try:
@@ -198,7 +238,7 @@ def load_plan(path) -> ScheduledPermutation:
 
 
 def _load_plan_inner(path, sp) -> ScheduledPermutation:
-    arrays, stored = _read_payload(path)
+    arrays, stored, cert_json = _read_payload(path)
     actual = plan_checksum(arrays)
     if actual != stored:
         raise PlanCorruptionError(
@@ -206,6 +246,9 @@ def _load_plan_inner(path, sp) -> ScheduledPermutation:
             f"recomputed {actual[:12]}...); the file was corrupted or "
             "tampered with — re-plan from the original permutation"
         )
+    certificate = None
+    if cert_json is not None:
+        certificate = _validate_certificate(path, cert_json, actual)
     p = arrays["p"]
     width = int(arrays["width"])
     decomposition = ThreeStepDecomposition(
@@ -237,8 +280,46 @@ def _load_plan_inner(path, sp) -> ScheduledPermutation:
         step1=step1,
         step2=step2,
         step3=step3,
+        certificate=certificate,
     )
+    if certificate is not None and (
+        certificate.n != plan.n or certificate.width != width
+    ):
+        raise PlanCorruptionError(
+            f"{path}: embedded certificate was issued for n = "
+            f"{certificate.n}, w = {certificate.width}, but the plan "
+            f"has n = {plan.n}, w = {width}"
+        )
     with telemetry.span("plan_io.verify", n=plan.n):
         plan.verify()
-    sp.set(n=plan.n, width=width)
+    sp.set(n=plan.n, width=width, certified=certificate is not None)
     return plan
+
+
+def _validate_certificate(path, cert_json: str, checksum: str):
+    """Parse and police an embedded certificate (all failure modes are
+    :class:`PlanCorruptionError` — a bad certificate means the file was
+    hand-edited or spliced together from two files)."""
+    from repro.staticcheck.certifier import Certificate
+
+    try:
+        cert = Certificate.from_json(cert_json)
+    except CertificateError as exc:
+        raise PlanCorruptionError(
+            f"{path}: embedded certificate is malformed: {exc}"
+        ) from exc
+    if cert.plan_sha != checksum:
+        raise PlanCorruptionError(
+            f"{path}: embedded certificate is bound to payload "
+            f"{str(cert.plan_sha)[:12]}..., not this file's "
+            f"{checksum[:12]}... — certificate and payload do not "
+            "belong together"
+        )
+    if not cert.ok:
+        assert cert.counterexample is not None
+        raise PlanCorruptionError(
+            f"{path}: embedded certificate records a conflict "
+            f"({cert.counterexample.describe()}); a negative "
+            "certificate must never be persisted"
+        )
+    return cert

@@ -29,7 +29,8 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -44,6 +45,9 @@ from repro.machine.params import MachineParams
 from repro.machine.trace import ProgramTrace
 from repro.util.validation import check_permutation, check_square
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.certifier import Certificate
+
 
 @dataclass
 class ScheduledPermutation:
@@ -55,6 +59,11 @@ class ScheduledPermutation:
     step1: RowwiseSchedule
     step2: ColumnwiseSchedule
     step3: RowwiseSchedule
+    #: Static conflict-freedom proof, attached by :meth:`certify` or by
+    #: :func:`repro.core.io.load_plan` when the file embeds one.
+    certificate: "Certificate | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     # ------------------------------------------------------------------
     # Planning
@@ -242,12 +251,30 @@ class ScheduledPermutation:
             step3=RowwiseSchedule.plan(gamma3_inv, width, backend),
         )
 
+    def certify(self) -> "Certificate":
+        """Statically prove every access round conflict-free/coalesced.
+
+        Runs :func:`repro.staticcheck.certify_plan` over the plan
+        arrays (no simulation), caches the result on
+        :attr:`certificate` and returns it.  The certificate may be
+        negative — check ``certificate.ok`` — so this never raises on a
+        conflicted plan; :func:`repro.core.io.save_plan` enforces
+        positivity when persisting.
+        """
+        from repro.staticcheck.certifier import certify_plan
+
+        self.certificate = certify_plan(self)
+        return self.certificate
+
     def verify(self) -> None:
         """Run every internal consistency check (tests and
         :func:`repro.core.io.load_plan` call this): the decomposition
-        must route ``p`` exactly and every row-wise schedule must be
-        conflict-free *and* encode its ``gamma``."""
+        must route ``p`` exactly, its colouring must be a proper König
+        colouring (each colour class a perfect matching), and every
+        row-wise schedule must be conflict-free *and* encode its
+        ``gamma``."""
         self.decomposition.route(self.p)
+        self.decomposition.verify_coloring(self.p)
         self.step1.verify()
         self.step2.rowwise.verify()
         self.step3.verify()

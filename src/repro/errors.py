@@ -88,6 +88,22 @@ class AccessRoundError(MachineError, ValueError):
     """An access round is malformed (bad shape, negative addresses, ...)."""
 
 
+class MemoryRaceError(MachineError):
+    """A memory race was detected in an access-round sequence.
+
+    Raised by the emulators when race detection is enabled (``HMM(...,
+    detect_races=True)`` or ``DMM/UMM.simulate(..., detect_races=True)``)
+    and two threads collide on the same address: a write-write collision
+    within one round (nondeterministic outcome), or a read-write /
+    write-write hazard between overlapping rounds when barriers are
+    disabled.  Carries the structured findings as ``findings``.
+    """
+
+    def __init__(self, message: str, findings=()) -> None:
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
 # ---------------------------------------------------------------------------
 # Scheduling / colouring
 # ---------------------------------------------------------------------------
@@ -103,6 +119,25 @@ class ColoringError(SchedulingError):
 
 class NotRegularError(ColoringError, ValueError):
     """A bipartite multigraph expected to be regular is not."""
+
+
+# ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+
+class StaticCheckError(ReproError):
+    """Base class for errors raised by :mod:`repro.staticcheck`."""
+
+
+class CertificateError(StaticCheckError):
+    """A conflict-freedom certificate is malformed or cannot be issued.
+
+    Raised when deserialising a structurally invalid certificate, and by
+    :func:`repro.core.io.save_plan` when asked to certify a plan whose
+    schedule is *not* conflict-free — a plan that fails its own static
+    proof must never be persisted as trusted.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -49,9 +49,51 @@ class DMM:
         return bool(per_warp.size == 0 or per_warp.max() <= 1)
 
     def simulate(
-        self, rounds: list[np.ndarray], barrier: bool = True
+        self,
+        rounds: list[np.ndarray],
+        barrier: bool = True,
+        detect_races: bool = False,
+        kinds: list[str] | None = None,
     ) -> CycleReport:
-        """Cycle-accurate run of a round sequence (see Figure 3)."""
+        """Cycle-accurate run of a round sequence (see Figure 3).
+
+        With ``detect_races=True`` the rounds are first screened by
+        :func:`repro.staticcheck.check_races`, raising
+        :class:`~repro.errors.MemoryRaceError` on any collision.
+        ``kinds`` gives the read/write kind per round; when omitted all
+        rounds are treated as writes (the conservative choice — every
+        duplicate address is then a reported race).
+        """
+        if detect_races:
+            _check_round_races(
+                rounds, kinds, self.space, barrier=barrier
+            )
         return simulate_access_sequence(
             rounds, self.width, self.latency, self.space, barrier=barrier
         )
+
+
+def _check_round_races(
+    rounds: list[np.ndarray],
+    kinds: list[str] | None,
+    space: str,
+    barrier: bool,
+) -> None:
+    """Shared DMM/UMM helper: lift bare address streams into
+    :class:`~repro.machine.requests.AccessRound` and race-check them."""
+    from repro.machine.requests import AccessRound
+    from repro.staticcheck.races import check_races
+
+    if kinds is None:
+        kinds = ["write"] * len(rounds)
+    access_rounds = [
+        AccessRound(
+            space, kind, addresses, "mem",  # type: ignore[arg-type]
+            block_size=(
+                len(addresses) if space == "shared" and len(addresses)
+                else None
+            ),
+        )
+        for addresses, kind in zip(rounds, kinds)
+    ]
+    check_races(access_rounds, barrier=barrier, context=f"{space} simulate")

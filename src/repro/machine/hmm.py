@@ -56,15 +56,24 @@ class HMM:
         round's stages are computed with hit/miss-weighted costs and the
         cache state persists across rounds and kernels (reset with
         :meth:`reset_cache`).
+    detect_races:
+        When true, every *write* round is screened for intra-round
+        write-write collisions before being charged, raising
+        :class:`~repro.errors.MemoryRaceError` — the dynamic
+        counterpart of the static certifier's scatter-injectivity
+        proof.  Rounds are barrier-separated on the HMM, so cross-round
+        hazards cannot occur here and only the intra-round check runs.
     """
 
     def __init__(
         self,
         params: MachineParams | None = None,
         l2_cache: L2Cache | None = None,
+        detect_races: bool = False,
     ) -> None:
         self.params = params or MachineParams()
         self.l2_cache = l2_cache
+        self.detect_races = detect_races
 
     # ------------------------------------------------------------------
     # Execution
@@ -72,6 +81,17 @@ class HMM:
 
     def run_round(self, rnd: AccessRound) -> RoundCost:
         """Charge a single access round and return its cost."""
+        if self.detect_races and rnd.kind == "write":
+            from repro.errors import MemoryRaceError
+            from repro.staticcheck.races import find_intra_round_races
+
+            findings = find_intra_round_races([rnd])
+            if findings:
+                raise MemoryRaceError(
+                    f"race in {rnd.space} round on {rnd.array!r}: "
+                    + "; ".join(f.describe() for f in findings[:3]),
+                    findings=findings,
+                )
         width = self.params.width
         classification = classify_round(rnd, width)
         if rnd.space == "global":

@@ -27,6 +27,14 @@ from repro.machine.hmm import HMM
 from repro.machine.requests import AccessRound, Kernel
 from repro.machine.trace import KernelTrace, ProgramTrace
 
+#: Test seam for fault injection: when set (by
+#: :class:`repro.resilience.FaultPlan` with ``scatter_collisions``),
+#: every shared-memory scatter passes its address matrix through this
+#: callable *before* the round is recorded or the write lands — so an
+#: injected write-write collision is real (the payload is corrupted)
+#: and visible to race detection, exactly like a miscomputed schedule.
+_scatter_fault_hook = None
+
 
 class TraceRecorder:
     """Collects access rounds emitted by traced arrays.
@@ -257,6 +265,10 @@ class TracedSharedArray:
         """One write round: thread ``t`` of block ``b`` writes to
         ``data[b, addresses[b, t]]``."""
         addresses = self._check(addresses)
+        if _scatter_fault_hook is not None:
+            addresses = self._check(
+                _scatter_fault_hook(self.name, addresses)
+            )
         if self.recorder.active:
             self.recorder.record(
                 AccessRound(

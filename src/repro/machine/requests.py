@@ -124,6 +124,20 @@ class AccessRound:
         """Human-readable identifier like ``"global read a"``."""
         return f"{self.space} {self.kind} {self.array}"
 
+    def warp_view(self, width: int) -> np.ndarray:
+        """Addresses reshaped to ``(num_warps, width)`` — one row per
+        warp, the granularity at which bank conflicts and coalescing
+        are defined.  Requires the thread count to be a multiple of
+        ``width`` (every round the executors emit satisfies this)."""
+        if width < 1:
+            raise AccessRoundError(f"width must be >= 1, got {width}")
+        if self.num_threads % width != 0:
+            raise AccessRoundError(
+                f"{self.num_threads} threads do not divide into warps "
+                f"of {width}"
+            )
+        return self.addresses.reshape(-1, width)
+
 
 @dataclass(frozen=True)
 class Kernel:

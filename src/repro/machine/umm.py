@@ -45,9 +45,25 @@ class UMM:
         return bool(per_warp.size == 0 or per_warp.max() <= 1)
 
     def simulate(
-        self, rounds: list[np.ndarray], barrier: bool = True
+        self,
+        rounds: list[np.ndarray],
+        barrier: bool = True,
+        detect_races: bool = False,
+        kinds: list[str] | None = None,
     ) -> CycleReport:
-        """Cycle-accurate run of a round sequence (see Figure 3)."""
+        """Cycle-accurate run of a round sequence (see Figure 3).
+
+        ``detect_races``/``kinds`` behave as in
+        :meth:`repro.machine.dmm.DMM.simulate`: screen the rounds with
+        :func:`repro.staticcheck.check_races` first, treating every
+        round as a write unless ``kinds`` says otherwise.
+        """
+        if detect_races:
+            from repro.machine.dmm import _check_round_races
+
+            _check_round_races(
+                rounds, kinds, self.space, barrier=barrier
+            )
         return simulate_access_sequence(
             rounds, self.width, self.latency, self.space, barrier=barrier
         )

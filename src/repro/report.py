@@ -206,6 +206,35 @@ def _check_resilience() -> str:
             f"(engine: {resilient.report.engine_used})")
 
 
+def _check_staticcheck() -> str:
+    import dataclasses
+
+    from repro.machine.requests import AccessRound
+    from repro.staticcheck import certify_plan, detect_races, run_lint
+
+    # A sound plan certifies positively from its arrays alone.
+    p = random_permutation(1024, seed=5)
+    plan = ScheduledPermutation.plan(p, width=_WIDTH)
+    cert = certify_plan(plan)
+    assert cert.ok and cert.num_rounds == 32
+    # Corrupting one schedule entry produces a located counterexample.
+    bad_s = plan.step1.s.copy()
+    bad_s[0, 1] = bad_s[0, 0]
+    bad = dataclasses.replace(
+        plan, step1=dataclasses.replace(plan.step1, s=bad_s)
+    )
+    bad_cert = certify_plan(bad)
+    assert not bad_cert.ok
+    assert bad_cert.counterexample.kernel == "step1.rowwise"
+    # The race detector flags a duplicate-address write round.
+    racy = AccessRound("global", "write", np.array([0, 1, 1, 3]), "b")
+    assert len(detect_races([racy])) == 1
+    # And the shipped package passes its own lint rules.
+    assert run_lint() == []
+    return ("32/32 rounds certified, corruption localised to "
+            f"{bad_cert.counterexample.kernel}, race + lint clean")
+
+
 def _check_optimality() -> str:
     ratio = theory.optimality_ratio(1 << 22, _WIDTH, 100, 8)
     assert ratio <= 9
@@ -224,6 +253,7 @@ _CHECKS: list[tuple[str, Callable[[], str]]] = [
     ("[8]/[9]   single-DMM variant", _check_dmm),
     ("Sec VII   optimality ratio", _check_optimality),
     ("Resil.    faults & fallback", _check_resilience),
+    ("Static    certifier & lint", _check_staticcheck),
 ]
 
 

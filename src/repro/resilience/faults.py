@@ -17,7 +17,15 @@ demand and reproducibly:
   :class:`~repro.errors.SharedMemoryCapacityError`.  The global
   three-step decomposition colours a degree-``sqrt(n)`` multigraph, so
   this reproduces the paper's 48 KB shared-memory wall (Table II(b):
-  ``sqrt(n) = 4096`` doubles are infeasible) at any chosen ``sqrt(n)``.
+  ``sqrt(n) = 4096`` doubles are infeasible) at any chosen ``sqrt(n)``;
+* **scatter collisions** — while active, the first
+  ``scatter_collisions`` shared-memory scatters have one lane's
+  address overwritten with lane 0's, manufacturing a genuine
+  write-write race (the payload is corrupted, the round gains a bank
+  conflict).  This is the workload the race detector
+  (:func:`repro.staticcheck.detect_races`, ``HMM(...,
+  detect_races=True)``) and the certifier's differential tests exist
+  to catch.
 
 Production paths pay nothing for this machinery: the colouring modules
 consult a module-level hook that is ``None`` unless a plan is active,
@@ -43,6 +51,7 @@ from repro.errors import (
     FaultInjectionError,
     SharedMemoryCapacityError,
 )
+from repro.machine import memory as _memory
 
 #: The four supported plan-file fault modes.
 FILE_FAULT_MODES = ("bit-flip", "truncate", "delete-key", "stale-version")
@@ -90,6 +99,11 @@ class FaultPlan:
         :class:`~repro.errors.SharedMemoryCapacityError` — a
         *persistent* fault (no retry can help), unlike the transient
         counter.  Degree equals ``sqrt(n)`` for the global colouring.
+    scatter_collisions:
+        How many shared-memory scatters get a write-write collision
+        injected while the plan is active (one duplicated address per
+        scatter, in a seeded block/lane).  Counter resets on every
+        activation.
     """
 
     def __init__(
@@ -98,11 +112,17 @@ class FaultPlan:
         transient_coloring_failures: int = 0,
         coloring_sites: tuple[str, ...] | None = None,
         capacity_threshold: int | None = None,
+        scatter_collisions: int = 0,
     ) -> None:
         if transient_coloring_failures < 0:
             raise FaultInjectionError(
                 "transient_coloring_failures must be >= 0, got "
                 f"{transient_coloring_failures}"
+            )
+        if scatter_collisions < 0:
+            raise FaultInjectionError(
+                f"scatter_collisions must be >= 0, got "
+                f"{scatter_collisions}"
             )
         self.seed = int(seed)
         self.transient_coloring_failures = int(transient_coloring_failures)
@@ -110,7 +130,10 @@ class FaultPlan:
             tuple(coloring_sites) if coloring_sites is not None else None
         )
         self.capacity_threshold = capacity_threshold
+        self.scatter_collisions = int(scatter_collisions)
         self._remaining = 0
+        self._scatter_remaining = 0
+        self._scatter_count = 0   # per-activation, drives determinism
         self._corruptions = 0   # per-plan counter -> distinct determinism
 
     # ------------------------------------------------------------------
@@ -126,14 +149,19 @@ class FaultPlan:
             )
         _active = self
         self._remaining = self.transient_coloring_failures
+        self._scatter_remaining = self.scatter_collisions
+        self._scatter_count = 0
         _euler._fault_hook = self._hook
         _matching._fault_hook = self._hook
+        if self.scatter_collisions:
+            _memory._scatter_fault_hook = self._scatter_hook
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         global _active
         _euler._fault_hook = None
         _matching._fault_hook = None
+        _memory._scatter_fault_hook = None
         _active = None
 
     def _hook(self, site: str, graph) -> None:
@@ -155,6 +183,24 @@ class FaultPlan:
                 f"[injected] transient colouring fault at site "
                 f"{site!r} ({self._remaining} more to come)"
             )
+
+    def _scatter_hook(
+        self, array: str, addresses: np.ndarray
+    ) -> np.ndarray:
+        """Called by :meth:`TracedSharedArray.scatter` with the
+        ``(blocks, threads)`` address matrix; returns what the write
+        actually uses."""
+        del array  # all shared arrays are fair game
+        self._scatter_count += 1
+        if self._scatter_remaining <= 0 or addresses.shape[1] < 2:
+            return addresses
+        self._scatter_remaining -= 1
+        rng = np.random.default_rng([self.seed, self._scatter_count])
+        block = int(rng.integers(addresses.shape[0]))
+        lane = int(rng.integers(1, addresses.shape[1]))
+        corrupted = addresses.copy()
+        corrupted[block, lane] = corrupted[block, 0]
+        return corrupted
 
     # ------------------------------------------------------------------
     # Plan-file corruption

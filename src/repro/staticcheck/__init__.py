@@ -1,0 +1,73 @@
+"""Static analysis for scheduled-permutation plans.
+
+Three layers, all pure functions over arrays and source text — nothing
+here runs the simulator:
+
+* :mod:`repro.staticcheck.certifier` — proves a plan's 32 memory-access
+  rounds bank-conflict-free (DMM) and fully coalesced (UMM) from the
+  plan arrays alone, emitting a :class:`Certificate` or a precise
+  :class:`Counterexample`;
+* :mod:`repro.staticcheck.races` — write-write / read-write race
+  detection over access-round traces, wired into the emulators behind
+  ``detect_races=True``;
+* :mod:`repro.staticcheck.lint` — project-specific AST rules
+  (``python -m repro check``).
+"""
+
+from __future__ import annotations
+
+from repro.staticcheck.access import (
+    StaticRound,
+    plan_rounds,
+    rowwise_rounds,
+    transpose_rounds,
+)
+from repro.staticcheck.certifier import (
+    CERTIFICATE_VERSION,
+    Certificate,
+    Counterexample,
+    RoundVerdict,
+    analyze_round,
+    certify_plan,
+    certify_rounds,
+    global_group_counts,
+    shared_bank_multiplicities,
+)
+from repro.staticcheck.lint import (
+    LINT_RULES,
+    LintFinding,
+    lint_source,
+    run_lint,
+)
+from repro.staticcheck.races import (
+    RaceFinding,
+    check_races,
+    detect_races,
+    find_cross_round_hazards,
+    find_intra_round_races,
+)
+
+__all__ = [
+    "CERTIFICATE_VERSION",
+    "Certificate",
+    "Counterexample",
+    "LINT_RULES",
+    "LintFinding",
+    "RaceFinding",
+    "RoundVerdict",
+    "StaticRound",
+    "analyze_round",
+    "certify_plan",
+    "certify_rounds",
+    "check_races",
+    "detect_races",
+    "find_cross_round_hazards",
+    "find_intra_round_races",
+    "global_group_counts",
+    "lint_source",
+    "plan_rounds",
+    "rowwise_rounds",
+    "run_lint",
+    "shared_bank_multiplicities",
+    "transpose_rounds",
+]

@@ -1,0 +1,175 @@
+"""Symbolic access-map extraction from saved plans.
+
+The scheduled permutation's five kernels move data through exactly 32
+memory-access rounds, and every address in them is a pure function of
+the plan arrays — the ``s``/``t`` schedules and the transpose's
+precomputed address streams.  This module derives those 32 address
+streams *without executing anything*: no payload array is allocated, no
+traced gather/scatter runs.  The certifier analyses the result; the
+differential test suite pins it against the address streams the real
+executors emit through :mod:`repro.machine.memory`.
+
+The round order mirrors the executors exactly:
+
+* row-wise kernel (:meth:`repro.core.rowwise.RowwiseSchedule.apply`):
+  read ``a``, read ``s``, write ``x[s]``, read ``t``, read ``x[tile]``,
+  write ``y[t]``, read ``y[tile]``, write ``b`` — 8 rounds;
+* transpose kernel (:meth:`repro.core.transpose.TiledTranspose.apply`):
+  read ``a``, write ``tile`` (diagonal slots), read ``tile``, write
+  ``b`` — 4 rounds;
+* program: row-wise, transpose, row-wise, transpose, row-wise
+  = 8 + 4 + 8 + 4 + 8 = 32 rounds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import StaticCheckError
+from repro.machine.requests import AccessRound
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.rowwise import RowwiseSchedule
+    from repro.core.scheduled import ScheduledPermutation
+    from repro.core.transpose import TiledTranspose
+
+#: (space, kind, array, addresses, block_size)
+_Access = tuple[str, str, str, np.ndarray, "int | None"]
+
+
+@dataclass(frozen=True)
+class StaticRound:
+    """One access round derived symbolically from plan arrays.
+
+    ``addresses`` holds one address per thread (block-local for shared
+    rounds, exactly the convention of
+    :class:`repro.machine.requests.AccessRound`); ``index`` is the
+    round's position in the full 32-round program.
+    """
+
+    kernel: str
+    index: int
+    space: str
+    kind: str
+    array: str
+    addresses: np.ndarray
+    block_size: int | None = None
+
+    @property
+    def num_threads(self) -> int:
+        return int(self.addresses.shape[0])
+
+    def label(self) -> str:
+        """Identifier like ``"step1.rowwise[2] shared write x"``."""
+        return f"{self.kernel}[{self.index}] {self.space} {self.kind} " \
+               f"{self.array}"
+
+    def to_access_round(self) -> AccessRound:
+        """The equivalent dynamic :class:`AccessRound` (tests, races)."""
+        return AccessRound(
+            self.space, self.kind, self.addresses, self.array,  # type: ignore[arg-type]
+            block_size=self.block_size,
+        )
+
+
+def _coalesced(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64)
+
+
+def _rowwise_accesses(schedule: "RowwiseSchedule") -> Iterator[_Access]:
+    """The 8 address streams of one row-wise kernel, in executor order."""
+    rows, m = int(schedule.rows), int(schedule.m)
+    n = rows * m
+    idx = _coalesced(n)
+    s_flat = np.asarray(schedule.s, dtype=np.int64).reshape(-1)
+    t_flat = np.asarray(schedule.t, dtype=np.int64).reshape(-1)
+    tile = np.broadcast_to(
+        np.arange(m, dtype=np.int64), (rows, m)
+    ).reshape(-1)
+    yield ("global", "read", "a", idx, None)
+    yield ("global", "read", "s", idx, None)
+    yield ("shared", "write", "x", s_flat, m)
+    yield ("global", "read", "t", idx, None)
+    yield ("shared", "read", "x", tile, m)
+    yield ("shared", "write", "y", t_flat, m)
+    yield ("shared", "read", "y", tile, m)
+    yield ("global", "write", "b", idx, None)
+
+
+def _transpose_accesses(transpose: "TiledTranspose") -> Iterator[_Access]:
+    """The 4 address streams of one tiled-transpose kernel."""
+    block_threads = int(transpose.block_threads)
+    yield ("global", "read", "a",
+           np.asarray(transpose.read_addr, dtype=np.int64), None)
+    yield ("shared", "write", "tile",
+           np.asarray(transpose.shared_write_addr, dtype=np.int64)
+           .reshape(-1), block_threads)
+    yield ("shared", "read", "tile",
+           np.asarray(transpose.shared_read_addr, dtype=np.int64)
+           .reshape(-1), block_threads)
+    yield ("global", "write", "b",
+           np.asarray(transpose.write_addr, dtype=np.int64), None)
+
+
+def _materialise(
+    kernel: str, accesses: Iterator[_Access], start: int
+) -> list[StaticRound]:
+    rounds = []
+    for offset, (space, kind, array, addresses, block_size) in enumerate(
+        accesses
+    ):
+        rounds.append(
+            StaticRound(
+                kernel=kernel,
+                index=start + offset,
+                space=space,
+                kind=kind,
+                array=array,
+                addresses=addresses,
+                block_size=block_size,
+            )
+        )
+    return rounds
+
+
+def rowwise_rounds(
+    schedule: "RowwiseSchedule", kernel: str = "rowwise", start: int = 0
+) -> list[StaticRound]:
+    """Static rounds of a single row-wise schedule."""
+    return _materialise(kernel, _rowwise_accesses(schedule), start)
+
+
+def transpose_rounds(
+    transpose: "TiledTranspose", kernel: str = "transpose", start: int = 0
+) -> list[StaticRound]:
+    """Static rounds of a single tiled transpose."""
+    return _materialise(kernel, _transpose_accesses(transpose), start)
+
+
+def plan_rounds(plan: "ScheduledPermutation") -> tuple[StaticRound, ...]:
+    """Derive all 32 rounds of a planned scheduled permutation.
+
+    Kernels appear in execution order (``step1.rowwise``,
+    ``step2.transpose-in``, ``step2.rowwise``, ``step2.transpose-out``,
+    ``step3.rowwise``); round indices run 0..31 across the program.
+    """
+    kernels: list[tuple[str, Iterator[_Access]]] = [
+        ("step1.rowwise", _rowwise_accesses(plan.step1)),
+        ("step2.transpose-in", _transpose_accesses(plan.step2.transpose)),
+        ("step2.rowwise", _rowwise_accesses(plan.step2.rowwise)),
+        ("step2.transpose-out", _transpose_accesses(plan.step2.transpose)),
+        ("step3.rowwise", _rowwise_accesses(plan.step3)),
+    ]
+    rounds: list[StaticRound] = []
+    for kernel, accesses in kernels:
+        rounds.extend(_materialise(kernel, accesses, start=len(rounds)))
+    if len(rounds) != 32:
+        raise StaticCheckError(
+            f"expected 32 static rounds, derived {len(rounds)} — the "
+            "plan's kernel structure does not match the paper's program"
+        )
+    return tuple(rounds)

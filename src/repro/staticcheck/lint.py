@@ -1,0 +1,349 @@
+"""Project-specific AST lint rules (``python -m repro check``).
+
+Generic linters cannot know this codebase's layering rules; these three
+checks encode them:
+
+``REP101`` **bank/group arithmetic outside the machine layer** — the
+    expressions ``x % width`` and ``x // width`` *are* the memory
+    model (bank of an address, address group of an address).  Scattering
+    them through application code invites silent divergence from
+    :meth:`repro.machine.dmm.DMM.bank` /
+    :meth:`repro.machine.umm.UMM.address_group`.  Allowed in the
+    machine, core-planner, colouring and staticcheck layers (where the
+    model is implemented) and in the figure renderers; divisibility
+    *checks* (``x % width != 0`` and friends) are exempt everywhere.
+
+``REP102`` **unguarded telemetry** — library code must emit telemetry
+    through the module-level ``telemetry.span()/count()/gauge()``
+    helpers (no-ops when no tracer is active), never by instantiating
+    :class:`repro.telemetry.Tracer` itself or importing the tracer
+    internals.  Entry points that legitimately *own* a tracer (the CLI,
+    the report runner, the resilience engine) are allowlisted.  Also
+    flags a ``span(...)`` call used as a bare statement: the span is
+    created but never entered, so it records nothing — always a bug.
+
+``REP103`` **hard-coded narrow integer dtypes** — fixed ``int8/16/32``
+    (and unsigned) dtypes in ``astype``/``np.array``/``np.asarray``/
+    ``np.empty``/``np.zeros``/``np.full`` silently overflow when sizes
+    grow; :func:`repro.util.arrays.smallest_index_dtype` is the blessed
+    idiom (and its home module is exempt).
+
+Suppression: a source line containing ``staticcheck: ignore`` silences
+all rules on that line; ``staticcheck: ignore[REP103]`` silences one.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StaticCheckError
+
+#: Rule catalogue: name -> one-line description (docs and ``--rule``).
+LINT_RULES: dict[str, str] = {
+    "REP101": "bank/group index arithmetic outside the machine layer",
+    "REP102": "telemetry not using the guarded span()/count() helpers",
+    "REP103": "hard-coded narrow integer dtype (overflow pitfall)",
+}
+
+#: Module prefixes where the memory model is *implemented* and REP101
+#: does not apply.  ``analysis.figures`` renders the Figure 4 closed
+#: form and is deliberately exempt.
+_BANK_ARITH_ALLOWED = (
+    "repro.machine",
+    "repro.core",
+    "repro.coloring",
+    "repro.staticcheck",
+    "repro.analysis.figures",
+)
+
+#: Modules allowed to instantiate a Tracer: the telemetry package
+#: itself plus the entry points that own one by design.
+_TRACER_ALLOWED = (
+    "repro.telemetry",
+    "repro.cli",
+    "repro.report",
+    "repro.resilience.engine",
+)
+
+#: Width-like identifiers whose `% x` / `// x` is bank/group math.
+_WIDTH_NAMES = frozenset({"w", "width"})
+
+#: Narrow integer dtype spellings REP103 refuses.
+_NARROW_DTYPES = frozenset(
+    {"int8", "int16", "int32", "uint8", "uint16", "uint32"}
+)
+
+#: Constructors whose ``dtype=`` keyword REP103 inspects (``np.ones``
+#: is deliberately absent: the colouring backends use ``int8`` ones
+#: vectors as sparse-matrix payloads, where overflow is impossible).
+_DTYPE_CALLS = frozenset(
+    {"array", "asarray", "empty", "zeros", "full", "arange"}
+)
+
+_IGNORE_RE = re.compile(r"staticcheck:\s*ignore(?:\[([A-Z0-9, ]+)\])?")
+
+_DEFAULT_ROOT = Path(__file__).resolve().parent.parent
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a precise source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} " \
+               f"{self.message}"
+
+
+def module_name_of(path: Path) -> str:
+    """Dotted module name of a source file (``repro.machine.dmm``).
+
+    Resolved from the last path component named ``repro``; files
+    outside a ``repro`` tree keep their stem as a best-effort name.
+    """
+    parts = path.resolve().with_suffix("").parts
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = ".".join(parts[idx:])
+    else:
+        dotted = path.stem
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+def _allowed(module: str, prefixes: Sequence[str]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+def _is_width_name(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _WIDTH_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _WIDTH_NAMES
+    return False
+
+
+def _narrow_dtype_spelling(node: ast.expr) -> str | None:
+    """The narrow-dtype name an expression spells, if any."""
+    if isinstance(node, ast.Attribute) and node.attr in _NARROW_DTYPES:
+        return node.attr
+    if isinstance(node, ast.Name) and node.id in _NARROW_DTYPES:
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value in _NARROW_DTYPES:
+            return node.value
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-pass visitor running all three rules over one module."""
+
+    def __init__(self, module: str, path: str) -> None:
+        self.module = module
+        self.path = path
+        self.findings: list[LintFinding] = []
+        self._compare_depth = 0
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            LintFinding(
+                rule=rule,
+                path=self.path,
+                line=int(getattr(node, "lineno", 1)),
+                col=int(getattr(node, "col_offset", 0)),
+                message=message,
+            )
+        )
+
+    # -- REP101 --------------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        # `x % width != 0` is a divisibility check, not bank math.
+        self._compare_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._compare_depth -= 1
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if (
+            isinstance(node.op, (ast.Mod, ast.FloorDiv))
+            and _is_width_name(node.right)
+            and self._compare_depth == 0
+            and not _allowed(self.module, _BANK_ARITH_ALLOWED)
+        ):
+            op = "%" if isinstance(node.op, ast.Mod) else "//"
+            self._report(
+                "REP101", node,
+                f"bank/group arithmetic `... {op} width` belongs in "
+                "the machine layer; use DMM.bank() / "
+                "UMM.address_group() or move the computation",
+            )
+        self.generic_visit(node)
+
+    # -- REP102 --------------------------------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if (
+            node.module is not None
+            and node.module.startswith("repro.telemetry.")
+            and not _allowed(self.module, ("repro.telemetry",))
+        ):
+            self._report(
+                "REP102", node,
+                f"import of telemetry internals ({node.module}); use "
+                "the guarded repro.telemetry.span()/count()/gauge() "
+                "helpers",
+            )
+        self.generic_visit(node)
+
+    def _is_tracer_call(self, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "Tracer"
+        if isinstance(func, ast.Attribute):
+            return func.attr == "Tracer"
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_tracer_call(node) and not _allowed(
+            self.module, _TRACER_ALLOWED
+        ):
+            self._report(
+                "REP102", node,
+                "library code must not own a Tracer; emit through the "
+                "guarded telemetry.span()/count()/gauge() helpers so "
+                "the caller controls collection",
+            )
+        self._check_rep103(node)
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            func = value.func
+            name = (
+                func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            if name == "span":
+                self._report(
+                    "REP102", node,
+                    "span created but never entered — it records "
+                    "nothing; use `with telemetry.span(...):`",
+                )
+        self.generic_visit(node)
+
+    # -- REP103 --------------------------------------------------------
+
+    def _check_rep103(self, node: ast.Call) -> None:
+        if _allowed(self.module, ("repro.util.arrays",)):
+            return
+        func = node.func
+        spelling: str | None = None
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            if node.args:
+                spelling = _narrow_dtype_spelling(node.args[0])
+        elif isinstance(func, ast.Attribute) and func.attr in _DTYPE_CALLS:
+            for keyword in node.keywords:
+                if keyword.arg == "dtype":
+                    spelling = _narrow_dtype_spelling(keyword.value)
+        if spelling is not None:
+            self._report(
+                "REP103", node,
+                f"hard-coded narrow dtype np.{spelling}; derive it "
+                "with repro.util.arrays.smallest_index_dtype to avoid "
+                "silent overflow when sizes grow",
+            )
+
+
+def _suppressed(source_lines: list[str], finding: LintFinding) -> bool:
+    if not 1 <= finding.line <= len(source_lines):
+        return False
+    match = _IGNORE_RE.search(source_lines[finding.line - 1])
+    if match is None:
+        return False
+    rules = match.group(1)
+    if rules is None:
+        return True
+    return finding.rule in {r.strip() for r in rules.split(",")}
+
+
+def lint_source(
+    source: str, path: str, module: str | None = None,
+    rules: Sequence[str] | None = None,
+) -> list[LintFinding]:
+    """Lint one module's source text (unit-testable entry point)."""
+    if module is None:
+        module = module_name_of(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise StaticCheckError(
+            f"{path}: cannot lint, file does not parse: {exc}"
+        ) from exc
+    visitor = _Visitor(module=module, path=path)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    selected = set(rules) if rules is not None else None
+    findings = [
+        finding
+        for finding in visitor.findings
+        if (selected is None or finding.rule in selected)
+        and not _suppressed(lines, finding)
+    ]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_source_files(
+    paths: Sequence[str | Path] | None = None,
+) -> Iterator[Path]:
+    """The Python files a lint run covers (defaults to the installed
+    ``repro`` package tree)."""
+    roots = (
+        [Path(p) for p in paths] if paths else [_DEFAULT_ROOT]
+    )
+    for root in roots:
+        if root.is_file():
+            yield root
+        elif root.is_dir():
+            yield from sorted(root.rglob("*.py"))
+        else:
+            raise StaticCheckError(f"lint path does not exist: {root}")
+
+
+def run_lint(
+    paths: Sequence[str | Path] | None = None,
+    rules: Sequence[str] | None = None,
+) -> list[LintFinding]:
+    """Run the rule catalogue over ``paths`` (default: the ``repro``
+    package) and return all surviving findings, sorted."""
+    if rules is not None:
+        unknown = set(rules) - set(LINT_RULES)
+        if unknown:
+            raise StaticCheckError(
+                f"unknown lint rule(s) {sorted(unknown)}; available: "
+                f"{sorted(LINT_RULES)}"
+            )
+    findings: list[LintFinding] = []
+    for path in iter_source_files(paths):
+        findings.extend(
+            lint_source(
+                path.read_text(encoding="utf-8"), str(path), rules=rules
+            )
+        )
+    return findings

@@ -1,0 +1,248 @@
+"""Memory-race detection over access-round traces.
+
+The paper's model is race-free by construction: each round is one
+access per thread, rounds are barrier-separated, and the scheduled
+permutation's scatter addresses are permutations (no two threads ever
+write one cell).  This module checks those assumptions instead of
+trusting them:
+
+* **intra-round write-write** — two active threads of one write round
+  target the same address (same block for shared rounds).  The outcome
+  is nondeterministic on real hardware regardless of barriers; on the
+  NumPy executors it silently keeps the *last* writer.  This is exactly
+  the corruption :class:`repro.resilience.FaultPlan` can inject with
+  ``scatter_collisions``.
+* **cross-round read-write / write-write hazards** — meaningful only
+  when rounds are *not* barrier-separated
+  (:func:`repro.machine.pipeline.simulate_access_sequence` with
+  ``barrier=False``): consecutive rounds on the same array overlap in
+  the pipeline, so thread ``u`` of round ``k+1`` may touch an address
+  thread ``v != u`` of round ``k`` is still writing.
+
+Wire-up: ``HMM(..., detect_races=True)`` and
+``DMM/UMM.simulate(..., detect_races=True)`` call :func:`check_races`
+and raise :class:`~repro.errors.MemoryRaceError` on any finding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MemoryRaceError
+from repro.machine.requests import AccessRound
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One detected collision.
+
+    ``round_a``/``round_b`` are positions in the checked round sequence
+    (equal for intra-round findings); ``threads`` lists (a sample of)
+    the colliding flat thread indices; ``block`` is the owning thread
+    block for shared rounds.
+    """
+
+    kind: str        #: "write-write" | "read-write" | "write-read"
+    scope: str       #: "intra-round" | "cross-round"
+    space: str
+    array: str
+    round_a: int
+    round_b: int
+    address: int
+    threads: tuple[int, ...]
+    block: int | None = None
+
+    def describe(self) -> str:
+        where = f"{self.space} array {self.array!r}"
+        if self.block is not None:
+            where += f", block {self.block}"
+        threads = ", ".join(str(t) for t in self.threads)
+        if self.scope == "intra-round":
+            return (
+                f"{self.kind} race in round {self.round_a} ({where}): "
+                f"threads {threads} all write address {self.address}"
+            )
+        return (
+            f"{self.kind} hazard between rounds {self.round_a} and "
+            f"{self.round_b} ({where}): threads {threads} touch "
+            f"address {self.address} without a barrier in between"
+        )
+
+
+def _keys(
+    rnd: AccessRound, stride: int | None = None
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Composite (block, address) keys of a round's active threads.
+
+    Returns ``(keys, thread_indices, stride)`` where ``stride`` is the
+    per-block key stride (0 for global rounds, which have one flat
+    address space).  Pass ``stride`` to key two rounds of the same
+    array into one comparable space.
+    """
+    addresses = np.asarray(rnd.addresses, dtype=np.int64)
+    active = addresses >= 0
+    threads = np.nonzero(active)[0]
+    addr = addresses[threads]
+    if rnd.space == "shared" and rnd.block_size is not None:
+        if stride is None:
+            stride = int(addr.max()) + 1 if addr.size else 1
+        blocks = threads // rnd.block_size
+        return blocks * stride + addr, threads, stride
+    return addr, threads, 0
+
+
+def _first_duplicate(
+    keys: np.ndarray, threads: np.ndarray
+) -> tuple[int, np.ndarray] | None:
+    """The smallest duplicated key and the threads holding it."""
+    if keys.size < 2:
+        return None
+    order = np.argsort(keys, kind="stable")
+    ordered = keys[order]
+    dup = ordered[1:] == ordered[:-1]
+    if not dup.any():
+        return None
+    key = int(ordered[:-1][dup][0])
+    return key, threads[keys == key]
+
+
+def _split_key(
+    key: int, stride: int
+) -> tuple[int, int | None]:
+    if stride <= 0:
+        return key, None
+    return key % stride, key // stride
+
+
+def find_intra_round_races(
+    rounds: Sequence[AccessRound], max_findings: int = 16
+) -> list[RaceFinding]:
+    """Write-write collisions inside single write rounds."""
+    findings: list[RaceFinding] = []
+    for index, rnd in enumerate(rounds):
+        if rnd.kind != "write":
+            continue
+        keys, threads, stride = _keys(rnd)
+        hit = _first_duplicate(keys, threads)
+        if hit is None:
+            continue
+        key, colliding = hit
+        address, block = _split_key(key, stride)
+        findings.append(
+            RaceFinding(
+                kind="write-write",
+                scope="intra-round",
+                space=rnd.space,
+                array=rnd.array,
+                round_a=index,
+                round_b=index,
+                address=address,
+                block=block,
+                threads=tuple(int(t) for t in colliding[:8]),
+            )
+        )
+        if len(findings) >= max_findings:
+            break
+    return findings
+
+
+def find_cross_round_hazards(
+    rounds: Sequence[AccessRound], max_findings: int = 16
+) -> list[RaceFinding]:
+    """Hazards between *consecutive* rounds on the same array.
+
+    Only meaningful for unbarriered execution: with barriers (the
+    model's default, and the paper's definition of a round) consecutive
+    rounds cannot overlap and these pairs are safe by construction.
+    A hazard is an address written in one round and touched by a
+    *different* thread in the next.
+    """
+    findings: list[RaceFinding] = []
+    for index in range(len(rounds) - 1):
+        first, second = rounds[index], rounds[index + 1]
+        if first.space != second.space or first.array != second.array:
+            continue
+        if first.kind != "write" and second.kind != "write":
+            continue
+        keys_a, threads_a, stride_a = _keys(first)
+        keys_b, threads_b, stride_b = _keys(second)
+        stride = max(stride_a, stride_b)
+        if stride_a != stride:
+            keys_a, threads_a, _ = _keys(first, stride)
+        if stride_b != stride:
+            keys_b, threads_b, _ = _keys(second, stride)
+        common, idx_a, idx_b = np.intersect1d(
+            keys_a, keys_b, return_indices=True
+        )
+        if common.size == 0:
+            continue
+        clash = threads_a[idx_a] != threads_b[idx_b]
+        if not clash.any():
+            continue
+        pick = int(np.nonzero(clash)[0][0])
+        key = int(common[pick])
+        address, block = _split_key(key, stride)
+        kind = "write-write" if (
+            first.kind == "write" and second.kind == "write"
+        ) else ("write-read" if first.kind == "write" else "read-write")
+        findings.append(
+            RaceFinding(
+                kind=kind,
+                scope="cross-round",
+                space=first.space,
+                array=first.array,
+                round_a=index,
+                round_b=index + 1,
+                address=address,
+                block=block,
+                threads=(
+                    int(threads_a[idx_a][pick]),
+                    int(threads_b[idx_b][pick]),
+                ),
+            )
+        )
+        if len(findings) >= max_findings:
+            break
+    return findings
+
+
+def detect_races(
+    rounds: Iterable[AccessRound],
+    barrier: bool = True,
+    max_findings: int = 16,
+) -> list[RaceFinding]:
+    """All detectable races in a round sequence.
+
+    Intra-round write-write collisions are always checked; cross-round
+    hazards are added only when ``barrier=False`` (unbarriered pipeline
+    semantics — with barriers they cannot manifest).
+    """
+    rounds = list(rounds)
+    findings = find_intra_round_races(rounds, max_findings)
+    if not barrier and len(findings) < max_findings:
+        findings.extend(
+            find_cross_round_hazards(
+                rounds, max_findings - len(findings)
+            )
+        )
+    return findings
+
+
+def check_races(
+    rounds: Iterable[AccessRound],
+    barrier: bool = True,
+    context: str = "",
+) -> None:
+    """Raise :class:`~repro.errors.MemoryRaceError` on any finding."""
+    findings = detect_races(rounds, barrier=barrier)
+    if not findings:
+        return
+    prefix = f"{context}: " if context else ""
+    detail = "; ".join(f.describe() for f in findings[:3])
+    more = len(findings) - 3
+    if more > 0:
+        detail += f" (+{more} more)"
+    raise MemoryRaceError(prefix + detail, findings=findings)

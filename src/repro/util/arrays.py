@@ -8,12 +8,13 @@ and make contiguity explicit at API boundaries.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import SizeError
 from repro.util.validation import isqrt_exact
 
 
-def as_1d(a: np.ndarray, what: str = "array") -> np.ndarray:
+def as_1d(a: npt.ArrayLike, what: str = "array") -> np.ndarray:
     """Return ``a`` as a one-dimensional contiguous ndarray (view if possible)."""
     arr = np.asarray(a)
     if arr.ndim != 1:
@@ -21,7 +22,9 @@ def as_1d(a: np.ndarray, what: str = "array") -> np.ndarray:
     return np.ascontiguousarray(arr)
 
 
-def as_index_array(a, what: str = "index array") -> np.ndarray:
+def as_index_array(
+    a: npt.ArrayLike, what: str = "index array"
+) -> np.ndarray:
     """Return ``a`` as a contiguous 1-D ``int64`` index array."""
     arr = as_1d(a, what)
     if not np.issubdtype(arr.dtype, np.integer):

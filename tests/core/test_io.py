@@ -77,3 +77,71 @@ class TestErrors:
         from repro.errors import ReproError
         with pytest.raises(ReproError):
             load_plan(path)
+
+
+def _rewrite(path, mutate):
+    with np.load(path) as data:
+        contents = {k: data[k] for k in data.files}
+    mutate(contents)
+    np.savez_compressed(path, **contents)
+
+
+class TestCertificate:
+    def test_certificate_roundtrips(self, plan, tmp_path):
+        path = tmp_path / "plan.npz"
+        save_plan(path, plan)
+        assert plan.certificate is not None and plan.certificate.ok
+        loaded = load_plan(path)
+        cert = loaded.certificate
+        assert cert is not None and cert.ok
+        assert cert.num_rounds == 32
+        assert cert.rounds == plan.certificate.rounds
+
+    def test_certify_false_omits_certificate(self, plan, tmp_path):
+        path = tmp_path / "plan.npz"
+        save_plan(path, plan, certify=False)
+        with np.load(path) as data:
+            assert "certificate" not in data.files
+        assert load_plan(path).certificate is None
+
+    def test_certificate_bound_to_payload(self, plan, tmp_path):
+        # Splicing a certificate from one file into another must fail:
+        # the embedded plan_sha no longer matches the payload checksum.
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        save_plan(a, plan)
+        other = ScheduledPermutation.plan(
+            random_permutation(256, seed=6), width=4
+        )
+        save_plan(b, other)
+        with np.load(a) as data:
+            stolen = data["certificate"]
+        _rewrite(b, lambda c: c.update(certificate=stolen))
+        from repro.errors import PlanCorruptionError
+        with pytest.raises(PlanCorruptionError, match="belong together"):
+            load_plan(b)
+
+    def test_malformed_certificate_rejected(self, plan, tmp_path):
+        path = tmp_path / "plan.npz"
+        save_plan(path, plan)
+        _rewrite(
+            path, lambda c: c.update(certificate=np.str_("{not json"))
+        )
+        from repro.errors import PlanCorruptionError
+        with pytest.raises(PlanCorruptionError):
+            load_plan(path)
+
+    def test_refuses_to_save_conflicted_plan(self, plan, tmp_path):
+        import dataclasses
+
+        bad_s = plan.step1.s.copy()
+        bad_s[0, 1] = bad_s[0, 0]
+        bad = dataclasses.replace(
+            plan, step1=dataclasses.replace(plan.step1, s=bad_s)
+        )
+        from repro.errors import CertificateError
+        with pytest.raises(CertificateError, match="refusing to save"):
+            save_plan(tmp_path / "bad.npz", bad)
+        # certify=False is the explicit escape hatch for such plans —
+        # but load still notices the schedule is broken.
+        save_plan(tmp_path / "bad2.npz", bad, certify=False)

@@ -156,6 +156,70 @@ class TestCapacityFaults:
             ScheduledPermutation.plan(p, width=WIDTH)
 
 
+class TestScatterCollisionFaults:
+    def test_negative_count_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(scatter_collisions=-1)
+
+    def test_corruption_is_deterministic(self, p, plan):
+        # The injected collision site is seed-determined.  (The leaked
+        # *values* are not — the unwritten cell exposes uninitialised
+        # shared memory, exactly like the real race being modelled —
+        # so determinism is asserted on the detected findings.)
+        from repro.errors import MemoryRaceError
+        from repro.machine.hmm import HMM
+        from repro.machine.memory import TraceRecorder
+        from repro.machine.params import MachineParams
+
+        a = np.arange(N, dtype=np.float64)
+        runs = []
+        for _ in range(2):
+            machine = HMM(
+                MachineParams(width=WIDTH, latency=4, num_dmms=2),
+                detect_races=True,
+            )
+            rec = TraceRecorder(hmm=machine, name="det")
+            with FaultPlan(seed=3, scatter_collisions=1):
+                with pytest.raises(MemoryRaceError) as err:
+                    plan.apply(a, recorder=rec)
+            runs.append(
+                [(f.address, f.block, f.threads)
+                 for f in err.value.findings]
+            )
+        assert runs[0] == runs[1]
+
+    def test_corruption_damages_payload(self, p, plan):
+        a = np.arange(N, dtype=np.float64)
+        with FaultPlan(seed=3, scatter_collisions=1):
+            corrupted = plan.apply(a)
+        assert not np.array_equal(corrupted, expected_output(p, a))
+
+    def test_budget_is_exhausted(self, p, plan):
+        # After the budgeted collisions fire, later scatters inside the
+        # same activation run clean.
+        a = np.arange(N, dtype=np.float64)
+        with FaultPlan(seed=3, scatter_collisions=1):
+            plan.apply(a)                       # consumes the budget
+            second = plan.apply(a)
+        assert np.array_equal(second, expected_output(p, a))
+
+    def test_hook_cleared_after_exit(self, p, plan):
+        from repro.machine import memory
+
+        a = np.arange(N, dtype=np.float64)
+        with FaultPlan(seed=3, scatter_collisions=1):
+            assert memory._scatter_fault_hook is not None
+            plan.apply(a)
+        assert memory._scatter_fault_hook is None
+        assert np.array_equal(plan.apply(a), expected_output(p, a))
+
+    def test_zero_budget_installs_no_hook(self):
+        from repro.machine import memory
+
+        with FaultPlan(seed=3):
+            assert memory._scatter_fault_hook is None
+
+
 class TestActivation:
     def test_hooks_cleared_after_exit(self):
         with FaultPlan(transient_coloring_failures=1):

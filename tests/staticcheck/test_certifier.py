@@ -1,0 +1,218 @@
+"""Certifier unit tests: analysis primitives, verdicts, serialisation."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.scheduled import ScheduledPermutation
+from repro.errors import CertificateError, StaticCheckError
+from repro.permutations.named import bit_reversal, random_permutation
+from repro.staticcheck import (
+    CERTIFICATE_VERSION,
+    Certificate,
+    StaticRound,
+    analyze_round,
+    certify_plan,
+    certify_rounds,
+    global_group_counts,
+    plan_rounds,
+    shared_bank_multiplicities,
+)
+
+
+def corrupt_step1(plan, block=0, lane=1):
+    """A copy of ``plan`` with one step-1 scatter address duplicated."""
+    bad_s = plan.step1.s.copy()
+    bad_s[block, lane] = bad_s[block, 0]
+    return dataclasses.replace(
+        plan, step1=dataclasses.replace(plan.step1, s=bad_s)
+    )
+
+
+class TestPrimitives:
+    def test_identity_stream_is_conflict_free(self):
+        addrs = np.arange(64)
+        assert shared_bank_multiplicities(addrs, 8).tolist() == [1] * 8
+
+    def test_constant_stream_max_multiplicity(self):
+        addrs = np.zeros(16, dtype=np.int64)
+        assert shared_bank_multiplicities(addrs, 8).tolist() == [8, 8]
+
+    def test_same_bank_different_addresses_conflict(self):
+        # 0 and 8 share bank 0 at width 8.
+        addrs = np.array([0, 8, 2, 3, 4, 5, 6, 7])
+        assert shared_bank_multiplicities(addrs, 8).tolist() == [2]
+
+    def test_coalesced_stream_single_group(self):
+        addrs = np.arange(64)
+        assert global_group_counts(addrs, 8).tolist() == [1] * 8
+
+    def test_strided_stream_counts_groups(self):
+        # Stride-8 at width 8: every lane its own group.
+        addrs = np.arange(8) * 8
+        assert global_group_counts(addrs, 8).tolist() == [8]
+
+    def test_permuted_within_group_still_coalesced(self):
+        addrs = np.array([3, 1, 0, 2, 7, 5, 4, 6])
+        assert global_group_counts(addrs, 8).tolist() == [1]
+
+    def test_ragged_stream_rejected(self):
+        with pytest.raises(StaticCheckError):
+            shared_bank_multiplicities(np.arange(10), 8)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(StaticCheckError):
+            global_group_counts(np.arange(8), 0)
+
+
+class TestAnalyzeRound:
+    def _round(self, addrs, space="shared", block=8):
+        return StaticRound(
+            kernel="k", index=0, space=space, kind="write", array="x",
+            addresses=np.asarray(addrs, dtype=np.int64),
+            block_size=block if space == "shared" else None,
+        )
+
+    def test_ok_round_has_no_counterexample(self):
+        verdict, counter = analyze_round(self._round(np.arange(8)), 8)
+        assert verdict.ok and counter is None
+        assert verdict.classification == "conflict-free"
+        assert verdict.stages == verdict.num_warps == 1
+
+    def test_shared_counterexample_names_bank_and_lanes(self):
+        verdict, counter = analyze_round(
+            self._round([0, 8, 2, 3, 4, 5, 6, 7]), 8
+        )
+        assert not verdict.ok and verdict.classification == "casual"
+        assert counter.bank == 0
+        assert counter.lanes == (0, 1)
+        assert counter.addresses == (0, 8)
+        assert counter.block == 0
+        assert "bank 0" in counter.describe()
+
+    def test_global_counterexample_lists_groups(self):
+        rnd = self._round(np.arange(8) * 8, space="global")
+        verdict, counter = analyze_round(rnd, 8)
+        assert not verdict.ok
+        assert counter.groups == tuple(range(8))
+        assert "coalescing requires one" in counter.describe()
+
+
+class TestCertifyPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return ScheduledPermutation.plan(
+            random_permutation(1024, seed=0), width=32
+        )
+
+    def test_sound_plan_certifies(self, plan):
+        cert = certify_plan(plan)
+        assert cert.ok and cert.conflict_free and cert.coalesced
+        assert cert.num_rounds == 32
+        assert cert.n == 1024 and cert.m == 32 and cert.width == 32
+        assert "32 rounds certified" in cert.summary()
+
+    def test_round_structure(self, plan):
+        cert = certify_plan(plan)
+        shared = [r for r in cert.rounds if r.space == "shared"]
+        global_ = [r for r in cert.rounds if r.space == "global"]
+        assert len(shared) == 16 and len(global_) == 16
+        kernels = {r.kernel for r in cert.rounds}
+        assert kernels == {
+            "step1.rowwise", "step2.transpose-in", "step2.rowwise",
+            "step2.transpose-out", "step3.rowwise",
+        }
+        assert [r.index for r in cert.rounds] == list(range(32))
+
+    def test_bit_reversal_certifies(self):
+        plan = ScheduledPermutation.plan(bit_reversal(1024), width=32)
+        assert certify_plan(plan).ok
+
+    def test_corrupted_schedule_produces_counterexample(self, plan):
+        cert = certify_plan(corrupt_step1(plan))
+        assert not cert.ok
+        assert cert.coalesced          # only a shared round was broken
+        assert not cert.conflict_free
+        c = cert.counterexample
+        assert c.kernel == "step1.rowwise" and c.round_index == 2
+        assert c.space == "shared" and c.array == "x"
+        assert "NOT conflict-free" in cert.summary()
+
+    def test_first_counterexample_wins(self, plan):
+        # Corrupt step1 and step3; the reported witness is step1's.
+        bad = corrupt_step1(plan)
+        bad_s3 = bad.step3.s.copy()
+        bad_s3[0, 1] = bad_s3[0, 0]
+        bad = dataclasses.replace(
+            bad, step3=dataclasses.replace(bad.step3, s=bad_s3)
+        )
+        cert = certify_plan(bad)
+        assert cert.counterexample.kernel == "step1.rowwise"
+        casual = [r for r in cert.rounds if not r.ok]
+        assert {r.kernel for r in casual} == {
+            "step1.rowwise", "step3.rowwise",
+        }
+
+
+class TestSerialisation:
+    @pytest.fixture(scope="class")
+    def cert(self):
+        plan = ScheduledPermutation.plan(
+            random_permutation(256, seed=1), width=4
+        )
+        return certify_plan(plan)
+
+    def test_roundtrip(self, cert):
+        assert Certificate.from_json(cert.to_json()) == cert
+
+    def test_roundtrip_with_counterexample(self):
+        plan = corrupt_step1(
+            ScheduledPermutation.plan(
+                random_permutation(256, seed=2), width=4
+            )
+        )
+        cert = certify_plan(plan)
+        again = Certificate.from_json(cert.to_json())
+        assert again == cert
+        assert again.counterexample == cert.counterexample
+
+    def test_bound_to(self, cert):
+        bound = cert.bound_to("abc123")
+        assert bound.plan_sha == "abc123" and cert.plan_sha is None
+        assert bound.rounds == cert.rounds
+
+    def test_version_pinned(self, cert):
+        payload = cert.to_dict()
+        assert payload["version"] == CERTIFICATE_VERSION
+        payload["version"] = 99
+        with pytest.raises(CertificateError):
+            Certificate.from_dict(payload)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(CertificateError):
+            Certificate.from_json("not json at all {")
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(CertificateError):
+            Certificate.from_dict({"version": CERTIFICATE_VERSION})
+
+
+class TestCertifyRounds:
+    def test_explicit_rounds(self):
+        rounds = [
+            StaticRound(
+                kernel="k", index=0, space="global", kind="read",
+                array="a", addresses=np.arange(16),
+            ),
+        ]
+        cert = certify_rounds(rounds, width=4, n=16, m=4)
+        assert cert.ok and cert.num_rounds == 1
+
+    def test_plan_rounds_count(self):
+        plan = ScheduledPermutation.plan(
+            random_permutation(256, seed=3), width=4
+        )
+        rounds = plan_rounds(plan)
+        assert len(rounds) == 32
+        assert all(r.addresses.min() >= 0 for r in rounds)

@@ -1,0 +1,56 @@
+"""The checked-in golden plan must stay loadable, certified and exact.
+
+``tests/data/golden_plan.npz`` is a committed artefact (random
+permutation, ``seed=0``, ``n=256``, ``width=4``) written by
+``save_plan`` with an embedded certificate.  It pins three things at
+once: the on-disk format (a format change that can't read old files
+fails here first), the certificate chain (load re-validates the
+embedded proof), and planning determinism (re-planning the same seed
+must reproduce the stored schedule bit for bit).
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.io import load_plan
+from repro.core.scheduled import ScheduledPermutation
+from repro.permutations.named import random_permutation
+from repro.staticcheck import certify_plan
+
+GOLDEN = Path(__file__).parent.parent / "data" / "golden_plan.npz"
+
+
+def test_golden_plan_loads_with_certificate():
+    plan = load_plan(GOLDEN)
+    assert plan.n == 256 and plan.width == 4
+    cert = plan.certificate
+    assert cert is not None and cert.ok
+    assert cert.num_rounds == 32
+    assert cert.plan_sha is not None
+
+
+def test_golden_plan_recertifies_identically():
+    plan = load_plan(GOLDEN)
+    fresh = certify_plan(plan)
+    assert fresh.ok
+    assert fresh.rounds == plan.certificate.rounds
+
+
+def test_golden_plan_matches_fresh_planning():
+    plan = load_plan(GOLDEN)
+    fresh = ScheduledPermutation.plan(
+        random_permutation(256, seed=0), width=4
+    )
+    assert np.array_equal(plan.p, fresh.p)
+    assert np.array_equal(plan.step1.s, fresh.step1.s)
+    assert np.array_equal(plan.step1.t, fresh.step1.t)
+    assert np.array_equal(plan.step3.s, fresh.step3.s)
+
+
+def test_golden_plan_still_permutes():
+    plan = load_plan(GOLDEN)
+    a = np.arange(256.0)
+    expected = np.empty_like(a)
+    expected[plan.p] = a
+    assert np.array_equal(plan.apply(a), expected)

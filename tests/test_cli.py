@@ -63,6 +63,28 @@ class TestPlanVerify:
         assert "loaded and verified in" in out
         assert " ms" in out
 
+    def test_verify_reports_colouring_and_certificate(self, capsys,
+                                                      tmp_path):
+        path = str(tmp_path / "plan.npz")
+        _run(capsys, "plan", "--perm", "random", "--n", "256",
+             "--width", "4", "--out", path)
+        out = _run(capsys, "verify-plan", path)
+        assert "colouring: 16 colour classes verified" in out
+        assert "certificate: 32 rounds certified" in out
+        assert "bound to payload" in out
+
+    def test_verify_without_certificate_says_so(self, capsys, tmp_path):
+        from repro.core.io import save_plan
+        from repro.core.scheduled import ScheduledPermutation
+        from repro.permutations.named import random_permutation
+
+        path = tmp_path / "plan.npz"
+        save_plan(path, ScheduledPermutation.plan(
+            random_permutation(256, seed=5), width=4
+        ), certify=False)
+        out = _run(capsys, "verify-plan", str(path))
+        assert "certificate: none embedded" in out
+
 
 class TestProfile:
     def test_phase_table_and_footer(self, capsys):
@@ -179,6 +201,42 @@ class TestVerifyPlanRejection:
         path = self._saved_plan(tmp_path)
         out = _run(capsys, "verify-plan", str(path))
         assert "plan OK" in out
+
+
+class TestCheck:
+    def test_package_is_clean(self, capsys):
+        out = _run(capsys, "check")
+        assert "check OK" in out
+        assert "REP101" in out
+
+    def test_findings_exit_1(self, tmp_path):
+        bad = tmp_path / "repro" / "apps" / "thing.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\n"
+                       "x = np.zeros(4, dtype=np.int8)\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", str(bad)])
+        message = excinfo.value.code
+        assert isinstance(message, str)
+        assert message.startswith("check: FAILED: 1 finding(s)")
+        assert "REP103" in message
+
+    def test_rule_filter(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "apps" / "thing.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\n"
+                       "x = np.zeros(4, dtype=np.int8)\n")
+        # Filtering to an unrelated rule turns the failure into a pass.
+        out = _run(capsys, "check", str(bad), "--rule", "REP101")
+        assert "check OK" in out
+
+    def test_unknown_rule_exits_1(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--rule", "REP999"])
+
+    def test_missing_path_exits_1(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["check", str(tmp_path / "nope")])
 
 
 class TestResilienceDemo:
