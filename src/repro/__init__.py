@@ -33,6 +33,7 @@ from repro import (
     coloring,
     core,
     cpu,
+    ir,
     machine,
     permutations,
     resilience,
@@ -40,6 +41,9 @@ from repro import (
     telemetry,
     util,
 )
+# Importing the executors binds the ``repro.exec`` submodule too
+# (``exec`` is a fine module name, just not a bindable import alias).
+from repro.exec import BatchExecutor, ReferenceExecutor, SimulatorExecutor
 from repro.core.conventional import (
     DDesignatedPermutation,
     SDesignatedPermutation,
@@ -52,7 +56,18 @@ from repro.core.distribution import (
     theoretical_distribution,
 )
 from repro.core.io import load_plan, save_plan
-from repro.core.selector import AutoPermutation, predict_times, recommend
+from repro.core.selector import (
+    AutoPermutation,
+    predict_all,
+    predict_times,
+    recommend,
+)
+from repro.ir import (
+    KernelProgram,
+    engine_names,
+    get_engine,
+    register_engine,
+)
 from repro.core.padded import PaddedScheduledPermutation, padded_length
 from repro.core.rowwise import RowwiseSchedule
 from repro.core.scheduled import ScheduledPermutation, scheduled_permute
@@ -89,6 +104,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AutoPermutation",
+    "BatchExecutor",
     "CertificateError",
     "ColoringError",
     "ColumnwiseSchedule",
@@ -97,6 +113,7 @@ __all__ = [
     "FallbackExhaustedError",
     "FaultPlan",
     "HMM",
+    "KernelProgram",
     "L2Cache",
     "MachineError",
     "MachineParams",
@@ -106,6 +123,7 @@ __all__ = [
     "PlanCorruptionError",
     "PlanIntegrityError",
     "PlanVersionError",
+    "ReferenceExecutor",
     "ReproError",
     "ResilienceError",
     "ResilientPermutation",
@@ -114,6 +132,7 @@ __all__ = [
     "ScheduledPermutation",
     "SchedulingError",
     "SharedMemoryCapacityError",
+    "SimulatorExecutor",
     "SizeError",
     "StaticCheckError",
     "TelemetryError",
@@ -131,14 +150,19 @@ __all__ = [
     "decompose",
     "distribution",
     "distribution_fraction",
+    "engine_names",
     "expected_random_distribution",
+    "get_engine",
     "invert",
+    "ir",
     "load_plan",
     "machine",
     "padded_length",
     "permutations",
+    "predict_all",
     "predict_times",
     "recommend",
+    "register_engine",
     "resilience",
     "save_plan",
     "scheduled_permute",

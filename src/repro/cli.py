@@ -3,10 +3,12 @@
 Commands
 --------
 ``cost``        price a named permutation on a configurable HMM
-``plan``        plan a scheduled permutation and save it (.npz)
+                (``--engine`` adds any registered engine to the table)
+``plan``        plan a permutation with any registered engine
+                (``--engine``, default ``scheduled``) and save it (.npz)
 ``verify-plan`` reload a saved plan and re-verify it (exit 1 + one-line
                 diagnostic on a corrupt/stale/unreadable file)
-``check``       run the project's static lint rules (REP101..REP103)
+``check``       run the project's static lint rules (REP101..REP104)
                 over the package or given paths; exit 1 on findings
 ``profile``     trace one permutation end to end: per-phase wall/model
                 table, optional Chrome trace + JSONL event log
@@ -79,12 +81,19 @@ def cmd_cost(args) -> str:
         if args.padded
         else ScheduledPermutation.plan(p, width=args.width)
     )
-    rows = []
-    for name, algo in (
+    algos: list[tuple[str, object]] = [
         ("d-designated", DDesignatedPermutation(p)),
         ("s-designated", SDesignatedPermutation(p)),
         ("scheduled", plan),
-    ):
+    ]
+    for extra in args.engine or ():
+        from repro.ir.registry import get_engine
+
+        algos.append(
+            (extra, get_engine(extra).plan(p, width=args.width))
+        )
+    rows = []
+    for name, algo in algos:
         trace = algo.simulate(machine, dtype=dtype)
         rows.append([name, trace.num_rounds, trace.time])
     if args.n % args.width == 0:
@@ -105,15 +114,25 @@ def cmd_cost(args) -> str:
 
 
 def cmd_plan(args) -> str:
+    from repro.ir.registry import get_engine
+
     p = named_permutation(args.perm, args.n, seed=args.seed)
-    plan = ScheduledPermutation.plan(p, width=args.width)
+    plan = get_engine(args.engine).plan(p, width=args.width)
     save_plan(args.out, plan)
+    if isinstance(plan, ScheduledPermutation):
+        return (
+            f"planned {args.perm} permutation of n = {args.n} "
+            f"(m = {plan.m}, width = {plan.width})\n"
+            f"schedule data: {plan.schedule_bytes()} bytes; shared "
+            f"memory per block: {plan.shared_bytes(np.float32)} B "
+            f"(float) / {plan.shared_bytes(np.float64)} B (double)\n"
+            f"saved to {args.out}"
+        )
+    program = plan.lower()
     return (
-        f"planned {args.perm} permutation of n = {args.n} "
-        f"(m = {plan.m}, width = {plan.width})\n"
-        f"schedule data: {plan.schedule_bytes()} bytes; shared memory per "
-        f"block: {plan.shared_bytes(np.float32)} B (float) / "
-        f"{plan.shared_bytes(np.float64)} B (double)\n"
+        f"planned {args.perm} permutation of n = {args.n} with engine "
+        f"{args.engine} ({len(program.ops)} kernel op(s), "
+        f"{program.num_rounds} access rounds)\n"
         f"saved to {args.out}"
     )
 
@@ -135,26 +154,48 @@ def cmd_verify_plan(args) -> str:
         ) from exc
     elapsed_ms = (time.perf_counter() - start) * 1e3
     file_bytes = Path(args.path).stat().st_size
-    cert = plan.certificate
+    cert = getattr(plan, "certificate", None)
+    if cert is None:
+        inner = getattr(plan, "inner", None)
+        cert = getattr(inner, "certificate", None)
     if cert is not None:
         cert_line = (
             f"certificate: {cert.summary()}; bound to payload "
             f"{str(cert.plan_sha)[:12]}..."
         )
-    else:
+    elif isinstance(plan, ScheduledPermutation) or hasattr(plan, "inner"):
         cert_line = (
             "certificate: none embedded (saved with certify=False); "
             "schedule verified structurally only"
         )
-    return (
-        f"plan OK: n = {plan.n}, m = {plan.m}, width = {plan.width}, "
-        f"{plan.schedule_bytes()} bytes of schedule data; decomposition "
-        "routes correctly and all shared rounds are conflict-free\n"
-        f"colouring: {plan.m} colour classes verified as perfect "
-        "matchings of the row multigraph\n"
+    else:
+        cert_line = (
+            "certificate: not applicable (engine has no scheduled "
+            "core); program verified against its permutation instead"
+        )
+    footer = (
         f"{cert_line}\n"
         f"file: {file_bytes} bytes on disk, loaded and verified in "
         f"{elapsed_ms:.1f} ms"
+    )
+    if isinstance(plan, ScheduledPermutation):
+        return (
+            f"plan OK: n = {plan.n}, m = {plan.m}, width = {plan.width}, "
+            f"{plan.schedule_bytes()} bytes of schedule data; "
+            "decomposition routes correctly and all shared rounds are "
+            "conflict-free\n"
+            f"colouring: {plan.m} colour classes verified as perfect "
+            "matchings of the row multigraph\n"
+            + footer
+        )
+    program = plan.lower()
+    engine = type(plan).engine_name
+    return (
+        f"plan OK: engine = {engine}, n = {program.n}, "
+        f"width = {program.width}, {len(program.ops)} kernel op(s), "
+        f"{program.num_rounds} access rounds; the reloaded program "
+        "realises its stored permutation\n"
+        + footer
     )
 
 
@@ -299,13 +340,16 @@ def cmd_profile(args) -> str:
     sinks = []
     if args.events_out:
         sinks.append(telemetry.JsonlSink(args.events_out))
+    from repro.ir.registry import get_engine
+
+    engine_cls = get_engine(args.engine)
     tracer = telemetry.Tracer(sinks=sinks)
     try:
         with telemetry.use_tracer(tracer):
             # Each stage runs at top level so tracer.roots() is exactly
             # the phase table: plan, save, load(+verify), apply,
             # simulate.
-            plan = ScheduledPermutation.plan(p, width=args.width)
+            plan = engine_cls.plan(p, width=args.width)
             with tempfile.TemporaryDirectory() as tmp:
                 path = Path(tmp) / "profile.npz"
                 save_plan(path, plan)
@@ -411,6 +455,9 @@ def _indent(text: str, prefix: str = "   ") -> str:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.ir.registry import engine_names
+
+    engines = sorted(engine_names())
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Optimal offline permutation on the Hierarchical "
@@ -426,6 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
     cost.add_argument("--seed", type=int, default=0)
     cost.add_argument("--padded", action="store_true",
                       help="allow any n via padding")
+    cost.add_argument(
+        "--engine", action="append", choices=engines, metavar="ENGINE",
+        help="also price this registered engine (repeatable); "
+             f"one of: {', '.join(engines)}",
+    )
     _add_machine_args(cost)
     _add_telemetry_flag(cost)
     cost.set_defaults(func=cmd_cost)
@@ -437,6 +489,12 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--width", type=int, default=32)
     plan.add_argument("--seed", type=int, default=0)
     plan.add_argument("--out", required=True, help="output .npz path")
+    plan.add_argument(
+        "--engine", choices=engines, default="scheduled",
+        metavar="ENGINE",
+        help="registered engine to plan with (default: scheduled); "
+             f"one of: {', '.join(engines)}",
+    )
     plan.set_defaults(func=cmd_plan)
 
     check = sub.add_parser(
@@ -474,6 +532,12 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument(
         "--events-out",
         help="stream span and counter events to a JSONL file",
+    )
+    prof.add_argument(
+        "--engine", choices=engines, default="scheduled",
+        metavar="ENGINE",
+        help="registered engine to profile (default: scheduled); "
+             f"one of: {', '.join(engines)}",
     )
     prof.set_defaults(func=cmd_profile)
 

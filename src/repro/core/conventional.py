@@ -21,24 +21,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.machine.hmm import HMM
+from repro.ir.engine import EngineBase
+from repro.ir.ops import CasualRead, CasualWrite
+from repro.ir.program import KernelProgram
+from repro.ir.registry import register_engine
 from repro.machine.memory import NullRecorder, TraceRecorder, TracedGlobalArray
 from repro.machine.params import MachineParams
 from repro.machine.requests import coalesced_addresses
-from repro.machine.trace import ProgramTrace
 from repro.permutations.ops import invert
 from repro.util.validation import check_permutation
 
 
-def _as_hmm(machine: HMM | MachineParams | None) -> HMM:
-    if machine is None:
-        return HMM()
-    if isinstance(machine, MachineParams):
-        return HMM(machine)
-    return machine
-
-
-class ConventionalPermutation:
+class ConventionalPermutation(EngineBase):
     """Shared scaffolding for the two conventional baselines."""
 
     #: Subclasses set the kernel name used in traces.
@@ -57,10 +51,50 @@ class ConventionalPermutation:
         )
         self.n = int(self.p.shape[0])
 
+    @classmethod
+    def plan(
+        cls, p: np.ndarray, width: int = 32, backend: str = "auto"
+    ) -> "ConventionalPermutation":
+        """Planning is trivial for the baselines: validate and store.
+
+        ``width`` and ``backend`` are accepted (and ignored) so the
+        baselines share the registry's planning signature.
+        """
+        del width, backend
+        return cls(p)
+
     # -- to be provided by subclasses --------------------------------
 
     def _run(self, a: np.ndarray, recorder: TraceRecorder) -> np.ndarray:
         raise NotImplementedError
+
+    @classmethod
+    def _predict_index(cls, p: np.ndarray) -> np.ndarray:
+        """The index array whose distribution prices the casual round."""
+        raise NotImplementedError
+
+    @classmethod
+    def predict(
+        cls,
+        p: np.ndarray,
+        params: MachineParams | None = None,
+        dtype=np.float32,
+    ) -> int | None:
+        """Closed-form three-round time (Lemma 4 / Table I)."""
+        from repro.core import theory
+        from repro.core.distribution import distribution
+        from repro.machine.memory import element_cells_of
+
+        params = params or MachineParams()
+        p = check_permutation(p)
+        n = int(p.shape[0])
+        w = params.width
+        if n == 0 or n % w != 0:
+            return None
+        k = element_cells_of(dtype)
+        group = w // k if k <= w and w % k == 0 else 1
+        dw = distribution(cls._predict_index(p), w, group)
+        return theory.conventional_time(n, w, params.latency, dw, k)
 
     # -- public API ---------------------------------------------------
 
@@ -79,18 +113,11 @@ class ConventionalPermutation:
         rec.end_kernel()
         return out
 
-    def simulate(
-        self,
-        machine: HMM | MachineParams | None = None,
-        dtype=np.float32,
-    ) -> ProgramTrace:
-        """Charge the algorithm on an HMM and return the cost trace."""
-        rec = TraceRecorder(hmm=_as_hmm(machine), name=self.kernel_name)
-        self.apply(np.zeros(self.n, dtype=dtype), recorder=rec)
-        assert rec.trace is not None
-        return rec.trace
+    # ``simulate``/``apply_batch`` come from EngineBase: the simulator
+    # executor replays the same three rounds this class' ``_run`` emits.
 
 
+@register_engine("d-designated")
 class DDesignatedPermutation(ConventionalPermutation):
     """Destination-designated baseline: ``b[p[i]] <- a[i]``."""
 
@@ -106,7 +133,20 @@ class DDesignatedPermutation(ConventionalPermutation):
         gb.scatter(dest, values)      # casual write of b
         return gb.data
 
+    def lower(self) -> KernelProgram:
+        return KernelProgram(
+            engine="d-designated",
+            n=self.n,
+            width=0,
+            ops=(CasualWrite(label=self.kernel_name, p=self.p),),
+        )
 
+    @classmethod
+    def _predict_index(cls, p: np.ndarray) -> np.ndarray:
+        return p
+
+
+@register_engine("s-designated")
 class SDesignatedPermutation(ConventionalPermutation):
     """Source-designated baseline: ``b[i] <- a[q[i]]`` with ``q = p⁻¹``.
 
@@ -130,3 +170,15 @@ class SDesignatedPermutation(ConventionalPermutation):
         values = ga.gather(src)       # casual read of a
         gb.scatter(idx, values)       # coalesced write of b
         return gb.data
+
+    def lower(self) -> KernelProgram:
+        return KernelProgram(
+            engine="s-designated",
+            n=self.n,
+            width=0,
+            ops=(CasualRead(label=self.kernel_name, q=self.q),),
+        )
+
+    @classmethod
+    def _predict_index(cls, p: np.ndarray) -> np.ndarray:
+        return invert(p)

@@ -34,7 +34,11 @@ import numpy as np
 
 from repro.coloring import RegularBipartiteMultigraph, edge_coloring
 from repro.coloring.verify import verify_edge_coloring
-from repro.errors import SchedulingError, SizeError
+from repro.errors import SchedulingError, SizeError, ValidationError
+from repro.ir.engine import EngineBase
+from repro.ir.ops import CasualWrite, GatherScatter
+from repro.ir.program import KernelProgram
+from repro.ir.registry import register_engine
 from repro.machine.cost_model import round_time, shared_warp_stages
 from repro.machine.dmm import DMM
 from repro.machine.memory import NullRecorder, TraceRecorder
@@ -81,7 +85,8 @@ def worst_case_bank_permutation(n: int, width: int) -> np.ndarray:
     return (warp // width * width + lane) * width + warp % width
 
 
-class DMMConventionalPermutation:
+@register_engine("dmm-conventional")
+class DMMConventionalPermutation(EngineBase):
     """Conventional permutation in one DMM: 3 rounds, one casual."""
 
     def __init__(self, p: np.ndarray, width: int = 32) -> None:
@@ -96,14 +101,38 @@ class DMMConventionalPermutation:
         self.width = width
         self.n = int(p.shape[0])
 
-    def apply(self, a: np.ndarray) -> np.ndarray:
-        """Permute ``a`` (pure computation)."""
+    @classmethod
+    def plan(
+        cls, p: np.ndarray, width: int = 32, backend: str = "auto"
+    ) -> "DMMConventionalPermutation":
+        """No planning beyond validation; ``backend`` is ignored."""
+        del backend
+        return cls(p, width=width)
+
+    def apply(
+        self, a: np.ndarray, recorder: TraceRecorder | None = None
+    ) -> np.ndarray:
+        """Permute ``a`` (pure computation; ``recorder`` accepted for
+        protocol uniformity — round recording goes via ``simulate``)."""
+        del recorder
         a = np.asarray(a)
         if a.shape != (self.n,):
             raise SizeError(f"a must have shape ({self.n},), got {a.shape}")
         b = np.empty_like(a)
         b[self.p] = a
         return b
+
+    def lower(self) -> KernelProgram:
+        return KernelProgram(
+            engine="dmm-conventional",
+            n=self.n,
+            width=self.width,
+            ops=(
+                CasualWrite(
+                    label="dmm-conventional", p=self.p, space="shared"
+                ),
+            ),
+        )
 
     def rounds(self) -> list[AccessRound]:
         """The three shared rounds, with real address streams."""
@@ -123,7 +152,8 @@ class DMMConventionalPermutation:
         return sum(dmm.round_time(r.addresses) for r in self.rounds())
 
 
-class DMMScheduledPermutation:
+@register_engine("dmm-scheduled")
+class DMMScheduledPermutation(EngineBase):
     """Conflict-free permutation in one DMM: 4 regular rounds.
 
     Planning builds the bank multigraph, colours it, and stores the
@@ -136,6 +166,13 @@ class DMMScheduledPermutation:
         self.t = t
         self.width = width
         self.n = int(s.shape[0])
+
+    @property
+    def p(self) -> np.ndarray:
+        """The permutation the schedule realises: ``p[s[i]] = t[i]``."""
+        p = np.empty(self.n, dtype=np.int64)
+        p[self.s.astype(np.int64)] = self.t.astype(np.int64)
+        return p
 
     @classmethod
     def plan(
@@ -174,14 +211,43 @@ class DMMScheduledPermutation:
                     f"DMM schedule {name} has a bank conflict"
                 )
 
-    def apply(self, a: np.ndarray) -> np.ndarray:
+    def apply(
+        self, a: np.ndarray, recorder: TraceRecorder | None = None
+    ) -> np.ndarray:
         """Permute ``a`` through the schedule: ``b[t[i]] = a[s[i]]``."""
+        del recorder
         a = np.asarray(a)
         if a.shape != (self.n,):
             raise SizeError(f"a must have shape ({self.n},), got {a.shape}")
         b = np.empty_like(a)
         b[self.t.astype(np.int64)] = a[self.s.astype(np.int64)]
         return b
+
+    def lower(self) -> KernelProgram:
+        return KernelProgram(
+            engine="dmm-scheduled",
+            n=self.n,
+            width=self.width,
+            ops=(
+                GatherScatter(label="dmm-scheduled", s=self.s, t=self.t),
+            ),
+        )
+
+    @classmethod
+    def from_program(
+        cls, program: KernelProgram, p: np.ndarray
+    ) -> "DMMScheduledPermutation":
+        """Reconstruct bitwise from the carried schedule arrays."""
+        del p
+        if len(program.ops) != 1 or not isinstance(
+            program.ops[0], GatherScatter
+        ):
+            raise ValidationError(
+                "not a dmm-scheduled program: "
+                f"{[op.kind for op in program.ops]}"
+            )
+        op = program.ops[0]
+        return cls(op.s, op.t, width=program.width)
 
     def rounds(self) -> list[AccessRound]:
         """The four conflict-free shared rounds."""

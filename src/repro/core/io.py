@@ -1,18 +1,21 @@
-"""Schedule persistence.
+"""Plan persistence.
 
 The scheduled algorithm's whole point is that planning happens *once*,
-offline — so plans must be storable.  A plan serialises to a single
-compressed ``.npz``: the permutation, the width, the three-step
-decomposition and the six ``s``/``t`` arrays, exactly the data the
-paper's implementation keeps in global memory between kernel launches.
-Loading rebuilds the plan without re-running any colouring.
+offline — so plans must be storable.  Format version 3 serialises the
+engine's *lowered kernel program* (:class:`~repro.ir.program.
+KernelProgram`) to a single compressed ``.npz``: the engine name, the
+permutation, and one group of keys per op (``op0.kind``, ``op0.gamma``,
+``op0.s`` ...) holding exactly the schedule arrays the op carries.
+Because every registered engine lowers to the IR, **any** engine's plan
+can be saved and loaded — loading rebuilds the planned engine through
+``Engine.from_program`` without re-running any colouring.
 
-Because a stored plan is *trusted forever*, format version 2 makes the
-file self-verifying: every file carries a SHA-256 checksum over the
-canonically packed payload arrays plus a library-version stamp.
-:func:`load_plan` verifies the checksum before the (much more
-expensive) structural ``plan.verify()``, and maps every way a file can
-be bad onto a precise exception:
+Because a stored plan is *trusted forever*, the file is self-verifying:
+every file carries a SHA-256 checksum over the canonically packed
+payload arrays plus a library-version stamp.  :func:`load_plan`
+verifies the checksum before the (much more expensive) structural
+verification, and maps every way a file can be bad onto a precise
+exception:
 
 * unreadable / truncated / key-stripped file →
   :class:`~repro.errors.PlanCorruptionError`,
@@ -21,13 +24,19 @@ be bad onto a precise exception:
 * written by another format version         →
   :class:`~repro.errors.PlanVersionError`.
 
-On top of integrity, files carry an *optimality proof*: by default
-:func:`save_plan` embeds the static conflict-freedom certificate of
-:mod:`repro.staticcheck` (bound to the payload checksum), and
-:func:`load_plan` re-validates it — a loaded plan is then proven both
-authentic **and** bank-conflict-free/coalesced without running the
-simulator.  The certificate is an optional extra key, so its presence
-does not change the payload checksum or the format version.
+Files of the previous format (version 2: the fixed thirteen-key layout
+of a scheduled plan) still load — the golden plan in ``tests/data`` is
+one — but new files are always written as version 3.
+
+On top of integrity, files whose engine carries a scheduled plan (the
+``scheduled`` engine itself, or ``padded`` wrapping one) embed an
+*optimality proof*: by default :func:`save_plan` computes the static
+conflict-freedom certificate of :mod:`repro.staticcheck`, binds it to
+the payload checksum and stores it; :func:`load_plan` re-validates it —
+a loaded plan is then proven both authentic **and** bank-conflict-free/
+coalesced without running the simulator.  The certificate is an
+optional extra key, so its presence does not change the payload
+checksum or the format version.
 
 See ``docs/robustness.md`` for the exact file layout and checksum
 definition, and ``docs/static-analysis.md`` for the certificate.
@@ -38,6 +47,7 @@ from __future__ import annotations
 import hashlib
 import zipfile
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -53,14 +63,22 @@ from repro.errors import (
     PlanVersionError,
     ValidationError,
 )
+from repro.ir.ops import OP_KINDS
+from repro.ir.program import KernelProgram
+from repro.ir.registry import get_engine
 
 #: Format tag stored in every file; bump on incompatible change.
 #: Version history: 1 = raw arrays; 2 = adds ``checksum`` (SHA-256 over
-#: the payload) and ``library_version`` stamps.
-FORMAT_VERSION = 2
+#: the payload) and ``library_version`` stamps; 3 = generic lowered
+#: kernel programs (any registered engine, ``op{i}.*`` key groups).
+FORMAT_VERSION = 3
 
-#: Payload keys in canonical (checksum) order.  ``checksum`` and
-#: ``library_version`` are metadata and deliberately not part of it.
+#: Keys that describe the file rather than the plan; excluded from the
+#: checksum so adding a certificate does not change the payload digest.
+METADATA_KEYS = ("checksum", "library_version", "certificate")
+
+#: Version-2 payload keys in their canonical (checksum) order; kept for
+#: loading legacy scheduled-plan files.
 PAYLOAD_KEYS = (
     "format_version",
     "p",
@@ -78,15 +96,20 @@ PAYLOAD_KEYS = (
 )
 
 
-def plan_checksum(arrays: dict) -> str:
+def plan_checksum(arrays: dict, keys: tuple[str, ...] | None = None) -> str:
     """SHA-256 hex digest over the payload arrays of a plan file.
 
-    Each key of :data:`PAYLOAD_KEYS` contributes, in order: its name,
-    the array's dtype string, its shape, and its C-contiguous bytes —
-    so any bit flip, shape change or retyping changes the digest.
+    Each key contributes, in order: its name, the array's dtype string,
+    its shape, and its C-contiguous bytes — so any bit flip, shape
+    change, retyping, or added/removed key changes the digest.  Version
+    3 files hash every non-metadata key in sorted order (the default);
+    version 2 files pass ``keys=PAYLOAD_KEYS`` for the legacy fixed
+    order.
     """
+    if keys is None:
+        keys = tuple(sorted(k for k in arrays if k not in METADATA_KEYS))
     digest = hashlib.sha256()
-    for key in PAYLOAD_KEYS:
+    for key in keys:
         arr = np.ascontiguousarray(arrays[key])
         digest.update(key.encode())
         digest.update(str(arr.dtype).encode())
@@ -95,9 +118,154 @@ def plan_checksum(arrays: dict) -> str:
     return digest.hexdigest()
 
 
-def _pack(plan: ScheduledPermutation) -> dict:
-    return {
+# ----------------------------------------------------------------------
+# Packing (version 3: generic kernel programs)
+# ----------------------------------------------------------------------
+
+
+def _pack_program(program: KernelProgram, p: np.ndarray) -> dict:
+    """Flatten a lowered program (plus its permutation) to npz keys."""
+    arrays: dict = {
         "format_version": np.int64(FORMAT_VERSION),
+        "engine": np.str_(program.engine),
+        "n": np.int64(program.n),
+        "width": np.int64(program.width),
+        "num_ops": np.int64(len(program.ops)),
+        "p": np.asarray(p),
+    }
+    for i, op in enumerate(program.ops):
+        prefix = f"op{i}."
+        arrays[prefix + "kind"] = np.str_(op.kind)
+        arrays[prefix + "label"] = np.str_(op.label)
+        for field in op._ARRAY_FIELDS:
+            value = getattr(op, field)
+            if value is not None:
+                arrays[prefix + field] = np.asarray(value)
+        for field in op._SCALAR_FIELDS:
+            arrays[prefix + field] = np.int64(getattr(op, field))
+        for field in op._BOOL_FIELDS:
+            arrays[prefix + field] = np.bool_(getattr(op, field))
+        for field in op._STR_FIELDS:
+            arrays[prefix + field] = np.str_(getattr(op, field))
+    return arrays
+
+
+def _unpack_program(path, arrays: dict) -> KernelProgram:
+    """Rebuild the :class:`KernelProgram` from npz keys (checksum has
+    already vouched for the key set, so failures here mean the file was
+    written by an incompatible library, not corrupted)."""
+    engine = str(arrays["engine"])
+    num_ops = int(arrays["num_ops"])
+    ops = []
+    for i in range(num_ops):
+        prefix = f"op{i}."
+        kind = str(arrays[prefix + "kind"])
+        op_cls = OP_KINDS.get(kind)
+        if op_cls is None:
+            raise PlanCorruptionError(
+                f"{path}: plan file contains unknown op kind {kind!r}; "
+                "the file was written by an incompatible library version"
+            )
+        kwargs: dict = {"label": str(arrays[prefix + "label"])}
+        for field in op_cls._ARRAY_FIELDS:
+            if prefix + field in arrays:
+                kwargs[field] = np.asarray(arrays[prefix + field])
+        for field in op_cls._SCALAR_FIELDS:
+            kwargs[field] = int(arrays[prefix + field])
+        for field in op_cls._BOOL_FIELDS:
+            kwargs[field] = bool(arrays[prefix + field])
+        for field in op_cls._STR_FIELDS:
+            kwargs[field] = str(arrays[prefix + field])
+        try:
+            ops.append(op_cls(**kwargs))
+        except (TypeError, KeyError) as exc:
+            raise PlanCorruptionError(
+                f"{path}: op {i} ({kind}) is missing required fields: "
+                f"{exc}"
+            ) from exc
+    return KernelProgram(
+        engine=engine,
+        n=int(arrays["n"]),
+        width=int(arrays["width"]),
+        ops=tuple(ops),
+    )
+
+
+def _certifiable_plan(plan: Any) -> ScheduledPermutation | None:
+    """The scheduled plan inside ``plan`` (itself, or ``plan.inner``
+    for the padded wrapper), or ``None`` when the engine has no
+    statically certifiable schedule."""
+    if isinstance(plan, ScheduledPermutation):
+        return plan
+    inner = getattr(plan, "inner", None)
+    if isinstance(inner, ScheduledPermutation):
+        return inner
+    return None
+
+
+def save_plan(path, plan, certify: bool = True) -> None:
+    """Serialise a planned engine to ``path`` (.npz, format v3).
+
+    ``plan`` may be any registered engine instance (its class carries
+    ``engine_name``); anything else raises
+    :class:`~repro.errors.ValidationError` naming the offending type.
+    The file holds the engine's lowered kernel program and is stamped
+    with :data:`FORMAT_VERSION`, the writing library's version, and a
+    SHA-256 checksum over the payload.
+
+    With ``certify=True`` (the default) and an engine carrying a
+    scheduled plan, the static conflict-freedom certificate is
+    computed, bound to that checksum and embedded; a plan that fails
+    its own proof raises :class:`~repro.errors.CertificateError` and
+    nothing is written — a conflicted plan must never be persisted as
+    trusted.  Engines without a certifiable schedule (conventional,
+    CPU, DMM) are saved without a certificate.  Pass ``certify=False``
+    to write a bare (still checksummed) file.
+    """
+    engine_name = getattr(type(plan), "engine_name", "")
+    if not engine_name:
+        raise ValidationError(
+            f"cannot save a {type(plan).__name__}: not a registered "
+            "engine (no engine_name); register the class with "
+            "repro.ir.register_engine or pass a planned engine instance"
+        )
+    from repro import __version__
+
+    program = plan.lower()
+    with telemetry.span(
+        "plan_io.save", n=program.n, engine=engine_name
+    ) as sp:
+        arrays = _pack_program(program, plan.p)
+        checksum = plan_checksum(arrays)
+        extra: dict = {}
+        certifiable = _certifiable_plan(plan)
+        if certify and certifiable is not None:
+            from repro.staticcheck.certifier import certify_plan
+
+            cert = certify_plan(certifiable).bound_to(checksum)
+            if not cert.ok:
+                assert cert.counterexample is not None
+                raise CertificateError(
+                    f"refusing to save {path}: plan is not conflict-"
+                    f"free — {cert.counterexample.describe()}"
+                )
+            certifiable.certificate = cert
+            extra["certificate"] = np.str_(cert.to_json())
+        np.savez_compressed(
+            Path(path),
+            checksum=np.str_(checksum),
+            library_version=np.str_(__version__),
+            **extra,
+            **arrays,
+        )
+        sp.set(file_bytes=Path(path).stat().st_size,
+               certified="certificate" in extra)
+        telemetry.count("plan_io.saved")
+
+
+def _pack_v2(plan: ScheduledPermutation) -> dict:
+    return {
+        "format_version": np.int64(2),
         "p": plan.p,
         "width": np.int64(plan.width),
         "colors": plan.decomposition.colors,
@@ -113,17 +281,12 @@ def _pack(plan: ScheduledPermutation) -> dict:
     }
 
 
-def save_plan(path, plan: ScheduledPermutation, certify: bool = True) -> None:
-    """Serialise a planned scheduled permutation to ``path`` (.npz).
+def save_plan_v2(path, plan: ScheduledPermutation,
+                 certify: bool = True) -> None:
+    """Write the legacy version-2 layout (scheduled plans only).
 
-    The file is stamped with :data:`FORMAT_VERSION`, the writing
-    library's version, and a SHA-256 checksum over the payload.  With
-    ``certify=True`` (the default) the static conflict-freedom
-    certificate is computed, bound to that checksum and embedded; a
-    plan that fails its own proof raises
-    :class:`~repro.errors.CertificateError` and nothing is written —
-    a conflicted plan must never be persisted as trusted.  Pass
-    ``certify=False`` to write a bare (still checksummed) file.
+    Kept so the migration tests can manufacture v2 files on demand;
+    new code should use :func:`save_plan`.
     """
     if not isinstance(plan, ScheduledPermutation):
         raise ValidationError(
@@ -131,96 +294,104 @@ def save_plan(path, plan: ScheduledPermutation, certify: bool = True) -> None:
         )
     from repro import __version__
 
-    with telemetry.span("plan_io.save", n=plan.n) as sp:
-        arrays = _pack(plan)
-        checksum = plan_checksum(arrays)
-        extra: dict = {}
-        if certify:
-            from repro.staticcheck.certifier import certify_plan
+    arrays = _pack_v2(plan)
+    checksum = plan_checksum(arrays, keys=PAYLOAD_KEYS)
+    extra: dict = {}
+    if certify:
+        from repro.staticcheck.certifier import certify_plan
 
-            cert = certify_plan(plan).bound_to(checksum)
-            if not cert.ok:
-                assert cert.counterexample is not None
-                raise CertificateError(
-                    f"refusing to save {path}: plan is not conflict-"
-                    f"free — {cert.counterexample.describe()}"
-                )
-            plan.certificate = cert
-            extra["certificate"] = np.str_(cert.to_json())
-        np.savez_compressed(
-            Path(path),
-            checksum=np.str_(checksum),
-            library_version=np.str_(__version__),
-            **extra,
-            **arrays,
-        )
-        sp.set(file_bytes=Path(path).stat().st_size,
-               certified=bool(certify))
-        telemetry.count("plan_io.saved")
+        cert = certify_plan(plan).bound_to(checksum)
+        if not cert.ok:
+            assert cert.counterexample is not None
+            raise CertificateError(
+                f"refusing to save {path}: plan is not conflict-"
+                f"free — {cert.counterexample.describe()}"
+            )
+        plan.certificate = cert
+        extra["certificate"] = np.str_(cert.to_json())
+    np.savez_compressed(
+        Path(path),
+        checksum=np.str_(checksum),
+        library_version=np.str_(__version__),
+        **extra,
+        **arrays,
+    )
 
 
-def _read_payload(path) -> tuple[dict, str, str | None]:
-    """Open ``path`` and return ``(payload arrays, stored checksum,
-    certificate JSON or None)``.
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+
+
+def _read_payload(path) -> tuple[int, dict, str, str | None]:
+    """Open ``path`` and return ``(format version, payload arrays,
+    stored checksum, certificate JSON or None)``.
 
     All the ways a file can be unreadable — not a zip at all, truncated
-    mid-archive, a payload key deleted — surface here and are wrapped
+    mid-archive, a metadata key deleted — surface here and are wrapped
     in :class:`PlanCorruptionError` naming the offending path, instead
     of leaking raw ``zipfile`` / ``KeyError`` internals.
     """
     try:
         with np.load(Path(path)) as data:
-            version = int(data["format_version"])
-            if version != FORMAT_VERSION:
-                if version == 1:
-                    raise PlanVersionError(
-                        f"{path}: plan file uses format version 1, which "
-                        "carried no integrity checksum and can no longer "
-                        "be trusted or loaded; this build reads version "
-                        f"{FORMAT_VERSION}.  Re-create the file from the "
-                        "original permutation with save_plan() or "
-                        "`python -m repro plan` — planning is "
-                        "deterministic, so the regenerated schedule is "
-                        "identical."
-                    )
-                raise PlanVersionError(
-                    f"{path}: unsupported plan format version {version}; "
-                    f"this build reads version {FORMAT_VERSION}"
-                )
-            arrays = {key: data[key] for key in PAYLOAD_KEYS}
-            stored = str(data["checksum"])
-            cert_json = (
-                str(data["certificate"])
-                if "certificate" in data.files else None
-            )
-    except PlanVersionError:
-        raise
+            arrays = {k: np.asarray(data[k]) for k in data.files}
     except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
         raise PlanCorruptionError(
             f"{path}: plan file is unreadable (truncated or not a "
             f"save_plan archive): {exc}"
         ) from exc
-    except KeyError as exc:
-        # np.load's KeyError message is already a sentence naming the
-        # missing key ("s2 is not a file in the archive").
+    if "format_version" not in arrays:
         raise PlanCorruptionError(
-            f"{path}: plan file is incomplete: {exc.args[0]}"
-        ) from exc
-    return arrays, stored, cert_json
+            f"{path}: plan file is incomplete: format_version is not "
+            "a file in the archive"
+        )
+    version = int(arrays.pop("format_version"))
+    if version == 1:
+        raise PlanVersionError(
+            f"{path}: plan file uses format version 1, which "
+            "carried no integrity checksum and can no longer "
+            "be trusted or loaded; this build reads versions "
+            f"2-{FORMAT_VERSION}.  Re-create the file from the "
+            "original permutation with save_plan() or "
+            "`python -m repro plan` — planning is "
+            "deterministic, so the regenerated schedule is "
+            "identical."
+        )
+    if version not in (2, FORMAT_VERSION):
+        raise PlanVersionError(
+            f"{path}: unsupported plan format version {version}; "
+            f"this build reads versions 2-{FORMAT_VERSION}"
+        )
+    arrays["format_version"] = np.int64(version)
+    if "checksum" not in arrays:
+        raise PlanCorruptionError(
+            f"{path}: plan file is incomplete: checksum is not a file "
+            "in the archive"
+        )
+    stored = str(arrays.pop("checksum"))
+    cert_arr = arrays.pop("certificate", None)
+    cert_json = str(cert_arr) if cert_arr is not None else None
+    arrays.pop("library_version", None)
+    return version, arrays, stored, cert_json
 
 
-def load_plan(path) -> ScheduledPermutation:
-    """Rebuild a plan saved by :func:`save_plan`.
+def load_plan(path):
+    """Rebuild a planned engine saved by :func:`save_plan`.
 
     Verification happens cheapest-first: format version, then the
     SHA-256 content checksum, then the embedded certificate (well-
     formed, bound to this exact payload checksum, positive, and
     matching the plan's ``n``/``width``), then the full structural
-    ``plan.verify()`` (decomposition routing, colouring and
-    conflict-freedom) — so a corrupted file fails loudly rather than
-    permuting silently wrong, and fails *early* rather than after an
-    expensive rebuild.  A validated certificate is attached to the
-    returned plan as ``plan.certificate``.
+    verification — ``plan.verify()`` when the engine provides it, a
+    reference-executor differential against the stored permutation
+    otherwise — so a corrupted file fails loudly rather than permuting
+    silently wrong, and fails *early* rather than after an expensive
+    rebuild.  A validated certificate is attached to the returned
+    plan's scheduled core as ``certificate``.
+
+    The returned object is whichever engine class the file names —
+    version-2 files always hold a
+    :class:`~repro.core.scheduled.ScheduledPermutation`.
     """
     with telemetry.span("plan_io.load") as sp:
         try:
@@ -237,15 +408,91 @@ def load_plan(path) -> ScheduledPermutation:
         return plan
 
 
-def _load_plan_inner(path, sp) -> ScheduledPermutation:
-    arrays, stored, cert_json = _read_payload(path)
+def _load_plan_inner(path, sp):
+    version, arrays, stored, cert_json = _read_payload(path)
+    if version == 2:
+        return _load_plan_v2(path, arrays, stored, cert_json, sp)
+    return _load_plan_v3(path, arrays, stored, cert_json, sp)
+
+
+def _checksum_mismatch(path, stored: str, actual: str) -> PlanCorruptionError:
+    return PlanCorruptionError(
+        f"{path}: plan checksum mismatch (stored {stored[:12]}..., "
+        f"recomputed {actual[:12]}...); the file was corrupted or "
+        "tampered with — re-plan from the original permutation"
+    )
+
+
+def _load_plan_v3(path, arrays, stored, cert_json, sp):
     actual = plan_checksum(arrays)
     if actual != stored:
+        raise _checksum_mismatch(path, stored, actual)
+    certificate = None
+    if cert_json is not None:
+        certificate = _validate_certificate(path, cert_json, actual)
+    program = _unpack_program(path, arrays)
+    try:
+        engine_cls = get_engine(program.engine)
+    except ValidationError as exc:
         raise PlanCorruptionError(
-            f"{path}: plan checksum mismatch (stored {stored[:12]}..., "
-            f"recomputed {actual[:12]}...); the file was corrupted or "
-            "tampered with — re-plan from the original permutation"
+            f"{path}: plan file names engine {program.engine!r}, which "
+            f"is not in this build's registry: {exc}"
+        ) from exc
+    p = np.asarray(arrays["p"])
+    plan = engine_cls.from_program(program, p)
+    if certificate is not None:
+        certifiable = _certifiable_plan(plan)
+        if certifiable is None:
+            raise PlanCorruptionError(
+                f"{path}: embedded certificate on engine "
+                f"{program.engine!r}, which has no certifiable schedule"
+            )
+        if (certificate.n != certifiable.n
+                or certificate.width != certifiable.width):
+            raise PlanCorruptionError(
+                f"{path}: embedded certificate was issued for n = "
+                f"{certificate.n}, w = {certificate.width}, but the "
+                f"plan has n = {certifiable.n}, "
+                f"w = {certifiable.width}"
+            )
+        certifiable.certificate = certificate
+    with telemetry.span("plan_io.verify", n=program.n):
+        verifier = getattr(plan, "verify", None)
+        if verifier is not None:
+            verifier()
+        else:
+            _reference_check(path, plan, program)
+    sp.set(n=program.n, width=program.width, engine=program.engine,
+           certified=certificate is not None)
+    return plan
+
+
+def _reference_check(path, plan, program: KernelProgram) -> None:
+    """Structural check for engines without ``verify()``: the loaded
+    program must realise the stored permutation exactly."""
+    from repro.exec.reference import ReferenceExecutor
+
+    a = np.arange(program.n, dtype=np.int64)
+    out = ReferenceExecutor().run(program, a)
+    expected = np.empty_like(a)
+    expected[np.asarray(plan.p, dtype=np.int64)] = a
+    if not np.array_equal(out, expected):
+        raise PlanCorruptionError(
+            f"{path}: loaded program does not realise its stored "
+            "permutation — the schedule arrays are inconsistent"
         )
+
+
+def _load_plan_v2(path, arrays, stored, cert_json, sp):
+    missing = [key for key in PAYLOAD_KEYS if key not in arrays]
+    if missing:
+        raise PlanCorruptionError(
+            f"{path}: plan file is incomplete: {missing[0]} is not a "
+            "file in the archive"
+        )
+    actual = plan_checksum(arrays, keys=PAYLOAD_KEYS)
+    if actual != stored:
+        raise _checksum_mismatch(path, stored, actual)
     certificate = None
     if cert_json is not None:
         certificate = _validate_certificate(path, cert_json, actual)
@@ -292,7 +539,8 @@ def _load_plan_inner(path, sp) -> ScheduledPermutation:
         )
     with telemetry.span("plan_io.verify", n=plan.n):
         plan.verify()
-    sp.set(n=plan.n, width=width, certified=certificate is not None)
+    sp.set(n=plan.n, width=width, engine="scheduled",
+           certified=certificate is not None)
     return plan
 
 

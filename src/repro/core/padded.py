@@ -21,8 +21,13 @@ import numpy as np
 
 from repro import telemetry
 from repro.core.scheduled import ScheduledPermutation
-from repro.errors import SizeError
+from repro.errors import SizeError, ValidationError
+from repro.ir.engine import EngineBase
+from repro.ir.ops import Pad, Slice
+from repro.ir.program import KernelProgram
+from repro.ir.registry import register_engine
 from repro.machine.memory import TraceRecorder
+from repro.machine.params import MachineParams
 from repro.util.validation import check_permutation
 
 
@@ -42,8 +47,9 @@ def padded_length(n: int, width: int) -> int:
     return m * m
 
 
+@register_engine("padded")
 @dataclass
-class PaddedScheduledPermutation:
+class PaddedScheduledPermutation(EngineBase):
     """A scheduled permutation for arbitrary ``n``, via padding."""
 
     n: int
@@ -73,6 +79,15 @@ class PaddedScheduledPermutation:
         return self.inner.n
 
     @property
+    def p(self) -> np.ndarray:
+        """The original (unpadded) permutation."""
+        return self.inner.p[: self.n]
+
+    @property
+    def width(self) -> int:
+        return self.inner.width
+
+    @property
     def overhead(self) -> float:
         """Extra elements moved, as a fraction: ``N/n - 1``."""
         return self.padded_n / self.n - 1.0 if self.n else 0.0
@@ -97,5 +112,85 @@ class PaddedScheduledPermutation:
             return out[: self.n]
 
     def simulate(self, machine=None, dtype=np.float32):
-        """Cost of the padded run (the price actually paid on the HMM)."""
-        return self.inner.simulate(machine, dtype=dtype)
+        """Cost of the padded run (the price actually paid on the HMM).
+
+        The ``pad``/``slice`` ops are free in the model, so this equals
+        the inner scheduled plan's 32-round time at ``padded_n``.
+        """
+        from repro.exec.simulator import SimulatorExecutor
+
+        return SimulatorExecutor().simulate(self.lower(), machine,
+                                            dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # IR lowering
+    # ------------------------------------------------------------------
+
+    def lower(self) -> KernelProgram:
+        """Wrap the inner five-kernel program in ``pad``/``slice``."""
+        inner = self.inner.lower()
+        ops = (
+            Pad(label="pad", n=self.n, padded_n=self.padded_n),
+            *inner.ops,
+            Slice(label="slice", n=self.n),
+        )
+        return KernelProgram(
+            engine="padded", n=self.n, width=self.inner.width, ops=ops
+        )
+
+    @classmethod
+    def from_program(
+        cls, program: KernelProgram, p: np.ndarray
+    ) -> "PaddedScheduledPermutation":
+        """Rebuild from a ``pad + five kernels + slice`` program; the
+        padded permutation tail is the identity by construction."""
+        ops = program.ops
+        if (
+            len(ops) < 3
+            or not isinstance(ops[0], Pad)
+            or not isinstance(ops[-1], Slice)
+        ):
+            raise ValidationError(
+                "not a padded program: "
+                f"{[op.kind for op in ops]}"
+            )
+        pad = ops[0]
+        inner_program = KernelProgram(
+            engine="scheduled",
+            n=pad.padded_n,
+            width=program.width,
+            ops=ops[1:-1],
+        )
+        padded_p = np.concatenate([
+            np.asarray(p, dtype=np.int64),
+            np.arange(pad.n, pad.padded_n, dtype=np.int64),
+        ])
+        inner = ScheduledPermutation.from_program(inner_program, padded_p)
+        return cls(n=pad.n, inner=inner)
+
+    @classmethod
+    def predict(
+        cls,
+        p: np.ndarray,
+        params: MachineParams | None = None,
+        dtype=np.float32,
+    ) -> int | None:
+        """Scheduled closed-form time at the padded size ``N``."""
+        from repro.core import theory
+        from repro.machine.memory import element_cells_of
+
+        params = params or MachineParams()
+        n = int(np.asarray(p).shape[0])
+        try:
+            big_n = padded_length(n, params.width)
+        except SizeError:
+            return None
+        if big_n == 0:
+            return None
+        if params.shared_capacity is not None:
+            shared_needed = 2 * math.isqrt(big_n) * np.dtype(dtype).itemsize
+            if shared_needed > params.shared_capacity:
+                return None
+        k = element_cells_of(dtype)
+        return theory.scheduled_time(big_n, params.width, params.latency,
+                                     params.num_dmms, k)

@@ -38,19 +38,25 @@ from repro import telemetry
 from repro.core.colwise import ColumnwiseSchedule
 from repro.core.rowwise import RowwiseSchedule
 from repro.core.scheduler import ThreeStepDecomposition, decompose
-from repro.errors import SizeError
+from repro.core.transpose import TiledTranspose
+from repro.errors import SizeError, ValidationError
+from repro.ir.engine import EngineBase
+from repro.ir.ops import RowwiseScatter, Transpose
+from repro.ir.program import KernelProgram
+from repro.ir.registry import register_engine
 from repro.machine.hmm import HMM
-from repro.machine.memory import TraceRecorder
+from repro.machine.memory import TraceRecorder, element_cells_of
 from repro.machine.params import MachineParams
 from repro.machine.trace import ProgramTrace
-from repro.util.validation import check_permutation, check_square
+from repro.util.validation import check_permutation, check_square, isqrt_exact
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.staticcheck.certifier import Certificate
 
 
+@register_engine("scheduled")
 @dataclass
-class ScheduledPermutation:
+class ScheduledPermutation(EngineBase):
     """A fully planned optimal offline permutation."""
 
     p: np.ndarray
@@ -169,19 +175,9 @@ class ScheduledPermutation:
         leading axis; on the HMM each of the ``k`` payloads costs one
         :meth:`simulate` time.
         """
-        batch = np.asarray(batch)
-        if batch.ndim != 2 or batch.shape[1] != self.n:
-            raise SizeError(
-                f"batch must have shape (k, {self.n}), got {batch.shape}"
-            )
-        m = self.m
-        mats = batch.reshape(batch.shape[0], m, m)
-        mats = self.step1.apply_batch(mats)
-        mats = self.step2.rowwise.apply_batch(
-            mats.transpose(0, 2, 1)
-        ).transpose(0, 2, 1)
-        mats = self.step3.apply_batch(mats)
-        return mats.reshape(batch.shape[0], self.n)
+        from repro.exec.batch import BatchExecutor
+
+        return BatchExecutor().run(self.lower(), batch)
 
     def simulate(
         self,
@@ -189,17 +185,128 @@ class ScheduledPermutation:
         dtype=np.float32,
     ) -> ProgramTrace:
         """Charge the five kernels on an HMM and return the 32-round trace."""
-        if machine is None:
-            machine = HMM()
-        elif isinstance(machine, MachineParams):
-            machine = HMM(machine)
+        from repro.exec.simulator import SimulatorExecutor
+
         with telemetry.span("scheduled.simulate", n=self.n) as sp:
-            rec = TraceRecorder(hmm=machine, name="scheduled")
-            self.apply(np.zeros(self.n, dtype=dtype), recorder=rec)
-            assert rec.trace is not None
-            sp.set(model_time=rec.trace.time,
-                   model_rounds=rec.trace.num_rounds)
-        return rec.trace
+            trace = SimulatorExecutor().simulate(
+                self.lower(), machine, dtype=dtype
+            )
+            sp.set(model_time=trace.time, model_rounds=trace.num_rounds)
+        return trace
+
+    # ------------------------------------------------------------------
+    # IR lowering
+    # ------------------------------------------------------------------
+
+    def lower(self) -> KernelProgram:
+        """Lower to the canonical five-kernel program of Theorem 2.
+
+        The op labels are the kernel names the static certifier pins
+        (``step1.rowwise`` ... ``step3.rowwise``); the schedule arrays
+        are the plan's own (no copies), so a lowered program certifies
+        and executes bitwise identically to the engine.
+        """
+        w = self.width
+        ops = (
+            RowwiseScatter(
+                label="step1.rowwise", gamma=self.step1.gamma,
+                width=w, s=self.step1.s, t=self.step1.t,
+            ),
+            Transpose(label="step2.transpose-in", m=self.m, width=w),
+            RowwiseScatter(
+                label="step2.rowwise", gamma=self.step2.rowwise.gamma,
+                width=w, s=self.step2.rowwise.s, t=self.step2.rowwise.t,
+            ),
+            Transpose(label="step2.transpose-out", m=self.m, width=w),
+            RowwiseScatter(
+                label="step3.rowwise", gamma=self.step3.gamma,
+                width=w, s=self.step3.s, t=self.step3.t,
+            ),
+        )
+        return KernelProgram(engine="scheduled", n=self.n, width=w, ops=ops)
+
+    @classmethod
+    def from_program(
+        cls, program: KernelProgram, p: np.ndarray
+    ) -> "ScheduledPermutation":
+        """Rebuild the planned engine from its lowered program.
+
+        The decomposition's colour array is recovered from ``gamma1``
+        (an element's colour *is* its intermediate column), so the
+        five-kernel program is a complete serialisation.
+        """
+        ops = program.ops
+        if len(ops) != 5 or not (
+            isinstance(ops[0], RowwiseScatter)
+            and isinstance(ops[1], Transpose)
+            and isinstance(ops[2], RowwiseScatter)
+            and isinstance(ops[3], Transpose)
+            and isinstance(ops[4], RowwiseScatter)
+        ):
+            raise ValidationError(
+                "not a scheduled five-kernel program: "
+                f"{[op.kind for op in ops]}"
+            )
+        width = program.width
+        gamma1 = np.ascontiguousarray(ops[0].gamma, dtype=np.int64)
+        delta = np.ascontiguousarray(ops[2].gamma, dtype=np.int64)
+        gamma3 = np.ascontiguousarray(ops[4].gamma, dtype=np.int64)
+        step1 = RowwiseSchedule(
+            gamma=gamma1, s=ops[0].s, t=ops[0].t, width=width
+        )
+        step3 = RowwiseSchedule(
+            gamma=gamma3, s=ops[4].s, t=ops[4].t, width=width
+        )
+        m = int(gamma1.shape[0])
+        step2 = ColumnwiseSchedule(
+            rowwise=RowwiseSchedule(
+                gamma=delta, s=ops[2].s, t=ops[2].t, width=width
+            ),
+            transpose=TiledTranspose(m, width),
+        )
+        decomposition = ThreeStepDecomposition(
+            gamma1=gamma1,
+            delta=delta,
+            gamma3=gamma3,
+            colors=gamma1.reshape(-1),
+        )
+        return cls(
+            p=np.asarray(p),
+            width=width,
+            decomposition=decomposition,
+            step1=step1,
+            step2=step2,
+            step3=step3,
+        )
+
+    @classmethod
+    def predict(
+        cls,
+        p: np.ndarray,
+        params: MachineParams | None = None,
+        dtype=np.float32,
+    ) -> int | None:
+        """Closed-form time ``16(n/w + l - 1) + shared terms``
+        (Table I), or ``None`` when ``n`` is not a feasible square or
+        the tiles would overflow shared memory."""
+        from repro.core import theory
+
+        params = params or MachineParams()
+        n = int(np.asarray(p).shape[0])
+        w = params.width
+        try:
+            m = isqrt_exact(n, "n")
+        except SizeError:
+            return None
+        if n == 0 or m % w != 0:
+            return None
+        if params.shared_capacity is not None:
+            shared_needed = 2 * m * np.dtype(dtype).itemsize
+            if shared_needed > params.shared_capacity:
+                return None
+        k = element_cells_of(dtype)
+        return theory.scheduled_time(n, w, params.latency,
+                                     params.num_dmms, k)
 
     def inverse(self, backend: str = "auto") -> "ScheduledPermutation":
         """Plan the inverse permutation from this plan's decomposition.

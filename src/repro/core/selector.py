@@ -26,14 +26,10 @@ import numpy as np
 
 from repro import telemetry
 from repro.core import theory
-from repro.core.conventional import (
-    DDesignatedPermutation,
-    SDesignatedPermutation,
-)
 from repro.core.distribution import distribution
-from repro.core.padded import PaddedScheduledPermutation
-from repro.core.scheduled import ScheduledPermutation
-from repro.errors import SizeError, ValidationError
+from repro.errors import SizeError
+from repro.ir.program import KernelProgram
+from repro.ir.registry import engine_names, get_engine
 from repro.machine.hmm import HMM
 from repro.machine.memory import TraceRecorder, element_cells_of
 from repro.machine.params import MachineParams
@@ -72,12 +68,11 @@ def _scheduled_feasible(n: int, width: int) -> bool:
     return isqrt % width == 0 and n > 0
 
 
-#: Engine constructors by name.  Every entry takes the permutation
-#: plus planning options and returns an object with the common
-#: ``apply(a, recorder)`` / ``simulate(machine, dtype)`` interface.
-#: This registry is the single place engines are built — both
-#: :class:`AutoPermutation` and the resilient fallback chain
-#: (:class:`repro.resilience.ResilientPermutation`) go through it.
+#: The engines :func:`predict_times` prices and :func:`recommend`
+#: chooses between — the HMM engines with closed-form Table I times.
+#: The full engine registry (:func:`repro.ir.engine_names`) is larger:
+#: it also holds the CPU and single-DMM engines, which have no
+#: comparable HMM closed form and so never win the auto selection.
 ENGINES = ("scheduled", "padded", "d-designated", "s-designated")
 
 
@@ -89,24 +84,17 @@ def build_engine(
 ):
     """Construct the named engine for permutation ``p``.
 
-    ``"scheduled"`` and ``"padded"`` run the (potentially failing,
-    potentially expensive) offline planning; the two conventional
-    engines are plain wrappers and cannot fail beyond input validation.
+    Delegates to the engine registry (:func:`repro.ir.get_engine`), so
+    every registered engine — not just the four auto-selectable ones —
+    can be built by name.  ``"scheduled"`` and ``"padded"`` run the
+    (potentially failing, potentially expensive) offline planning; the
+    conventional engines are plain wrappers and cannot fail beyond
+    input validation.
     """
-    telemetry.count(f"engines.built.{name}" if name in ENGINES
+    telemetry.count(f"engines.built.{name}" if name in engine_names()
                     else "engines.built.unknown")
-    if name == "scheduled":
-        return ScheduledPermutation.plan(p, width=width, backend=backend)
-    if name == "padded":
-        return PaddedScheduledPermutation.plan(p, width=width,
-                                               backend=backend)
-    if name == "s-designated":
-        return SDesignatedPermutation(p)
-    if name == "d-designated":
-        return DDesignatedPermutation(p)
-    raise ValidationError(
-        f"unknown engine {name!r}; expected one of {ENGINES}"
-    )
+    cls = get_engine(name)
+    return cls.plan(p, width=width, backend=backend)
 
 
 def predict_times(
@@ -168,11 +156,31 @@ def recommend(
     return predict_times(p, params, dtype).best
 
 
-class AutoPermutation:
+def predict_all(
+    p: np.ndarray,
+    params: MachineParams | None = None,
+    dtype=np.float32,
+) -> dict[str, int | None]:
+    """Closed-form predicted time for *every* registered engine.
+
+    Unlike :func:`predict_times` (which prices only the auto-selectable
+    HMM engines), this walks the whole registry; engines with no
+    comparable closed form — the CPU and single-DMM families — report
+    ``None``.
+    """
+    params = params or MachineParams()
+    return {
+        name: get_engine(name).predict(p, params, dtype=dtype)
+        for name in engine_names()
+    }
+
+
+class AutoPermutation:  # staticcheck: ignore[REP104]
     """Plan whichever engine the model predicts fastest.
 
-    Mirrors the fixed engines' interface: ``apply(a, recorder)`` and
-    ``simulate(machine, dtype)``.
+    Mirrors the fixed engines' interface (``apply`` / ``apply_batch`` /
+    ``simulate`` / ``lower``) by delegating to the chosen engine; it is
+    a selector, not an engine, so it is deliberately not registered.
     """
 
     def __init__(
@@ -189,10 +197,20 @@ class AutoPermutation:
             self.choice, p, width=self.params.width, backend=backend
         )
 
+    @property
+    def p(self) -> np.ndarray:
+        return self.engine.p
+
     def apply(
         self, a: np.ndarray, recorder: TraceRecorder | None = None
     ) -> np.ndarray:
         return self.engine.apply(a, recorder)
+
+    def apply_batch(self, batch: np.ndarray) -> np.ndarray:
+        return self.engine.apply_batch(batch)
+
+    def lower(self) -> KernelProgram:
+        return self.engine.lower()
 
     def simulate(
         self,

@@ -16,7 +16,7 @@ actual host, mirroring Table II's shape with real time instead of model
 time units.
 """
 
-from repro.cpu.naive import gather_permute, scatter_permute
+from repro.cpu.naive import NaivePermutation, gather_permute, scatter_permute
 from repro.cpu.blocked import BlockedPermutation, blocked_transpose
 from repro.cpu.inplace import InplacePermutation, cycle_permute
 from repro.cpu.tuning import default_block_size
@@ -24,6 +24,7 @@ from repro.cpu.tuning import default_block_size
 __all__ = [
     "BlockedPermutation",
     "InplacePermutation",
+    "NaivePermutation",
     "blocked_transpose",
     "cycle_permute",
     "default_block_size",

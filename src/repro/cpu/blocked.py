@@ -22,7 +22,11 @@ import numpy as np
 
 from repro.core.scheduler import ThreeStepDecomposition, decompose
 from repro.cpu.tuning import default_block_size
-from repro.errors import SizeError
+from repro.errors import SizeError, ValidationError
+from repro.ir.engine import EngineBase
+from repro.ir.ops import RowwiseScatter, Transpose
+from repro.ir.program import KernelProgram
+from repro.ir.registry import register_engine
 from repro.util.validation import check_permutation, isqrt_exact
 
 
@@ -53,8 +57,9 @@ def blocked_transpose(
     return out
 
 
+@register_engine("cpu-blocked")
 @dataclass
-class BlockedPermutation:
+class BlockedPermutation(EngineBase):
     """A planned three-pass CPU permutation for a fixed ``p``."""
 
     p: np.ndarray
@@ -63,13 +68,19 @@ class BlockedPermutation:
 
     @classmethod
     def plan(
-        cls, p: np.ndarray, block: int | None = None, backend: str = "auto"
+        cls,
+        p: np.ndarray,
+        block: int | None = None,
+        backend: str = "auto",
+        width: int | None = None,
     ) -> "BlockedPermutation":
         """Plan from a destination-designated permutation ``p``.
 
         ``len(p)`` must be a perfect square (no width constraint on the
-        CPU — there are no warps).
+        CPU — there are no warps; ``width`` is accepted and ignored for
+        registry signature uniformity).
         """
+        del width
         p = check_permutation(p)
         isqrt_exact(p.shape[0], "len(p)")
         return cls(p=p, decomposition=decompose(p, backend=backend), block=block)
@@ -82,11 +93,14 @@ class BlockedPermutation:
     def m(self) -> int:
         return self.decomposition.m
 
-    def apply(self, a: np.ndarray) -> np.ndarray:
+    def apply(self, a: np.ndarray, recorder=None) -> np.ndarray:
         """Permute ``a``: returns ``b`` with ``b[p[i]] == a[i]``.
 
         Five passes, each either row-local or a blocked transpose.
+        ``recorder`` is accepted for protocol uniformity; CPU passes
+        have no HMM rounds to record.
         """
+        del recorder
         a = np.asarray(a)
         if a.shape != (self.n,):
             raise SizeError(f"a must have shape ({self.n},), got {a.shape}")
@@ -106,3 +120,43 @@ class BlockedPermutation:
         out = np.empty_like(mat)
         out[rows, d.gamma3] = staged                # row-wise scatter
         return out.reshape(-1)
+
+    def lower(self) -> KernelProgram:
+        """The same five-kernel decomposition as the GPU engine, but
+        unscheduled (``width = 0``): row-wise ops carry only ``gamma``
+        and the transposes are untiled."""
+        d = self.decomposition
+        ops = (
+            RowwiseScatter(label="step1.rowwise", gamma=d.gamma1, width=0),
+            Transpose(label="step2.transpose-in", m=self.m),
+            RowwiseScatter(label="step2.rowwise", gamma=d.delta, width=0),
+            Transpose(label="step2.transpose-out", m=self.m),
+            RowwiseScatter(label="step3.rowwise", gamma=d.gamma3, width=0),
+        )
+        return KernelProgram(
+            engine="cpu-blocked", n=self.n, width=0, ops=ops
+        )
+
+    @classmethod
+    def from_program(
+        cls, program: KernelProgram, p: np.ndarray
+    ) -> "BlockedPermutation":
+        """Rebuild from the carried ``gamma`` arrays (no re-planning)."""
+        ops = program.ops
+        if len(ops) != 5 or not (
+            isinstance(ops[0], RowwiseScatter)
+            and isinstance(ops[2], RowwiseScatter)
+            and isinstance(ops[4], RowwiseScatter)
+        ):
+            raise ValidationError(
+                "not a blocked five-kernel program: "
+                f"{[op.kind for op in ops]}"
+            )
+        gamma1 = np.ascontiguousarray(ops[0].gamma, dtype=np.int64)
+        decomposition = ThreeStepDecomposition(
+            gamma1=gamma1,
+            delta=np.ascontiguousarray(ops[2].gamma, dtype=np.int64),
+            gamma3=np.ascontiguousarray(ops[4].gamma, dtype=np.int64),
+            colors=gamma1.reshape(-1),
+        )
+        return cls(p=np.asarray(p), decomposition=decomposition)

@@ -22,6 +22,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SizeError
+from repro.ir.engine import EngineBase
+from repro.ir.ops import CycleRotate
+from repro.ir.program import KernelProgram
+from repro.ir.registry import register_engine
 from repro.permutations.ops import cycles
 from repro.util.validation import check_permutation
 
@@ -57,7 +61,8 @@ def cycle_permute(a: np.ndarray, p: np.ndarray) -> np.ndarray:
     return a
 
 
-class InplacePermutation:
+@register_engine("cpu-inplace")
+class InplacePermutation(EngineBase):
     """Offline-planned in-place permutation (cycles precomputed)."""
 
     def __init__(self, p: np.ndarray) -> None:
@@ -67,18 +72,36 @@ class InplacePermutation:
         # Keep only the non-trivial cycles; fixed points need no work.
         self._cycles = [c for c in cycles(p) if c.shape[0] > 1]
 
+    @classmethod
+    def plan(
+        cls, p: np.ndarray, width: int = 32, backend: str = "auto"
+    ) -> "InplacePermutation":
+        """Precompute the cycles; ``width``/``backend`` are ignored."""
+        del width, backend
+        return cls(p)
+
     @property
     def num_cycles(self) -> int:
         """Non-trivial cycles in the plan."""
         return len(self._cycles)
 
-    def apply(self, a: np.ndarray) -> np.ndarray:
+    def lower(self) -> KernelProgram:
+        return KernelProgram(
+            engine="cpu-inplace",
+            n=self.n,
+            width=0,
+            ops=(CycleRotate(label="cycle-rotate", p=self.p),),
+        )
+
+    def apply(self, a: np.ndarray, recorder=None) -> np.ndarray:
         """Permute ``a`` in place; returns ``a``.
 
         For each cycle ``(c0, c1, ..., ck)`` of ``p``, the value at
         ``c0`` must go to ``p[c0] = c1``, etc. — a vectorised roll of
-        the gathered cycle values.
+        the gathered cycle values.  ``recorder`` is accepted for
+        protocol uniformity.
         """
+        del recorder
         a = np.asarray(a)
         if a.shape != (self.n,):
             raise SizeError(f"a must have shape ({self.n},), got {a.shape}")

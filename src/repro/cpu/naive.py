@@ -11,6 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import SizeError
+from repro.ir.engine import EngineBase
+from repro.ir.ops import CasualWrite
+from repro.ir.program import KernelProgram
+from repro.ir.registry import register_engine
 from repro.permutations.ops import invert
 from repro.util.validation import check_permutation
 
@@ -46,3 +51,42 @@ def inverse_for_gather(p: np.ndarray) -> np.ndarray:
     """The gather index achieving the same result as ``scatter_permute``:
     ``gather_permute(a, inverse_for_gather(p)) == scatter_permute(a, p)``."""
     return invert(p)
+
+
+@register_engine("cpu-naive")
+class NaivePermutation(EngineBase):
+    """The one-pass baseline as a planned engine: ``b[p[i]] = a[i]``.
+
+    Wraps :func:`scatter_permute` in the registry's planning interface
+    so the naive CPU path participates in the selector, resilience
+    chain, and executor layer like every other engine.
+    """
+
+    def __init__(self, p: np.ndarray) -> None:
+        self.p = check_permutation(p)
+        self.n = int(self.p.shape[0])
+
+    @classmethod
+    def plan(
+        cls, p: np.ndarray, width: int = 32, backend: str = "auto"
+    ) -> "NaivePermutation":
+        """Nothing to precompute; ``width``/``backend`` are ignored."""
+        del width, backend
+        return cls(p)
+
+    def lower(self) -> KernelProgram:
+        return KernelProgram(
+            engine="cpu-naive",
+            n=self.n,
+            width=0,
+            ops=(CasualWrite(label="cpu-naive", p=self.p),),
+        )
+
+    def apply(self, a: np.ndarray, recorder=None) -> np.ndarray:
+        """One random-write pass; ``recorder`` accepted for protocol
+        uniformity."""
+        del recorder
+        a = np.asarray(a)
+        if a.shape != (self.n,):
+            raise SizeError(f"a must have shape ({self.n},), got {a.shape}")
+        return scatter_permute(a, self.p)

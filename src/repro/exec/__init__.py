@@ -1,0 +1,21 @@
+"""Pluggable executors that run any lowered :class:`KernelProgram`.
+
+Three executors, one IR:
+
+* :class:`ReferenceExecutor` — pure-numpy semantic ground truth;
+* :class:`BatchExecutor` — vectorized ``(k, n)`` throughput mode,
+  giving every engine ``apply_batch``;
+* :class:`SimulatorExecutor` — replays each op's access rounds
+  through the HMM cost model, replacing per-engine ``simulate``
+  plumbing.
+"""
+
+from repro.exec.batch import BatchExecutor
+from repro.exec.reference import ReferenceExecutor
+from repro.exec.simulator import SimulatorExecutor
+
+__all__ = [
+    "BatchExecutor",
+    "ReferenceExecutor",
+    "SimulatorExecutor",
+]

@@ -1,0 +1,72 @@
+"""Pure-numpy reference executor — the semantic ground truth.
+
+Runs a :class:`KernelProgram` op by op with the most direct numpy
+expression of each op's meaning.  No machine model, no schedules: the
+scheduled ``s``/``t`` arrays are deliberately ignored here, because
+``t[s[u]] == gamma[u]`` makes the two-step scatter equal to the direct
+one — which is exactly the property the differential tests pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SizeError, ValidationError
+from repro.ir.ops import (
+    CasualRead,
+    CasualWrite,
+    CycleRotate,
+    GatherScatter,
+    KernelOp,
+    Pad,
+    RowwiseScatter,
+    Slice,
+    Transpose,
+)
+from repro.ir.program import KernelProgram
+
+
+class ReferenceExecutor:
+    """Execute programs with plain numpy indexing."""
+
+    def run(self, program: KernelProgram, a: np.ndarray) -> np.ndarray:
+        data = np.asarray(a)
+        if data.shape != (program.n,):
+            raise SizeError(
+                f"a must have shape ({program.n},), got {data.shape}"
+            )
+        program.validate()
+        for op in program.ops:
+            data = self._run_op(op, data)
+        return data
+
+    def _run_op(self, op: KernelOp, data: np.ndarray) -> np.ndarray:
+        if isinstance(op, RowwiseScatter):
+            mat = data.reshape(op.rows, op.m)
+            out = np.empty_like(mat)
+            rows = np.arange(op.rows)[:, None]
+            out[rows, op.gamma] = mat
+            return out.reshape(op.rows * op.m)
+        if isinstance(op, Transpose):
+            return np.ascontiguousarray(
+                data.reshape(op.m, op.m).T
+            ).reshape(op.m * op.m)
+        if isinstance(op, (CasualWrite, CycleRotate)):
+            out = np.empty_like(data)
+            out[op.p] = data
+            return out
+        if isinstance(op, CasualRead):
+            return data[op.q]
+        if isinstance(op, GatherScatter):
+            out = np.empty_like(data)
+            out[op.t.astype(np.int64)] = data[op.s.astype(np.int64)]
+            return out
+        if isinstance(op, Pad):
+            out = np.zeros(op.padded_n, dtype=data.dtype)
+            out[: op.n] = data
+            return out
+        if isinstance(op, Slice):
+            return data[: op.n].copy()
+        raise ValidationError(
+            f"reference executor cannot run op kind {op.kind!r}"
+        )

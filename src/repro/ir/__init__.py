@@ -1,0 +1,44 @@
+"""Kernel-program IR: typed kernel ops, the Engine protocol, registry.
+
+Every permutation engine in the repo *lowers* to the same intermediate
+representation — a :class:`~repro.ir.program.KernelProgram`, an ordered
+tuple of typed kernel ops each carrying its schedule arrays.  The three
+executors in :mod:`repro.exec` consume any program, which is what gives
+every engine ``apply_batch`` and HMM simulation for free, and what lets
+the static certifier, plan I/O and the CLI treat engines uniformly.
+"""
+
+from repro.ir.engine import Engine, EngineBase
+from repro.ir.ops import (
+    OP_KINDS,
+    CasualRead,
+    CasualWrite,
+    CycleRotate,
+    GatherScatter,
+    KernelOp,
+    Pad,
+    RowwiseScatter,
+    Slice,
+    Transpose,
+)
+from repro.ir.program import KernelProgram
+from repro.ir.registry import engine_names, get_engine, register_engine
+
+__all__ = [
+    "OP_KINDS",
+    "CasualRead",
+    "CasualWrite",
+    "CycleRotate",
+    "Engine",
+    "EngineBase",
+    "GatherScatter",
+    "KernelOp",
+    "KernelProgram",
+    "Pad",
+    "RowwiseScatter",
+    "Slice",
+    "Transpose",
+    "engine_names",
+    "get_engine",
+    "register_engine",
+]

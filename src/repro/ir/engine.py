@@ -1,0 +1,109 @@
+"""The formal Engine protocol and the default-method mix-in.
+
+Every permutation engine — GPU-modelled or CPU — presents the same
+six-method surface:
+
+``plan(p, width=..., backend=...)``
+    Classmethod constructor: precompute schedules for permutation ``p``.
+``lower()``
+    Lower the planned engine to a :class:`~repro.ir.program.KernelProgram`.
+``apply(a, recorder=None)``
+    Permute one array (optionally recording access rounds).
+``apply_batch(batch)``
+    Permute ``k`` arrays with one pass per kernel (throughput mode).
+``simulate(machine=None, dtype=...)``
+    Price the engine on the HMM cost model, returning a trace.
+``predict(p, params=None, dtype=...)``
+    Classmethod: closed-form time prediction, or ``None`` when the
+    engine has no comparable HMM closed form (CPU/DMM engines).
+
+:class:`EngineBase` supplies ``apply_batch`` / ``simulate`` /
+``predict`` / ``from_program`` defaults through the executor layer, so
+a concrete engine only has to implement ``plan``, ``apply`` and
+``lower``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, ClassVar, Protocol, cast, runtime_checkable
+
+import numpy as np
+
+from repro.ir.program import KernelProgram
+
+if TYPE_CHECKING:
+    from repro.machine.trace import ProgramTrace
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """Structural type of a planned permutation engine instance."""
+
+    @property
+    def p(self) -> np.ndarray: ...
+
+    def lower(self) -> KernelProgram: ...
+
+    def apply(
+        self, a: np.ndarray, recorder: Any | None = None
+    ) -> np.ndarray: ...
+
+    def apply_batch(self, batch: np.ndarray) -> np.ndarray: ...
+
+    def simulate(
+        self, machine: Any = None, dtype: Any = np.float32
+    ) -> ProgramTrace: ...
+
+
+class EngineBase:
+    """Mix-in providing executor-backed protocol defaults."""
+
+    #: Registry name, set by :func:`repro.ir.registry.register_engine`.
+    engine_name: ClassVar[str] = ""
+
+    def lower(self) -> KernelProgram:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not lower to the IR"
+        )
+
+    def apply_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Permute ``k`` stacked arrays via the vectorized batch
+        executor (one numpy pass per kernel op)."""
+        from repro.exec.batch import BatchExecutor
+
+        return BatchExecutor().run(self.lower(), batch)
+
+    def simulate(
+        self, machine: Any = None, dtype: Any = np.float32
+    ) -> ProgramTrace:
+        """Price this engine's program on the HMM cost model."""
+        from repro.exec.simulator import SimulatorExecutor
+
+        return SimulatorExecutor().simulate(
+            self.lower(), machine, dtype=dtype
+        )
+
+    @classmethod
+    def predict(
+        cls,
+        p: np.ndarray,
+        params: Any = None,
+        dtype: Any = np.float32,
+    ) -> int | None:
+        """Closed-form time prediction; ``None`` when the engine has no
+        comparable HMM closed form."""
+        return None
+
+    @classmethod
+    def from_program(
+        cls, program: KernelProgram, p: np.ndarray
+    ) -> EngineBase:
+        """Rebuild a planned engine from its lowered program.
+
+        The default re-plans from ``p``; engines whose programs carry
+        the full schedules override this to reconstruct bitwise.
+        """
+        planner = getattr(cls, "plan")
+        return cast(
+            "EngineBase", planner(p, width=program.width or 32)
+        )

@@ -235,6 +235,35 @@ def _check_staticcheck() -> str:
             f"{bad_cert.counterexample.kernel}, race + lint clean")
 
 
+def _check_registry() -> str:
+    from repro.exec import (
+        BatchExecutor,
+        ReferenceExecutor,
+        SimulatorExecutor,
+    )
+    from repro.ir.registry import engine_names, get_engine
+
+    n = 1024
+    p = bit_reversal(n)
+    a = np.arange(n, dtype=np.float32)
+    expected = np.empty_like(a)
+    expected[p] = a
+    for name in engine_names():
+        engine = get_engine(name).plan(p, width=_WIDTH)
+        program = engine.lower()
+        assert np.array_equal(engine.apply(a.copy()), expected), name
+        assert np.array_equal(
+            ReferenceExecutor().run(program, a), expected
+        ), name
+        batch = BatchExecutor().run(program, np.stack([a, a]))
+        assert np.array_equal(batch[0], expected), name
+        assert SimulatorExecutor().simulate(program, _MACHINE).time > 0, name
+        reloaded = type(engine).from_program(program, engine.p)
+        assert np.array_equal(reloaded.apply(a.copy()), expected), name
+    return (f"{len(engine_names())} engines x 3 executors agree on "
+            f"bit-reversal({n}); all reconstruct from their IR")
+
+
 def _check_optimality() -> str:
     ratio = theory.optimality_ratio(1 << 22, _WIDTH, 100, 8)
     assert ratio <= 9
@@ -252,6 +281,7 @@ _CHECKS: list[tuple[str, Callable[[], str]]] = [
     ("A2        L2 small-n regime", _check_cache),
     ("[8]/[9]   single-DMM variant", _check_dmm),
     ("Sec VII   optimality ratio", _check_optimality),
+    ("IR        engine registry", _check_registry),
     ("Resil.    faults & fallback", _check_resilience),
     ("Static    certifier & lint", _check_staticcheck),
 ]

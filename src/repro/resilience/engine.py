@@ -160,8 +160,9 @@ class ResilientPermutation:
             if p is None:
                 raise
             return cls(p, _preload_failure=exc, **kwargs)
+        choice = getattr(type(plan), "engine_name", "") or "scheduled"
         return cls._from_engine(
-            plan.p, plan.width, plan, "scheduled",
+            plan.p, getattr(plan, "width", 32), plan, choice,
             self_check=kwargs.get("self_check", True),
         )
 
@@ -269,6 +270,26 @@ class ResilientPermutation:
                     "permutation (caught by the resilience self-check)"
                 )
         return out
+
+    def apply_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Permute ``k`` stacked arrays with the settled engine; each
+        row is self-checked like a single :meth:`apply` output."""
+        out = self.engine.apply_batch(batch)
+        if self.self_check:
+            mats = np.asarray(batch)
+            expected = np.empty_like(mats)
+            expected[:, self.p] = mats
+            if not np.array_equal(out, expected):
+                raise ResilienceError(
+                    f"engine {self.choice!r} produced an incorrect "
+                    "batch permutation (caught by the resilience "
+                    "self-check)"
+                )
+        return out
+
+    def lower(self):
+        """The settled engine's kernel program."""
+        return self.engine.lower()
 
     def simulate(self, machine=None, dtype=np.float32):
         """Model cost of whichever engine the chain settled on."""

@@ -56,12 +56,39 @@ from repro.machine import memory as _memory
 #: The four supported plan-file fault modes.
 FILE_FAULT_MODES = ("bit-flip", "truncate", "delete-key", "stale-version")
 
-#: Payload keys eligible for bit flips / deletion (format_version is
-#: excluded so every mode maps to exactly one error class).
+#: Version-2 payload keys eligible for bit flips / deletion
+#: (format_version is excluded so every mode maps to exactly one error
+#: class).  Version-3 files derive their candidates from the generic
+#: ``op{i}.*`` key groups instead — see :func:`_corruptible_keys`.
 _CORRUPTIBLE_KEYS = (
     "p", "colors", "gamma1", "delta", "gamma3",
     "s1", "t1", "s2", "t2", "s3", "t3",
 )
+
+#: Keys never corrupted in v3 files: metadata (so every mode maps to
+#: one error class) plus format_version (that is the stale-version
+#: mode's job).
+_V3_PROTECTED_KEYS = frozenset(
+    ("format_version", "checksum", "library_version", "certificate")
+)
+
+
+def _corruptible_keys(arrays: dict) -> list[str]:
+    """Numeric payload keys eligible for bit flips / deletion.
+
+    Version-2 files use the fixed scheduled-plan key list; version-3
+    files (generic kernel programs) take every non-metadata numeric
+    array with at least one byte of payload, sorted for determinism.
+    """
+    version = int(arrays.get("format_version", 0))
+    if version >= 3:
+        return sorted(
+            k for k, arr in arrays.items()
+            if k not in _V3_PROTECTED_KEYS
+            and np.asarray(arr).dtype.kind in "iufb"
+            and np.asarray(arr).size > 0
+        )
+    return [k for k in _CORRUPTIBLE_KEYS if k in arrays]
 
 #: The currently active plan (at most one; nesting is an error).
 _active: "FaultPlan | None" = None
@@ -232,7 +259,7 @@ class FaultPlan:
         with np.load(path) as data:
             arrays = {k: np.asarray(data[k]) for k in data.files}
         if mode == "bit-flip":
-            candidates = [k for k in _CORRUPTIBLE_KEYS if k in arrays]
+            candidates = _corruptible_keys(arrays)
             if not candidates:
                 raise FaultInjectionError(
                     f"{path}: no corruptible payload keys found"
@@ -247,7 +274,7 @@ class FaultPlan:
             ).reshape(arr.shape)
             detail = f"flipped bit {bit}"
         elif mode == "delete-key":
-            candidates = [k for k in _CORRUPTIBLE_KEYS if k in arrays]
+            candidates = _corruptible_keys(arrays)
             if not candidates:
                 raise FaultInjectionError(
                     f"{path}: no deletable payload keys found"

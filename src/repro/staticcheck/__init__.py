@@ -3,10 +3,12 @@
 Three layers, all pure functions over arrays and source text — nothing
 here runs the simulator:
 
-* :mod:`repro.staticcheck.certifier` — proves a plan's 32 memory-access
-  rounds bank-conflict-free (DMM) and fully coalesced (UMM) from the
-  plan arrays alone, emitting a :class:`Certificate` or a precise
-  :class:`Counterexample`;
+* :mod:`repro.staticcheck.certifier` — proves the memory-access rounds
+  of a lowered kernel program (the scheduled plan's 32, via
+  :func:`certify_plan`, or any regular program's, via
+  :func:`certify_program`) bank-conflict-free (DMM) and fully coalesced
+  (UMM) from the schedule arrays alone, emitting a :class:`Certificate`
+  or a precise :class:`Counterexample`;
 * :mod:`repro.staticcheck.races` — write-write / read-write race
   detection over access-round traces, wired into the emulators behind
   ``detect_races=True``;
@@ -19,6 +21,7 @@ from __future__ import annotations
 from repro.staticcheck.access import (
     StaticRound,
     plan_rounds,
+    program_rounds,
     rowwise_rounds,
     transpose_rounds,
 )
@@ -29,6 +32,7 @@ from repro.staticcheck.certifier import (
     RoundVerdict,
     analyze_round,
     certify_plan,
+    certify_program,
     certify_rounds,
     global_group_counts,
     shared_bank_multiplicities,
@@ -58,6 +62,7 @@ __all__ = [
     "StaticRound",
     "analyze_round",
     "certify_plan",
+    "certify_program",
     "certify_rounds",
     "check_races",
     "detect_races",
@@ -66,6 +71,7 @@ __all__ = [
     "global_group_counts",
     "lint_source",
     "plan_rounds",
+    "program_rounds",
     "rowwise_rounds",
     "run_lint",
     "shared_bank_multiplicities",

@@ -1,13 +1,14 @@
-"""Symbolic access-map extraction from saved plans.
+"""Symbolic access-map extraction from kernel programs.
 
-The scheduled permutation's five kernels move data through exactly 32
-memory-access rounds, and every address in them is a pure function of
-the plan arrays — the ``s``/``t`` schedules and the transpose's
-precomputed address streams.  This module derives those 32 address
-streams *without executing anything*: no payload array is allocated, no
-traced gather/scatter runs.  The certifier analyses the result; the
-differential test suite pins it against the address streams the real
-executors emit through :mod:`repro.machine.memory`.
+Every address a *regular* (scheduled) kernel touches is a pure function
+of the plan arrays — the ``s``/``t`` schedules and the transpose's
+precomputed address streams.  This module derives those address streams
+*without executing anything*: no payload array is allocated, no traced
+gather/scatter runs.  :func:`program_rounds` walks a lowered
+:class:`~repro.ir.program.KernelProgram` op by op, so the certifier
+works from the same IR the executors run; the differential test suite
+pins the result against the address streams the real executors emit
+through :mod:`repro.machine.memory`.
 
 The round order mirrors the executors exactly:
 
@@ -17,8 +18,16 @@ The round order mirrors the executors exactly:
 * transpose kernel (:meth:`repro.core.transpose.TiledTranspose.apply`):
   read ``a``, write ``tile`` (diagonal slots), read ``tile``, write
   ``b`` — 4 rounds;
-* program: row-wise, transpose, row-wise, transpose, row-wise
-  = 8 + 4 + 8 + 4 + 8 = 32 rounds.
+* gather-scatter kernel
+  (:meth:`repro.core.dmm_permutation.DMMScheduledPermutation.apply`):
+  read ``s``, read ``t``, read ``a[s]``, write ``b[t]`` — 4 shared
+  rounds;
+* the paper's five-kernel program: row-wise, transpose, row-wise,
+  transpose, row-wise = 8 + 4 + 8 + 4 + 8 = 32 rounds.
+
+Irregular ops (casual reads/writes, unscheduled scatters) have no
+conflict-freedom claim to certify, so :func:`program_rounds` refuses
+them with :class:`~repro.errors.StaticCheckError` rather than guessing.
 """
 
 from __future__ import annotations
@@ -30,12 +39,14 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import StaticCheckError
+from repro.ir.ops import GatherScatter, Pad, RowwiseScatter, Slice, Transpose
 from repro.machine.requests import AccessRound
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.rowwise import RowwiseSchedule
     from repro.core.scheduled import ScheduledPermutation
     from repro.core.transpose import TiledTranspose
+    from repro.ir.program import KernelProgram
 
 #: (space, kind, array, addresses, block_size)
 _Access = tuple[str, str, str, np.ndarray, "int | None"]
@@ -150,26 +161,73 @@ def transpose_rounds(
     return _materialise(kernel, _transpose_accesses(transpose), start)
 
 
+def _gather_scatter_accesses(op: GatherScatter) -> Iterator[_Access]:
+    """The 4 shared address streams of the single-DMM kernel."""
+    n = int(op.s.shape[0])
+    idx = _coalesced(n)
+    yield ("shared", "read", "s", idx, n)
+    yield ("shared", "read", "t", idx, n)
+    yield ("shared", "read", "a",
+           np.asarray(op.s, dtype=np.int64), n)
+    yield ("shared", "write", "b",
+           np.asarray(op.t, dtype=np.int64), n)
+
+
+def _op_accesses(op) -> Iterator[_Access]:
+    """The address streams of one regular IR op, in executor order."""
+    if isinstance(op, RowwiseScatter) and op.regular:
+        from repro.core.rowwise import RowwiseSchedule
+
+        schedule = RowwiseSchedule(
+            gamma=op.gamma, s=op.s, t=op.t, width=op.width
+        )
+        return _rowwise_accesses(schedule)
+    if isinstance(op, Transpose) and op.tiled:
+        from repro.core.transpose import TiledTranspose
+
+        return _transpose_accesses(
+            TiledTranspose(op.m, op.width, diagonal=op.diagonal)
+        )
+    if isinstance(op, GatherScatter):
+        return _gather_scatter_accesses(op)
+    raise StaticCheckError(
+        f"op {op.label!r} (kind {op.kind!r}) is not statically "
+        "certifiable: only scheduled row-wise, tiled transpose and "
+        "gather-scatter kernels have conflict-freedom claims to prove"
+    )
+
+
+def program_rounds(program: "KernelProgram") -> tuple[StaticRound, ...]:
+    """Derive the access rounds of a lowered kernel program.
+
+    Walks ``program.ops`` in order; each regular op contributes its
+    address streams under its own label (e.g. ``step1.rowwise``), with
+    round indices running consecutively across the whole program.
+    ``pad``/``slice`` ops are zero-cost resizing and contribute no
+    rounds; irregular ops raise :class:`StaticCheckError`.
+    """
+    rounds: list[StaticRound] = []
+    for op in program.ops:
+        if isinstance(op, (Pad, Slice)):
+            continue
+        rounds.extend(
+            _materialise(op.label, _op_accesses(op), start=len(rounds))
+        )
+    return tuple(rounds)
+
+
 def plan_rounds(plan: "ScheduledPermutation") -> tuple[StaticRound, ...]:
     """Derive all 32 rounds of a planned scheduled permutation.
 
-    Kernels appear in execution order (``step1.rowwise``,
+    Lowers the plan to its kernel program and enumerates rounds from
+    the IR; kernels appear in execution order (``step1.rowwise``,
     ``step2.transpose-in``, ``step2.rowwise``, ``step2.transpose-out``,
-    ``step3.rowwise``); round indices run 0..31 across the program.
+    ``step3.rowwise``) and round indices run 0..31 across the program.
     """
-    kernels: list[tuple[str, Iterator[_Access]]] = [
-        ("step1.rowwise", _rowwise_accesses(plan.step1)),
-        ("step2.transpose-in", _transpose_accesses(plan.step2.transpose)),
-        ("step2.rowwise", _rowwise_accesses(plan.step2.rowwise)),
-        ("step2.transpose-out", _transpose_accesses(plan.step2.transpose)),
-        ("step3.rowwise", _rowwise_accesses(plan.step3)),
-    ]
-    rounds: list[StaticRound] = []
-    for kernel, accesses in kernels:
-        rounds.extend(_materialise(kernel, accesses, start=len(rounds)))
+    rounds = program_rounds(plan.lower())
     if len(rounds) != 32:
         raise StaticCheckError(
             f"expected 32 static rounds, derived {len(rounds)} — the "
             "plan's kernel structure does not match the paper's program"
         )
-    return tuple(rounds)
+    return rounds

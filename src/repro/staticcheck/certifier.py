@@ -35,10 +35,11 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.errors import CertificateError, StaticCheckError
-from repro.staticcheck.access import StaticRound, plan_rounds
+from repro.staticcheck.access import StaticRound, plan_rounds, program_rounds
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.scheduled import ScheduledPermutation
+    from repro.ir.program import KernelProgram
 
 #: Schema version of serialised certificates.
 CERTIFICATE_VERSION = 1
@@ -437,6 +438,36 @@ def certify_rounds(
     return Certificate(
         n=n, m=m, width=width, rounds=tuple(verdicts),
         counterexample=counter,
+    )
+
+
+def certify_program(program: "KernelProgram") -> Certificate:
+    """Statically certify any regular lowered kernel program.
+
+    Works for every program whose ops carry full schedules (scheduled
+    row-wise, tiled transpose, gather-scatter); raises
+    :class:`~repro.errors.StaticCheckError` on programs containing
+    irregular (casual) ops, which have no conflict-freedom claim to
+    prove.  ``m`` in the resulting certificate is the row-wise tile
+    side when the program has one, else 0.
+    """
+    from repro.ir.ops import RowwiseScatter
+
+    m = next(
+        (op.m for op in program.ops
+         if isinstance(op, RowwiseScatter) and op.regular),
+        0,
+    )
+    width = int(program.width) or max(
+        (getattr(op, "width", 0) for op in program.ops), default=0
+    )
+    if width < 1:
+        raise StaticCheckError(
+            f"program {program.engine!r} has no machine width; cannot "
+            "partition address streams into warps"
+        )
+    return certify_rounds(
+        program_rounds(program), width=width, n=int(program.n), m=int(m),
     )
 
 

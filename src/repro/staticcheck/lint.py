@@ -1,6 +1,6 @@
 """Project-specific AST lint rules (``python -m repro check``).
 
-Generic linters cannot know this codebase's layering rules; these three
+Generic linters cannot know this codebase's layering rules; these four
 checks encode them:
 
 ``REP101`` **bank/group arithmetic outside the machine layer** — the
@@ -28,6 +28,16 @@ checks encode them:
     grow; :func:`repro.util.arrays.smallest_index_dtype` is the blessed
     idiom (and its home module is exempt).
 
+``REP104`` **unregistered engine class** — a class in the engine layers
+    (``repro.core``, ``repro.cpu``) that defines ``lower()`` is a
+    permutation engine, and every engine must be registered with
+    :func:`repro.ir.registry.register_engine` so the selector, the CLI
+    ``--engine`` options and plan format v3 can find it.  An engine
+    left off the registry silently disappears from ``engine_names()``
+    and cannot be reloaded from a saved plan.  Deliberate façades
+    (e.g. :class:`repro.core.selector.AutoPermutation`, which wraps a
+    registered engine rather than being one) suppress the rule inline.
+
 Suppression: a source line containing ``staticcheck: ignore`` silences
 all rules on that line; ``staticcheck: ignore[REP103]`` silences one.
 """
@@ -47,7 +57,12 @@ LINT_RULES: dict[str, str] = {
     "REP101": "bank/group index arithmetic outside the machine layer",
     "REP102": "telemetry not using the guarded span()/count() helpers",
     "REP103": "hard-coded narrow integer dtype (overflow pitfall)",
+    "REP104": "engine class not registered with @register_engine",
 }
+
+#: Module prefixes REP104 treats as engine layers: a class defining
+#: ``lower()`` here must carry the ``@register_engine`` decorator.
+_ENGINE_LAYERS = ("repro.core", "repro.cpu")
 
 #: Module prefixes where the memory model is *implemented* and REP101
 #: does not apply.  ``analysis.figures`` renders the Figure 4 closed
@@ -246,6 +261,37 @@ class _Visitor(ast.NodeVisitor):
                     "nothing; use `with telemetry.span(...):`",
                 )
         self.generic_visit(node)
+
+    # -- REP104 --------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if (
+            _allowed(self.module, _ENGINE_LAYERS)
+            and any(
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name == "lower"
+                for item in node.body
+            )
+            and not any(
+                self._is_register_engine(dec) for dec in node.decorator_list
+            )
+        ):
+            self._report(
+                "REP104", node,
+                f"engine class {node.name} defines lower() but is not "
+                "registered; decorate it with @register_engine(...) so "
+                "the selector, the CLI and plan files can find it",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_register_engine(node: ast.expr) -> bool:
+        func = node.func if isinstance(node, ast.Call) else node
+        if isinstance(func, ast.Name):
+            return func.id == "register_engine"
+        if isinstance(func, ast.Attribute):
+            return func.attr == "register_engine"
+        return False
 
     # -- REP103 --------------------------------------------------------
 

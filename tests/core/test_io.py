@@ -49,10 +49,59 @@ class TestRoundtrip:
         load_plan(path).verify()
 
 
+class TestEngineRoundtrips:
+    """Format v3 persists any registered engine, not just scheduled."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["padded", "d-designated", "s-designated", "dmm-conventional",
+         "dmm-scheduled", "cpu-blocked", "cpu-inplace", "cpu-naive"],
+    )
+    def test_engine_plan_roundtrips(self, name, tmp_path):
+        from repro.ir.registry import get_engine
+
+        n = 200 if name == "padded" else 256
+        p = random_permutation(n, seed=9)
+        engine = get_engine(name).plan(p, width=4)
+        path = tmp_path / f"{name}.npz"
+        save_plan(path, engine)
+        loaded = load_plan(path)
+        assert type(loaded).engine_name == name
+        a = np.random.default_rng(4).random(n)
+        expected = np.empty_like(a)
+        expected[p] = a
+        assert np.array_equal(loaded.apply(a.copy()), expected)
+        assert np.array_equal(np.asarray(loaded.p), p)
+
+    def test_padded_keeps_certificate(self, tmp_path):
+        from repro.core.padded import PaddedScheduledPermutation
+
+        plan = PaddedScheduledPermutation.plan(
+            random_permutation(200, seed=2), width=4
+        )
+        path = tmp_path / "padded.npz"
+        save_plan(path, plan)
+        loaded = load_plan(path)
+        cert = loaded.inner.certificate
+        assert cert is not None and cert.ok
+        assert cert.num_rounds == 32
+
+
 class TestErrors:
     def test_save_rejects_non_plan(self, tmp_path):
         with pytest.raises(ValidationError):
             save_plan(tmp_path / "x.npz", "not a plan")
+
+    def test_save_names_the_unregistered_type(self, tmp_path):
+        class HomemadePlan:
+            pass
+
+        with pytest.raises(ValidationError, match="HomemadePlan"):
+            save_plan(tmp_path / "x.npz", HomemadePlan())
+
+    def test_save_points_at_register_engine(self, tmp_path):
+        with pytest.raises(ValidationError, match="register_engine"):
+            save_plan(tmp_path / "x.npz", object())
 
     def test_version_mismatch_rejected(self, plan, tmp_path):
         path = tmp_path / "plan.npz"
@@ -70,9 +119,9 @@ class TestErrors:
         save_plan(path, plan)
         with np.load(path) as data:
             contents = {k: data[k] for k in data.files}
-        s1 = contents["s1"].copy()
+        s1 = contents["op0.s"].copy()
         s1[0, 0], s1[0, 1] = s1[0, 1], s1[0, 0]
-        contents["s1"] = s1
+        contents["op0.s"] = s1
         np.savez_compressed(path, **contents)
         from repro.errors import ReproError
         with pytest.raises(ReproError):

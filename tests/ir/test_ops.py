@@ -1,0 +1,161 @@
+"""Unit tests for the typed kernel ops (validation, round counts)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SizeError, ValidationError
+from repro.ir.ops import (
+    OP_KINDS,
+    CasualRead,
+    CasualWrite,
+    CycleRotate,
+    GatherScatter,
+    KernelOp,
+    Pad,
+    RowwiseScatter,
+    Slice,
+    Transpose,
+)
+
+
+def _gamma(rows=4, m=4):
+    rng = np.random.default_rng(0)
+    return np.stack([rng.permutation(m) for _ in range(rows)])
+
+
+class TestRowwiseScatter:
+    def test_unscheduled_is_3_rounds_and_irregular(self):
+        op = RowwiseScatter(label="rw", gamma=_gamma(), width=0)
+        assert op.num_rounds == 3
+        assert not op.scheduled and not op.regular
+        op.validate(16)
+
+    def test_scheduled_is_8_rounds_and_regular(self):
+        g = _gamma()
+        op = RowwiseScatter(label="rw", gamma=g, width=4, s=g, t=g)
+        assert op.num_rounds == 8
+        assert op.scheduled and op.regular
+        op.validate(16)
+
+    def test_wrong_input_size_rejected(self):
+        op = RowwiseScatter(label="rw", gamma=_gamma(), width=0)
+        with pytest.raises(SizeError, match="rw"):
+            op.validate(17)
+
+    def test_s_without_t_rejected(self):
+        g = _gamma()
+        op = RowwiseScatter(label="rw", gamma=g, width=4, s=g)
+        with pytest.raises(ValidationError, match="together"):
+            op.validate(16)
+
+    def test_scheduled_needs_positive_width(self):
+        g = _gamma()
+        op = RowwiseScatter(label="rw", gamma=g, width=0, s=g, t=g)
+        with pytest.raises(ValidationError, match="width"):
+            op.validate(16)
+
+    def test_schedule_shape_mismatch_rejected(self):
+        g = _gamma()
+        op = RowwiseScatter(
+            label="rw", gamma=g, width=4, s=g, t=g[:2]
+        )
+        with pytest.raises(ValidationError, match="t"):
+            op.validate(16)
+
+    def test_gamma_must_be_2d(self):
+        op = RowwiseScatter(
+            label="rw", gamma=np.arange(4), width=0
+        )
+        with pytest.raises(ValidationError, match="2-D"):
+            op.validate(4)
+
+
+class TestTranspose:
+    def test_tiled_is_4_rounds_and_regular(self):
+        op = Transpose(label="tr", m=8, width=4)
+        assert op.num_rounds == 4 and op.tiled and op.regular
+        op.validate(64)
+
+    def test_untiled_is_2_rounds(self):
+        op = Transpose(label="tr", m=8)
+        assert op.num_rounds == 2 and not op.regular
+        op.validate(64)
+
+    def test_m_not_multiple_of_width_rejected(self):
+        with pytest.raises(ValidationError, match="multiple"):
+            Transpose(label="tr", m=6, width=4).validate(36)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(SizeError):
+            Transpose(label="tr", m=8).validate(63)
+
+    def test_nonpositive_m_rejected(self):
+        with pytest.raises(ValidationError, match="m"):
+            Transpose(label="tr", m=0).validate(0)
+
+
+class TestCasualOps:
+    def test_write_and_read_are_3_rounds(self):
+        p = np.random.default_rng(1).permutation(8)
+        assert CasualWrite(label="w", p=p).num_rounds == 3
+        assert CasualRead(label="r", q=p).num_rounds == 3
+
+    def test_bad_space_rejected(self):
+        p = np.arange(8)
+        with pytest.raises(ValidationError, match="space"):
+            CasualWrite(label="w", p=p, space="registers").validate(8)
+        with pytest.raises(ValidationError, match="space"):
+            CasualRead(label="r", q=p, space="registers").validate(8)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(SizeError):
+            CasualWrite(label="w", p=np.arange(8)).validate(9)
+
+
+class TestGatherScatter:
+    def test_4_regular_rounds(self):
+        s = np.arange(8)
+        op = GatherScatter(label="gs", s=s, t=s[::-1].copy())
+        assert op.num_rounds == 4 and op.regular
+        op.validate(8)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="equal"):
+            GatherScatter(
+                label="gs", s=np.arange(8), t=np.arange(6)
+            ).validate(8)
+
+
+class TestResizingOps:
+    def test_pad_grows_and_slice_shrinks(self):
+        pad = Pad(label="pad", n=10, padded_n=16)
+        assert pad.out_size(10) == 16 and pad.regular
+        pad.validate(10)
+        sl = Slice(label="slice", n=10)
+        assert sl.out_size(16) == 10 and sl.regular
+        sl.validate(16)
+
+    def test_pad_shrinking_rejected(self):
+        with pytest.raises(SizeError):
+            Pad(label="pad", n=16, padded_n=10).validate(16)
+
+    def test_slice_growing_rejected(self):
+        with pytest.raises(SizeError):
+            Slice(label="slice", n=16).validate(10)
+
+    def test_cycle_rotate_2_rounds(self):
+        op = CycleRotate(label="cy", p=np.arange(8))
+        assert op.num_rounds == 2
+        op.validate(8)
+
+
+class TestCatalogue:
+    def test_every_op_kind_registered(self):
+        assert set(OP_KINDS) == {
+            "rowwise-scatter", "transpose", "casual-write",
+            "casual-read", "gather-scatter", "cycle-rotate",
+            "pad", "slice",
+        }
+        for kind, cls in OP_KINDS.items():
+            assert cls.kind == kind
+            assert issubclass(cls, KernelOp)

@@ -1,0 +1,92 @@
+"""KernelProgram structure tests: size chaining, round totals,
+regularity, validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.padded import PaddedScheduledPermutation
+from repro.core.scheduled import ScheduledPermutation
+from repro.errors import SizeError, ValidationError
+from repro.ir.ops import CasualWrite, Pad, Slice
+from repro.ir.program import KernelProgram
+from repro.permutations.named import random_permutation
+
+
+def _scheduled_program(n=256, width=4, seed=5):
+    plan = ScheduledPermutation.plan(
+        random_permutation(n, seed=seed), width=width
+    )
+    return plan.lower()
+
+
+class TestScheduledProgram:
+    def test_five_ops_32_rounds(self):
+        program = _scheduled_program()
+        assert len(program.ops) == 5
+        assert program.num_rounds == 32
+        assert [op.kind for op in program.ops] == [
+            "rowwise-scatter", "transpose", "rowwise-scatter",
+            "transpose", "rowwise-scatter",
+        ]
+
+    def test_is_regular(self):
+        assert _scheduled_program().is_regular
+
+    def test_labels_are_the_certified_kernel_names(self):
+        assert [op.label for op in _scheduled_program().ops] == [
+            "step1.rowwise", "step2.transpose-in", "step2.rowwise",
+            "step2.transpose-out", "step3.rowwise",
+        ]
+
+    def test_validate_passes(self):
+        _scheduled_program().validate()
+
+    def test_out_n_equals_n(self):
+        program = _scheduled_program()
+        assert program.out_n == program.n == 256
+
+
+class TestPaddedProgram:
+    def test_pad_and_slice_bracket_the_inner_program(self):
+        plan = PaddedScheduledPermutation.plan(
+            random_permutation(200, seed=2), width=4
+        )
+        program = plan.lower()
+        assert isinstance(program.ops[0], Pad)
+        assert isinstance(program.ops[-1], Slice)
+        assert program.n == 200 and program.out_n == 200
+        assert program.ops[0].padded_n == plan.padded_n
+        program.validate()
+
+
+class TestValidation:
+    def test_empty_program_rejected(self):
+        program = KernelProgram(engine="x", n=4, width=0, ops=())
+        with pytest.raises(ValidationError, match="no ops"):
+            program.validate()
+
+    def test_negative_n_rejected(self):
+        program = KernelProgram(
+            engine="x", n=-1, width=0,
+            ops=(CasualWrite(label="w", p=np.arange(4)),),
+        )
+        with pytest.raises(SizeError):
+            program.validate()
+
+    def test_size_chain_mismatch_rejected(self):
+        # The op expects 4 elements but the program declares 8.
+        program = KernelProgram(
+            engine="x", n=8, width=0,
+            ops=(CasualWrite(label="w", p=np.arange(4)),),
+        )
+        with pytest.raises(SizeError, match="length 4"):
+            program.validate()
+
+
+class TestDescribe:
+    def test_describe_lists_every_op(self):
+        program = _scheduled_program()
+        text = program.describe()
+        assert "engine 'scheduled'" in text
+        assert text.count("rowwise-scatter") == 3
+        assert "rounds=32" in text

@@ -1,4 +1,5 @@
-"""Tests for the checksummed plan-file format (format version 2)."""
+"""Tests for the checksummed plan-file format (format version 3,
+with version-2 migration coverage)."""
 
 import numpy as np
 import pytest
@@ -6,10 +7,12 @@ import pytest
 import repro
 from repro.core.io import (
     FORMAT_VERSION,
+    METADATA_KEYS,
     PAYLOAD_KEYS,
     load_plan,
     plan_checksum,
     save_plan,
+    save_plan_v2,
 )
 from repro.core.scheduled import ScheduledPermutation
 from repro.errors import (
@@ -44,23 +47,31 @@ def _resave(path, mutate):
 
 
 class TestFormat:
-    def test_format_version_is_2(self):
-        assert FORMAT_VERSION == 2
+    def test_format_version_is_3(self):
+        assert FORMAT_VERSION == 3
 
     def test_file_carries_stamps(self, saved):
         with np.load(saved) as data:
-            assert int(data["format_version"]) == 2
+            assert int(data["format_version"]) == 3
             assert str(data["library_version"]) == repro.__version__
+            assert str(data["engine"]) == "scheduled"
+            assert int(data["num_ops"]) == 5
             checksum = str(data["checksum"])
-            arrays = {k: np.asarray(data[k]) for k in PAYLOAD_KEYS}
+            arrays = {
+                k: np.asarray(data[k])
+                for k in data.files if k not in METADATA_KEYS
+            }
         assert len(checksum) == 64          # SHA-256 hex
         assert plan_checksum(arrays) == checksum
 
     def test_checksum_covers_every_payload_key(self, saved):
         with np.load(saved) as data:
-            arrays = {k: np.asarray(data[k]) for k in PAYLOAD_KEYS}
+            arrays = {
+                k: np.asarray(data[k])
+                for k in data.files if k not in METADATA_KEYS
+            }
         base = plan_checksum(arrays)
-        for key in PAYLOAD_KEYS:
+        for key in arrays:
             mutated = dict(arrays)
             flat = np.ascontiguousarray(mutated[key]).copy()
             buf = bytearray(flat.tobytes())
@@ -70,18 +81,72 @@ class TestFormat:
             ).reshape(flat.shape)
             assert plan_checksum(mutated) != base, key
 
+    def test_checksum_covers_the_key_set_itself(self, saved):
+        """Dropping a key changes the digest even if no bytes change."""
+        with np.load(saved) as data:
+            arrays = {
+                k: np.asarray(data[k])
+                for k in data.files if k not in METADATA_KEYS
+            }
+        base = plan_checksum(arrays)
+        smaller = dict(arrays)
+        del smaller["op0.gamma"]
+        assert plan_checksum(smaller) != base
+
     def test_roundtrip_still_exact(self, plan, saved):
         loaded = load_plan(saved)
         a = np.random.default_rng(0).random(256)
         assert np.array_equal(loaded.apply(a), plan.apply(a))
 
 
-class TestRejection:
-    def test_checksum_mismatch(self, saved):
+class TestVersion2Migration:
+    def test_v2_file_still_loads(self, plan, tmp_path):
+        path = tmp_path / "plan_v2.npz"
+        save_plan_v2(path, plan)
+        with np.load(path) as data:
+            assert int(data["format_version"]) == 2
+            for key in PAYLOAD_KEYS:
+                assert key in data.files
+        loaded = load_plan(path)
+        assert isinstance(loaded, ScheduledPermutation)
+        a = np.random.default_rng(1).random(256)
+        assert np.array_equal(loaded.apply(a), plan.apply(a))
+        assert loaded.certificate is not None and loaded.certificate.ok
+
+    def test_v2_checksum_uses_canonical_key_order(self, plan, tmp_path):
+        path = tmp_path / "plan_v2.npz"
+        save_plan_v2(path, plan)
+        with np.load(path) as data:
+            arrays = {k: np.asarray(data[k]) for k in PAYLOAD_KEYS}
+            stored = str(data["checksum"])
+        assert plan_checksum(arrays, keys=PAYLOAD_KEYS) == stored
+
+    def test_v2_missing_payload_key_names_it(self, plan, tmp_path):
+        path = tmp_path / "plan_v2.npz"
+        save_plan_v2(path, plan)
+        _resave(path, lambda arrays: arrays.pop("gamma1"))
+        with pytest.raises(PlanCorruptionError, match="gamma1"):
+            load_plan(path)
+
+    def test_v2_tampering_detected(self, plan, tmp_path):
+        path = tmp_path / "plan_v2.npz"
+        save_plan_v2(path, plan)
+
         def flip(arrays):
             s1 = arrays["s1"].copy()
             s1[0, 0] ^= 1
             arrays["s1"] = s1
+        _resave(path, flip)
+        with pytest.raises(PlanCorruptionError, match="checksum"):
+            load_plan(path)
+
+
+class TestRejection:
+    def test_checksum_mismatch(self, saved):
+        def flip(arrays):
+            s1 = arrays["op0.s"].copy()
+            s1[0, 0] ^= 1
+            arrays["op0.s"] = s1
         _resave(saved, flip)
         with pytest.raises(PlanCorruptionError, match="checksum"):
             load_plan(saved)
@@ -92,8 +157,10 @@ class TestRejection:
             load_plan(saved)
 
     def test_missing_payload_key(self, saved):
-        _resave(saved, lambda arrays: arrays.pop("gamma1"))
-        with pytest.raises(PlanCorruptionError, match="gamma1"):
+        """Deleting a schedule array changes the hashed key set, so the
+        stored digest no longer matches."""
+        _resave(saved, lambda arrays: arrays.pop("op0.gamma"))
+        with pytest.raises(PlanCorruptionError, match="checksum"):
             load_plan(saved)
 
     def test_truncated_file(self, saved):

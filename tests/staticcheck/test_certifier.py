@@ -216,3 +216,56 @@ class TestCertifyRounds:
         rounds = plan_rounds(plan)
         assert len(rounds) == 32
         assert all(r.addresses.min() >= 0 for r in rounds)
+
+
+class TestCertifyProgram:
+    """IR-level certification: any regular program, not just scheduled."""
+
+    def test_scheduled_program_certifies(self):
+        plan = ScheduledPermutation.plan(
+            random_permutation(256, seed=4), width=4
+        )
+        from repro.staticcheck import certify_program, program_rounds
+
+        program = plan.lower()
+        cert = certify_program(program)
+        assert cert.ok and cert.num_rounds == 32
+        assert len(program_rounds(program)) == 32
+        # The IR path and the plan path prove the same rounds.
+        assert cert.rounds == certify_plan(plan).rounds
+
+    def test_dmm_scheduled_program_certifies(self):
+        from repro.ir.registry import get_engine
+        from repro.staticcheck import certify_program
+
+        engine = get_engine("dmm-scheduled").plan(
+            random_permutation(256, seed=4), width=4
+        )
+        cert = certify_program(engine.lower())
+        assert cert.ok and cert.num_rounds == 4
+
+    def test_irregular_program_refused(self):
+        from repro.ir.ops import CasualWrite
+        from repro.ir.program import KernelProgram
+        from repro.staticcheck import certify_program
+
+        p = random_permutation(16, seed=4)
+        program = KernelProgram(
+            engine="x", n=16, width=4,
+            ops=(CasualWrite(label="cw", p=p),),
+        )
+        with pytest.raises(StaticCheckError, match="certifiable"):
+            certify_program(program)
+
+    def test_widthless_program_refused(self):
+        from repro.ir.ops import GatherScatter
+        from repro.ir.program import KernelProgram
+        from repro.staticcheck import certify_program
+
+        s = np.arange(16)
+        program = KernelProgram(
+            engine="x", n=16, width=0,
+            ops=(GatherScatter(label="gs", s=s, t=s),),
+        )
+        with pytest.raises(StaticCheckError, match="width"):
+            certify_program(program)

@@ -185,7 +185,68 @@ class TestRunLint:
         ) == "repro.staticcheck"
 
 
+class TestRep104:
+    ENGINE = (
+        "import numpy as np\n"
+        "class ShinyPermutation:\n"
+        "    def lower(self):\n"
+        "        return None\n"
+    )
+
+    def test_unregistered_engine_flagged(self):
+        findings = findings_of(self.ENGINE, "repro.core.shiny")
+        assert [f.rule for f in findings] == ["REP104"]
+        assert "ShinyPermutation" in findings[0].message
+        assert "register_engine" in findings[0].message
+
+    def test_cpu_layer_also_covered(self):
+        findings = findings_of(self.ENGINE, "repro.cpu.shiny")
+        assert [f.rule for f in findings] == ["REP104"]
+
+    def test_registered_engine_clean(self):
+        src = (
+            "from repro.ir.registry import register_engine\n"
+            "@register_engine('shiny')\n"
+            "class ShinyPermutation:\n"
+            "    def lower(self):\n"
+            "        return None\n"
+        )
+        assert findings_of(src, "repro.core.shiny") == []
+
+    def test_qualified_decorator_accepted(self):
+        src = (
+            "from repro.ir import registry\n"
+            "@registry.register_engine('shiny')\n"
+            "class ShinyPermutation:\n"
+            "    def lower(self):\n"
+            "        return None\n"
+        )
+        assert findings_of(src, "repro.core.shiny") == []
+
+    def test_class_without_lower_exempt(self):
+        src = (
+            "class Helper:\n"
+            "    def apply(self, a):\n"
+            "        return a\n"
+        )
+        assert findings_of(src, "repro.core.helpers") == []
+
+    def test_outside_engine_layers_exempt(self):
+        assert findings_of(self.ENGINE, "repro.resilience.engine") == []
+        assert findings_of(self.ENGINE, "repro.ir.program") == []
+
+    def test_inline_suppression(self):
+        src = (
+            "class Facade:  # staticcheck: ignore[REP104]\n"
+            "    def lower(self):\n"
+            "        return None\n"
+        )
+        assert findings_of(src, "repro.core.selector") == []
+
+
 class TestCatalogue:
     def test_rules_documented(self):
-        assert set(LINT_RULES) == {"REP101", "REP102", "REP103"}
+        assert set(LINT_RULES) == {
+            "REP101", "REP102", "REP103", "REP104"
+        }
         assert all(LINT_RULES.values())
