@@ -1,0 +1,132 @@
+"""Compile-once / apply-many: cold planning vs the plan cache.
+
+The planner's whole value proposition is that planning (the König
+colouring) is expensive and applying is cheap, so a cached plan turns
+every request after the first into pure apply time.  This bench
+quantifies it: for three permutation families at ``n = 2^14 .. 2^20``
+it times
+
+* **cold**: ``Planner.compile`` on an empty cache + one apply
+  (planning dominates);
+* **warm**: one apply through the already-compiled handle (the
+  memory-tier steady state a :class:`~repro.service.PermutationService`
+  serves from);
+* **disk**: a fresh process's first request — ``compile`` resolving
+  via the on-disk cache + one apply (no re-planning, but the file is
+  loaded and integrity-checked).
+
+Artefacts: the usual ``benchmarks/results/cache.txt`` table plus
+``BENCH_5.json`` at the repo root with the raw timings.  The pinned
+acceptance criterion: the warm apply is at least 5x faster than the
+cold plan+apply for the scheduled engine at ``n = 2^18``.
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.permutations.named import (
+    bit_reversal,
+    random_permutation,
+    transpose_permutation,
+)
+from repro.planner import Planner
+
+WIDTH = 32
+SIZES = (2**14, 2**16, 2**18, 2**20)
+FAMILIES = (
+    ("bit-reversal", bit_reversal),
+    ("transpose", transpose_permutation),
+    ("random", lambda n: random_permutation(n, seed=5)),
+)
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _measure(family: str, make, n: int, cache_dir: Path) -> dict:
+    p = make(n)
+    a = np.random.default_rng(0).random(n).astype(np.float32)
+    expected = np.empty_like(a)
+    expected[p] = a
+
+    planner = Planner(cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    compiled = planner.compile(p, engine="scheduled", width=WIDTH)
+    out = compiled.apply(a)
+    cold_s = time.perf_counter() - t0
+    assert np.array_equal(out, expected)
+
+    t0 = time.perf_counter()
+    out = compiled.apply(a)
+    warm_s = time.perf_counter() - t0
+    assert np.array_equal(out, expected)
+
+    fresh = Planner(cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    reloaded = fresh.compile(p, engine="scheduled", width=WIDTH)
+    out = reloaded.apply(a)
+    disk_s = time.perf_counter() - t0
+    assert np.array_equal(out, expected)
+    assert fresh.stats()["disk_hits"] == 1
+    assert fresh.stats()["cold_plans"] == 0
+
+    return {
+        "family": family,
+        "n": n,
+        "engine": "scheduled",
+        "cold_plan_apply_s": cold_s,
+        "warm_apply_s": warm_s,
+        "disk_load_apply_s": disk_s,
+        "warm_speedup": cold_s / warm_s,
+        "fingerprint": compiled.fingerprint,
+    }
+
+
+def test_cache_report(report, benchmark):
+    def sweep():
+        records = []
+        with tempfile.TemporaryDirectory() as tmp:
+            for family, make in FAMILIES:
+                for n in SIZES:
+                    records.append(
+                        _measure(family, make, n, Path(tmp) / family)
+                    )
+        return records
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [r["family"], r["n"],
+         f"{r['cold_plan_apply_s'] * 1e3:.1f}",
+         f"{r['warm_apply_s'] * 1e3:.2f}",
+         f"{r['disk_load_apply_s'] * 1e3:.1f}",
+         f"{r['warm_speedup']:.0f}x"]
+        for r in records
+    ]
+    text = format_table(
+        ["family", "n", "cold ms", "warm ms", "disk ms", "speedup"],
+        rows,
+        title=("plan cache: cold plan+apply vs cached apply "
+               f"(scheduled, w = {WIDTH})"),
+    )
+    report("cache", text)
+
+    # Pinned criterion: warm apply >= 5x faster than cold plan+apply
+    # for scheduled at n = 2^18 — for every family, with margin.
+    for r in records:
+        if r["n"] == 2**18:
+            assert r["warm_speedup"] >= 5, r
+
+    payload = {
+        "bench": "plan-cache",
+        "engine": "scheduled",
+        "width": WIDTH,
+        "sizes": list(SIZES),
+        "records": records,
+    }
+    (REPO_ROOT / "BENCH_5.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

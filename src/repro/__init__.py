@@ -35,8 +35,11 @@ from repro import (
     cpu,
     ir,
     machine,
+    passes,
     permutations,
+    planner,
     resilience,
+    service,
     staticcheck,
     telemetry,
     util,
@@ -93,7 +96,21 @@ from repro.errors import (
     TelemetryError,
     ValidationError,
 )
+from repro.passes import (
+    PassPipeline,
+    aggressive_pipeline,
+    default_pipeline,
+)
+from repro.planner import (
+    CompiledPermutation,
+    DiskPlanCache,
+    LRUPlanCache,
+    Planner,
+    permutation_digest,
+    plan_fingerprint,
+)
 from repro.resilience import FailureReport, FaultPlan, ResilientPermutation
+from repro.service import PermutationService
 from repro.telemetry import Tracer
 from repro.machine.cache import L2Cache
 from repro.machine.hmm import HMM
@@ -108,21 +125,27 @@ __all__ = [
     "CertificateError",
     "ColoringError",
     "ColumnwiseSchedule",
+    "CompiledPermutation",
     "DDesignatedPermutation",
+    "DiskPlanCache",
     "FailureReport",
     "FallbackExhaustedError",
     "FaultPlan",
     "HMM",
     "KernelProgram",
     "L2Cache",
+    "LRUPlanCache",
     "MachineError",
     "MachineParams",
     "MemoryRaceError",
     "NotAPermutationError",
     "PaddedScheduledPermutation",
+    "PassPipeline",
+    "PermutationService",
     "PlanCorruptionError",
     "PlanIntegrityError",
     "PlanVersionError",
+    "Planner",
     "ReferenceExecutor",
     "ReproError",
     "ResilienceError",
@@ -141,6 +164,7 @@ __all__ = [
     "Tracer",
     "ValidationError",
     "__version__",
+    "aggressive_pipeline",
     "analysis",
     "apply_permutation",
     "apps",
@@ -148,6 +172,7 @@ __all__ = [
     "core",
     "cpu",
     "decompose",
+    "default_pipeline",
     "distribution",
     "distribution_fraction",
     "engine_names",
@@ -158,7 +183,11 @@ __all__ = [
     "load_plan",
     "machine",
     "padded_length",
+    "passes",
+    "permutation_digest",
     "permutations",
+    "plan_fingerprint",
+    "planner",
     "predict_all",
     "predict_times",
     "recommend",
@@ -166,6 +195,7 @@ __all__ = [
     "resilience",
     "save_plan",
     "scheduled_permute",
+    "service",
     "staticcheck",
     "telemetry",
     "theoretical_distribution",

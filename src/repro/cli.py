@@ -3,15 +3,21 @@
 Commands
 --------
 ``cost``        price a named permutation on a configurable HMM
-                (``--engine`` adds any registered engine to the table)
+                (``--engine`` adds any registered engine to the table;
+                ``--roundtrip`` adds the permutation composed with its
+                inverse, raw vs pipeline-optimized)
 ``plan``        plan a permutation with any registered engine
-                (``--engine``, default ``scheduled``) and save it (.npz)
+                (``--engine``, default ``scheduled``) and save it
+                (.npz, stamped with pipeline/fingerprint provenance)
 ``verify-plan`` reload a saved plan and re-verify it (exit 1 + one-line
-                diagnostic on a corrupt/stale/unreadable file)
-``check``       run the project's static lint rules (REP101..REP104)
+                diagnostic on a corrupt/stale/unreadable file); prints
+                the pass-pipeline + fingerprint provenance when stamped
+``check``       run the project's static lint rules (REP101..REP105)
                 over the package or given paths; exit 1 on findings
 ``profile``     trace one permutation end to end: per-phase wall/model
                 table, optional Chrome trace + JSONL event log
+``serve-demo``  the compile-once/apply-many service: register, warm,
+                serve batched applies, show hit/miss/eviction counters
 ``resilience-demo`` inject faults; show detection and fallback
 ``fig3``        the paper's Figure 3 pipeline example, cycle-accurately
 ``fig4``        the diagonal arrangement of a w x w tile
@@ -22,7 +28,9 @@ Every command returns its report as a string from a ``cmd_*`` function
 (unit-testable) and ``main`` prints it.  ``cost``, ``demo`` and
 ``resilience-demo`` additionally accept ``--telemetry``, which runs the
 command under an active tracer and appends the counters and span tree
-it emitted.
+it emitted; ``cost``, ``plan`` and ``profile`` accept ``--cache-dir``,
+which resolves plans through the persistent disk cache of
+:class:`repro.planner.Planner` instead of re-planning.
 """
 
 from __future__ import annotations
@@ -76,11 +84,20 @@ def cmd_cost(args) -> str:
     p = named_permutation(args.perm, args.n, seed=args.seed)
     machine = _machine(args)
     dtype = _DTYPES[args.dtype]
-    plan = (
-        PaddedScheduledPermutation.plan(p, width=args.width)
-        if args.padded
-        else ScheduledPermutation.plan(p, width=args.width)
-    )
+    planner = None
+    if getattr(args, "cache_dir", None):
+        from repro.planner import Planner
+
+        planner = Planner(cache_dir=args.cache_dir)
+    sched_name = "padded" if args.padded else "scheduled"
+    if planner is not None:
+        plan: object = planner.compile(
+            p, engine=sched_name, width=args.width
+        )
+    elif args.padded:
+        plan = PaddedScheduledPermutation.plan(p, width=args.width)
+    else:
+        plan = ScheduledPermutation.plan(p, width=args.width)
     algos: list[tuple[str, object]] = [
         ("d-designated", DDesignatedPermutation(p)),
         ("s-designated", SDesignatedPermutation(p)),
@@ -90,12 +107,17 @@ def cmd_cost(args) -> str:
         from repro.ir.registry import get_engine
 
         algos.append(
-            (extra, get_engine(extra).plan(p, width=args.width))
+            (extra,
+             planner.compile(p, engine=extra, width=args.width)
+             if planner is not None
+             else get_engine(extra).plan(p, width=args.width))
         )
     rows = []
     for name, algo in algos:
         trace = algo.simulate(machine, dtype=dtype)
         rows.append([name, trace.num_rounds, trace.time])
+    if getattr(args, "roundtrip", False):
+        rows.extend(_roundtrip_rows(plan, machine, dtype))
     if args.n % args.width == 0:
         rows.append(
             ["lower bound", "-",
@@ -104,21 +126,80 @@ def cmd_cost(args) -> str:
         dw: object = distribution(p, args.width)
     else:
         dw = "n/a (n not a multiple of w)"
-    return format_table(
+    table = format_table(
         ["algorithm", "rounds", "time units"],
         rows,
         title=(f"{args.perm} permutation, n = {args.n}, {args.dtype}, "
                f"w = {args.width}, l = {args.latency}, d = {args.dmms}; "
                f"D_w(P) = {dw}"),
     )
+    if planner is not None:
+        stats = planner.stats()
+        table += (
+            f"\n\nplan cache ({args.cache_dir}): "
+            f"{stats['disk_hits']} disk hit(s), "
+            f"{stats['disk_misses']} miss(es), "
+            f"{stats['cold_plans']} cold plan(s)"
+        )
+    return table
+
+
+def _roundtrip_rows(plan, machine, dtype) -> list[list[object]]:
+    """Price ``p`` composed with ``p^-1``, raw and pipeline-optimized.
+
+    The composed program carries cancellable structure at the seam
+    (step-3 rowwise against its inverse, then the transpose pair), so
+    the optimized row shows strictly fewer rounds than the raw one —
+    the pass pipeline's effect made visible in the cost table.
+    """
+    from repro.exec.simulator import SimulatorExecutor
+    from repro.ir.program import concat_programs
+    from repro.passes import default_pipeline
+
+    engine = getattr(plan, "engine", plan)   # unwrap CompiledPermutation
+    engine = getattr(engine, "inner", engine)  # unwrap padded
+    inverse = engine.inverse()
+    raw = concat_programs(engine.lower(), inverse.lower(),
+                          engine="roundtrip")
+    optimized = default_pipeline().run(raw)
+    rows: list[list[object]] = []
+    for label, program in (("roundtrip raw", raw),
+                           ("roundtrip optimized", optimized)):
+        trace = SimulatorExecutor().simulate(program, machine,
+                                             dtype=dtype)
+        rows.append([label, trace.num_rounds, trace.time])
+    return rows
 
 
 def cmd_plan(args) -> str:
     from repro.ir.registry import get_engine
+    from repro.passes import default_pipeline
+    from repro.planner import permutation_digest, plan_fingerprint
 
     p = named_permutation(args.perm, args.n, seed=args.seed)
-    plan = get_engine(args.engine).plan(p, width=args.width)
-    save_plan(args.out, plan)
+    signature = default_pipeline().signature()
+    fingerprint = plan_fingerprint(
+        permutation_digest(p), args.engine, args.width, signature
+    )
+    cache_note = ""
+    if getattr(args, "cache_dir", None):
+        from repro.planner import Planner
+
+        planner = Planner(cache_dir=args.cache_dir)
+        compiled = planner.compile(p, engine=args.engine,
+                                   width=args.width)
+        plan = compiled.engine
+        stats = planner.stats()
+        source = "disk cache" if stats["disk_hits"] else "cold plan"
+        cache_note = (
+            f"\nplan cache ({args.cache_dir}): resolved via {source}"
+        )
+    else:
+        plan = get_engine(args.engine).plan(p, width=args.width)
+    save_plan(
+        args.out, plan,
+        provenance={"pipeline": signature, "fingerprint": fingerprint},
+    )
     if isinstance(plan, ScheduledPermutation):
         return (
             f"planned {args.perm} permutation of n = {args.n} "
@@ -126,14 +207,14 @@ def cmd_plan(args) -> str:
             f"schedule data: {plan.schedule_bytes()} bytes; shared "
             f"memory per block: {plan.shared_bytes(np.float32)} B "
             f"(float) / {plan.shared_bytes(np.float64)} B (double)\n"
-            f"saved to {args.out}"
+            f"saved to {args.out}" + cache_note
         )
     program = plan.lower()
     return (
         f"planned {args.perm} permutation of n = {args.n} with engine "
         f"{args.engine} ({len(program.ops)} kernel op(s), "
         f"{program.num_rounds} access rounds)\n"
-        f"saved to {args.out}"
+        f"saved to {args.out}" + cache_note
     )
 
 
@@ -173,8 +254,22 @@ def cmd_verify_plan(args) -> str:
             "certificate: not applicable (engine has no scheduled "
             "core); program verified against its permutation instead"
         )
+    from repro.core.io import read_plan_provenance
+
+    provenance = read_plan_provenance(args.path)
+    if "pipeline" in provenance or "fingerprint" in provenance:
+        pipe = provenance.get("pipeline", "<unknown>")
+        fp = provenance.get("fingerprint", "")
+        fp_part = f"; fingerprint {fp[:12]}..." if fp else ""
+        prov_line = f"provenance: pipeline {pipe}{fp_part}"
+    else:
+        prov_line = (
+            "provenance: none recorded (file predates the planner or "
+            "was saved outside it)"
+        )
     footer = (
         f"{cert_line}\n"
+        f"{prov_line}\n"
         f"file: {file_bytes} bytes on disk, loaded and verified in "
         f"{elapsed_ms:.1f} ms"
     )
@@ -343,13 +438,24 @@ def cmd_profile(args) -> str:
     from repro.ir.registry import get_engine
 
     engine_cls = get_engine(args.engine)
+    planner = None
+    if getattr(args, "cache_dir", None):
+        from repro.planner import Planner
+
+        planner = Planner(cache_dir=args.cache_dir)
     tracer = telemetry.Tracer(sinks=sinks)
     try:
         with telemetry.use_tracer(tracer):
             # Each stage runs at top level so tracer.roots() is exactly
             # the phase table: plan, save, load(+verify), apply,
-            # simulate.
-            plan = engine_cls.plan(p, width=args.width)
+            # simulate.  With --cache-dir the plan phase resolves
+            # through the disk cache (planner.compile root span).
+            if planner is not None:
+                plan = planner.compile(
+                    p, engine=args.engine, width=args.width
+                ).engine
+            else:
+                plan = engine_cls.plan(p, width=args.width)
             with tempfile.TemporaryDirectory() as tmp:
                 path = Path(tmp) / "profile.npz"
                 save_plan(path, plan)
@@ -395,6 +501,69 @@ def cmd_profile(args) -> str:
         )
     if args.events_out:
         parts.append(f"wrote JSONL event log to {args.events_out}")
+    if planner is not None:
+        stats = planner.stats()
+        parts.append(
+            f"plan cache ({args.cache_dir}): "
+            f"{stats['disk_hits']} disk hit(s), "
+            f"{stats['disk_misses']} miss(es), "
+            f"{stats['cold_plans']} cold plan(s)"
+        )
+    return "\n".join(parts)
+
+
+def cmd_serve_demo(args) -> str:
+    import tempfile
+
+    from repro.service import PermutationService
+
+    n = args.n
+    parts = [f"serve demo — compile once, apply many (n = {n}, "
+             f"w = {args.width}, {args.requests} request(s) per name)",
+             ""]
+
+    def run(svc: "PermutationService", cache_dir: str) -> bool:
+        rng = np.random.default_rng(args.seed)
+        perms = {
+            name: named_permutation(name, n, seed=args.seed)
+            for name in ("bit-reversal", "transpose", "random")
+        }
+        parts.append("registered:")
+        for name, p in perms.items():
+            fp = svc.register(name, p)
+            parts.append(f"   {name:<14} fingerprint {fp[:16]}...")
+        warmed = svc.warm()
+        parts.append(f"warmed {warmed} plan(s) into the cache "
+                     f"({cache_dir})")
+        parts.append("")
+        ok = True
+        for name, p in perms.items():
+            for _ in range(args.requests):
+                a = rng.random(n).astype(np.float32)
+                out = svc.apply(name, a)
+                expected = np.empty_like(a)
+                expected[p] = a
+                ok = ok and bool(np.array_equal(out, expected))
+            batch = rng.random((3, n)).astype(np.float32)
+            outs = svc.apply_batch(name, batch)
+            expected_b = np.empty_like(batch)
+            expected_b[:, p] = batch
+            ok = ok and bool(np.array_equal(outs, expected_b))
+        return ok
+
+    if args.cache_dir:
+        svc = PermutationService(width=args.width,
+                                 cache_dir=args.cache_dir)
+        ok = run(svc, args.cache_dir)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            svc = PermutationService(width=args.width, cache_dir=tmp)
+            ok = run(svc, f"{tmp} (temporary)")
+    parts.append(f"all outputs correct = {ok}")
+    parts.append("")
+    parts.append("service stats:")
+    for key, value in sorted(svc.stats().items()):
+        parts.append(f"   {key:<18} {value}")
     return "\n".join(parts)
 
 
@@ -478,6 +647,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also price this registered engine (repeatable); "
              f"one of: {', '.join(engines)}",
     )
+    cost.add_argument(
+        "--roundtrip", action="store_true",
+        help="also price the permutation composed with its inverse, "
+             "raw vs pipeline-optimized",
+    )
+    _add_cache_dir_flag(cost)
     _add_machine_args(cost)
     _add_telemetry_flag(cost)
     cost.set_defaults(func=cmd_cost)
@@ -495,6 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered engine to plan with (default: scheduled); "
              f"one of: {', '.join(engines)}",
     )
+    _add_cache_dir_flag(plan)
     plan.set_defaults(func=cmd_plan)
 
     check = sub.add_parser(
@@ -539,7 +715,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered engine to profile (default: scheduled); "
              f"one of: {', '.join(engines)}",
     )
+    _add_cache_dir_flag(prof)
     prof.set_defaults(func=cmd_profile)
+
+    serve = sub.add_parser(
+        "serve-demo",
+        help="compile-once/apply-many: register permutations in a "
+             "PermutationService, warm the cache, serve applies",
+    )
+    serve.add_argument("--n", type=int, default=1024)
+    serve.add_argument("--width", type=int, default=32)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--requests", type=int, default=4,
+        help="single applies to serve per registered name",
+    )
+    _add_cache_dir_flag(serve)
+    serve.set_defaults(func=cmd_serve_demo)
 
     fig3 = sub.add_parser("fig3", help="Figure 3 pipeline example")
     fig3.add_argument("--latency", type=int, default=5)
@@ -583,6 +775,14 @@ def build_parser() -> argparse.ArgumentParser:
     res.set_defaults(func=cmd_resilience_demo)
 
     return parser
+
+
+def _add_cache_dir_flag(sub) -> None:
+    sub.add_argument(
+        "--cache-dir",
+        help="resolve plans through a persistent on-disk plan cache "
+             "at this directory (content-addressed by fingerprint)",
+    )
 
 
 def _add_telemetry_flag(sub) -> None:

@@ -75,7 +75,18 @@ FORMAT_VERSION = 3
 
 #: Keys that describe the file rather than the plan; excluded from the
 #: checksum so adding a certificate does not change the payload digest.
-METADATA_KEYS = ("checksum", "library_version", "certificate")
+METADATA_KEYS = (
+    "checksum",
+    "library_version",
+    "certificate",
+    "pipeline",
+    "fingerprint",
+)
+
+#: Optional provenance metadata the planner stamps on cached plans:
+#: the pass-pipeline signature the plan was optimized under and the
+#: content-addressed fingerprint it is cached by.
+PROVENANCE_KEYS = ("pipeline", "fingerprint")
 
 #: Version-2 payload keys in their canonical (checksum) order; kept for
 #: loading legacy scheduled-plan files.
@@ -203,7 +214,8 @@ def _certifiable_plan(plan: Any) -> ScheduledPermutation | None:
     return None
 
 
-def save_plan(path, plan, certify: bool = True) -> None:
+def save_plan(path, plan, certify: bool = True,
+              provenance: dict | None = None) -> None:
     """Serialise a planned engine to ``path`` (.npz, format v3).
 
     ``plan`` may be any registered engine instance (its class carries
@@ -221,6 +233,12 @@ def save_plan(path, plan, certify: bool = True) -> None:
     trusted.  Engines without a certifiable schedule (conventional,
     CPU, DMM) are saved without a certificate.  Pass ``certify=False``
     to write a bare (still checksummed) file.
+
+    ``provenance`` optionally records the planner's compile context —
+    :data:`PROVENANCE_KEYS` only (the pass-pipeline signature and the
+    content-addressed fingerprint).  Provenance keys are metadata:
+    they do not enter the payload checksum, so stamped and unstamped
+    files holding the same plan share a digest.
     """
     engine_name = getattr(type(plan), "engine_name", "")
     if not engine_name:
@@ -229,6 +247,13 @@ def save_plan(path, plan, certify: bool = True) -> None:
             "engine (no engine_name); register the class with "
             "repro.ir.register_engine or pass a planned engine instance"
         )
+    if provenance is not None:
+        unknown = sorted(set(provenance) - set(PROVENANCE_KEYS))
+        if unknown:
+            raise ValidationError(
+                f"unknown provenance key(s) {unknown}; save_plan "
+                f"records only {list(PROVENANCE_KEYS)}"
+            )
     from repro import __version__
 
     program = plan.lower()
@@ -238,6 +263,10 @@ def save_plan(path, plan, certify: bool = True) -> None:
         arrays = _pack_program(program, plan.p)
         checksum = plan_checksum(arrays)
         extra: dict = {}
+        if provenance is not None:
+            for key in PROVENANCE_KEYS:
+                if key in provenance:
+                    extra[key] = np.str_(provenance[key])
         certifiable = _certifiable_plan(plan)
         if certify and certifiable is not None:
             from repro.staticcheck.certifier import certify_plan
@@ -372,7 +401,34 @@ def _read_payload(path) -> tuple[int, dict, str, str | None]:
     cert_arr = arrays.pop("certificate", None)
     cert_json = str(cert_arr) if cert_arr is not None else None
     arrays.pop("library_version", None)
+    for key in PROVENANCE_KEYS:
+        arrays.pop(key, None)
     return version, arrays, stored, cert_json
+
+
+def read_plan_provenance(path) -> dict:
+    """The provenance metadata of a plan file, as ``{key: str}``.
+
+    Returns only the :data:`PROVENANCE_KEYS` actually present — an
+    empty dict for files written outside the planner (plain
+    :func:`save_plan`, legacy v2 files).  Provenance is advisory
+    metadata; this helper does **not** verify the plan (use
+    :func:`load_plan` for that), but an unreadable file still raises
+    :class:`PlanCorruptionError`.
+    """
+    try:
+        with np.load(Path(path)) as data:
+            files = set(data.files)
+            return {
+                key: str(np.asarray(data[key]))
+                for key in PROVENANCE_KEYS
+                if key in files
+            }
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+        raise PlanCorruptionError(
+            f"{path}: plan file is unreadable (truncated or not a "
+            f"save_plan archive): {exc}"
+        ) from exc
 
 
 def load_plan(path):

@@ -119,8 +119,8 @@ class PaddedScheduledPermutation(EngineBase):
         """
         from repro.exec.simulator import SimulatorExecutor
 
-        return SimulatorExecutor().simulate(self.lower(), machine,
-                                            dtype=dtype)
+        return SimulatorExecutor().simulate(self.lower_optimized(),
+                                            machine, dtype=dtype)
 
     # ------------------------------------------------------------------
     # IR lowering

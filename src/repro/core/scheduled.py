@@ -177,7 +177,7 @@ class ScheduledPermutation(EngineBase):
         """
         from repro.exec.batch import BatchExecutor
 
-        return BatchExecutor().run(self.lower(), batch)
+        return BatchExecutor().run(self.lower_optimized(), batch)
 
     def simulate(
         self,
@@ -189,7 +189,7 @@ class ScheduledPermutation(EngineBase):
 
         with telemetry.span("scheduled.simulate", n=self.n) as sp:
             trace = SimulatorExecutor().simulate(
-                self.lower(), machine, dtype=dtype
+                self.lower_optimized(), machine, dtype=dtype
             )
             sp.set(model_time=trace.time, model_rounds=trace.num_rounds)
         return trace

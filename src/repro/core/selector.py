@@ -175,12 +175,38 @@ def predict_all(
     }
 
 
+def rank_programs(
+    engines: list, pipeline=None
+) -> list[tuple[int, KernelProgram]]:
+    """Rank planned engines by their *optimized* programs' predicted
+    stage counts (cheapest first).
+
+    Each engine is lowered through the pass pipeline, so cancelled or
+    fused ops lower an engine's rank — the selector compares what the
+    executors would actually run, not the raw lowering.  Returns
+    ``(predicted_stages, optimized_program)`` pairs sorted ascending.
+    """
+    ranked: list[tuple[int, KernelProgram]] = []
+    for engine in engines:
+        program = engine.lower_optimized(pipeline)
+        meta = program.meta or {}
+        stages = int(meta.get("predicted_stages", program.num_rounds))  # type: ignore[call-overload]
+        ranked.append((stages, program))
+    ranked.sort(key=lambda pair: pair[0])
+    return ranked
+
+
 class AutoPermutation:  # staticcheck: ignore[REP104]
     """Plan whichever engine the model predicts fastest.
 
     Mirrors the fixed engines' interface (``apply`` / ``apply_batch`` /
     ``simulate`` / ``lower``) by delegating to the chosen engine; it is
     a selector, not an engine, so it is deliberately not registered.
+
+    With a :class:`~repro.planner.Planner` attached, the chosen engine
+    is resolved through the plan cache (memory → disk → cold plan)
+    instead of being re-planned, and ``self.engine`` is the planner's
+    :class:`~repro.planner.CompiledPermutation` handle.
     """
 
     def __init__(
@@ -189,13 +215,20 @@ class AutoPermutation:  # staticcheck: ignore[REP104]
         params: MachineParams | None = None,
         dtype=np.float32,
         backend: str = "auto",
+        planner=None,
     ) -> None:
         self.params = params or MachineParams()
         self.prediction = predict_times(p, self.params, dtype)
         self.choice = self.prediction.best
-        self.engine = build_engine(
-            self.choice, p, width=self.params.width, backend=backend
-        )
+        if planner is not None:
+            self.engine = planner.compile(
+                p, engine=self.choice, width=self.params.width,
+                backend=backend,
+            )
+        else:
+            self.engine = build_engine(
+                self.choice, p, width=self.params.width, backend=backend
+            )
 
     @property
     def p(self) -> np.ndarray:

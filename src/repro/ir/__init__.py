@@ -21,7 +21,7 @@ from repro.ir.ops import (
     Slice,
     Transpose,
 )
-from repro.ir.program import KernelProgram
+from repro.ir.program import KernelProgram, concat_programs
 from repro.ir.registry import engine_names, get_engine, register_engine
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "RowwiseScatter",
     "Slice",
     "Transpose",
+    "concat_programs",
     "engine_names",
     "get_engine",
     "register_engine",

@@ -66,12 +66,27 @@ class EngineBase:
             f"{type(self).__name__} does not lower to the IR"
         )
 
+    def lower_optimized(self, pipeline: Any = None) -> KernelProgram:
+        """Lower to the IR and run the optimization pass pipeline.
+
+        This is the blessed path from an engine to an executor: the
+        raw ``lower()`` output goes through the (conservative) default
+        pipeline — or an explicit one — so executors always see
+        optimized, cost-annotated programs.  Lint rule REP105 flags
+        executor calls that bypass it.
+        """
+        if pipeline is None:
+            from repro.passes import default_pipeline
+
+            pipeline = default_pipeline()
+        return cast(KernelProgram, pipeline.run(self.lower()))
+
     def apply_batch(self, batch: np.ndarray) -> np.ndarray:
         """Permute ``k`` stacked arrays via the vectorized batch
         executor (one numpy pass per kernel op)."""
         from repro.exec.batch import BatchExecutor
 
-        return BatchExecutor().run(self.lower(), batch)
+        return BatchExecutor().run(self.lower_optimized(), batch)
 
     def simulate(
         self, machine: Any = None, dtype: Any = np.float32
@@ -80,7 +95,7 @@ class EngineBase:
         from repro.exec.simulator import SimulatorExecutor
 
         return SimulatorExecutor().simulate(
-            self.lower(), machine, dtype=dtype
+            self.lower_optimized(), machine, dtype=dtype
         )
 
     @classmethod

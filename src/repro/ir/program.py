@@ -31,12 +31,17 @@ class KernelProgram:
         (``0`` for CPU engines that have no warp structure).
     ops:
         The kernel launches, in execution order.
+    meta:
+        Optional analysis annotations (e.g. the pass pipeline's
+        predicted cost).  Advisory only: executors ignore it and plan
+        format v3 does not persist it.
     """
 
     engine: str
     n: int
     width: int
     ops: tuple[KernelOp, ...]
+    meta: dict[str, object] | None = None
 
     @property
     def out_n(self) -> int:
@@ -83,3 +88,29 @@ class KernelProgram:
                 f"rounds={op.num_rounds}"
             )
         return "\n".join(lines)
+
+
+def concat_programs(
+    first: KernelProgram,
+    second: KernelProgram,
+    engine: str | None = None,
+) -> KernelProgram:
+    """Sequentially compose two programs (run ``first``, then
+    ``second`` on its output).
+
+    The composition is a plain op-list concatenation, so a pass
+    pipeline can optimize *across* the seam — e.g. cancel the trailing
+    transpose of ``first`` against the leading transpose of
+    ``second``.  Raises :class:`SizeError` when the sizes do not chain.
+    """
+    if first.out_n != second.n:
+        raise SizeError(
+            f"cannot concatenate programs: first produces "
+            f"{first.out_n} elements, second expects {second.n}"
+        )
+    return KernelProgram(
+        engine=engine or f"{first.engine}+{second.engine}",
+        n=first.n,
+        width=max(first.width, second.width),
+        ops=first.ops + second.ops,
+    )

@@ -1,0 +1,93 @@
+"""Optimization passes over the kernel-program IR.
+
+Public surface::
+
+    from repro.passes import default_pipeline
+
+    optimized = default_pipeline().run(engine.lower())
+
+``default_pipeline()`` returns the process-wide conservative pipeline
+every engine's ``lower_optimized()`` routes through (see the module
+docstring of :mod:`repro.passes.optimizations` for what it does and
+does not remove); ``aggressive_pipeline()`` additionally drops
+standalone identity ops.  Both are cheap to construct, but the default
+is cached because its :meth:`~repro.passes.framework.PassPipeline.signature`
+participates in plan fingerprints and must be one stable object per
+process.
+"""
+
+from __future__ import annotations
+
+from repro.passes.framework import (
+    PIPELINE_VERSION,
+    Pass,
+    PassChange,
+    PassPipeline,
+    identity_guard,
+    is_identity_guard,
+)
+from repro.passes.optimizations import (
+    AnnotateCost,
+    CancelAdjacentTransposes,
+    DropIdentityOps,
+    FuseCasualChains,
+    FuseRowwiseSteps,
+    SimplifyPadSlice,
+)
+
+__all__ = [
+    "PIPELINE_VERSION",
+    "AnnotateCost",
+    "CancelAdjacentTransposes",
+    "DropIdentityOps",
+    "FuseCasualChains",
+    "FuseRowwiseSteps",
+    "Pass",
+    "PassChange",
+    "PassPipeline",
+    "SimplifyPadSlice",
+    "aggressive_pipeline",
+    "default_pipeline",
+    "identity_guard",
+    "is_identity_guard",
+]
+
+_DEFAULT: PassPipeline | None = None
+
+
+def default_pipeline() -> PassPipeline:
+    """The conservative pipeline all engines route ``lower()``
+    through (cached: one instance per process)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = PassPipeline(
+            (
+                SimplifyPadSlice(),
+                FuseRowwiseSteps(),
+                FuseCasualChains(),
+                CancelAdjacentTransposes(),
+                AnnotateCost(),
+            ),
+            name="default",
+        )
+    return _DEFAULT
+
+
+def aggressive_pipeline() -> PassPipeline:
+    """The default passes plus full identity-op elimination.
+
+    Opt-in: deleting a standalone identity kernel changes the
+    program's *modelled* cost (those rounds are real on the HMM), so
+    the simulator-facing default keeps them.
+    """
+    return PassPipeline(
+        (
+            SimplifyPadSlice(),
+            FuseRowwiseSteps(),
+            FuseCasualChains(),
+            DropIdentityOps(),
+            CancelAdjacentTransposes(),
+            AnnotateCost(),
+        ),
+        name="aggressive",
+    )

@@ -1,0 +1,165 @@
+"""The two plan-cache tiers: in-memory LRU and on-disk v3 files.
+
+Both tiers are keyed by the content-addressed
+:func:`~repro.planner.fingerprint.plan_fingerprint`, so a hit is
+definitionally the right plan — there is no staleness to reason
+about, only presence.
+
+The memory tier holds live :class:`CompiledPermutation` handles
+(bounded, LRU-evicted).  The disk tier stores plans in the ordinary
+v3 format of :mod:`repro.core.io` — certificates and checksums
+included — which buys the planner the full integrity ladder for free:
+a tampered cache entry fails ``load_plan`` exactly like any corrupted
+plan file, is *counted and skipped* (treated as a miss, then
+overwritten by the fresh re-plan), and is never served.
+
+Every cache event is double-booked: plain integer counters on the
+cache object (inspectable without any tracer) and guarded telemetry
+counters (``planner.cache.hit.memory``, ``planner.cache.miss.disk``,
+``planner.cache.eviction``, ``planner.cache.corrupt``, ...) when a
+tracer is active.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro import telemetry
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:
+    from repro.planner.compiled import CompiledPermutation
+
+
+class LRUPlanCache:
+    """Bounded in-memory cache of compiled permutations."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValidationError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[str, CompiledPermutation] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def get(self, fingerprint: str) -> CompiledPermutation | None:
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            telemetry.count("planner.cache.miss.memory")
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        telemetry.count("planner.cache.hit.memory")
+        return entry
+
+    def put(
+        self, fingerprint: str, compiled: CompiledPermutation
+    ) -> None:
+        self._entries[fingerprint] = compiled
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            telemetry.count("planner.cache.eviction")
+
+    def stats(self) -> dict:
+        return {
+            "memory_hits": self.hits,
+            "memory_misses": self.misses,
+            "memory_evictions": self.evictions,
+            "memory_entries": len(self._entries),
+            "memory_capacity": self.capacity,
+        }
+
+
+class DiskPlanCache:
+    """On-disk plan cache: one v3 ``.npz`` per fingerprint.
+
+    Entries are ordinary :func:`repro.core.io.save_plan` files named
+    ``<fingerprint>.npz``, stamped with pipeline/fingerprint
+    provenance.  Loading reuses :func:`repro.core.io.load_plan`, so
+    every integrity check (checksum, certificate binding, structural
+    verify) guards the cache; an entry that fails any of them is
+    counted as corrupt and treated as a miss — the caller re-plans and
+    overwrites it.  Foreign files in the directory are ignored, never
+    deleted.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.stores = 0
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.npz"
+
+    def load(self, fingerprint: str) -> Any | None:
+        """The cached planned engine, or ``None`` on miss/corruption."""
+        from repro.errors import PlanIntegrityError
+        from repro.core.io import load_plan
+
+        path = self.path_for(fingerprint)
+        if not path.exists():
+            self.misses += 1
+            telemetry.count("planner.cache.miss.disk")
+            return None
+        try:
+            plan = load_plan(path)
+        except PlanIntegrityError:
+            # Bit rot or tampering: never serve it.  Count it, report
+            # a miss; the caller's fresh re-plan overwrites the entry.
+            self.corrupt += 1
+            self.misses += 1
+            telemetry.count("planner.cache.corrupt")
+            telemetry.count("planner.cache.miss.disk")
+            return None
+        self.hits += 1
+        telemetry.count("planner.cache.hit.disk")
+        return plan
+
+    def store(
+        self,
+        fingerprint: str,
+        plan: Any,
+        pipeline_signature: str,
+    ) -> Path:
+        from repro.core.io import save_plan
+
+        path = self.path_for(fingerprint)
+        save_plan(
+            path,
+            plan,
+            provenance={
+                "pipeline": pipeline_signature,
+                "fingerprint": fingerprint,
+            },
+        )
+        self.stores += 1
+        telemetry.count("planner.cache.store.disk")
+        return path
+
+    def stats(self) -> dict:
+        return {
+            "disk_hits": self.hits,
+            "disk_misses": self.misses,
+            "disk_corrupt": self.corrupt,
+            "disk_stores": self.stores,
+            "disk_directory": str(self.directory),
+        }

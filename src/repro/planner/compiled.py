@@ -1,0 +1,242 @@
+"""The :class:`Planner` (compile-once front door) and the
+:class:`CompiledPermutation` handle it returns.
+
+``Planner.compile(p)`` resolves a permutation to a compiled handle by
+walking the cache tiers cheapest-first — in-memory LRU, then the disk
+cache, then a cold ``Engine.plan`` — and the handle's ``apply`` /
+``apply_batch`` / ``simulate`` never re-plan: they run the stored
+*optimized* program straight through the executor layer.  On the
+workload the paper targets (one permutation, many payloads) this
+turns every call after the first into pure apply time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro import telemetry
+from repro.ir.program import KernelProgram
+from repro.ir.registry import get_engine
+from repro.passes import PassPipeline, default_pipeline
+from repro.planner.cache import DiskPlanCache, LRUPlanCache
+from repro.planner.fingerprint import (
+    permutation_digest,
+    plan_fingerprint,
+)
+
+
+class CompiledPermutation:
+    """A planned, optimized, fingerprinted permutation.
+
+    Wraps the planned engine together with its pipeline-optimized
+    program; every method here executes that stored program (or
+    delegates to the already-planned engine) — none of them ever
+    re-plans.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        program: KernelProgram,
+        fingerprint: str,
+        pipeline_signature: str,
+    ) -> None:
+        self.engine = engine
+        self.program = program
+        self.fingerprint = fingerprint
+        self.pipeline_signature = pipeline_signature
+
+    @property
+    def p(self) -> np.ndarray:
+        return np.asarray(self.engine.p)
+
+    @property
+    def n(self) -> int:
+        return int(self.program.n)
+
+    @property
+    def width(self) -> int:
+        return int(self.program.width)
+
+    @property
+    def engine_name(self) -> str:
+        return str(getattr(type(self.engine), "engine_name", ""))
+
+    def apply(
+        self, a: np.ndarray, recorder: Any | None = None
+    ) -> np.ndarray:
+        """Permute one array with the stored optimized program.
+
+        With a ``recorder`` the call delegates to the planned engine's
+        traced kernels (recorders observe real access rounds, which
+        the optimized reference path does not emit).
+        """
+        if recorder is not None:
+            return np.asarray(self.engine.apply(a, recorder))
+        from repro.exec.reference import ReferenceExecutor
+
+        return np.asarray(ReferenceExecutor().run(self.program, a))
+
+    def apply_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Permute ``k`` stacked payloads, one pass per kernel op."""
+        from repro.exec.batch import BatchExecutor
+
+        return np.asarray(BatchExecutor().run(self.program, batch))
+
+    def lower(self) -> KernelProgram:
+        """The *optimized* program (the handle's execution substrate)."""
+        return self.program
+
+    def simulate(
+        self, machine: Any = None, dtype: Any = np.float32
+    ) -> Any:
+        """Price the optimized program on the HMM cost model."""
+        from repro.exec.simulator import SimulatorExecutor
+
+        return SimulatorExecutor().simulate(
+            self.program, machine, dtype=dtype
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"compiled {self.engine_name!r}: fingerprint "
+            f"{self.fingerprint[:12]}...",
+            f"  pipeline {self.pipeline_signature}",
+        ]
+        lines.append(self.program.describe())
+        return "\n".join(lines)
+
+
+class Planner:
+    """Compile-once / apply-many front door over the engine registry.
+
+    Parameters
+    ----------
+    cache_size:
+        Capacity of the in-memory LRU tier.
+    cache_dir:
+        Optional directory for the persistent disk tier (created on
+        demand); ``None`` disables it.
+    pipeline:
+        Pass pipeline to optimize compiled programs with (defaults to
+        the process-wide :func:`~repro.passes.default_pipeline`).  The
+        pipeline's signature is part of every fingerprint.
+    backend:
+        Default colouring backend forwarded to ``Engine.plan``.
+    """
+
+    def __init__(
+        self,
+        cache_size: int = 64,
+        cache_dir: str | Path | None = None,
+        pipeline: PassPipeline | None = None,
+        backend: str = "auto",
+    ) -> None:
+        self.pipeline = pipeline or default_pipeline()
+        self.memory = LRUPlanCache(cache_size)
+        self.disk = (
+            DiskPlanCache(cache_dir) if cache_dir is not None else None
+        )
+        self.backend = backend
+        self.plans = 0
+
+    def fingerprint(
+        self,
+        p: np.ndarray,
+        engine: str = "scheduled",
+        width: int = 32,
+        digest: str | None = None,
+    ) -> str:
+        """The content-addressed cache key ``compile`` would use."""
+        if digest is None:
+            digest = permutation_digest(p)
+        return plan_fingerprint(
+            digest, engine, width, self.pipeline.signature()
+        )
+
+    def compile(
+        self,
+        p: np.ndarray,
+        engine: str = "scheduled",
+        width: int = 32,
+        digest: str | None = None,
+        backend: str | None = None,
+    ) -> CompiledPermutation:
+        """Resolve ``p`` to a :class:`CompiledPermutation`.
+
+        Tier order: memory LRU, disk cache, cold ``Engine.plan``.  A
+        caller that already holds the permutation's digest (e.g. the
+        resilience chain hopping engines) passes it via ``digest`` so
+        the array is never re-hashed.
+        """
+        fp = self.fingerprint(p, engine=engine, width=width,
+                              digest=digest)
+        with telemetry.span(
+            "planner.compile", engine=engine, fingerprint=fp[:12]
+        ) as sp:
+            compiled = self.memory.get(fp)
+            if compiled is not None:
+                sp.set(tier="memory")
+                return compiled
+            plan = self.disk.load(fp) if self.disk is not None else None
+            if plan is not None:
+                sp.set(tier="disk")
+            else:
+                with telemetry.span(
+                    "planner.plan", engine=engine
+                ):
+                    plan = get_engine(engine).plan(
+                        p, width=width,
+                        backend=backend or self.backend,
+                    )
+                self.plans += 1
+                telemetry.count("planner.planned")
+                sp.set(tier="cold")
+                if self.disk is not None:
+                    self.disk.store(fp, plan,
+                                    self.pipeline.signature())
+            program = plan.lower_optimized(self.pipeline)
+            compiled = CompiledPermutation(
+                engine=plan,
+                program=program,
+                fingerprint=fp,
+                pipeline_signature=self.pipeline.signature(),
+            )
+            self.memory.put(fp, compiled)
+            return compiled
+
+    def warm_from_disk(self, fingerprint: str) -> bool:
+        """Promote one disk entry into the memory tier; True on hit."""
+        if self.disk is None:
+            return False
+        plan = self.disk.load(fingerprint)
+        if plan is None:
+            return False
+        program = plan.lower_optimized(self.pipeline)
+        self.memory.put(
+            fingerprint,
+            CompiledPermutation(
+                engine=plan,
+                program=program,
+                fingerprint=fingerprint,
+                pipeline_signature=self.pipeline.signature(),
+            ),
+        )
+        return True
+
+    def stats(self) -> dict:
+        """Merged hit/miss/eviction counters across both tiers."""
+        merged = {"cold_plans": self.plans}
+        merged.update(self.memory.stats())
+        if self.disk is not None:
+            merged.update(self.disk.stats())
+        return merged
+
+    def describe(self) -> str:
+        lines = [f"planner: pipeline {self.pipeline.signature()}"]
+        for key, value in sorted(self.stats().items()):
+            lines.append(f"  {key:<18} {value}")
+        return "\n".join(lines)

@@ -248,6 +248,8 @@ def _check_registry() -> str:
     a = np.arange(n, dtype=np.float32)
     expected = np.empty_like(a)
     expected[p] = a
+    from repro.staticcheck import certify_program
+
     for name in engine_names():
         engine = get_engine(name).plan(p, width=_WIDTH)
         program = engine.lower()
@@ -260,8 +262,66 @@ def _check_registry() -> str:
         assert SimulatorExecutor().simulate(program, _MACHINE).time > 0, name
         reloaded = type(engine).from_program(program, engine.p)
         assert np.array_equal(reloaded.apply(a.copy()), expected), name
+        # The optimized program must stay equivalent, never costlier,
+        # and (when fully regular) still certify conflict-free.
+        optimized = engine.lower_optimized()
+        assert optimized.num_rounds <= program.num_rounds, name
+        assert np.array_equal(
+            ReferenceExecutor().run(optimized, a), expected
+        ), name
+        opt_batch = BatchExecutor().run(optimized, np.stack([a, a]))
+        assert np.array_equal(opt_batch[0], expected), name
+        if optimized.is_regular and program.is_regular:
+            assert certify_program(optimized).ok, name
     return (f"{len(engine_names())} engines x 3 executors agree on "
-            f"bit-reversal({n}); all reconstruct from their IR")
+            f"bit-reversal({n}), raw and optimized; all reconstruct "
+            "from their IR")
+
+
+def _check_passes() -> str:
+    import tempfile
+
+    from repro.ir.program import concat_programs
+    from repro.passes import default_pipeline
+    from repro.planner import Planner
+    from repro.resilience import FaultPlan
+
+    n = 1024
+    p = bit_reversal(n)
+    a = np.arange(n, dtype=np.float32)
+    expected = np.empty_like(a)
+    expected[p] = a
+    pipeline = default_pipeline()
+    # A scheduled roundtrip (p then p^-1) cancels to the identity.
+    plan = ScheduledPermutation.plan(p, width=_WIDTH)
+    raw = concat_programs(plan.lower(), plan.inverse().lower(),
+                          engine="roundtrip")
+    optimized = pipeline.run(raw)
+    assert raw.num_rounds == 64 and optimized.num_rounds == 0
+    # The pipeline is idempotent: a second run changes nothing.
+    again = pipeline.run(optimized)
+    assert again.num_rounds == optimized.num_rounds
+    assert len(again.ops) == len(optimized.ops)
+    # The planner serves memory hits, disk hits across processes, and
+    # degrades gracefully (re-plan) when the cached file is tampered.
+    with tempfile.TemporaryDirectory() as tmp:
+        planner = Planner(cache_dir=tmp)
+        cold = planner.compile(p, width=_WIDTH)
+        warm = planner.compile(p, width=_WIDTH)
+        assert warm is cold and planner.stats()["memory_hits"] == 1
+        fresh = Planner(cache_dir=tmp)
+        fresh.compile(p, width=_WIDTH)
+        assert fresh.stats()["disk_hits"] == 1
+        assert fresh.stats()["cold_plans"] == 0
+        path = planner.disk.path_for(cold.fingerprint)
+        FaultPlan(seed=0).corrupt_plan_file(path, "bit-flip")
+        tampered = Planner(cache_dir=tmp)
+        out = tampered.compile(p, width=_WIDTH).apply(a)
+        assert np.array_equal(out, expected)
+        assert tampered.stats()["disk_corrupt"] == 1
+        assert tampered.stats()["cold_plans"] == 1
+    return ("roundtrip 64 -> 0 rounds, pipeline idempotent; cache: "
+            "memory + disk hits served, tampered entry re-planned")
 
 
 def _check_optimality() -> str:
@@ -282,6 +342,7 @@ _CHECKS: list[tuple[str, Callable[[], str]]] = [
     ("[8]/[9]   single-DMM variant", _check_dmm),
     ("Sec VII   optimality ratio", _check_optimality),
     ("IR        engine registry", _check_registry),
+    ("Passes    pipeline & plan cache", _check_passes),
     ("Resil.    faults & fallback", _check_resilience),
     ("Static    certifier & lint", _check_staticcheck),
 ]

@@ -90,6 +90,12 @@ class ResilientPermutation:
         When ``True`` (the default — paranoia is this class's job),
         every :meth:`apply` output is verified against a direct O(n)
         scatter before being returned.
+    planner:
+        Optional :class:`~repro.planner.Planner`.  When given, every
+        engine attempt resolves through the plan cache, and the whole
+        chain reuses one permutation digest computed up front — a
+        fallback hop costs a fingerprint lookup, not a re-hash of the
+        array (and, on a warm cache, not a re-plan either).
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class ResilientPermutation:
         backoff_base: float = 0.05,
         sleep=None,
         self_check: bool = True,
+        planner=None,
         _preload_failure: BaseException | None = None,
     ) -> None:
         if max_attempts < 1:
@@ -114,6 +121,12 @@ class ResilientPermutation:
         self.width = width
         self.self_check = self_check
         self._sleep = sleep if sleep is not None else time.sleep
+        self._planner = planner
+        self._digest: str | None = None
+        if planner is not None:
+            from repro.planner import permutation_digest
+
+            self._digest = permutation_digest(self.p)
         self.report = FailureReport(chain=tuple(chain))
         # A private tracer records every attempt/backoff span so the
         # FailureReport embeds the telemetry even when no process-wide
@@ -136,6 +149,8 @@ class ResilientPermutation:
         inst.width = width
         inst.self_check = self_check
         inst._sleep = time.sleep
+        inst._planner = None
+        inst._digest = None
         inst.report = FailureReport(chain=(choice,), engine_used=choice)
         inst.engine = engine
         inst.choice = choice
@@ -223,9 +238,17 @@ class ResilientPermutation:
     def _attempt(self, name, backend, attempt, max_attempts) -> str:
         """One planning attempt; returns the outcome label."""
         try:
-            self.engine = build_engine(
-                name, self.p, width=self.width, backend=backend
-            )
+            if self._planner is not None:
+                # Cache-aware hop: the digest computed at construction
+                # is reused for every engine in the chain.
+                self.engine = self._planner.compile(
+                    self.p, engine=name, width=self.width,
+                    digest=self._digest, backend=backend,
+                )
+            else:
+                self.engine = build_engine(
+                    name, self.p, width=self.width, backend=backend
+                )
         except TRANSIENT_ERRORS as exc:
             retried = attempt < max_attempts
             self.report.record("plan", name, attempt, exc, retried)

@@ -1,0 +1,203 @@
+"""The :class:`PermutationService` — a registry-of-permutations front
+door for serving repeated permutation traffic.
+
+The service is the user-facing face of the compile-once/apply-many
+stack: you *register* named permutations, optionally *warm* the cache
+up front, then *serve* single or batched applies; every request after
+the first for a given name is pure apply time.  Hit/miss/eviction
+counters flow through both the planner's plain integers and the
+telemetry subsystem, so an operator can watch cache behaviour with an
+active tracer or via :meth:`PermutationService.stats`.
+
+::
+
+    from repro.service import PermutationService
+
+    svc = PermutationService(width=32, cache_dir="plans/")
+    svc.register("shuffle", p)
+    svc.warm()                       # plan everything up front
+    out = svc.apply("shuffle", a)    # cache hit: no planning
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ValidationError
+from repro.planner import (
+    CompiledPermutation,
+    Planner,
+    permutation_digest,
+)
+from repro.util.validation import check_permutation
+
+__all__ = ["PermutationService"]
+
+
+def _default_engine(n: int, width: int) -> str:
+    """Scheduled when n is a width-aligned square, padded otherwise."""
+    m = math.isqrt(n) if n > 0 else 0
+    if n > 0 and m * m == n and width > 0 and m % width == 0:
+        return "scheduled"
+    return "padded"
+
+
+class _Registration:
+    """One registered permutation: array, digest, engine choice."""
+
+    def __init__(
+        self, name: str, p: np.ndarray, engine: str, digest: str
+    ) -> None:
+        self.name = name
+        self.p = p
+        self.engine = engine
+        self.digest = digest
+
+
+class PermutationService:
+    """Register permutations once, serve applies many times.
+
+    Parameters
+    ----------
+    width:
+        Warp width every registration is planned for.
+    cache_size / cache_dir / backend:
+        Forwarded to the owned :class:`~repro.planner.Planner` (unless
+        an explicit ``planner`` is supplied, which takes precedence).
+    """
+
+    def __init__(
+        self,
+        width: int = 32,
+        cache_size: int = 64,
+        cache_dir: str | Path | None = None,
+        backend: str = "auto",
+        planner: Planner | None = None,
+    ) -> None:
+        self.width = width
+        self.planner = planner or Planner(
+            cache_size=cache_size, cache_dir=cache_dir, backend=backend
+        )
+        self._registry: dict[str, _Registration] = {}
+        self.requests = 0
+        self.elements_served = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self, name: str, p: np.ndarray, engine: str | None = None
+    ) -> str:
+        """Register permutation ``p`` under ``name``.
+
+        The permutation is validated and digested exactly once; the
+        digest is reused by every later compile (including engine
+        hops).  ``engine`` defaults to ``scheduled`` when ``n`` is a
+        width-aligned perfect square and ``padded`` otherwise.
+        Returns the plan fingerprint the registration will be cached
+        under.
+        """
+        if not name:
+            raise ValidationError("registration name must be non-empty")
+        arr = check_permutation(p)
+        chosen = engine or _default_engine(int(arr.shape[0]),
+                                           self.width)
+        digest = permutation_digest(arr)
+        self._registry[name] = _Registration(
+            name=name, p=arr, engine=chosen, digest=digest
+        )
+        telemetry.count("service.registered")
+        return self.planner.fingerprint(
+            arr, engine=chosen, width=self.width, digest=digest
+        )
+
+    def names(self) -> list[str]:
+        return sorted(self._registry)
+
+    def _registration(self, name: str) -> _Registration:
+        reg = self._registry.get(name)
+        if reg is None:
+            known = ", ".join(sorted(self._registry)) or "<none>"
+            raise ValidationError(
+                f"no permutation registered as {name!r}; "
+                f"registered: {known}"
+            )
+        return reg
+
+    # ------------------------------------------------------------------
+    # Compilation / serving
+    # ------------------------------------------------------------------
+
+    def compiled(self, name: str) -> CompiledPermutation:
+        """The compiled handle for ``name`` (planning at most once)."""
+        reg = self._registration(name)
+        return self.planner.compile(
+            reg.p,
+            engine=reg.engine,
+            width=self.width,
+            digest=reg.digest,
+        )
+
+    def warm(self, names: list[str] | None = None) -> int:
+        """Compile the named registrations (all, by default) so later
+        applies are guaranteed cache hits.  Returns how many were
+        warmed."""
+        targets = names if names is not None else self.names()
+        with telemetry.span("service.warm", count=len(targets)):
+            for name in targets:
+                self.compiled(name)
+        return len(targets)
+
+    def apply(self, name: str, a: np.ndarray) -> np.ndarray:
+        """Serve one payload through the named permutation."""
+        compiled = self.compiled(name)
+        out = compiled.apply(a)
+        self.requests += 1
+        self.elements_served += int(compiled.n)
+        telemetry.count("service.requests")
+        return out
+
+    def apply_batch(self, name: str, batch: np.ndarray) -> np.ndarray:
+        """Serve ``k`` stacked payloads through the named permutation."""
+        compiled = self.compiled(name)
+        out = compiled.apply_batch(batch)
+        k = int(np.asarray(batch).shape[0])
+        self.requests += k
+        self.elements_served += k * int(compiled.n)
+        telemetry.count("service.requests", k)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service counters merged with the planner's cache stats."""
+        merged = {
+            "registered": len(self._registry),
+            "requests": self.requests,
+            "elements_served": self.elements_served,
+        }
+        merged.update(self.planner.stats())
+        return merged
+
+    def describe(self) -> str:
+        lines = [
+            f"PermutationService: {len(self._registry)} registered, "
+            f"width {self.width}"
+        ]
+        for name in self.names():
+            reg = self._registry[name]
+            lines.append(
+                f"  {name:<16} n={reg.p.shape[0]:<8} "
+                f"engine={reg.engine:<10} digest={reg.digest[:12]}..."
+            )
+        for key, value in sorted(self.planner.stats().items()):
+            lines.append(f"  {key:<18} {value}")
+        return "\n".join(lines)

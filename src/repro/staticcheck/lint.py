@@ -1,6 +1,6 @@
 """Project-specific AST lint rules (``python -m repro check``).
 
-Generic linters cannot know this codebase's layering rules; these four
+Generic linters cannot know this codebase's layering rules; these five
 checks encode them:
 
 ``REP101`` **bank/group arithmetic outside the machine layer** — the
@@ -38,8 +38,19 @@ checks encode them:
     (e.g. :class:`repro.core.selector.AutoPermutation`, which wraps a
     registered engine rather than being one) suppress the rule inline.
 
+``REP105`` **raw lower() result executed without the pass pipeline** —
+    executors must see *optimized* programs.  An executor call whose
+    program argument is a direct ``....lower()`` call (e.g.
+    ``ReferenceExecutor().run(engine.lower(), a)``) bypasses the
+    default :class:`~repro.passes.framework.PassPipeline`; route
+    through ``engine.lower_optimized()`` (or an explicit
+    ``pipeline.run(engine.lower())`` — pipeline receivers are the
+    blessed consumers of raw lowerings and are exempt).  The rule is
+    syntactic: it flags the inline-call pattern, not programs passed
+    through variables.
+
 Suppression: a source line containing ``staticcheck: ignore`` silences
-all rules on that line; ``staticcheck: ignore[REP103]`` silences one.
+all rules on that line; ``staticcheck: ignore[REP105]`` silences one.
 """
 
 from __future__ import annotations
@@ -58,6 +69,7 @@ LINT_RULES: dict[str, str] = {
     "REP102": "telemetry not using the guarded span()/count() helpers",
     "REP103": "hard-coded narrow integer dtype (overflow pitfall)",
     "REP104": "engine class not registered with @register_engine",
+    "REP105": "raw lower() result executed without the pass pipeline",
 }
 
 #: Module prefixes REP104 treats as engine layers: a class defining
@@ -66,13 +78,16 @@ _ENGINE_LAYERS = ("repro.core", "repro.cpu")
 
 #: Module prefixes where the memory model is *implemented* and REP101
 #: does not apply.  ``analysis.figures`` renders the Figure 4 closed
-#: form and is deliberately exempt.
+#: form, and ``repro.passes`` computes the costing annotation
+#: (predicted stages = rounds x ceil(n / width)); both are deliberately
+#: exempt.
 _BANK_ARITH_ALLOWED = (
     "repro.machine",
     "repro.core",
     "repro.coloring",
     "repro.staticcheck",
     "repro.analysis.figures",
+    "repro.passes",
 )
 
 #: Modules allowed to instantiate a Tracer: the telemetry package
@@ -244,6 +259,7 @@ class _Visitor(ast.NodeVisitor):
                 "the caller controls collection",
             )
         self._check_rep103(node)
+        self._check_rep105(node)
         self.generic_visit(node)
 
     def visit_Expr(self, node: ast.Expr) -> None:
@@ -314,6 +330,57 @@ class _Visitor(ast.NodeVisitor):
                 "with repro.util.arrays.smallest_index_dtype to avoid "
                 "silent overflow when sizes grow",
             )
+
+    # -- REP105 --------------------------------------------------------
+
+    #: Executor entry points whose program argument REP105 inspects.
+    _EXECUTOR_METHODS = frozenset({"run", "simulate"})
+
+    def _check_rep105(self, node: ast.Call) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._EXECUTOR_METHODS
+        ):
+            return
+        if self._is_pipeline_receiver(func.value):
+            # `pipeline.run(engine.lower())` IS the optimization step.
+            return
+        for arg in node.args:
+            if (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Attribute)
+                and arg.func.attr == "lower"
+            ):
+                self._report(
+                    "REP105", node,
+                    "raw lower() result passed straight to an "
+                    "executor, bypassing the default PassPipeline; "
+                    "use engine.lower_optimized() (or run the "
+                    "program through a pipeline first)",
+                )
+                return
+
+    @staticmethod
+    def _is_pipeline_receiver(node: ast.expr) -> bool:
+        """True when the call receiver is pipeline-like by name
+        (``pipeline.run(...)``, ``self.pipeline.run(...)``,
+        ``default_pipeline().run(...)``)."""
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            else:
+                return False
+        else:
+            return False
+        return "pipeline" in name.lower()
 
 
 def _suppressed(source_lines: list[str], finding: LintFinding) -> bool:

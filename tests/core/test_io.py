@@ -194,3 +194,58 @@ class TestCertificate:
         # certify=False is the explicit escape hatch for such plans —
         # but load still notices the schedule is broken.
         save_plan(tmp_path / "bad2.npz", bad, certify=False)
+
+
+class TestProvenance:
+    def test_roundtrip(self, plan, tmp_path):
+        from repro.core.io import read_plan_provenance
+
+        path = tmp_path / "plan.npz"
+        save_plan(path, plan,
+                  provenance={"pipeline": "default@v1(x)",
+                              "fingerprint": "ab" * 32})
+        assert read_plan_provenance(path) == {
+            "pipeline": "default@v1(x)", "fingerprint": "ab" * 32,
+        }
+        # Provenance is advisory: the plan itself loads unchanged.
+        loaded = load_plan(path)
+        assert np.array_equal(loaded.p, plan.p)
+
+    def test_absent_provenance_reads_empty(self, plan, tmp_path):
+        from repro.core.io import read_plan_provenance
+
+        path = tmp_path / "plan.npz"
+        save_plan(path, plan)
+        assert read_plan_provenance(path) == {}
+
+    def test_unknown_provenance_key_rejected(self, plan, tmp_path):
+        with pytest.raises(ValidationError, match="wibble"):
+            save_plan(tmp_path / "p.npz", plan,
+                      provenance={"wibble": "x"})
+
+    def test_partial_provenance_allowed(self, plan, tmp_path):
+        from repro.core.io import read_plan_provenance
+
+        path = tmp_path / "plan.npz"
+        save_plan(path, plan, provenance={"pipeline": "default@v1(x)"})
+        assert read_plan_provenance(path) == {
+            "pipeline": "default@v1(x)"
+        }
+
+    def test_unreadable_file_raises_corruption(self, tmp_path):
+        from repro.core.io import read_plan_provenance
+        from repro.errors import PlanCorruptionError
+
+        bad = tmp_path / "junk.npz"
+        bad.write_bytes(b"not a zip")
+        with pytest.raises(PlanCorruptionError):
+            read_plan_provenance(bad)
+
+    def test_provenance_not_part_of_checksum(self, plan, tmp_path):
+        # Two saves differing only in provenance still verify; the
+        # checksum covers the payload, not the advisory metadata.
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        save_plan(a, plan)
+        save_plan(b, plan, provenance={"pipeline": "p@v1(x)"})
+        assert np.array_equal(load_plan(a).p, load_plan(b).p)

@@ -90,3 +90,63 @@ class TestDescribe:
         assert "engine 'scheduled'" in text
         assert text.count("rowwise-scatter") == 3
         assert "rounds=32" in text
+
+
+class TestConcatPrograms:
+    def test_roundtrip_composition_is_identity(self):
+        from repro.exec.reference import ReferenceExecutor
+        from repro.ir.program import concat_programs
+
+        plan = ScheduledPermutation.plan(
+            random_permutation(256, seed=5), width=4
+        )
+        combined = concat_programs(plan.lower(),
+                                   plan.inverse().lower())
+        a = np.arange(256.0)
+        assert np.array_equal(ReferenceExecutor().run(combined, a), a)
+        assert combined.num_rounds == 64
+
+    def test_engine_label_defaults_to_both_names(self):
+        from repro.ir.program import concat_programs
+
+        plan = ScheduledPermutation.plan(
+            random_permutation(256, seed=5), width=4
+        )
+        combined = concat_programs(plan.lower(), plan.lower())
+        assert combined.engine == "scheduled+scheduled"
+        named = concat_programs(plan.lower(), plan.lower(),
+                                engine="roundtrip")
+        assert named.engine == "roundtrip"
+
+    def test_size_mismatch_rejected(self):
+        from repro.ir.program import concat_programs
+
+        a = ScheduledPermutation.plan(
+            random_permutation(256, seed=5), width=4
+        ).lower()
+        b = ScheduledPermutation.plan(
+            random_permutation(64, seed=5), width=4
+        ).lower()
+        with pytest.raises(SizeError):
+            concat_programs(a, b)
+
+
+class TestMeta:
+    def test_meta_defaults_to_none(self):
+        assert _scheduled_program().meta is None
+
+    def test_meta_survives_replace_not_persistence(self, tmp_path):
+        import dataclasses
+
+        program = _scheduled_program()
+        annotated = dataclasses.replace(program, meta={"x": 1})
+        assert annotated.meta == {"x": 1}
+        # v3 persistence is payload-only: meta is advisory.
+        from repro.core.io import load_plan, save_plan
+
+        plan = ScheduledPermutation.plan(
+            random_permutation(256, seed=5), width=4
+        )
+        path = tmp_path / "plan.npz"
+        save_plan(path, plan)
+        assert load_plan(path).lower().meta is None

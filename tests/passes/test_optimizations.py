@@ -1,0 +1,240 @@
+"""Per-pass rule tests: what each rewrite removes, and — just as
+important — what it must leave alone."""
+
+import numpy as np
+import pytest
+
+from repro.core.conventional import DDesignatedPermutation
+from repro.exec.reference import ReferenceExecutor
+from repro.ir.ops import (
+    CasualRead,
+    CasualWrite,
+    CycleRotate,
+    Pad,
+    RowwiseScatter,
+    Slice,
+    Transpose,
+)
+from repro.ir.program import KernelProgram
+from repro.machine.params import MachineParams
+from repro.passes import (
+    CancelAdjacentTransposes,
+    DropIdentityOps,
+    FuseCasualChains,
+    FuseRowwiseSteps,
+    SimplifyPadSlice,
+    default_pipeline,
+)
+from repro.permutations.named import identical, random_permutation
+
+
+def _program(n, ops, width=4, engine="test"):
+    return KernelProgram(engine=engine, n=n, width=width, ops=tuple(ops))
+
+
+def _reference(program, n):
+    a = np.arange(n, dtype=np.float64)
+    return ReferenceExecutor().run(program, a)
+
+
+class TestCancelAdjacentTransposes:
+    def test_same_m_pair_cancels(self):
+        program = _program(16, [
+            Transpose(label="a", m=4),
+            Transpose(label="b", m=4),
+        ])
+        out = CancelAdjacentTransposes().run(program)
+        assert out.num_rounds == 0
+
+    def test_tiled_and_plain_still_cancel(self):
+        # Tiling/diagonal change the schedule, not the value semantics.
+        program = _program(16, [
+            Transpose(label="a", m=4, width=4, diagonal=True),
+            Transpose(label="b", m=4),
+        ])
+        out = CancelAdjacentTransposes().run(program)
+        assert out.num_rounds == 0
+
+    def test_different_m_left_alone(self):
+        program = _program(16, [
+            Transpose(label="a", m=4),
+            Transpose(label="b", m=4),
+            Transpose(label="c", m=4),
+        ])
+        out = CancelAdjacentTransposes().run(program)
+        # Odd count: one transpose survives, semantics preserved.
+        assert len(out.ops) == 1
+        assert np.array_equal(_reference(out, 16), _reference(program, 16))
+
+
+class TestSimplifyPadSlice:
+    def test_noop_pad_dropped(self):
+        program = _program(8, [Pad(label="p", n=8, padded_n=8)])
+        assert SimplifyPadSlice().run(program).ops == ()
+        # The pipeline substitutes the identity guard for empty ops.
+        out = default_pipeline().run(program)
+        assert out.num_rounds == 0
+        assert np.array_equal(_reference(out, 8), np.arange(8.0))
+
+    def test_noop_slice_dropped(self):
+        program = _program(8, [Slice(label="s", n=8)])
+        assert SimplifyPadSlice().run(program).ops == ()
+
+    def test_pad_then_slice_fuses(self):
+        program = _program(8, [
+            Pad(label="p", n=8, padded_n=12),
+            Slice(label="s", n=6),
+        ])
+        out = SimplifyPadSlice().run(program)
+        assert [op.kind for op in out.ops] == ["slice"]
+        assert out.ops[0].n == 6
+        assert np.array_equal(_reference(out, 8), np.arange(6.0))
+
+    def test_pad_then_full_slice_vanishes(self):
+        program = _program(8, [
+            Pad(label="p", n=8, padded_n=12),
+            Slice(label="s", n=8),
+        ])
+        assert SimplifyPadSlice().run(program).ops == ()
+
+    def test_adjacent_pads_merge(self):
+        program = _program(4, [
+            Pad(label="a", n=4, padded_n=6),
+            Pad(label="b", n=6, padded_n=9),
+        ])
+        out = SimplifyPadSlice().run(program)
+        assert len(out.ops) == 1
+        assert out.ops[0].padded_n == 9
+
+    def test_slice_then_pad_never_touched(self):
+        # Slicing discards data: Slice(4) then Pad(4, 8) on an
+        # 8-element input is NOT the identity (tail becomes zeros).
+        program = _program(8, [
+            Slice(label="s", n=4),
+            Pad(label="p", n=4, padded_n=8),
+        ])
+        out = SimplifyPadSlice().run(program)
+        assert out is program
+        result = _reference(out, 8)
+        assert np.array_equal(result, [0, 1, 2, 3, 0, 0, 0, 0])
+
+
+class TestFuseRowwiseSteps:
+    def _scatter(self, label, gamma):
+        return RowwiseScatter(label=label, gamma=np.asarray(gamma),
+                              width=0)
+
+    def test_inverse_pair_dropped(self):
+        g = np.array([[1, 2, 0], [2, 0, 1]])
+        inv = np.argsort(g, axis=1)
+        program = _program(6, [
+            self._scatter("g", g), self._scatter("ginv", inv),
+        ], width=0)
+        out = FuseRowwiseSteps().run(program)
+        assert out.ops == ()
+
+    def test_casual_pair_fuses_to_one(self):
+        g1 = np.array([[1, 2, 0]])
+        g2 = np.array([[2, 1, 0]])
+        program = _program(3, [
+            self._scatter("a", g1), self._scatter("b", g2),
+        ], width=0)
+        out = FuseRowwiseSteps().run(program)
+        assert len(out.ops) == 1
+        assert np.array_equal(_reference(out, 3), _reference(program, 3))
+
+    def test_scheduled_nonidentity_pair_left_alone(self):
+        # Fusing scheduled kernels would invalidate their s/t
+        # conflict-free schedules, so only the identity case may fire.
+        s = np.array([[0, 1, 2]])
+        t = np.array([[0, 1, 2]])
+        g = np.array([[1, 2, 0]])
+        op1 = RowwiseScatter(label="a", gamma=g, width=3, s=s, t=t)
+        op2 = RowwiseScatter(label="b", gamma=g, width=3, s=s, t=t)
+        program = _program(3, [op1, op2], width=3)
+        assert FuseRowwiseSteps().run(program) is program
+
+
+class TestFuseCasualChains:
+    def test_write_write_fuses(self):
+        p1 = np.array([1, 2, 0])
+        p2 = np.array([1, 0, 2])
+        program = _program(3, [
+            CasualWrite(label="a", p=p1),
+            CasualWrite(label="b", p=p2),
+        ])
+        out = FuseCasualChains().run(program)
+        assert len(out.ops) == 1
+        assert np.array_equal(_reference(out, 3), _reference(program, 3))
+
+    def test_write_then_inverse_dropped(self):
+        p = np.array([1, 2, 0])
+        program = _program(3, [
+            CasualWrite(label="a", p=p),
+            CasualWrite(label="b", p=np.argsort(p)),
+        ])
+        assert FuseCasualChains().run(program).ops == ()
+
+    def test_read_read_fuses(self):
+        q1 = np.array([1, 2, 0])
+        q2 = np.array([1, 0, 2])
+        program = _program(3, [
+            CasualRead(label="a", q=q1),
+            CasualRead(label="b", q=q2),
+        ])
+        out = FuseCasualChains().run(program)
+        assert len(out.ops) == 1
+        assert np.array_equal(_reference(out, 3), _reference(program, 3))
+
+    def test_rotate_pair_fuses(self):
+        p = np.array([1, 2, 0])
+        program = _program(3, [
+            CycleRotate(label="a", p=p),
+            CycleRotate(label="b", p=np.argsort(p)),
+        ])
+        assert FuseCasualChains().run(program).ops == ()
+
+    def test_mixed_kinds_left_alone(self):
+        program = _program(3, [
+            CasualWrite(label="a", p=np.array([1, 2, 0])),
+            CasualRead(label="b", q=np.array([1, 2, 0])),
+        ])
+        assert FuseCasualChains().run(program) is program
+
+
+class TestDropIdentityOps:
+    def test_identity_casual_write_dropped(self):
+        program = _program(4, [
+            CasualWrite(label="id", p=np.arange(4)),
+        ])
+        assert DropIdentityOps().run(program).ops == ()
+
+    def test_one_by_one_transpose_dropped(self):
+        program = _program(1, [Transpose(label="t", m=1)], width=1)
+        assert DropIdentityOps().run(program).ops == ()
+
+    def test_non_identity_kept(self):
+        program = _program(4, [
+            CasualWrite(label="w", p=np.array([1, 0, 3, 2])),
+        ])
+        assert DropIdentityOps().run(program) is program
+
+
+class TestDefaultPipelineCostContract:
+    def test_identity_permutation_keeps_conventional_cost(self):
+        # The default pipeline must NOT delete the data-dependent
+        # identity write: Table II prices the identity permutation at
+        # the full conventional 3 rounds.
+        machine = MachineParams(width=4, latency=5, num_dmms=2,
+                                shared_capacity=None)
+        plan = DDesignatedPermutation(identical(16))
+        trace = plan.simulate(machine)
+        assert trace.num_rounds == 3
+
+    def test_rounds_never_increase(self):
+        for seed in range(3):
+            p = random_permutation(256, seed=seed)
+            plan = DDesignatedPermutation(p)
+            raw = plan.lower()
+            optimized = default_pipeline().run(raw)
+            assert optimized.num_rounds <= raw.num_rounds

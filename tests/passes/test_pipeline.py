@@ -1,0 +1,141 @@
+"""Pass-framework tests: pipeline mechanics, signatures, the identity
+guard, and the semantics-preservation property over every engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.exec.reference import ReferenceExecutor
+from repro.ir.ops import Slice
+from repro.ir.program import KernelProgram, concat_programs
+from repro.ir.registry import engine_names, get_engine
+from repro.passes import (
+    AnnotateCost,
+    PassPipeline,
+    aggressive_pipeline,
+    default_pipeline,
+    identity_guard,
+    is_identity_guard,
+)
+from repro.permutations.named import (
+    bit_reversal,
+    random_permutation,
+    transpose_permutation,
+)
+
+FAMILIES = {
+    "bit-reversal": bit_reversal,
+    "transpose": transpose_permutation,
+    "random": lambda n: random_permutation(n, seed=7),
+}
+
+_N, _WIDTH = 1024, 32
+
+
+def _expected(p, a):
+    out = np.empty_like(a)
+    out[p] = a
+    return out
+
+
+class TestSemanticsPreserved:
+    """Every pass pipeline keeps every engine's program equivalent."""
+
+    @pytest.mark.parametrize("engine_name", sorted(engine_names()))
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_default_pipeline(self, engine_name, family):
+        p = FAMILIES[family](_N)
+        engine = get_engine(engine_name).plan(p, width=_WIDTH)
+        raw = engine.lower()
+        optimized = default_pipeline().run(raw)
+        a = np.arange(_N, dtype=np.float32)
+        assert np.array_equal(
+            ReferenceExecutor().run(optimized, a), _expected(p, a)
+        )
+        assert optimized.num_rounds <= raw.num_rounds
+
+    @pytest.mark.parametrize("engine_name", sorted(engine_names()))
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_aggressive_pipeline(self, engine_name, family):
+        p = FAMILIES[family](_N)
+        engine = get_engine(engine_name).plan(p, width=_WIDTH)
+        optimized = aggressive_pipeline().run(engine.lower())
+        a = np.arange(_N, dtype=np.float32)
+        assert np.array_equal(
+            ReferenceExecutor().run(optimized, a), _expected(p, a)
+        )
+
+
+class TestIdempotence:
+    @pytest.mark.parametrize("engine_name", sorted(engine_names()))
+    def test_second_run_is_a_fixpoint(self, engine_name):
+        p = bit_reversal(_N)
+        engine = get_engine(engine_name).plan(p, width=_WIDTH)
+        once = default_pipeline().run(engine.lower())
+        twice = default_pipeline().run(once)
+        assert twice.num_rounds == once.num_rounds
+        assert len(twice.ops) == len(once.ops)
+        assert [op.kind for op in twice.ops] == [
+            op.kind for op in once.ops
+        ]
+
+
+class TestPipelineMechanics:
+    def test_signature_names_every_pass(self):
+        sig = default_pipeline().signature()
+        assert sig.startswith("default@v")
+        for name in ("simplify-pad-slice", "fuse-rowwise",
+                     "fuse-casual", "cancel-transposes",
+                     "annotate-cost"):
+            assert name in sig
+
+    def test_aggressive_signature_differs(self):
+        assert (aggressive_pipeline().signature()
+                != default_pipeline().signature())
+        assert "drop-identities" in aggressive_pipeline().signature()
+
+    def test_describe_reports_changes(self):
+        p = bit_reversal(_N)
+        plan = get_engine("scheduled").plan(p, width=_WIDTH)
+        raw = concat_programs(plan.lower(), plan.inverse().lower(),
+                              engine="roundtrip")
+        optimized, changes = default_pipeline().explain(raw)
+        assert optimized.num_rounds == 0
+        assert changes, "cancellation must be reported"
+        text = default_pipeline().describe()
+        assert "default" in text
+
+    def test_annotate_cost_meta(self):
+        p = bit_reversal(_N)
+        program = get_engine("scheduled").plan(p, width=_WIDTH).lower()
+        annotated = AnnotateCost().run(program)
+        meta = annotated.meta
+        assert meta is not None
+        assert meta["predicted_rounds"] == program.num_rounds
+        assert meta["num_ops"] == len(program.ops)
+        assert meta["regular"] is True
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValidationError):
+            PassPipeline(())
+
+
+class TestIdentityGuard:
+    def test_guard_shape(self):
+        program = KernelProgram(
+            engine="x", n=8, width=4,
+            ops=(Slice(label="s", n=8),),
+        )
+        guard = identity_guard(program)
+        assert is_identity_guard(guard)
+        assert guard.num_rounds == 0
+
+    def test_fully_cancelled_roundtrip_becomes_guard(self):
+        p = bit_reversal(_N)
+        plan = get_engine("scheduled").plan(p, width=_WIDTH)
+        raw = concat_programs(plan.lower(), plan.inverse().lower(),
+                              engine="roundtrip")
+        optimized = default_pipeline().run(raw)
+        assert is_identity_guard(optimized)
+        a = np.arange(_N, dtype=np.float32)
+        assert np.array_equal(ReferenceExecutor().run(optimized, a), a)

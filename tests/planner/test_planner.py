@@ -1,0 +1,170 @@
+"""Planner and cache-tier tests: LRU behaviour, disk persistence,
+corruption handling, and the CompiledPermutation contract."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import ValidationError
+from repro.planner import (
+    CompiledPermutation,
+    DiskPlanCache,
+    LRUPlanCache,
+    Planner,
+)
+from repro.permutations.named import bit_reversal, random_permutation
+from repro.resilience import FaultPlan
+
+_N, _WIDTH = 1024, 32
+
+
+def _expected(p, a):
+    out = np.empty_like(a)
+    out[p] = a
+    return out
+
+
+class TestLRUPlanCache:
+    def test_capacity_validated(self):
+        with pytest.raises(ValidationError):
+            LRUPlanCache(0)
+
+    def test_hit_miss_counting(self):
+        cache = LRUPlanCache(2)
+        assert cache.get("a") is None
+        cache.put("a", object())
+        assert cache.get("a") is not None
+        assert cache.stats()["memory_hits"] == 1
+        assert cache.stats()["memory_misses"] == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUPlanCache(2)
+        cache.put("a", "A")
+        cache.put("b", "B")
+        assert cache.get("a") == "A"   # refresh a; b is now oldest
+        cache.put("c", "C")
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats()["memory_evictions"] == 1
+
+
+class TestPlanner:
+    def test_cold_then_memory_hit(self, tmp_path):
+        planner = Planner(cache_dir=tmp_path)
+        p = bit_reversal(_N)
+        cold = planner.compile(p, width=_WIDTH)
+        warm = planner.compile(p, width=_WIDTH)
+        assert warm is cold
+        stats = planner.stats()
+        assert stats["cold_plans"] == 1
+        assert stats["memory_hits"] == 1
+        assert stats["disk_stores"] == 1
+
+    def test_disk_hit_across_planners(self, tmp_path):
+        p = bit_reversal(_N)
+        Planner(cache_dir=tmp_path).compile(p, width=_WIDTH)
+        fresh = Planner(cache_dir=tmp_path)
+        compiled = fresh.compile(p, width=_WIDTH)
+        stats = fresh.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["cold_plans"] == 0
+        a = np.arange(_N, dtype=np.float32)
+        assert np.array_equal(compiled.apply(a), _expected(p, a))
+
+    def test_memory_only_planner(self):
+        planner = Planner()
+        p = bit_reversal(_N)
+        planner.compile(p, width=_WIDTH)
+        assert planner.compile(p, width=_WIDTH) is not None
+        assert "disk_hits" not in planner.stats()
+
+    def test_corrupt_entry_replanned_and_overwritten(self, tmp_path):
+        p = bit_reversal(_N)
+        first = Planner(cache_dir=tmp_path)
+        cold = first.compile(p, width=_WIDTH)
+        path = first.disk.path_for(cold.fingerprint)
+        FaultPlan(seed=0).corrupt_plan_file(path, "bit-flip")
+        tampered = Planner(cache_dir=tmp_path)
+        compiled = tampered.compile(p, width=_WIDTH)
+        stats = tampered.stats()
+        assert stats["disk_corrupt"] == 1
+        assert stats["cold_plans"] == 1
+        a = np.arange(_N, dtype=np.float32)
+        assert np.array_equal(compiled.apply(a), _expected(p, a))
+        # The fresh re-plan overwrote the tampered entry in place.
+        healed = Planner(cache_dir=tmp_path)
+        healed.compile(p, width=_WIDTH)
+        assert healed.stats()["disk_hits"] == 1
+
+    def test_lru_eviction_bounds_memory(self):
+        planner = Planner(cache_size=2)
+        for seed in range(3):
+            planner.compile(random_permutation(64, seed=seed), width=4)
+        stats = planner.stats()
+        assert stats["memory_entries"] == 2
+        assert stats["memory_evictions"] == 1
+
+    def test_engine_hops_get_distinct_fingerprints(self, tmp_path):
+        planner = Planner(cache_dir=tmp_path)
+        p = bit_reversal(_N)
+        sched = planner.compile(p, engine="scheduled", width=_WIDTH)
+        padded = planner.compile(p, engine="padded", width=_WIDTH)
+        assert sched.fingerprint != padded.fingerprint
+
+    def test_telemetry_counters_emitted(self, tmp_path):
+        p = bit_reversal(_N)
+        tracer = telemetry.Tracer()
+        with telemetry.use_tracer(tracer):
+            planner = Planner(cache_dir=tmp_path)
+            planner.compile(p, width=_WIDTH)
+            planner.compile(p, width=_WIDTH)
+        assert tracer.counters["planner.planned"] == 1
+        assert tracer.counters["planner.cache.hit.memory"] == 1
+        assert tracer.counters["planner.cache.store.disk"] == 1
+
+    def test_warm_from_disk(self, tmp_path):
+        p = bit_reversal(_N)
+        first = Planner(cache_dir=tmp_path)
+        fp = first.compile(p, width=_WIDTH).fingerprint
+        fresh = Planner(cache_dir=tmp_path)
+        assert fresh.warm_from_disk(fp)
+        # Warmed entry serves from memory without touching the array.
+        assert fresh.memory.get(fp) is not None
+        assert not fresh.warm_from_disk("0" * 64)
+
+
+class TestCompiledPermutation:
+    def test_handle_contract(self, tmp_path):
+        p = bit_reversal(_N)
+        compiled = Planner(cache_dir=tmp_path).compile(p, width=_WIDTH)
+        assert isinstance(compiled, CompiledPermutation)
+        assert compiled.n == _N
+        assert compiled.engine_name == "scheduled"
+        assert np.array_equal(compiled.p, p)
+        a = np.arange(_N, dtype=np.float32)
+        assert np.array_equal(compiled.apply(a), _expected(p, a))
+        batch = np.stack([a, a + 1])
+        out = compiled.apply_batch(batch)
+        assert np.array_equal(out[0], _expected(p, a))
+        assert compiled.simulate().time >= 0
+        assert compiled.fingerprint[:4] in compiled.describe()
+
+    def test_lower_returns_optimized_program(self, tmp_path):
+        p = bit_reversal(_N)
+        compiled = Planner(cache_dir=tmp_path).compile(p, width=_WIDTH)
+        program = compiled.lower()
+        assert program.meta is not None
+        assert program.meta["predicted_rounds"] == program.num_rounds
+
+
+class TestDiskPlanCache:
+    def test_miss_on_absent(self, tmp_path):
+        cache = DiskPlanCache(tmp_path)
+        assert cache.load("0" * 64) is None
+        assert cache.stats()["disk_misses"] == 1
+
+    def test_foreign_files_ignored(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("not a plan")
+        cache = DiskPlanCache(tmp_path)
+        assert cache.load("0" * 64) is None
+        assert (tmp_path / "notes.txt").exists()

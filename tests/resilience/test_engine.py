@@ -204,3 +204,51 @@ class TestDefaultChain:
         text = r.report.summary()
         assert "scheduled -> padded -> d-designated" in text
         assert "degraded:       False" in text
+
+
+class TestPlannerAware:
+    def test_cache_hit_on_second_construction(self, p, tmp_path):
+        from repro.planner import Planner
+
+        planner = Planner(cache_dir=tmp_path)
+        first = ResilientPermutation(p, width=WIDTH, planner=planner)
+        second = ResilientPermutation(p, width=WIDTH, planner=planner)
+        assert planner.stats()["cold_plans"] == 1
+        assert planner.stats()["memory_hits"] == 1
+        a = np.arange(N, dtype=np.float32)
+        assert np.array_equal(second.apply(a), expected_output(p, a))
+
+    def test_digest_computed_once_and_reused(self, p, tmp_path):
+        from repro.planner import Planner, permutation_digest
+
+        planner = Planner(cache_dir=tmp_path)
+        resilient = ResilientPermutation(p, width=WIDTH,
+                                         planner=planner)
+        assert resilient._digest == permutation_digest(p)
+
+    def test_fallback_hop_still_works_with_planner(self, p, tmp_path):
+        from repro.planner import Planner
+
+        planner = Planner(cache_dir=tmp_path)
+        # A persistent capacity wall forces the scheduled -> padded ->
+        # d-designated hop; the planner must not get in the way.
+        with FaultPlan(seed=0, capacity_threshold=2):
+            resilient = ResilientPermutation(
+                p, width=WIDTH, planner=planner,
+                sleep=lambda _s: None,
+            )
+        assert resilient.degraded
+        a = np.arange(N, dtype=np.float32)
+        assert np.array_equal(resilient.apply(a), expected_output(p, a))
+
+    def test_transient_fault_retried_through_planner(self, p, tmp_path):
+        from repro.planner import Planner
+
+        planner = Planner(cache_dir=tmp_path)
+        with FaultPlan(seed=0, transient_coloring_failures=1):
+            resilient = ResilientPermutation(
+                p, width=WIDTH, planner=planner,
+                sleep=lambda _s: None,
+            )
+        assert resilient.report.attempts_total == 2
+        assert resilient.choice == "scheduled"

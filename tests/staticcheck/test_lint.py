@@ -244,9 +244,53 @@ class TestRep104:
         assert findings_of(src, "repro.core.selector") == []
 
 
+class TestRep105:
+    def test_raw_lower_into_run_flagged(self):
+        src = (
+            "def f(executor, engine, a):\n"
+            "    return executor.run(engine.lower(), a)\n"
+        )
+        findings = findings_of(src, "repro.apps.sorting")
+        assert [f.rule for f in findings] == ["REP105"]
+        assert "lower_optimized" in findings[0].message
+
+    def test_raw_lower_into_simulate_flagged(self):
+        src = (
+            "def f(sim, engine, machine):\n"
+            "    return sim.simulate(engine.lower(), machine)\n"
+        )
+        findings = findings_of(src, "repro.apps.sorting")
+        assert [f.rule for f in findings] == ["REP105"]
+
+    def test_pipeline_receiver_exempt(self):
+        src = (
+            "def f(pipeline, engine):\n"
+            "    return pipeline.run(engine.lower())\n"
+        )
+        assert findings_of(src, "repro.apps.sorting") == []
+
+    def test_variable_program_not_flagged(self):
+        # The rule is syntactic: it flags only a lower() call inline in
+        # the executing call's arguments.
+        src = (
+            "def f(executor, engine, a):\n"
+            "    program = engine.lower()\n"
+            "    return executor.run(program, a)\n"
+        )
+        assert findings_of(src, "repro.apps.sorting") == []
+
+    def test_inline_suppression(self):
+        src = (
+            "def f(executor, engine, a):\n"
+            "    return executor.run(engine.lower(), a)"
+            "  # staticcheck: ignore[REP105]\n"
+        )
+        assert findings_of(src, "repro.apps.sorting") == []
+
+
 class TestCatalogue:
     def test_rules_documented(self):
         assert set(LINT_RULES) == {
-            "REP101", "REP102", "REP103", "REP104"
+            "REP101", "REP102", "REP103", "REP104", "REP105"
         }
         assert all(LINT_RULES.values())

@@ -303,6 +303,102 @@ class TestDemo:
         assert "speedup" in out
 
 
+class TestRoundtripRows:
+    def test_optimized_roundtrip_is_strictly_cheaper(self, capsys):
+        out = _run(capsys, "cost", "--n", "1024", "--width", "8",
+                   "--perm", "bit-reversal", "--roundtrip")
+        assert "roundtrip raw" in out
+        assert "roundtrip optimized" in out
+        raw_row = next(line for line in out.splitlines()
+                       if line.startswith("roundtrip raw"))
+        opt_row = next(line for line in out.splitlines()
+                       if line.startswith("roundtrip optimized"))
+        raw_rounds = int(raw_row.split()[2])
+        opt_rounds = int(opt_row.split()[2])
+        assert opt_rounds < raw_rounds
+        assert opt_rounds == 0   # full transpose-pair cancellation
+
+    def test_roundtrip_with_padded(self, capsys):
+        out = _run(capsys, "cost", "--n", "1000", "--width", "8",
+                   "--perm", "random", "--padded", "--roundtrip")
+        assert "roundtrip optimized" in out
+
+
+class TestCacheDir:
+    def test_cost_reports_cache_stats(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        cold = _run(capsys, "cost", "--n", "1024", "--width", "8",
+                    "--cache-dir", cache)
+        assert "1 cold plan(s)" in cold
+        warm = _run(capsys, "cost", "--n", "1024", "--width", "8",
+                    "--cache-dir", cache)
+        assert "1 disk hit(s)" in warm
+        assert "0 cold plan(s)" in warm
+
+    def test_plan_resolves_via_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        path = str(tmp_path / "plan.npz")
+        cold = _run(capsys, "plan", "--perm", "bit-reversal",
+                    "--n", "256", "--width", "4", "--out", path,
+                    "--cache-dir", cache)
+        assert "resolved via cold plan" in cold
+        warm = _run(capsys, "plan", "--perm", "bit-reversal",
+                    "--n", "256", "--width", "4", "--out", path,
+                    "--cache-dir", cache)
+        assert "resolved via disk cache" in warm
+
+    def test_profile_reports_cache_stats(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        out = _run(capsys, "profile", "random", "--n", "256",
+                   "--width", "4", "--cache-dir", cache)
+        assert "plan cache" in out
+        assert "1 cold plan(s)" in out
+
+
+class TestProvenance:
+    def test_planned_file_carries_provenance(self, capsys, tmp_path):
+        path = str(tmp_path / "plan.npz")
+        _run(capsys, "plan", "--perm", "random", "--n", "256",
+             "--width", "4", "--out", path)
+        out = _run(capsys, "verify-plan", path)
+        assert "provenance: pipeline default@v" in out
+        assert "fingerprint" in out
+
+    def test_unstamped_file_says_none_recorded(self, capsys, tmp_path):
+        from repro.core.io import save_plan
+        from repro.core.scheduled import ScheduledPermutation
+        from repro.permutations.named import random_permutation
+
+        plan = ScheduledPermutation.plan(
+            random_permutation(256, seed=0), width=4
+        )
+        path = tmp_path / "bare.npz"
+        save_plan(path, plan)
+        out = _run(capsys, "verify-plan", str(path))
+        assert "provenance: none recorded" in out
+
+
+class TestServeDemo:
+    def test_serves_correctly_and_reports_stats(self, capsys):
+        out = _run(capsys, "serve-demo", "--n", "256", "--width", "4",
+                   "--requests", "2")
+        assert "all outputs correct = True" in out
+        assert "fingerprint" in out
+        assert "warmed 3 plan(s)" in out
+        assert "cold_plans" in out
+        assert "memory_hits" in out
+
+    def test_explicit_cache_dir_persists(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        _run(capsys, "serve-demo", "--n", "256", "--width", "4",
+             "--requests", "1", "--cache-dir", cache)
+        again = _run(capsys, "serve-demo", "--n", "256", "--width", "4",
+                     "--requests", "1", "--cache-dir", cache)
+        hits = next(line for line in again.splitlines()
+                    if "disk_hits" in line)
+        assert hits.split()[-1] == "3"
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

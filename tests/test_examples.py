@@ -17,6 +17,7 @@ CASES = {
     "fft_bit_reversal.py": ("reorder speedup", []),
     "bitonic_sort_network.py": ("sorted", []),
     "plan_once_run_many.py": ("permuted correctly", []),
+    "permutation_service.py": ("served without re-planning", []),
     "network_emulation.py": ("winner", []),
     "random_permutation_study.py": ("random permutations", []),
     "telemetry_profile.py": ("model-time bridge verified", []),
