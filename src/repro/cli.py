@@ -512,10 +512,183 @@ def cmd_profile(args) -> str:
     return "\n".join(parts)
 
 
+def _serve_demo_concurrent(args, cache_dir: str) -> str:
+    """The ``--concurrent`` serve demo: a PermutationServer under
+    threaded clients, optionally with ``--chaos`` fault injection."""
+    import itertools
+    import math
+    import threading
+    import time as _time
+
+    from repro.errors import ReproError
+    from repro.resilience import FaultPlan
+    from repro.resilience.faults import FILE_FAULT_MODES
+    from repro.service import PermutationServer
+
+    n = args.n
+    names = ("bit-reversal", "transpose", "random")
+    perms = {
+        name: named_permutation(name, n, seed=args.seed)
+        for name in names
+    }
+    parts = [
+        "serve demo — concurrent serving core "
+        f"(n = {n}, w = {args.width}, {args.clients} client(s) x "
+        f"{args.requests} request(s), chaos = {bool(args.chaos)})",
+        "",
+    ]
+    server = PermutationServer(
+        width=args.width,
+        cache_dir=cache_dir,
+        workers=args.workers,
+        queue_capacity=max(64, 4 * args.clients),
+        backoff_base=0.0005,
+        breaker_reset_s=0.05,
+    )
+    fingerprints = {
+        name: server.register(name, p) for name, p in perms.items()
+    }
+    server.warm()
+    parts.append(f"registered + warmed {len(perms)} permutation(s) "
+                 f"({cache_dir})")
+
+    results = {"ok": 0, "wrong": 0, "failed": 0}
+    latencies: list[float] = []
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def chaos_driver() -> None:
+        faults = FaultPlan(seed=args.seed)
+        modes = itertools.cycle(FILE_FAULT_MODES)
+        rotation = itertools.cycle(names)
+        cycle = 0
+        while not stop.is_set():
+            served = server.stats().get("server.served", 0)
+            if served < (cycle + 1) * 25:
+                _time.sleep(0.001)
+                continue
+            cycle += 1
+            name = next(rotation)
+            planner = server.service.planner
+            try:
+                path = planner.disk.path_for(fingerprints[name])
+                if path.exists():
+                    faults.corrupt_plan_file(path, next(modes))
+            except Exception:
+                pass   # a torn concurrent write is chaos too
+            planner.memory.invalidate(fingerprints[name])
+            try:
+                if cycle % 5 == 4:
+                    with FaultPlan(seed=args.seed + cycle,
+                                   capacity_threshold=math.isqrt(n)):
+                        _time.sleep(0.01)
+                else:
+                    with FaultPlan(seed=args.seed + cycle,
+                                   transient_coloring_failures=1):
+                        _time.sleep(0.01)
+            except Exception:
+                pass
+
+    def client(seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        for _ in range(args.requests):
+            name = names[int(rng.integers(len(names)))]
+            p = perms[name]
+            a = rng.random(n).astype(np.float32)
+            t0 = _time.perf_counter()
+            try:
+                out = server.submit(
+                    name, a, deadline_s=10.0
+                ).result(timeout=60.0)
+            except ReproError:
+                with lock:
+                    results["failed"] += 1
+                continue
+            dt = _time.perf_counter() - t0
+            expected = np.empty_like(a)
+            expected[p] = a
+            key = "ok" if np.array_equal(out, expected) else "wrong"
+            with lock:
+                results[key] += 1
+                latencies.append(dt)
+
+    driver = None
+    if args.chaos:
+        driver = threading.Thread(target=chaos_driver, daemon=True)
+        driver.start()
+    t0 = _time.perf_counter()
+    clients = [
+        threading.Thread(target=client, args=(args.seed + 100 + c,))
+        for c in range(args.clients)
+    ]
+    for t in clients:
+        t.start()
+    for t in clients:
+        t.join()
+    elapsed = _time.perf_counter() - t0
+    stop.set()
+    if driver is not None:
+        driver.join(timeout=5.0)
+    stats = server.stats()
+    health = server.health()
+    server.close()
+
+    total = sum(results.values())
+    availability = results["ok"] / total if total else 0.0
+    lat = np.array(latencies) if latencies else np.zeros(1)
+    parts.append("")
+    parts.append(
+        f"served {total} request(s) in {elapsed:.2f} s "
+        f"({total / elapsed:.0f} req/s)"
+    )
+    parts.append(
+        f"   availability  {availability:.4f}   "
+        f"wrong answers  {results['wrong']}   "
+        f"failed  {results['failed']}"
+    )
+    parts.append(
+        f"   latency p50   {np.percentile(lat, 50) * 1e3:.2f} ms   "
+        f"p99  {np.percentile(lat, 99) * 1e3:.2f} ms"
+    )
+    parts.append("")
+    parts.append(f"health: {health['status']}")
+    for bname, snap in health["breakers"].items():
+        parts.append(
+            f"   breaker {bname:<22} {snap['state']:<10} "
+            f"({snap['transitions']} transition(s), "
+            f"{snap['rejections']} rejection(s))"
+        )
+    parts.append("")
+    parts.append("server stats:")
+    for key in sorted(stats):
+        if key.startswith("server.") or key in (
+            "disk_corrupt", "memory_invalidations", "cold_plans",
+        ):
+            value = stats[key]
+            shown = f"{value:.4g}" if isinstance(value, float) \
+                else value
+            parts.append(f"   {key:<28} {shown}")
+    ok = results["wrong"] == 0 and availability >= 0.99
+    parts.append("")
+    parts.append(f"all outputs correct = {results['wrong'] == 0}, "
+                 f"availability >= 99% = {availability >= 0.99}")
+    if not ok:
+        parts.append("SERVING DEMO FAILED")
+    return "\n".join(parts)
+
+
 def cmd_serve_demo(args) -> str:
     import tempfile
 
     from repro.service import PermutationService
+
+    if args.concurrent:
+        if args.cache_dir:
+            return _serve_demo_concurrent(args, args.cache_dir)
+        with tempfile.TemporaryDirectory() as tmp:
+            return _serve_demo_concurrent(args, tmp)
+    if args.chaos:
+        raise SystemExit("--chaos requires --concurrent")
 
     n = args.n
     parts = [f"serve demo — compile once, apply many (n = {n}, "
@@ -728,7 +901,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--requests", type=int, default=4,
-        help="single applies to serve per registered name",
+        help="single applies to serve per registered name "
+             "(per client with --concurrent)",
+    )
+    serve.add_argument(
+        "--concurrent", action="store_true",
+        help="serve through the concurrent PermutationServer core "
+             "(queue, deadlines, breakers) with threaded clients",
+    )
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help="with --concurrent: inject plan-file corruption and "
+             "planning faults while serving",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=4,
+        help="client threads for --concurrent (default: 4)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="server worker threads for --concurrent (default: 4)",
     )
     _add_cache_dir_flag(serve)
     serve.set_defaults(func=cmd_serve_demo)

@@ -174,3 +174,48 @@ class FallbackExhaustedError(ResilienceError):
     def __init__(self, message: str, report=None) -> None:
         super().__init__(message)
         self.report = report
+
+
+# ---------------------------------------------------------------------------
+# Concurrent serving
+# ---------------------------------------------------------------------------
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the concurrent serving core
+    (:mod:`repro.service.server`)."""
+
+
+class ServiceOverloadError(ServingError):
+    """The server refused a request to protect itself.
+
+    Raised when the bounded request queue is full (and the request's
+    priority does not justify shedding a queued one) or a tenant quota
+    is exhausted.  ``retry_after`` is the server's estimate, in
+    seconds, of when a retry is likely to be admitted — the
+    programmatic equivalent of an HTTP ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class QuotaExceededError(ServiceOverloadError):
+    """A tenant exceeded its requests/sec rate or bulkhead quota."""
+
+
+class DeadlineExceededError(ServingError):
+    """A request's deadline expired before a result was produced.
+
+    Deadlines are enforced at admission, at dequeue, and between retry
+    attempts, so an expired request never occupies a worker.
+    """
+
+
+class CircuitOpenError(ServingError):
+    """Every engine in the degradation ladder had an open breaker.
+
+    The server failed fast instead of queueing work against backends
+    known to be failing; retry after the breaker's reset timeout.
+    """

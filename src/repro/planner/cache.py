@@ -22,6 +22,8 @@ tracer is active.
 
 from __future__ import annotations
 
+import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -34,7 +36,12 @@ if TYPE_CHECKING:
 
 
 class LRUPlanCache:
-    """Bounded in-memory cache of compiled permutations."""
+    """Bounded in-memory cache of compiled permutations.
+
+    Thread-safe: lookups, insertions and the hit/miss/eviction
+    counters are guarded by one lock, so concurrent server workers
+    never lose an increment or corrupt the recency order.
+    """
 
     def __init__(self, capacity: int = 64) -> None:
         if capacity < 1:
@@ -45,9 +52,11 @@ class LRUPlanCache:
         self._entries: OrderedDict[str, CompiledPermutation] = (
             OrderedDict()
         )
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -56,34 +65,69 @@ class LRUPlanCache:
         return fingerprint in self._entries
 
     def get(self, fingerprint: str) -> CompiledPermutation | None:
-        entry = self._entries.get(fingerprint)
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
         if entry is None:
-            self.misses += 1
             telemetry.count("planner.cache.miss.memory")
             return None
-        self._entries.move_to_end(fingerprint)
-        self.hits += 1
         telemetry.count("planner.cache.hit.memory")
         return entry
 
     def put(
         self, fingerprint: str, compiled: CompiledPermutation
     ) -> None:
-        self._entries[fingerprint] = compiled
-        self._entries.move_to_end(fingerprint)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        evicted = 0
+        with self._lock:
+            self._entries[fingerprint] = compiled
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        for _ in range(evicted):
             telemetry.count("planner.cache.eviction")
 
+    def get_if_present(
+        self, fingerprint: str
+    ) -> CompiledPermutation | None:
+        """Like :meth:`get`, but absence is not counted as a miss —
+        the accessor the planner's single-flight recheck uses so a
+        cold compile does not book two misses."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+        if entry is not None:
+            telemetry.count("planner.cache.hit.memory")
+        return entry
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one entry (e.g. after its disk file was found bad or an
+        operator forces a re-plan); returns whether it was resident."""
+        with self._lock:
+            present = self._entries.pop(fingerprint, None) is not None
+            if present:
+                self.invalidations += 1
+        if present:
+            telemetry.count("planner.cache.invalidation")
+        return present
+
     def stats(self) -> dict:
-        return {
-            "memory_hits": self.hits,
-            "memory_misses": self.misses,
-            "memory_evictions": self.evictions,
-            "memory_entries": len(self._entries),
-            "memory_capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "memory_hits": self.hits,
+                "memory_misses": self.misses,
+                "memory_evictions": self.evictions,
+                "memory_invalidations": self.invalidations,
+                "memory_entries": len(self._entries),
+                "memory_capacity": self.capacity,
+            }
 
 
 class DiskPlanCache:
@@ -102,10 +146,16 @@ class DiskPlanCache:
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.stores = 0
+
+    def _count(self, field: str, name: str) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + 1)
+        telemetry.count(name)
 
     def path_for(self, fingerprint: str) -> Path:
         return self.directory / f"{fingerprint}.npz"
@@ -117,21 +167,17 @@ class DiskPlanCache:
 
         path = self.path_for(fingerprint)
         if not path.exists():
-            self.misses += 1
-            telemetry.count("planner.cache.miss.disk")
+            self._count("misses", "planner.cache.miss.disk")
             return None
         try:
             plan = load_plan(path)
         except PlanIntegrityError:
             # Bit rot or tampering: never serve it.  Count it, report
             # a miss; the caller's fresh re-plan overwrites the entry.
-            self.corrupt += 1
-            self.misses += 1
-            telemetry.count("planner.cache.corrupt")
-            telemetry.count("planner.cache.miss.disk")
+            self._count("corrupt", "planner.cache.corrupt")
+            self._count("misses", "planner.cache.miss.disk")
             return None
-        self.hits += 1
-        telemetry.count("planner.cache.hit.disk")
+        self._count("hits", "planner.cache.hit.disk")
         return plan
 
     def store(
@@ -140,26 +186,44 @@ class DiskPlanCache:
         plan: Any,
         pipeline_signature: str,
     ) -> Path:
+        """Persist ``plan`` under its fingerprint, atomically.
+
+        The plan is written to a temporary sibling and moved into
+        place with :func:`os.replace`, so a concurrent reader (or a
+        writer crash) can observe the old entry or the new one but
+        never a truncated ``.npz`` that the corruption path would have
+        to heal on every later load.
+        """
         from repro.core.io import save_plan
 
         path = self.path_for(fingerprint)
-        save_plan(
-            path,
-            plan,
-            provenance={
-                "pipeline": pipeline_signature,
-                "fingerprint": fingerprint,
-            },
+        # The suffix must end in ".npz": np.savez would otherwise
+        # append it and write somewhere else.
+        tmp = path.with_name(
+            f".{fingerprint}.{os.getpid()}.{threading.get_ident()}"
+            ".tmp.npz"
         )
-        self.stores += 1
-        telemetry.count("planner.cache.store.disk")
+        try:
+            save_plan(
+                tmp,
+                plan,
+                provenance={
+                    "pipeline": pipeline_signature,
+                    "fingerprint": fingerprint,
+                },
+            )
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self._count("stores", "planner.cache.store.disk")
         return path
 
     def stats(self) -> dict:
-        return {
-            "disk_hits": self.hits,
-            "disk_misses": self.misses,
-            "disk_corrupt": self.corrupt,
-            "disk_stores": self.stores,
-            "disk_directory": str(self.directory),
-        }
+        with self._lock:
+            return {
+                "disk_hits": self.hits,
+                "disk_misses": self.misses,
+                "disk_corrupt": self.corrupt,
+                "disk_stores": self.stores,
+                "disk_directory": str(self.directory),
+            }

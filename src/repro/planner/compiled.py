@@ -12,6 +12,7 @@ turns every call after the first into pure apply time.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -142,6 +143,11 @@ class Planner:
         )
         self.backend = backend
         self.plans = 0
+        self._lock = threading.Lock()
+        # One lock per in-flight fingerprint: concurrent compiles of
+        # the same permutation collapse to a single cold plan, the
+        # rest wait and take the memory hit.
+        self._inflight: dict[str, threading.Lock] = {}
 
     def fingerprint(
         self,
@@ -181,32 +187,51 @@ class Planner:
             if compiled is not None:
                 sp.set(tier="memory")
                 return compiled
-            plan = self.disk.load(fp) if self.disk is not None else None
-            if plan is not None:
-                sp.set(tier="disk")
-            else:
-                with telemetry.span(
-                    "planner.plan", engine=engine
-                ):
-                    plan = get_engine(engine).plan(
-                        p, width=width,
-                        backend=backend or self.backend,
-                    )
-                self.plans += 1
-                telemetry.count("planner.planned")
-                sp.set(tier="cold")
-                if self.disk is not None:
-                    self.disk.store(fp, plan,
-                                    self.pipeline.signature())
-            program = plan.lower_optimized(self.pipeline)
-            compiled = CompiledPermutation(
-                engine=plan,
-                program=program,
-                fingerprint=fp,
-                pipeline_signature=self.pipeline.signature(),
+            with self._flight(fp):
+                # Another thread may have finished this exact compile
+                # while we waited; its result is now a memory hit.
+                compiled = self.memory.get_if_present(fp)
+                if compiled is not None:
+                    sp.set(tier="memory")
+                    return compiled
+                plan = (
+                    self.disk.load(fp) if self.disk is not None else None
+                )
+                if plan is not None:
+                    sp.set(tier="disk")
+                else:
+                    with telemetry.span(
+                        "planner.plan", engine=engine
+                    ):
+                        plan = get_engine(engine).plan(
+                            p, width=width,
+                            backend=backend or self.backend,
+                        )
+                    with self._lock:
+                        self.plans += 1
+                    telemetry.count("planner.planned")
+                    sp.set(tier="cold")
+                    if self.disk is not None:
+                        self.disk.store(fp, plan,
+                                        self.pipeline.signature())
+                program = plan.lower_optimized(self.pipeline)
+                compiled = CompiledPermutation(
+                    engine=plan,
+                    program=program,
+                    fingerprint=fp,
+                    pipeline_signature=self.pipeline.signature(),
+                )
+                self.memory.put(fp, compiled)
+                return compiled
+
+    def _flight(self, fingerprint: str) -> threading.Lock:
+        """The single-flight lock serialising cold compiles of one
+        fingerprint (created on demand, kept for the planner's life —
+        the population is bounded by distinct registrations)."""
+        with self._lock:
+            return self._inflight.setdefault(
+                fingerprint, threading.Lock()
             )
-            self.memory.put(fp, compiled)
-            return compiled
 
     def warm_from_disk(self, fingerprint: str) -> bool:
         """Promote one disk entry into the memory tier; True on hit."""

@@ -206,6 +206,60 @@ def _check_resilience() -> str:
             f"(engine: {resilient.report.engine_used})")
 
 
+def _check_serving() -> str:
+    import tempfile
+    from pathlib import Path
+
+    from repro.errors import ValidationError
+    from repro.resilience import FaultPlan
+    from repro.service import PermutationServer
+
+    p = random_permutation(1024, seed=7)
+    a = np.arange(1024, dtype=np.float32)
+    expected = np.empty_like(a)
+    expected[p] = a
+    with tempfile.TemporaryDirectory() as tmp:
+        server = PermutationServer(
+            width=_WIDTH, cache_dir=Path(tmp), workers=2,
+            backoff_base=0.0,
+        )
+        try:
+            fp = server.register("perm", p, engine="padded")
+            server.warm()
+            # Concurrent traffic (these coalesce) is answered exactly.
+            futures = [server.submit("perm", a) for _ in range(8)]
+            assert all(
+                np.array_equal(f.result(timeout=30.0), expected)
+                for f in futures
+            )
+            # Silent re-registration is refused.
+            try:
+                server.register(
+                    "perm", random_permutation(1024, seed=8),
+                    engine="padded",
+                )
+                raise AssertionError("re-registration not refused")
+            except ValidationError:
+                pass
+            # A corrupted disk entry plus a transient colouring fault
+            # heal end to end: detect, re-plan, retry — same answer.
+            FaultPlan(seed=7).corrupt_plan_file(
+                server.service.planner.disk.path_for(fp), "bit-flip"
+            )
+            server.service.planner.memory.invalidate(fp)
+            with FaultPlan(seed=7, transient_coloring_failures=1):
+                out = server.submit("perm", a).result(timeout=30.0)
+            assert np.array_equal(out, expected)
+            stats = server.stats()
+            assert stats["server.faults_absorbed"] >= 1
+            assert stats["disk_corrupt"] >= 1
+            health = server.health()["status"]
+        finally:
+            server.close()
+    return ("9 served (8 concurrent), corrupt plan healed, transient "
+            f"fault absorbed, health {health}")
+
+
 def _check_staticcheck() -> str:
     import dataclasses
 
@@ -344,6 +398,7 @@ _CHECKS: list[tuple[str, Callable[[], str]]] = [
     ("IR        engine registry", _check_registry),
     ("Passes    pipeline & plan cache", _check_passes),
     ("Resil.    faults & fallback", _check_resilience),
+    ("Serving   concurrent core", _check_serving),
     ("Static    certifier & lint", _check_staticcheck),
 ]
 

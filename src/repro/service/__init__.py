@@ -1,13 +1,24 @@
-"""The :class:`PermutationService` — a registry-of-permutations front
-door for serving repeated permutation traffic.
+"""The serving layer: a registry-of-permutations front door plus a
+fault-tolerant concurrent serving core.
 
-The service is the user-facing face of the compile-once/apply-many
-stack: you *register* named permutations, optionally *warm* the cache
-up front, then *serve* single or batched applies; every request after
-the first for a given name is pure apply time.  Hit/miss/eviction
-counters flow through both the planner's plain integers and the
-telemetry subsystem, so an operator can watch cache behaviour with an
-active tracer or via :meth:`PermutationService.stats`.
+:class:`PermutationService` is the user-facing face of the
+compile-once/apply-many stack: you *register* named permutations,
+optionally *warm* the cache up front, then *serve* single or batched
+applies; every request after the first for a given name is pure apply
+time.  Hit/miss/eviction counters flow through both the planner's
+plain integers and the telemetry subsystem, so an operator can watch
+cache behaviour with an active tracer or via
+:meth:`PermutationService.stats`.  The service is thread-safe: its
+counters and registry are lock-guarded, so many callers can share one
+instance.
+
+:class:`PermutationServer` (:mod:`repro.service.server`) wraps a
+service in a real server core for heavy mixed traffic: a bounded
+request queue with admission control and priority load shedding,
+per-request deadlines, budget-aware retries that degrade through the
+engine ladder, per-tenant quotas, request coalescing, and circuit
+breakers around the disk-cache tier and each engine.  See
+``docs/serving.md``.
 
 ::
 
@@ -22,6 +33,7 @@ active tracer or via :meth:`PermutationService.stats`.
 from __future__ import annotations
 
 import math
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -36,7 +48,13 @@ from repro.planner import (
 )
 from repro.util.validation import check_permutation
 
-__all__ = ["PermutationService"]
+__all__ = [
+    "CircuitBreaker",
+    "PermutationServer",
+    "PermutationService",
+    "ServeResult",
+    "TenantQuota",
+]
 
 
 def _default_engine(n: int, width: int) -> str:
@@ -84,15 +102,24 @@ class PermutationService:
             cache_size=cache_size, cache_dir=cache_dir, backend=backend
         )
         self._registry: dict[str, _Registration] = {}
+        # Guards the registry and the plain-int request counters:
+        # concurrent server workers increment them on every call, and
+        # unlocked ``x += 1`` loses updates.
+        self._lock = threading.Lock()
         self.requests = 0
         self.elements_served = 0
+        self.reregistrations = 0
 
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
 
     def register(
-        self, name: str, p: np.ndarray, engine: str | None = None
+        self,
+        name: str,
+        p: np.ndarray,
+        engine: str | None = None,
+        overwrite: bool = False,
     ) -> str:
         """Register permutation ``p`` under ``name``.
 
@@ -102,6 +129,14 @@ class PermutationService:
         width-aligned perfect square and ``padded`` otherwise.
         Returns the plan fingerprint the registration will be cached
         under.
+
+        Re-registering the *same* permutation (digest and engine both
+        unchanged) is an idempotent no-op, so concurrent clients can
+        race on registration safely.  Replacing a name with a
+        *different* permutation or engine silently would repoint every
+        live caller — that requires ``overwrite=True`` and is counted
+        as ``service.reregistered``; without it the call raises
+        :class:`~repro.errors.ValidationError`.
         """
         if not name:
             raise ValidationError("registration name must be non-empty")
@@ -109,21 +144,46 @@ class PermutationService:
         chosen = engine or _default_engine(int(arr.shape[0]),
                                            self.width)
         digest = permutation_digest(arr)
-        self._registry[name] = _Registration(
-            name=name, p=arr, engine=chosen, digest=digest
-        )
+        reregistered = False
+        with self._lock:
+            existing = self._registry.get(name)
+            if existing is not None and (
+                existing.digest != digest or existing.engine != chosen
+            ):
+                if not overwrite:
+                    raise ValidationError(
+                        f"{name!r} is already registered with a "
+                        "different permutation or engine "
+                        f"(engine {existing.engine!r}, digest "
+                        f"{existing.digest[:12]}...); pass "
+                        "overwrite=True to replace it"
+                    )
+                reregistered = True
+                self.reregistrations += 1
+            self._registry[name] = _Registration(
+                name=name, p=arr, engine=chosen, digest=digest
+            )
         telemetry.count("service.registered")
+        if reregistered:
+            telemetry.count("service.reregistered")
         return self.planner.fingerprint(
             arr, engine=chosen, width=self.width, digest=digest
         )
 
+    def unregister(self, name: str) -> bool:
+        """Drop a registration; returns whether it existed."""
+        with self._lock:
+            return self._registry.pop(name, None) is not None
+
     def names(self) -> list[str]:
-        return sorted(self._registry)
+        with self._lock:
+            return sorted(self._registry)
 
     def _registration(self, name: str) -> _Registration:
-        reg = self._registry.get(name)
-        if reg is None:
+        with self._lock:
+            reg = self._registry.get(name)
             known = ", ".join(sorted(self._registry)) or "<none>"
+        if reg is None:
             raise ValidationError(
                 f"no permutation registered as {name!r}; "
                 f"registered: {known}"
@@ -134,12 +194,19 @@ class PermutationService:
     # Compilation / serving
     # ------------------------------------------------------------------
 
-    def compiled(self, name: str) -> CompiledPermutation:
-        """The compiled handle for ``name`` (planning at most once)."""
+    def compiled(
+        self, name: str, engine: str | None = None
+    ) -> CompiledPermutation:
+        """The compiled handle for ``name`` (planning at most once).
+
+        ``engine`` overrides the registered engine choice — the hook
+        the serving core's degradation ladder uses to hop engines
+        while reusing the registration's digest.
+        """
         reg = self._registration(name)
         return self.planner.compile(
             reg.p,
-            engine=reg.engine,
+            engine=engine or reg.engine,
             width=self.width,
             digest=reg.digest,
         )
@@ -154,22 +221,28 @@ class PermutationService:
                 self.compiled(name)
         return len(targets)
 
-    def apply(self, name: str, a: np.ndarray) -> np.ndarray:
+    def apply(
+        self, name: str, a: np.ndarray, engine: str | None = None
+    ) -> np.ndarray:
         """Serve one payload through the named permutation."""
-        compiled = self.compiled(name)
+        compiled = self.compiled(name, engine=engine)
         out = compiled.apply(a)
-        self.requests += 1
-        self.elements_served += int(compiled.n)
+        with self._lock:
+            self.requests += 1
+            self.elements_served += int(compiled.n)
         telemetry.count("service.requests")
         return out
 
-    def apply_batch(self, name: str, batch: np.ndarray) -> np.ndarray:
+    def apply_batch(
+        self, name: str, batch: np.ndarray, engine: str | None = None
+    ) -> np.ndarray:
         """Serve ``k`` stacked payloads through the named permutation."""
-        compiled = self.compiled(name)
+        compiled = self.compiled(name, engine=engine)
         out = compiled.apply_batch(batch)
         k = int(np.asarray(batch).shape[0])
-        self.requests += k
-        self.elements_served += k * int(compiled.n)
+        with self._lock:
+            self.requests += k
+            self.elements_served += k * int(compiled.n)
         telemetry.count("service.requests", k)
         return out
 
@@ -179,11 +252,13 @@ class PermutationService:
 
     def stats(self) -> dict:
         """Service counters merged with the planner's cache stats."""
-        merged = {
-            "registered": len(self._registry),
-            "requests": self.requests,
-            "elements_served": self.elements_served,
-        }
+        with self._lock:
+            merged = {
+                "registered": len(self._registry),
+                "requests": self.requests,
+                "elements_served": self.elements_served,
+                "reregistrations": self.reregistrations,
+            }
         merged.update(self.planner.stats())
         return merged
 
@@ -193,7 +268,8 @@ class PermutationService:
             f"width {self.width}"
         ]
         for name in self.names():
-            reg = self._registry[name]
+            with self._lock:
+                reg = self._registry[name]
             lines.append(
                 f"  {name:<16} n={reg.p.shape[0]:<8} "
                 f"engine={reg.engine:<10} digest={reg.digest[:12]}..."
@@ -201,3 +277,13 @@ class PermutationService:
         for key, value in sorted(self.planner.stats().items()):
             lines.append(f"  {key:<18} {value}")
         return "\n".join(lines)
+
+
+# Imported after PermutationService so repro.service.server can import
+# the class from the (partially initialised) package.
+from repro.service.breaker import CircuitBreaker  # noqa: E402
+from repro.service.quotas import TenantQuota  # noqa: E402
+from repro.service.server import (  # noqa: E402
+    PermutationServer,
+    ServeResult,
+)

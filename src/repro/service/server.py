@@ -1,0 +1,857 @@
+"""The fault-tolerant concurrent serving core.
+
+:class:`PermutationServer` turns the synchronous
+:class:`~repro.service.PermutationService` into a server: callers
+*submit* requests and worker threads serve them, with every production
+concern the bare facade lacks:
+
+* **bounded queue + admission control** — a fixed-capacity priority
+  queue; when it is full an incoming request either displaces a
+  strictly lower-priority queued one (which is *shed* — its caller
+  gets :class:`~repro.errors.ServiceOverloadError` with a retry-after
+  hint) or is rejected the same way.  The server never buffers
+  unbounded work.
+* **deadlines** — each request may carry a deadline, enforced at
+  admission, at dequeue, and between retry attempts, so expired work
+  never occupies a worker.
+* **budget-aware retries + degradation** — transient planning faults
+  (flaky colouring) are retried with the resilience layer's
+  deterministic :func:`~repro.resilience.backoff_delay`, each sleep
+  capped by the remaining deadline budget; when an engine keeps
+  failing the request degrades along the familiar ladder
+  ``registered engine -> padded -> d-designated`` instead of failing
+  the caller.
+* **per-tenant namespaces and quotas** — registrations live under
+  ``tenant/name`` keys; each tenant is metered by a
+  :class:`~repro.service.quotas.TenantQuota` (requests/sec token
+  bucket, in-flight bulkhead, resident-plan bulkhead).
+* **request coalescing** — concurrent single-payload requests for the
+  same registration are drained from the queue together and served by
+  one batched ``apply_batch`` pass over the shared plan.
+* **circuit breakers** — one per engine and one around the disk-cache
+  tier (:class:`_GuardedDiskCache`).  Consecutive failures trip a
+  breaker open; while open the backend is skipped (fail-fast /
+  plan-from-cold) until a half-open probe succeeds.  Breaker state is
+  visible in :meth:`PermutationServer.health` and telemetry gauges.
+
+Everything is observable: plain-integer counters via
+:meth:`PermutationServer.stats`, breaker/queue/tenant snapshots via
+:meth:`PermutationServer.health`, and ``server.*`` telemetry counters
+and gauges when a tracer is active.  See ``docs/serving.md``.
+
+::
+
+    from repro.service import PermutationServer
+
+    with PermutationServer(width=32, cache_dir="plans/",
+                           workers=4) as server:
+        server.register("shuffle", p)
+        result = server.submit("shuffle", a, deadline_s=0.5)
+        out = result.result()        # or .result(timeout=...)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    QuotaExceededError,
+    ReproError,
+    ServiceOverloadError,
+    ServingError,
+    ValidationError,
+)
+from repro.resilience.engine import (
+    DEFAULT_CHAIN,
+    TRANSIENT_ERRORS,
+    backoff_delay,
+)
+from repro.service import PermutationService
+from repro.service.breaker import CLOSED, CircuitBreaker
+from repro.service.quotas import (
+    UNLIMITED_QUOTA,
+    TenantQuota,
+    TenantState,
+)
+
+__all__ = [
+    "HIGH",
+    "LOW",
+    "NORMAL",
+    "PermutationServer",
+    "ServeResult",
+]
+
+#: Request priorities: lower value is more important.
+HIGH, NORMAL, LOW = 0, 1, 2
+_PRIORITIES = (HIGH, NORMAL, LOW)
+
+#: Fallback retry-after hint when the server has no latency sample yet.
+_DEFAULT_LATENCY_S = 0.005
+
+
+class ServeResult:
+    """A future for one submitted request.
+
+    ``result()`` blocks until the request is served, then returns the
+    permuted payload or raises the failure.  After completion the
+    handle also carries how the request was served: ``engine`` (which
+    ladder rung answered), ``attempts``, ``coalesced`` (whether it
+    shared a batched apply), and ``wait_s`` / ``service_s`` timings.
+    """
+
+    def __init__(self, name: str, tenant: str, priority: int) -> None:
+        self.name = name
+        self.tenant = tenant
+        self.priority = priority
+        self.engine: str | None = None
+        self.attempts = 0
+        self.coalesced = False
+        self.wait_s = 0.0
+        self.service_s = 0.0
+        self._event = threading.Event()
+        self._value: np.ndarray | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        if not self._event.wait(timeout):
+            raise DeadlineExceededError(
+                f"request {self.name!r} not finished within "
+                f"{timeout} s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value
+
+    def exception(
+        self, timeout: float | None = None
+    ) -> BaseException | None:
+        self._event.wait(timeout)
+        return self._error
+
+    def _resolve(self, value: np.ndarray) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class _Request:
+    """One queue entry (internal)."""
+
+    __slots__ = ("key", "payload", "batch", "priority", "deadline",
+                 "enqueued", "tenant", "result")
+
+    def __init__(self, key, payload, batch, priority, deadline,
+                 enqueued, tenant, result) -> None:
+        self.key = key
+        self.payload = payload
+        self.batch = batch
+        self.priority = priority
+        self.deadline = deadline
+        self.enqueued = enqueued
+        self.tenant = tenant
+        self.result = result
+
+
+class _GuardedDiskCache:
+    """A :class:`~repro.planner.DiskPlanCache` behind a breaker.
+
+    Transparent to the planner (everything not intercepted is
+    delegated), but when the disk tier keeps serving corrupt entries
+    or failing writes the breaker opens and the tier is bypassed —
+    loads report a miss, stores are skipped — until a half-open probe
+    succeeds.  A sick cache directory then costs re-planning, never
+    repeated heal-on-every-load work.
+    """
+
+    def __init__(self, inner, breaker: CircuitBreaker) -> None:
+        self._inner = inner
+        self.breaker = breaker
+
+    def load(self, fingerprint: str):
+        if not self.breaker.allow():
+            telemetry.count("server.disk.bypassed")
+            return None
+        corrupt_before = self._inner.corrupt
+        plan = self._inner.load(fingerprint)
+        if self._inner.corrupt > corrupt_before:
+            self.breaker.record_failure()
+        elif plan is not None:
+            self.breaker.record_success()
+        return plan
+
+    def store(self, fingerprint: str, plan, pipeline_signature: str):
+        path = self._inner.path_for(fingerprint)
+        if not self.breaker.allow():
+            telemetry.count("server.disk.bypassed")
+            return path
+        try:
+            path = self._inner.store(
+                fingerprint, plan, pipeline_signature
+            )
+        except OSError:
+            # A failed persist must not fail the request being served;
+            # the plan lives on in the memory tier.
+            self.breaker.record_failure()
+            telemetry.count("server.disk.store_failed")
+            return path
+        self.breaker.record_success()
+        return path
+
+    def __getattr__(self, attr):
+        return getattr(self._inner, attr)
+
+
+class PermutationServer:
+    """Concurrent, fault-tolerant front door over a service.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.PermutationService` to serve from
+        (one is built from ``width`` / ``cache_dir`` when omitted).
+    workers:
+        Worker threads draining the queue.
+    queue_capacity:
+        Bound on queued requests; beyond it admission control sheds or
+        rejects.
+    default_deadline_s:
+        Deadline applied to requests that do not carry their own
+        (``None``: no deadline).
+    max_attempts / backoff_base:
+        Per-engine retry budget for transient faults and the base of
+        the deterministic backoff schedule.
+    breaker_threshold / breaker_reset_s / half_open_probes:
+        Circuit-breaker tuning, shared by the per-engine and disk
+        breakers.
+    coalesce / max_coalesce:
+        Batch concurrent same-registration requests into one
+        ``apply_batch`` (up to ``max_coalesce`` payloads per pass).
+    quotas:
+        ``{tenant: TenantQuota}``; tenants not listed get
+        ``default_quota`` (unlimited unless specified).
+    self_check:
+        Verify every served output against the definitional scatter
+        before delivering it (one extra O(n) pass per request).
+    clock / sleep:
+        Injectable monotonic clock and sleeper for deterministic
+        tests.
+    """
+
+    def __init__(
+        self,
+        service: PermutationService | None = None,
+        *,
+        width: int = 32,
+        cache_dir=None,
+        workers: int = 2,
+        queue_capacity: int = 64,
+        default_deadline_s: float | None = None,
+        max_attempts: int = 3,
+        backoff_base: float = 0.01,
+        breaker_threshold: int = 3,
+        breaker_reset_s: float = 0.25,
+        half_open_probes: int = 1,
+        coalesce: bool = True,
+        max_coalesce: int = 16,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota = UNLIMITED_QUOTA,
+        self_check: bool = False,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        if queue_capacity < 1:
+            raise ValidationError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        if max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if max_coalesce < 1:
+            raise ValidationError(
+                f"max_coalesce must be >= 1, got {max_coalesce}"
+            )
+        self.service = service or PermutationService(
+            width=width, cache_dir=cache_dir
+        )
+        self.workers = int(workers)
+        self.queue_capacity = int(queue_capacity)
+        self.default_deadline_s = default_deadline_s
+        self.max_attempts = int(max_attempts)
+        self.backoff_base = float(backoff_base)
+        self.coalesce = bool(coalesce)
+        self.max_coalesce = int(max_coalesce)
+        self.self_check = bool(self_check)
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_reset_s = float(breaker_reset_s)
+        self._half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self._sleep = sleep
+        self._quotas = dict(quotas or {})
+        self._default_quota = default_quota
+        self._tenants: dict[str, TenantState] = {}
+        self._buckets: dict[int, deque[_Request]] = {
+            prio: deque() for prio in _PRIORITIES
+        }
+        self._size = 0
+        self._cond = threading.Condition()
+        self._stats_lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._latency_ema = _DEFAULT_LATENCY_S
+        self._stopping = False
+        self._started = False
+        self._threads: list[threading.Thread] = []
+        self._engine_breakers: dict[str, CircuitBreaker] = {}
+        self.disk_breaker: CircuitBreaker | None = None
+        planner = self.service.planner
+        if planner.disk is not None and not isinstance(
+            planner.disk, _GuardedDiskCache
+        ):
+            self.disk_breaker = CircuitBreaker(
+                "disk",
+                failure_threshold=self._breaker_threshold,
+                reset_timeout=self._breaker_reset_s,
+                half_open_probes=self._half_open_probes,
+                clock=clock,
+            )
+            planner.disk = _GuardedDiskCache(
+                planner.disk, self.disk_breaker
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "PermutationServer":
+        """Spawn the worker threads (idempotent)."""
+        with self._cond:
+            if self._started:
+                return self
+            if self._stopping:
+                raise ServingError("server is closed")
+            self._started = True
+            for i in range(self.workers):
+                t = threading.Thread(
+                    target=self._worker,
+                    name=f"permserve-worker-{i}",
+                    daemon=True,
+                )
+                self._threads.append(t)
+                t.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests and shut the workers down.
+
+        With ``drain=True`` (default) queued requests are served
+        first; otherwise they fail with
+        :class:`~repro.errors.ServingError`.
+        """
+        with self._cond:
+            self._stopping = True
+            if not drain:
+                for bucket in self._buckets.values():
+                    while bucket:
+                        req = bucket.popleft()
+                        self._size -= 1
+                        self._tenant(req.tenant).inflight -= 1
+                        req.result._fail(
+                            ServingError("server closed before the "
+                                         "request was served")
+                        )
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join(timeout=30.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "PermutationServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Registration (tenant namespaces)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _key(tenant: str, name: str) -> str:
+        return f"{tenant}/{name}"
+
+    def _tenant(self, tenant: str) -> TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            quota = self._quotas.get(tenant, self._default_quota)
+            state = TenantState(quota, clock=self._clock)
+            self._tenants[tenant] = state
+        return state
+
+    def register(
+        self,
+        name: str,
+        p: np.ndarray,
+        engine: str | None = None,
+        tenant: str = "default",
+        overwrite: bool = False,
+    ) -> str:
+        """Register ``p`` in the tenant's namespace; returns the plan
+        fingerprint.  Enforces the tenant's resident-plan bulkhead."""
+        key = self._key(tenant, name)
+        with self._cond:
+            state = self._tenant(tenant)
+            if not state.plan_slot_available(key):
+                self._count("rejected.plan_quota")
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} is at its resident-plan "
+                    f"quota ({state.quota.max_plans}); unregister a "
+                    "permutation first"
+                )
+        fp = self.service.register(
+            key, p, engine=engine, overwrite=overwrite
+        )
+        with self._cond:
+            self._tenant(tenant).plans.add(key)
+        return fp
+
+    def warm(self, tenant: str | None = None) -> int:
+        """Compile every registration (of one tenant, or all)."""
+        names = self.service.names()
+        if tenant is not None:
+            prefix = f"{tenant}/"
+            names = [n for n in names if n.startswith(prefix)]
+        return self.service.warm(names)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+        telemetry.count(f"server.{name}", n)
+
+    def _retry_after(self) -> float:
+        ema = self._latency_ema or _DEFAULT_LATENCY_S
+        return ema * (1 + self._size / max(1, self.workers))
+
+    def _shed_for(self, priority: int) -> _Request | None:
+        """The queued request to displace for an incoming ``priority``
+        request: the newest entry of the lowest-priority non-empty
+        bucket, and only if strictly less important."""
+        for prio in reversed(_PRIORITIES):
+            if prio <= priority:
+                return None
+            if self._buckets[prio]:
+                return self._buckets[prio].pop()
+        return None
+
+    def submit(
+        self,
+        name: str,
+        a: np.ndarray,
+        *,
+        tenant: str = "default",
+        priority: int = NORMAL,
+        deadline_s: float | None = None,
+        batch: bool = False,
+    ) -> ServeResult:
+        """Enqueue one request; returns a :class:`ServeResult` future.
+
+        Raises synchronously when the request cannot be admitted:
+        :class:`~repro.errors.QuotaExceededError` (tenant over rate or
+        bulkhead), :class:`~repro.errors.ServiceOverloadError` (queue
+        full, nothing shed-able) — both carry ``retry_after`` — or
+        :class:`~repro.errors.ValidationError` (unknown name, payload
+        shape mismatch).
+        """
+        if priority not in _PRIORITIES:
+            raise ValidationError(
+                f"priority must be one of {_PRIORITIES}, got {priority}"
+            )
+        key = self._key(tenant, name)
+        reg = self.service._registration(key)
+        payload = np.asarray(a)
+        n = int(reg.p.shape[0])
+        if batch:
+            if payload.ndim != 2 or payload.shape[1] != n:
+                raise ValidationError(
+                    f"batch payload must have shape (k, {n}), got "
+                    f"{payload.shape}"
+                )
+        elif payload.shape != (n,):
+            raise ValidationError(
+                f"payload must have shape ({n},), got {payload.shape}"
+            )
+        self.start()
+        now = self._clock()
+        limit = deadline_s if deadline_s is not None \
+            else self.default_deadline_s
+        deadline = now + limit if limit is not None else None
+        result = ServeResult(name=name, tenant=tenant, priority=priority)
+        request = _Request(
+            key=key, payload=payload, batch=batch, priority=priority,
+            deadline=deadline, enqueued=now, tenant=tenant,
+            result=result,
+        )
+        with self._cond:
+            if self._stopping:
+                raise ServingError("server is closed")
+            state = self._tenant(tenant)
+            wait = state.try_acquire()
+            if wait > 0:
+                self._count("rejected.rate")
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} exceeded {state.quota.rps} "
+                    "requests/sec",
+                    retry_after=wait,
+                )
+            if not state.inflight_available():
+                self._count("rejected.bulkhead")
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} is at its in-flight bulkhead "
+                    f"({state.quota.max_inflight})",
+                    retry_after=self._retry_after(),
+                )
+            if self._size >= self.queue_capacity:
+                victim = self._shed_for(priority)
+                if victim is None:
+                    self._count("rejected.queue_full")
+                    raise ServiceOverloadError(
+                        f"request queue is full "
+                        f"({self.queue_capacity} deep)",
+                        retry_after=self._retry_after(),
+                    )
+                self._size -= 1
+                self._tenant(victim.tenant).inflight -= 1
+                self._count("shed")
+                victim.result._fail(ServiceOverloadError(
+                    "shed from the queue by a higher-priority "
+                    "request",
+                    retry_after=self._retry_after(),
+                ))
+            self._buckets[priority].append(request)
+            self._size += 1
+            state.inflight += 1
+            self._count("accepted")
+            telemetry.gauge("server.queue.depth", self._size)
+            self._cond.notify()
+        return result
+
+    def apply(self, name: str, a: np.ndarray, **kwargs) -> np.ndarray:
+        """Synchronous convenience: ``submit(...).result()``."""
+        return self.submit(name, a, **kwargs).result()
+
+    def apply_batch(
+        self, name: str, batch: np.ndarray, **kwargs
+    ) -> np.ndarray:
+        """Synchronous convenience for a stacked ``(k, n)`` payload."""
+        return self.submit(name, batch, batch=True, **kwargs).result()
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while self._size == 0 and not self._stopping:
+                    self._cond.wait()
+                if self._size == 0 and self._stopping:
+                    return
+                group = self._take_group()
+                telemetry.gauge("server.queue.depth", self._size)
+            try:
+                self._dispatch(group)
+            finally:
+                with self._cond:
+                    for req in group:
+                        self._tenant(req.tenant).inflight -= 1
+
+    def _take_group(self) -> list[_Request]:
+        """Pop the most important request and (when coalescing) every
+        compatible same-registration single request behind it.  Caller
+        holds the lock."""
+        first: _Request | None = None
+        for prio in _PRIORITIES:
+            if self._buckets[prio]:
+                first = self._buckets[prio].popleft()
+                break
+        assert first is not None
+        self._size -= 1
+        group = [first]
+        if not self.coalesce or first.batch:
+            return group
+        shape, dtype = first.payload.shape, first.payload.dtype
+        for prio in _PRIORITIES:
+            bucket = self._buckets[prio]
+            keep: deque[_Request] = deque()
+            while bucket and len(group) < self.max_coalesce:
+                req = bucket.popleft()
+                if (
+                    not req.batch
+                    and req.key == first.key
+                    and req.payload.shape == shape
+                    and req.payload.dtype == dtype
+                ):
+                    group.append(req)
+                    self._size -= 1
+                else:
+                    keep.append(req)
+            keep.extend(bucket)
+            bucket.clear()
+            bucket.extend(keep)
+            if len(group) >= self.max_coalesce:
+                break
+        return group
+
+    def _dispatch(self, group: list[_Request]) -> None:
+        """Serve one dequeued group end to end."""
+        now = self._clock()
+        live: list[_Request] = []
+        for req in group:
+            if req.deadline is not None and now >= req.deadline:
+                self._count("deadline_exceeded")
+                req.result._fail(DeadlineExceededError(
+                    f"deadline expired after "
+                    f"{now - req.enqueued:.3f} s in the queue"
+                ))
+            else:
+                req.result.wait_s = now - req.enqueued
+                live.append(req)
+        if not live:
+            return
+        t0 = self._clock()
+        try:
+            self._serve(live)
+        except Exception as exc:
+            # Catch everything: an escaped exception would kill the
+            # worker thread and leave every queued future unresolved.
+            self._count("failed")
+            for req in live:
+                req.result._fail(exc)
+            return
+        elapsed = self._clock() - t0
+        with self._stats_lock:
+            self._latency_ema = (
+                0.9 * self._latency_ema + 0.1 * elapsed
+            )
+        for req in live:
+            req.result.service_s = elapsed
+        self._count("served", len(live))
+
+    # ------------------------------------------------------------------
+    # Execution: breakers, retries, degradation ladder
+    # ------------------------------------------------------------------
+
+    def _engine_breaker(self, engine: str) -> CircuitBreaker:
+        breaker = self._engine_breakers.get(engine)
+        if breaker is None:
+            with self._stats_lock:
+                breaker = self._engine_breakers.get(engine)
+                if breaker is None:
+                    breaker = CircuitBreaker(
+                        f"engine.{engine}",
+                        failure_threshold=self._breaker_threshold,
+                        reset_timeout=self._breaker_reset_s,
+                        half_open_probes=self._half_open_probes,
+                        clock=self._clock,
+                    )
+                    self._engine_breakers[engine] = breaker
+        return breaker
+
+    def _ladder(self, registered: str) -> list[str]:
+        return [registered] + [
+            e for e in DEFAULT_CHAIN if e != registered
+        ]
+
+    def _serve(self, group: list[_Request]) -> None:
+        """Serve ``group`` (same registration), resolving every future.
+
+        Walks the engine ladder under the breakers; transient faults
+        retry with deadline-capped backoff, persistent faults hop to
+        the next engine.  The group degrades and succeeds — or fails —
+        together.
+        """
+        key = group[0].key
+        registered = self.service._registration(key).engine
+        deadline = min(
+            (r.deadline for r in group if r.deadline is not None),
+            default=None,
+        )
+        attempts_total = 0
+        all_open = True
+        for engine in self._ladder(registered):
+            breaker = self._engine_breaker(engine)
+            if not breaker.allow():
+                self._count("breaker.engine_skipped")
+                continue
+            all_open = False
+            for attempt in range(1, self.max_attempts + 1):
+                if deadline is not None and \
+                        self._clock() >= deadline:
+                    self._count("deadline_exceeded", len(group))
+                    raise DeadlineExceededError(
+                        "deadline expired while retrying "
+                        f"(engine {engine!r}, attempt {attempt})"
+                    )
+                attempts_total += 1
+                try:
+                    out = self._apply_group(key, group, engine)
+                except TRANSIENT_ERRORS:
+                    breaker.record_failure()
+                    self._count("faults_absorbed")
+                    if attempt < self.max_attempts and \
+                            breaker.state == CLOSED:
+                        self._count("retries")
+                        delay = backoff_delay(
+                            attempt, self.backoff_base
+                        )
+                        if deadline is not None:
+                            delay = min(
+                                delay,
+                                max(0.0, deadline - self._clock()),
+                            )
+                        if delay > 0:
+                            self._sleep(delay)
+                        continue
+                    break   # breaker opened or budget spent: next rung
+                except ReproError:
+                    # Persistent (infeasible size, capacity wall):
+                    # retrying cannot help — drop down the ladder.
+                    breaker.record_failure()
+                    self._count("faults_absorbed")
+                    break
+                breaker.record_success()
+                if engine != registered:
+                    self._count("degraded", len(group))
+                self._deliver(group, out, engine, attempts_total)
+                return
+        if all_open:
+            self._count("breaker.all_open")
+            raise CircuitOpenError(
+                "every engine breaker is open; retry after "
+                f"{self._breaker_reset_s} s"
+            )
+        self._count("ladder_exhausted")
+        raise ServingError(
+            f"all engines failed for {key!r} "
+            f"(ladder {' -> '.join(self._ladder(registered))}, "
+            f"{attempts_total} attempts)"
+        )
+
+    def _apply_group(
+        self, key: str, group: list[_Request], engine: str
+    ) -> np.ndarray | list[np.ndarray]:
+        """One apply pass for the whole group on one engine."""
+        if len(group) == 1 and not group[0].batch:
+            return self.service.apply(
+                key, group[0].payload, engine=engine
+            )
+        if len(group) == 1:
+            return self.service.apply_batch(
+                key, group[0].payload, engine=engine
+            )
+        stacked = np.stack([req.payload for req in group])
+        self._count("coalesced", len(group) - 1)
+        return self.service.apply_batch(key, stacked, engine=engine)
+
+    def _deliver(
+        self,
+        group: list[_Request],
+        out: np.ndarray,
+        engine: str,
+        attempts: int,
+    ) -> None:
+        if self.self_check:
+            p = self.service._registration(group[0].key).p
+            payloads = (
+                out if len(group) > 1 else [np.asarray(out)]
+            )
+            for req, row in zip(group, payloads):
+                expected = np.empty_like(np.asarray(req.payload))
+                if req.batch:
+                    expected[:, p] = req.payload
+                else:
+                    expected[p] = req.payload
+                if not np.array_equal(row, expected):
+                    self._count("self_check_failed")
+                    raise ServingError(
+                        f"engine {engine!r} produced a wrong answer "
+                        "(caught by the server self-check)"
+                    )
+        coalesced = len(group) > 1
+        for i, req in enumerate(group):
+            req.result.engine = engine
+            req.result.attempts = attempts
+            req.result.coalesced = coalesced
+            req.result._resolve(out[i] if coalesced else out)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Server counters merged with the underlying service stats."""
+        with self._stats_lock:
+            merged: dict = {
+                f"server.{k}": v for k, v in self._counters.items()
+            }
+            merged["server.latency_ema_s"] = self._latency_ema
+        with self._cond:
+            merged["server.queue_depth"] = self._size
+            merged["server.queue_capacity"] = self.queue_capacity
+        merged.update(self.service.stats())
+        return merged
+
+    def health(self) -> dict:
+        """A point-in-time health snapshot.
+
+        ``status`` is ``"ok"`` when every breaker is closed and the
+        queue has headroom, else ``"degraded"``.
+        """
+        with self._stats_lock:
+            breakers = {
+                name: b.snapshot()
+                for name, b in sorted(self._engine_breakers.items())
+            }
+        if self.disk_breaker is not None:
+            breakers["disk"] = self.disk_breaker.snapshot()
+        with self._cond:
+            queue = {
+                "depth": self._size,
+                "capacity": self.queue_capacity,
+                "workers": self.workers,
+                "accepting": not self._stopping,
+            }
+            tenants = {
+                name: state.snapshot()
+                for name, state in sorted(self._tenants.items())
+            }
+        degraded = (
+            any(b["state"] != CLOSED for b in breakers.values())
+            or queue["depth"] >= queue["capacity"]
+            or not queue["accepting"]
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "queue": queue,
+            "breakers": breakers,
+            "tenants": tenants,
+        }

@@ -27,6 +27,7 @@ check per site (see :func:`repro.telemetry.span`).
 
 from __future__ import annotations
 
+import threading
 import time
 
 
@@ -129,6 +130,11 @@ class Tracer:
         self._clock = clock
         self._stack: list[Span] = []
         self._next_id = 0
+        # Counters and gauges are incremented from server worker
+        # threads; a read-modify-write without the lock loses updates.
+        # (Span nesting remains single-threaded by design: concurrent
+        # code records counters, not spans.)
+        self._metrics_lock = threading.Lock()
         self.created_ns = clock()
         #: Finished spans in completion order (children before parents).
         self.spans: list[Span] = []
@@ -181,20 +187,25 @@ class Tracer:
     # ------------------------------------------------------------------
 
     def count(self, name: str, n: float = 1) -> float:
-        """Increment counter ``name`` by ``n``; returns the new total."""
-        total = self.counters.get(name, 0) + n
-        self.counters[name] = total
-        t = self._clock()
-        self.counter_events.append((t, name, n, total))
+        """Increment counter ``name`` by ``n``; returns the new total.
+
+        Thread-safe: concurrent increments never lose updates.
+        """
+        with self._metrics_lock:
+            total = self.counters.get(name, 0) + n
+            self.counters[name] = total
+            t = self._clock()
+            self.counter_events.append((t, name, n, total))
         for sink in self.sinks:
             sink.on_counter(t, name, n, total)
         return total
 
     def gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
-        self.gauges[name] = value
-        t = self._clock()
-        self.gauge_events.append((t, name, value))
+        with self._metrics_lock:
+            self.gauges[name] = value
+            t = self._clock()
+            self.gauge_events.append((t, name, value))
         for sink in self.sinks:
             sink.on_gauge(t, name, value)
 

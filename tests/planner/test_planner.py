@@ -168,3 +168,60 @@ class TestDiskPlanCache:
         cache = DiskPlanCache(tmp_path)
         assert cache.load("0" * 64) is None
         assert (tmp_path / "notes.txt").exists()
+
+    def test_store_is_atomic_no_temp_residue(self, tmp_path):
+        planner = Planner(cache_dir=tmp_path)
+        planner.compile(bit_reversal(_N), engine="scheduled",
+                        width=_WIDTH)
+        files = sorted(f.name for f in tmp_path.iterdir())
+        assert len(files) == 1
+        assert files[0].endswith(".npz")
+        assert not files[0].startswith(".")     # no leftover temp
+
+    def test_concurrent_stores_never_leave_torn_files(self, tmp_path):
+        import threading
+
+        cache = DiskPlanCache(tmp_path)
+        p = bit_reversal(_N)
+        planner = Planner()
+        compiled = planner.compile(p, engine="scheduled",
+                                   width=_WIDTH)
+        fp = compiled.fingerprint
+        signature = planner.pipeline.signature()
+
+        def writer():
+            for _ in range(5):
+                cache.store(fp, compiled.engine, signature)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every interleaving leaves one complete, loadable entry.
+        assert cache.load(fp) is not None
+        assert cache.stats()["disk_corrupt"] == 0
+        leftovers = [f for f in tmp_path.iterdir()
+                     if f.name.startswith(".")]
+        assert leftovers == []
+
+
+class TestLRUInvalidate:
+    def test_invalidate_drops_entry_and_counts(self, tmp_path):
+        planner = Planner(cache_dir=tmp_path)
+        p = bit_reversal(_N)
+        compiled = planner.compile(p, engine="scheduled",
+                                   width=_WIDTH)
+        assert planner.memory.invalidate(compiled.fingerprint)
+        assert not planner.memory.invalidate(compiled.fingerprint)
+        assert planner.stats()["memory_invalidations"] == 1
+        # The next compile resolves from disk, not a stale handle.
+        again = planner.compile(p, engine="scheduled", width=_WIDTH)
+        assert again.fingerprint == compiled.fingerprint
+        assert planner.stats()["disk_hits"] == 1
+
+    def test_get_if_present_never_counts_miss(self):
+        cache = LRUPlanCache(4)
+        before = cache.stats()["memory_misses"]
+        assert cache.get_if_present("0" * 64) is None
+        assert cache.stats()["memory_misses"] == before

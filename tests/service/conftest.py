@@ -1,0 +1,25 @@
+"""Shared fixtures for the serving-layer tests."""
+
+import pytest
+
+
+class FakeClock:
+    """Deterministic monotonic clock; doubles as the server's sleeper
+    (sleeping advances time instead of blocking)."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+    def sleep(self, dt: float) -> None:
+        self.advance(dt)
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()

@@ -1,0 +1,151 @@
+"""CircuitBreaker state-machine tests (driven by a fake clock)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def _breaker(**kwargs) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("reset_timeout", 1.0)
+    return CircuitBreaker("test", clock=clock, **kwargs), clock
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker("x", failure_threshold=0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker("x", half_open_probes=0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker("x", reset_timeout=-1.0)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        b, _ = _breaker()
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_success_resets_failure_streak(self):
+        b, _ = _breaker()
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED      # never 3 in a row
+
+    def test_consecutive_failures_trip_open(self):
+        b, _ = _breaker()
+        for _ in range(3):
+            assert b.state == CLOSED
+            b.record_failure()
+        assert b.state == OPEN
+
+
+class TestOpen:
+    def test_open_rejects_until_timeout(self):
+        b, clock = _breaker()
+        for _ in range(3):
+            b.record_failure()
+        assert not b.allow()
+        assert b.rejections == 1
+        clock.advance(0.99)
+        assert not b.allow()
+        clock.advance(0.02)
+        assert b.allow()              # half-open probe admitted
+        assert b.state == HALF_OPEN
+
+    def test_retry_after_counts_down(self):
+        b, clock = _breaker()
+        for _ in range(3):
+            b.record_failure()
+        assert b.retry_after() == pytest.approx(1.0)
+        clock.advance(0.75)
+        assert b.retry_after() == pytest.approx(0.25)
+        clock.advance(1.0)
+        assert b.retry_after() == 0.0
+
+
+class TestHalfOpen:
+    def test_probe_success_closes(self):
+        b, clock = _breaker()
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(1.1)
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_probe_failure_reopens_and_restarts_timeout(self):
+        b, clock = _breaker()
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(1.1)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == OPEN
+        assert not b.allow()          # timeout restarted
+        clock.advance(1.1)
+        assert b.allow()
+
+    def test_probe_count_is_bounded(self):
+        b, clock = _breaker(half_open_probes=2)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(1.1)
+        assert b.allow()
+        assert b.allow()
+        assert not b.allow()          # only two probes in flight
+        b.record_success()
+        assert b.state == HALF_OPEN   # needs both probes to succeed
+        b.record_success()
+        assert b.state == CLOSED
+
+
+class TestIntrospection:
+    def test_transition_history_records_walk(self):
+        b, clock = _breaker(failure_threshold=1)
+        b.record_failure()
+        clock.advance(1.1)
+        b.allow()
+        b.record_success()
+        walk = [(old, new) for _t, old, new in b.transitions()]
+        assert walk == [
+            (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED),
+        ]
+
+    def test_history_is_bounded(self):
+        b, clock = _breaker(failure_threshold=1, reset_timeout=0.0)
+        for _ in range(100):
+            b.record_failure()
+            clock.advance(0.01)
+            b.allow()
+            b.record_success()
+        assert len(b.transitions()) == 64
+
+    def test_snapshot_and_reset(self):
+        b, _ = _breaker()
+        for _ in range(3):
+            b.record_failure()
+        snap = b.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["consecutive_failures"] == 3
+        b.reset()
+        assert b.state == CLOSED
+        assert b.allow()

@@ -1,5 +1,7 @@
 """PermutationService tests: registration, warming, serving, stats."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -67,6 +69,41 @@ class TestRegistration:
         assert svc._registry["square"].engine == "scheduled"
         assert svc._registry["odd"].engine == "padded"
 
+    def test_same_registration_is_idempotent(self):
+        svc = PermutationService(width=_WIDTH)
+        p = bit_reversal(_N)
+        fp = svc.register("perm", p)
+        assert svc.register("perm", p) == fp      # no error, no count
+        assert svc.stats()["reregistrations"] == 0
+
+    def test_different_permutation_requires_overwrite(self):
+        svc = PermutationService(width=_WIDTH)
+        svc.register("perm", bit_reversal(_N))
+        other = random_permutation(_N, seed=1)
+        with pytest.raises(ValidationError, match="overwrite=True"):
+            svc.register("perm", other)
+        svc.register("perm", other, overwrite=True)
+        assert svc.stats()["reregistrations"] == 1
+        a = np.arange(_N, dtype=np.float32)
+        assert np.array_equal(svc.apply("perm", a),
+                              _expected(other, a))
+
+    def test_engine_change_requires_overwrite(self):
+        svc = PermutationService(width=_WIDTH)
+        p = bit_reversal(_N)
+        svc.register("perm", p, engine="scheduled")
+        with pytest.raises(ValidationError, match="overwrite=True"):
+            svc.register("perm", p, engine="padded")
+        svc.register("perm", p, engine="padded", overwrite=True)
+        assert svc._registry["perm"].engine == "padded"
+
+    def test_unregister(self):
+        svc = PermutationService(width=_WIDTH)
+        svc.register("perm", bit_reversal(_N))
+        assert svc.unregister("perm")
+        assert not svc.unregister("perm")
+        assert svc.names() == []
+
 
 class TestServing:
     def test_apply_and_batch_correct(self, tmp_path):
@@ -112,6 +149,48 @@ class TestServing:
         assert stats["cold_plans"] == 1
         text = svc.describe()
         assert "bitrev" in text and "scheduled" in text
+
+    def test_concurrent_applies_count_exactly(self, tmp_path):
+        svc = PermutationService(width=_WIDTH, cache_dir=tmp_path)
+        p = bit_reversal(_N)
+        svc.register("bitrev", p)
+        svc.warm()
+        a = np.arange(_N, dtype=np.float32)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(50):
+                    out = svc.apply("bitrev", a)
+                    assert np.array_equal(out, _expected(p, a))
+            except Exception as exc:   # pragma: no cover - failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # Locked counters: no lost increments under contention.
+        assert svc.stats()["requests"] == 8 * 50
+        assert svc.stats()["elements_served"] == 8 * 50 * _N
+
+    def test_concurrent_registration_races_are_safe(self):
+        svc = PermutationService(width=_WIDTH)
+        p = bit_reversal(_N)
+        outcomes = []
+
+        def racer():
+            outcomes.append(svc.register("perm", p))
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(outcomes)) == 1          # all the same fp
+        assert svc.stats()["reregistrations"] == 0
 
     def test_shared_disk_cache_across_services(self, tmp_path):
         p = bit_reversal(_N)

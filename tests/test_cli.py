@@ -398,6 +398,31 @@ class TestServeDemo:
                     if "disk_hits" in line)
         assert hits.split()[-1] == "3"
 
+    def test_concurrent_mode(self, capsys):
+        out = _run(capsys, "serve-demo", "--concurrent",
+                   "--n", "1024", "--width", "32",
+                   "--requests", "20", "--clients", "2",
+                   "--workers", "2")
+        assert "concurrent serving core" in out
+        assert "wrong answers  0" in out
+        assert "availability >= 99% = True" in out
+        assert "health:" in out
+        assert "SERVING DEMO FAILED" not in out
+
+    def test_concurrent_chaos_mode(self, capsys):
+        out = _run(capsys, "serve-demo", "--concurrent", "--chaos",
+                   "--n", "1024", "--width", "32",
+                   "--requests", "60", "--clients", "3",
+                   "--workers", "2")
+        assert "chaos = True" in out
+        assert "wrong answers  0" in out
+        assert "all outputs correct = True" in out
+        assert "breaker" in out
+
+    def test_chaos_requires_concurrent(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-demo", "--chaos"])
+
 
 class TestParser:
     def test_requires_command(self):
