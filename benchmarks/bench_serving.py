@@ -24,11 +24,21 @@ so the *wrong answers* column is a real end-to-end correctness count —
 the acceptance criteria are **zero wrong answers** and **availability
 >= 99%** with faults injected at >= 1% of the request rate.
 
+Latency quantiles are sourced from the telemetry layer's mergeable
+log-bucketed :class:`~repro.telemetry.Histogram`: every client thread
+observes into its own per-family histogram, the per-client histograms
+are merged at the end (the same merge the metrics registry and SLO
+monitor rely on), and p50/p99 are read off the merged distribution.
+The server's own ``server_e2e_seconds`` histogram rows are captured
+alongside, so client-observed and server-observed latency can be
+compared in the artefact.
+
 Artefacts: ``benchmarks/results/serving.txt`` (p50/p99 latency and
-throughput per family) and ``BENCH_6.json`` at the repo root with the
+throughput per family) and ``BENCH_7.json`` at the repo root with the
 raw aggregates, fault accounting, and the server's final health
-snapshot.  Scale knobs for CI: ``REPRO_SERVING_REQUESTS``,
-``REPRO_SERVING_CLIENTS``, ``REPRO_SERVING_WORKERS``.
+snapshot (same workload as the retired ``BENCH_6.json``).  Scale knobs
+for CI: ``REPRO_SERVING_REQUESTS``, ``REPRO_SERVING_CLIENTS``,
+``REPRO_SERVING_WORKERS``.
 """
 
 import itertools
@@ -41,6 +51,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.tables import format_table
 from repro.errors import ReproError
 from repro.permutations.named import (
@@ -129,7 +140,7 @@ class _Chaos(threading.Thread):
         }
 
 
-def _client(server, perms, records, lock, per_client, seed):
+def _client(server, perms, records, lock, per_client, seed, hists):
     rng = np.random.default_rng(seed)
     names = [name for name, _ in perms]
     for i in range(per_client):
@@ -160,7 +171,12 @@ def _client(server, perms, records, lock, per_client, seed):
                 rec["wrong"] = True
         except ReproError as exc:
             rec["error"] = type(exc).__name__
-        rec["latency_s"] = time.perf_counter() - t0
+        latency = time.perf_counter() - t0
+        rec["latency_s"] = latency
+        if rec["ok"]:
+            # Thread-private histogram: no contention on the hot loop;
+            # merged into the per-family aggregate after join().
+            hists[name].observe(latency)
         with lock:
             records.append(rec)
 
@@ -195,11 +211,16 @@ def run_chaos_load(
     driver = _Chaos(server, fingerprints) if chaos else None
     if driver is not None:
         driver.start()
+    client_hists = [
+        {name: telemetry.Histogram() for name, _ in perms}
+        for _ in range(clients)
+    ]
     t0 = time.perf_counter()
     threads = [
         threading.Thread(
             target=_client,
-            args=(server, perms, records, lock, per_client, 100 + c),
+            args=(server, perms, records, lock, per_client, 100 + c,
+                  client_hists[c]),
         )
         for c in range(clients)
     ]
@@ -213,7 +234,16 @@ def run_chaos_load(
         driver.join(timeout=5.0)
     stats = server.stats()
     health = server.health()
+    metrics_snapshot = server.metrics.snapshot()
     server.close()
+
+    # Merge the per-client histograms into one distribution per family.
+    merged: dict[str, telemetry.Histogram] = {
+        name: telemetry.Histogram() for name, _ in perms
+    }
+    for per_client_hists in client_hists:
+        for name, h in per_client_hists.items():
+            merged[name].merge(h)
 
     total = len(records)
     succeeded = sum(r["ok"] for r in records)
@@ -224,16 +254,15 @@ def run_chaos_load(
             failures[r["error"]] = failures.get(r["error"], 0) + 1
     families = {}
     for name, _ in perms:
-        lats = np.array([
-            r["latency_s"] for r in records
-            if r["family"] == name and r["ok"]
-        ])
+        h = merged[name]
         families[name] = {
             "requests": sum(r["family"] == name for r in records),
-            "succeeded": int(lats.size),
-            "p50_ms": float(np.percentile(lats, 50) * 1e3),
-            "p99_ms": float(np.percentile(lats, 99) * 1e3),
-            "throughput_rps": float(lats.size / elapsed),
+            "succeeded": h.count,
+            "p50_ms": h.quantile(0.5) * 1e3,
+            "p99_ms": h.quantile(0.99) * 1e3,
+            "mean_ms": h.mean * 1e3,
+            "max_ms": h.max * 1e3,
+            "throughput_rps": h.count / elapsed,
             "coalesced": sum(
                 r["coalesced"] for r in records
                 if r["family"] == name
@@ -243,6 +272,13 @@ def run_chaos_load(
                 if r["family"] == name and r["ok"]
             ),
         }
+    # Server-observed end-to-end latency, for comparison with the
+    # client-observed quantiles above.
+    server_latency = [
+        {"labels": row["labels"], "count": row["count"],
+         "p50_ms": row["p50"] * 1e3, "p99_ms": row["p99"] * 1e3}
+        for row in metrics_snapshot.get("server_e2e_seconds", [])
+    ]
     chaos_stats = driver.snapshot() if driver else {}
     fault_events = (
         chaos_stats.get("corruptions", 0)
@@ -261,6 +297,7 @@ def run_chaos_load(
         "wrong_answers": wrong,
         "failures": failures,
         "families": families,
+        "server_latency": server_latency,
         "chaos": chaos_stats,
         "fault_events": fault_events,
         "fault_rate": fault_events / total if total else 0.0,
@@ -314,6 +351,6 @@ def test_serving_chaos_report(report):
     assert payload["availability"] >= 0.99, payload["failures"]
     assert payload["fault_rate"] >= 0.01, payload["chaos"]
 
-    (REPO_ROOT / "BENCH_6.json").write_text(
+    (REPO_ROOT / "BENCH_7.json").write_text(
         json.dumps(payload, indent=2) + "\n"
     )

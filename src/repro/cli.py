@@ -18,6 +18,12 @@ Commands
                 table, optional Chrome trace + JSONL event log
 ``serve-demo``  the compile-once/apply-many service: register, warm,
                 serve batched applies, show hit/miss/eviction counters
+                (``--concurrent`` adds the serving core; observability
+                flags: ``--trace-out``, ``--metrics-port``,
+                ``--postmortem-dir``, ``--slo-p99``)
+``top``         terminal dashboard over a Prometheus ``/metrics``
+                exposition (``--url`` scrapes a live endpoint,
+                ``--demo`` runs an embedded serving workload)
 ``resilience-demo`` inject faults; show detection and fallback
 ``fig3``        the paper's Figure 3 pipeline example, cycle-accurately
 ``fig4``        the diagonal arrangement of a w x w tile
@@ -520,6 +526,7 @@ def _serve_demo_concurrent(args, cache_dir: str) -> str:
     import threading
     import time as _time
 
+    from repro import telemetry
     from repro.errors import ReproError
     from repro.resilience import FaultPlan
     from repro.resilience.faults import FILE_FAULT_MODES
@@ -537,6 +544,8 @@ def _serve_demo_concurrent(args, cache_dir: str) -> str:
         f"{args.requests} request(s), chaos = {bool(args.chaos)})",
         "",
     ]
+    tracer = telemetry.Tracer() if args.trace_out else None
+    slo = telemetry.SLO(latency_p99_s=args.slo_p99)
     server = PermutationServer(
         width=args.width,
         cache_dir=cache_dir,
@@ -544,6 +553,9 @@ def _serve_demo_concurrent(args, cache_dir: str) -> str:
         queue_capacity=max(64, 4 * args.clients),
         backoff_base=0.0005,
         breaker_reset_s=0.05,
+        slo=slo,
+        postmortem_dir=args.postmortem_dir,
+        metrics_port=args.metrics_port,
     )
     fingerprints = {
         name: server.register(name, p) for name, p in perms.items()
@@ -617,20 +629,33 @@ def _serve_demo_concurrent(args, cache_dir: str) -> str:
         driver = threading.Thread(target=chaos_driver, daemon=True)
         driver.start()
     t0 = _time.perf_counter()
-    clients = [
-        threading.Thread(target=client, args=(args.seed + 100 + c,))
-        for c in range(args.clients)
-    ]
-    for t in clients:
-        t.start()
-    for t in clients:
-        t.join()
+    # The active tracer is process-wide, so client and worker threads
+    # all record into it; when --trace-out is unset this activates
+    # None, i.e. exactly the untraced behaviour.
+    with telemetry.use_tracer(tracer):
+        clients = [
+            threading.Thread(target=client, args=(args.seed + 100 + c,))
+            for c in range(args.clients)
+        ]
+        for t in clients:
+            t.start()
+        for t in clients:
+            t.join()
     elapsed = _time.perf_counter() - t0
     stop.set()
     if driver is not None:
         driver.join(timeout=5.0)
     stats = server.stats()
     health = server.health()
+    scraped = None
+    if args.metrics_port is not None and server.http is not None:
+        import urllib.request
+
+        scrape_url = server.http.url + "/metrics"
+        scraped = urllib.request.urlopen(
+            scrape_url, timeout=10.0
+        ).read().decode()
+        telemetry.validate_prometheus_text(scraped)
     server.close()
 
     total = sum(results.values())
@@ -648,8 +673,52 @@ def _serve_demo_concurrent(args, cache_dir: str) -> str:
     )
     parts.append(
         f"   latency p50   {np.percentile(lat, 50) * 1e3:.2f} ms   "
-        f"p99  {np.percentile(lat, 99) * 1e3:.2f} ms"
+        f"p99  {np.percentile(lat, 99) * 1e3:.2f} ms   "
+        "(client-observed)"
     )
+    parts.append("")
+    parts.append("server-side latency histograms (server_e2e_seconds):")
+    for row in server.metrics.snapshot().get("server_e2e_seconds", []):
+        label = ",".join(
+            f"{k}={v}" for k, v in sorted(row["labels"].items())
+        )
+        parts.append(
+            f"   {label:<52} count {row['count']:>5}  "
+            f"p50 {row['p50'] * 1e3:7.2f} ms  "
+            f"p99 {row['p99'] * 1e3:7.2f} ms"
+        )
+    slo_status = health["slo"]
+    parts.append(
+        f"SLO: availability {slo_status['availability']:.4f} "
+        f"(target {slo.availability}), "
+        f"p99 {slo_status['p99_s'] * 1e3:.2f} ms "
+        f"(bound {slo.latency_p99_s * 1e3:.2f} ms), "
+        f"burn rate {slo_status['burn_rate']:.2f}, "
+        f"breached = {slo_status['breached']} "
+        f"({slo_status['breaches']} transition(s))"
+    )
+    rec = server.recorder
+    parts.append(
+        f"flight recorder: {rec.recorded} event(s), "
+        f"{rec.dumps} post-mortem dump(s)"
+    )
+    for path in rec.dump_paths:
+        parts.append(f"   wrote {path}")
+    if scraped is not None:
+        parts.append(
+            f"scraped {scrape_url}: "
+            f"{len(scraped.splitlines())} exposition line(s), valid"
+        )
+    if tracer is not None:
+        telemetry.write_chrome_trace(
+            tracer, args.trace_out,
+            process_name="repro serve-demo --concurrent",
+        )
+        parts.append(
+            f"wrote Chrome trace to {args.trace_out} "
+            f"({len(tracer.spans)} span(s); load in chrome://tracing "
+            "or https://ui.perfetto.dev)"
+        )
     parts.append("")
     parts.append(f"health: {health['status']}")
     for bname, snap in health["breakers"].items():
@@ -738,6 +807,57 @@ def cmd_serve_demo(args) -> str:
     for key, value in sorted(svc.stats().items()):
         parts.append(f"   {key:<18} {value}")
     return "\n".join(parts)
+
+
+def cmd_top(args) -> str:
+    """``repro top`` — dashboard over a Prometheus exposition.
+
+    Both modes work from exposition text alone (quantiles re-derived
+    from the cumulative buckets), so what this shows is exactly what
+    any external Prometheus/Grafana stack would see.
+    """
+    import time as _time
+    import urllib.request
+
+    from repro import telemetry
+
+    if not args.url and not args.demo:
+        raise SystemExit("top: pass --url <endpoint> or --demo")
+    if args.url:
+        screens = []
+        for i in range(max(1, args.watch)):
+            if i:
+                _time.sleep(args.interval)
+            text = urllib.request.urlopen(
+                args.url, timeout=10.0
+            ).read().decode()
+            telemetry.validate_prometheus_text(text)
+            title = f"repro top — {args.url}"
+            if args.watch > 1:
+                title += f"  [{i + 1}/{args.watch}]"
+            screens.append(telemetry.render_dashboard(text, title=title))
+        return "\n".join(screens)
+
+    from repro.service import PermutationServer
+
+    rng = np.random.default_rng(args.seed)
+    p = named_permutation("random", args.n, seed=args.seed)
+    with PermutationServer(width=16, workers=2,
+                           metrics_port=0) as server:
+        server.register("random", p)
+        server.warm()
+        futures = [
+            server.submit("random", rng.random(args.n).astype(np.float32))
+            for _ in range(32)
+        ]
+        for f in futures:
+            f.result(timeout=30.0)
+        url = server.http.url + "/metrics"
+        text = urllib.request.urlopen(url, timeout=10.0).read().decode()
+    telemetry.validate_prometheus_text(text)
+    return telemetry.render_dashboard(
+        text, title=f"repro top — embedded demo ({url})"
+    )
 
 
 def cmd_resilience_demo(args) -> str:
@@ -922,8 +1042,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=4,
         help="server worker threads for --concurrent (default: 4)",
     )
+    serve.add_argument(
+        "--trace-out",
+        help="with --concurrent: write a Chrome trace of the serve "
+             "span trees to this file",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="with --concurrent: serve GET /metrics (Prometheus) and "
+             "/health on 127.0.0.1:<port> during the demo "
+             "(0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--postmortem-dir",
+        help="with --concurrent: write flight-recorder post-mortem "
+             "bundles (SLO breach, shed burst, unexpected error) here",
+    )
+    serve.add_argument(
+        "--slo-p99", type=float, default=0.25,
+        help="p99 latency objective in seconds for the built-in SLO "
+             "monitor (set tiny to force a breach and a post-mortem "
+             "dump; default: 0.25)",
+    )
     _add_cache_dir_flag(serve)
     serve.set_defaults(func=cmd_serve_demo)
+
+    top = sub.add_parser(
+        "top",
+        help="terminal dashboard over a Prometheus /metrics "
+             "exposition (latency histograms, counters, gauges)",
+    )
+    top.add_argument(
+        "--url",
+        help="scrape this endpoint, e.g. "
+             "http://127.0.0.1:9100/metrics",
+    )
+    top.add_argument(
+        "--demo", action="store_true",
+        help="run a small embedded serving workload and render its "
+             "dashboard (no external server needed)",
+    )
+    top.add_argument(
+        "--watch", type=int, default=1,
+        help="with --url: number of scrape/render iterations",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="with --watch: seconds between scrapes",
+    )
+    top.add_argument("--n", type=int, default=256)
+    top.add_argument("--seed", type=int, default=0)
+    top.set_defaults(func=cmd_top)
 
     fig3 = sub.add_parser("fig3", help="Figure 3 pipeline example")
     fig3.add_argument("--latency", type=int, default=5)

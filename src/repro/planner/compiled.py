@@ -13,6 +13,7 @@ turns every call after the first into pure apply time.
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 from typing import Any
 
@@ -143,6 +144,12 @@ class Planner:
         )
         self.backend = backend
         self.plans = 0
+        #: Optional :class:`~repro.telemetry.MetricsRegistry`; when set
+        #: every compile records ``planner_compile_seconds`` labeled by
+        #: the cache tier that answered (``memory``/``disk``/``cold``)
+        #: and the engine, so the latency cliff between tiers is
+        #: measurable per request, not just countable.
+        self.metrics = None
         self._lock = threading.Lock()
         # One lock per in-flight fingerprint: concurrent compiles of
         # the same permutation collapse to a single cold plan, the
@@ -180,49 +187,64 @@ class Planner:
         """
         fp = self.fingerprint(p, engine=engine, width=width,
                               digest=digest)
+        t0 = time.perf_counter()
         with telemetry.span(
             "planner.compile", engine=engine, fingerprint=fp[:12]
         ) as sp:
-            compiled = self.memory.get(fp)
+            compiled, tier = self._resolve(fp, p, engine, width,
+                                           backend)
+            sp.set(tier=tier)
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "planner_compile_seconds", tier=tier, engine=engine
+            ).observe(time.perf_counter() - t0)
+        return compiled
+
+    def _resolve(
+        self,
+        fp: str,
+        p: np.ndarray,
+        engine: str,
+        width: int,
+        backend: str | None,
+    ) -> tuple[CompiledPermutation, str]:
+        """Walk the tiers for ``fp``; returns (handle, answering tier)."""
+        compiled = self.memory.get(fp)
+        if compiled is not None:
+            return compiled, "memory"
+        with self._flight(fp):
+            # Another thread may have finished this exact compile
+            # while we waited; its result is now a memory hit.
+            compiled = self.memory.get_if_present(fp)
             if compiled is not None:
-                sp.set(tier="memory")
-                return compiled
-            with self._flight(fp):
-                # Another thread may have finished this exact compile
-                # while we waited; its result is now a memory hit.
-                compiled = self.memory.get_if_present(fp)
-                if compiled is not None:
-                    sp.set(tier="memory")
-                    return compiled
-                plan = (
-                    self.disk.load(fp) if self.disk is not None else None
-                )
-                if plan is not None:
-                    sp.set(tier="disk")
-                else:
-                    with telemetry.span(
-                        "planner.plan", engine=engine
-                    ):
-                        plan = get_engine(engine).plan(
-                            p, width=width,
-                            backend=backend or self.backend,
-                        )
-                    with self._lock:
-                        self.plans += 1
-                    telemetry.count("planner.planned")
-                    sp.set(tier="cold")
-                    if self.disk is not None:
-                        self.disk.store(fp, plan,
-                                        self.pipeline.signature())
-                program = plan.lower_optimized(self.pipeline)
-                compiled = CompiledPermutation(
-                    engine=plan,
-                    program=program,
-                    fingerprint=fp,
-                    pipeline_signature=self.pipeline.signature(),
-                )
-                self.memory.put(fp, compiled)
-                return compiled
+                return compiled, "memory"
+            plan = (
+                self.disk.load(fp) if self.disk is not None else None
+            )
+            if plan is not None:
+                tier = "disk"
+            else:
+                with telemetry.span("planner.plan", engine=engine):
+                    plan = get_engine(engine).plan(
+                        p, width=width,
+                        backend=backend or self.backend,
+                    )
+                with self._lock:
+                    self.plans += 1
+                telemetry.count("planner.planned")
+                tier = "cold"
+                if self.disk is not None:
+                    self.disk.store(fp, plan,
+                                    self.pipeline.signature())
+            program = plan.lower_optimized(self.pipeline)
+            compiled = CompiledPermutation(
+                engine=plan,
+                program=program,
+                fingerprint=fp,
+                pipeline_signature=self.pipeline.signature(),
+            )
+            self.memory.put(fp, compiled)
+            return compiled, tier
 
     def _flight(self, fingerprint: str) -> threading.Lock:
         """The single-flight lock serialising cold compiles of one

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from pathlib import Path
 from typing import Any
 
@@ -96,11 +97,20 @@ class PermutationService:
         cache_dir: str | Path | None = None,
         backend: str = "auto",
         planner: Planner | None = None,
+        metrics: Any | None = None,
     ) -> None:
         self.width = width
         self.planner = planner or Planner(
             cache_size=cache_size, cache_dir=cache_dir, backend=backend
         )
+        #: Optional :class:`~repro.telemetry.MetricsRegistry` shared
+        #: with the owned planner; when set, every apply records
+        #: ``exec_apply_seconds`` and the measured-vs-model
+        #: ``exec_seconds_per_round`` gauge (wall time divided by the
+        #: annotate-cost pass's ``predicted_rounds``), per engine.
+        self.metrics = metrics
+        if metrics is not None and self.planner.metrics is None:
+            self.planner.metrics = metrics
         self._registry: dict[str, _Registration] = {}
         # Guards the registry and the plain-int request counters:
         # concurrent server workers increment them on every call, and
@@ -221,12 +231,39 @@ class PermutationService:
                 self.compiled(name)
         return len(targets)
 
+    def _observe_apply(
+        self, compiled: CompiledPermutation, elapsed: float, mode: str
+    ) -> None:
+        """Record executor metrics for one finished apply pass.
+
+        ``exec_apply_seconds`` is the wall-time distribution;
+        ``exec_seconds_per_round`` divides it by the annotate-cost
+        pass's ``predicted_rounds``, so a drifting measured-vs-model
+        ratio (per engine) flags an executor regression the cost model
+        did not predict.
+        """
+        if self.metrics is None:
+            return
+        engine = compiled.engine_name or "unknown"
+        self.metrics.histogram(
+            "exec_apply_seconds", engine=engine, mode=mode
+        ).observe(elapsed)
+        meta = compiled.program.meta or {}
+        rounds = meta.get("predicted_rounds")
+        if isinstance(rounds, int) and rounds > 0:
+            self.metrics.gauge(
+                "exec_seconds_per_round", engine=engine, mode=mode
+            ).set(elapsed / rounds)
+
     def apply(
         self, name: str, a: np.ndarray, engine: str | None = None
     ) -> np.ndarray:
         """Serve one payload through the named permutation."""
         compiled = self.compiled(name, engine=engine)
+        t0 = time.perf_counter()
         out = compiled.apply(a)
+        self._observe_apply(compiled, time.perf_counter() - t0,
+                            "single")
         with self._lock:
             self.requests += 1
             self.elements_served += int(compiled.n)
@@ -238,7 +275,10 @@ class PermutationService:
     ) -> np.ndarray:
         """Serve ``k`` stacked payloads through the named permutation."""
         compiled = self.compiled(name, engine=engine)
+        t0 = time.perf_counter()
         out = compiled.apply_batch(batch)
+        self._observe_apply(compiled, time.perf_counter() - t0,
+                            "batch")
         k = int(np.asarray(batch).shape[0])
         with self._lock:
             self.requests += k

@@ -52,6 +52,7 @@ and gauges when a tracer is active.  See ``docs/serving.md``.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -150,13 +151,21 @@ class ServeResult:
 
 
 class _Request:
-    """One queue entry (internal)."""
+    """One queue entry (internal).
+
+    ``rid`` is the process-unique request id (always assigned);
+    ``ctx`` / ``qspan`` carry the request's
+    :class:`~repro.telemetry.RequestContext` and detached queue-wait
+    span, and stay ``None`` when no tracer is active — the disabled
+    fast path allocates neither.
+    """
 
     __slots__ = ("key", "payload", "batch", "priority", "deadline",
-                 "enqueued", "tenant", "result")
+                 "enqueued", "tenant", "result", "rid", "ctx", "qspan")
 
     def __init__(self, key, payload, batch, priority, deadline,
-                 enqueued, tenant, result) -> None:
+                 enqueued, tenant, result, rid=0, ctx=None,
+                 qspan=None) -> None:
         self.key = key
         self.payload = payload
         self.batch = batch
@@ -165,6 +174,9 @@ class _Request:
         self.enqueued = enqueued
         self.tenant = tenant
         self.result = result
+        self.rid = rid
+        self.ctx = ctx
+        self.qspan = qspan
 
 
 class _GuardedDiskCache:
@@ -247,6 +259,25 @@ class PermutationServer:
     self_check:
         Verify every served output against the definitional scatter
         before delivering it (one extra O(n) pass per request).
+    metrics:
+        A :class:`~repro.telemetry.MetricsRegistry` to record latency
+        histograms and labeled counters into (one is created when
+        omitted); shared with the service and planner so one registry
+        exposes the whole stack.
+    slo:
+        The :class:`~repro.telemetry.SLO` objectives the built-in
+        :class:`~repro.telemetry.SLOMonitor` enforces (defaults are
+        permissive: 99 % availability, 250 ms p99).
+    recorder / postmortem_dir:
+        The :class:`~repro.telemetry.FlightRecorder` capturing recent
+        request events (one is created when omitted, dumping bundles
+        to ``postmortem_dir`` if given).  The server dumps on SLO
+        breach, shed bursts, and unexpected (non-repro) errors.
+    metrics_port:
+        When not ``None``, :meth:`start` additionally serves
+        ``GET /metrics`` (Prometheus text) and ``GET /health`` on
+        ``127.0.0.1:<metrics_port>`` (``0`` picks an ephemeral port,
+        see ``server.http.port``).
     clock / sleep:
         Injectable monotonic clock and sleeper for deterministic
         tests.
@@ -271,6 +302,11 @@ class PermutationServer:
         quotas: dict[str, TenantQuota] | None = None,
         default_quota: TenantQuota = UNLIMITED_QUOTA,
         self_check: bool = False,
+        metrics=None,
+        slo=None,
+        recorder=None,
+        postmortem_dir=None,
+        metrics_port: int | None = None,
         clock=time.monotonic,
         sleep=time.sleep,
     ) -> None:
@@ -320,7 +356,36 @@ class PermutationServer:
         self._threads: list[threading.Thread] = []
         self._engine_breakers: dict[str, CircuitBreaker] = {}
         self.disk_breaker: CircuitBreaker | None = None
+        #: Cross-request observability: labeled instruments, rolling
+        #: SLO compliance, and the failure flight recorder.
+        self.metrics = metrics or telemetry.MetricsRegistry()
+        self.slo_monitor = telemetry.SLOMonitor(
+            slo or telemetry.SLO(), clock=clock
+        )
+        self.recorder = recorder or telemetry.FlightRecorder(
+            dump_dir=postmortem_dir, clock=clock
+        )
+        self.recorder.add_provider("health", self.health)
+        self.recorder.add_provider("slo", self.slo_monitor.status)
+        self.recorder.add_provider(
+            "active_requests", self._active_requests
+        )
+        self._metrics_port = metrics_port
+        self.http = None
+        self._rid = itertools.count(1)
+        # Shed timestamps for burst detection: a full window inside
+        # one second triggers a flight-recorder dump.
+        self._recent_sheds: deque[float] = deque(maxlen=8)
+        # In-flight requests by rid (admitted, not yet resolved) —
+        # snapshotted into post-mortem bundles.
+        self._inflight_reqs: dict[int, dict] = {}
+        # One registry for the whole stack: server request metrics,
+        # service/executor apply metrics, planner tier latencies.
+        if self.service.metrics is None:
+            self.service.metrics = self.metrics
         planner = self.service.planner
+        if planner.metrics is None:
+            planner.metrics = self.metrics
         if planner.disk is not None and not isinstance(
             planner.disk, _GuardedDiskCache
         ):
@@ -355,6 +420,12 @@ class PermutationServer:
                 )
                 self._threads.append(t)
                 t.start()
+        if self._metrics_port is not None and self.http is None:
+            self.http = telemetry.MetricsHTTPServer(
+                self.metrics_text,
+                health_fn=self.health,
+                port=self._metrics_port,
+            ).start()
         return self
 
     def close(self, drain: bool = True) -> None:
@@ -364,6 +435,7 @@ class PermutationServer:
         first; otherwise they fail with
         :class:`~repro.errors.ServingError`.
         """
+        dropped: list[_Request] = []
         with self._cond:
             self._stopping = True
             if not drain:
@@ -376,10 +448,20 @@ class PermutationServer:
                             ServingError("server closed before the "
                                          "request was served")
                         )
+                        dropped.append(req)
             self._cond.notify_all()
+        for req in dropped:
+            # Outside the queue lock: finishing a request can trigger
+            # a flight-recorder dump whose providers re-take it.
+            if req.qspan is not None:
+                telemetry.end_span(req.qspan, outcome="dropped")
+            self._finish_request(req, "dropped", ok=False)
         for t in self._threads:
             t.join(timeout=30.0)
         self._threads.clear()
+        if self.http is not None:
+            self.http.close()
+            self.http = None
 
     def __enter__(self) -> "PermutationServer":
         return self.start()
@@ -446,6 +528,89 @@ class PermutationServer:
         with self._stats_lock:
             self._counters[name] = self._counters.get(name, 0) + n
         telemetry.count(f"server.{name}", n)
+        self.metrics.counter("server_events_total", event=name).inc(n)
+
+    def _active_requests(self) -> list[dict]:
+        """Flight-recorder snapshot of every in-flight request."""
+        now = self._clock()
+        with self._stats_lock:
+            rows = [dict(info) for info in self._inflight_reqs.values()]
+        for row in rows:
+            row["age_s"] = now - row.pop("enqueued")
+        return sorted(rows, key=lambda r: r["rid"])
+
+    def _track(self, request: _Request) -> None:
+        info = {
+            "rid": request.rid,
+            "key": request.key,
+            "tenant": request.tenant,
+            "priority": request.priority,
+            "enqueued": request.enqueued,
+        }
+        span_id = getattr(request.ctx.span, "span_id", None) \
+            if request.ctx is not None else None
+        if span_id is not None:
+            info["span_id"] = span_id
+        with self._stats_lock:
+            self._inflight_reqs[request.rid] = info
+
+    def _finish_request(
+        self,
+        request: _Request,
+        outcome: str,
+        ok: bool,
+        engine: str | None = None,
+    ) -> None:
+        """Observability epilogue for one resolved request.
+
+        Records the end-to-end latency histogram (labeled by family,
+        tenant, engine and outcome), feeds the SLO monitor (dumping a
+        post-mortem on the breach transition), logs a flight-recorder
+        event, ends the request's root span, and drops it from the
+        in-flight table.  Must be called exactly once per admitted
+        request, after its future resolves.
+        """
+        e2e = self._clock() - request.enqueued
+        family = request.key.rsplit("/", 1)[-1]
+        self.metrics.histogram(
+            "server_e2e_seconds",
+            family=family,
+            tenant=request.tenant,
+            engine=engine or "none",
+            outcome=outcome,
+        ).observe(e2e)
+        self.recorder.record(
+            "finish", rid=request.rid, outcome=outcome,
+            engine=engine, e2e_s=round(e2e, 6),
+        )
+        if request.ctx is not None:
+            telemetry.end_span(
+                request.ctx.span, outcome=outcome,
+                engine=engine, e2e_s=e2e,
+            )
+        with self._stats_lock:
+            self._inflight_reqs.pop(request.rid, None)
+        if self.slo_monitor.record(ok, e2e):
+            self.recorder.dump(
+                "slo_breach", rid=request.rid, outcome=outcome
+            )
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition for ``/metrics`` (scrape-time
+        gauges — queue depth, SLO compliance — are refreshed here)."""
+        with self._cond:
+            depth = self._size
+        gauges = self.metrics.gauge
+        gauges("server_queue_depth").set(depth)
+        gauges("server_queue_capacity").set(self.queue_capacity)
+        status = self.slo_monitor.status()
+        gauges("slo_availability").set(status["availability"])
+        gauges("slo_latency_p99_seconds").set(status["p99_s"])
+        gauges("slo_burn_rate").set(min(status["burn_rate"], 1e9))
+        gauges("slo_breached").set(1.0 if status["breached"] else 0.0)
+        gauges("recorder_events_total").set(self.recorder.recorded)
+        gauges("recorder_dumps_total").set(self.recorder.dumps)
+        return self.metrics.prometheus_text()
 
     def _retry_after(self) -> float:
         ema = self._latency_ema or _DEFAULT_LATENCY_S
@@ -505,53 +670,111 @@ class PermutationServer:
             else self.default_deadline_s
         deadline = now + limit if limit is not None else None
         result = ServeResult(name=name, tenant=tenant, priority=priority)
+        rid = next(self._rid)
+        ctx = qspan = None
+        if telemetry.get_tracer() is not None:
+            # Only an active tracer pays for a context + root span;
+            # the disabled fast path allocates neither.
+            ctx = telemetry.RequestContext(
+                rid, tenant=tenant, name=name, priority=priority,
+                deadline=deadline,
+            )
+            ctx.span = telemetry.begin_span(
+                "serve.request", request_id=rid, tenant=tenant,
+                registration=name, priority=priority,
+            )
+            qspan = telemetry.begin_span(
+                "serve.queue_wait", parent=ctx.span, request_id=rid
+            )
         request = _Request(
             key=key, payload=payload, batch=batch, priority=priority,
             deadline=deadline, enqueued=now, tenant=tenant,
-            result=result,
+            result=result, rid=rid, ctx=ctx, qspan=qspan,
         )
-        with self._cond:
-            if self._stopping:
-                raise ServingError("server is closed")
-            state = self._tenant(tenant)
-            wait = state.try_acquire()
-            if wait > 0:
-                self._count("rejected.rate")
-                raise QuotaExceededError(
-                    f"tenant {tenant!r} exceeded {state.quota.rps} "
-                    "requests/sec",
-                    retry_after=wait,
-                )
-            if not state.inflight_available():
-                self._count("rejected.bulkhead")
-                raise QuotaExceededError(
-                    f"tenant {tenant!r} is at its in-flight bulkhead "
-                    f"({state.quota.max_inflight})",
-                    retry_after=self._retry_after(),
-                )
-            if self._size >= self.queue_capacity:
-                victim = self._shed_for(priority)
-                if victim is None:
-                    self._count("rejected.queue_full")
-                    raise ServiceOverloadError(
-                        f"request queue is full "
-                        f"({self.queue_capacity} deep)",
+        victim: _Request | None = None
+        shed_burst = False
+        try:
+            with self._cond:
+                if self._stopping:
+                    raise ServingError("server is closed")
+                state = self._tenant(tenant)
+                wait = state.try_acquire()
+                if wait > 0:
+                    self._count("rejected.rate")
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} exceeded "
+                        f"{state.quota.rps} requests/sec",
+                        retry_after=wait,
+                    )
+                if not state.inflight_available():
+                    self._count("rejected.bulkhead")
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} is at its in-flight "
+                        f"bulkhead ({state.quota.max_inflight})",
                         retry_after=self._retry_after(),
                     )
-                self._size -= 1
-                self._tenant(victim.tenant).inflight -= 1
-                self._count("shed")
-                victim.result._fail(ServiceOverloadError(
-                    "shed from the queue by a higher-priority "
-                    "request",
-                    retry_after=self._retry_after(),
-                ))
-            self._buckets[priority].append(request)
-            self._size += 1
-            state.inflight += 1
-            self._count("accepted")
-            telemetry.gauge("server.queue.depth", self._size)
-            self._cond.notify()
+                if self._size >= self.queue_capacity:
+                    victim = self._shed_for(priority)
+                    if victim is None:
+                        self._count("rejected.queue_full")
+                        raise ServiceOverloadError(
+                            f"request queue is full "
+                            f"({self.queue_capacity} deep)",
+                            retry_after=self._retry_after(),
+                        )
+                    self._size -= 1
+                    self._tenant(victim.tenant).inflight -= 1
+                    self._count("shed")
+                    self._recent_sheds.append(self._clock())
+                    shed_burst = (
+                        len(self._recent_sheds)
+                        == self._recent_sheds.maxlen
+                        and (self._recent_sheds[-1]
+                             - self._recent_sheds[0]) <= 1.0
+                    )
+                    victim.result._fail(ServiceOverloadError(
+                        "shed from the queue by a higher-priority "
+                        "request",
+                        retry_after=self._retry_after(),
+                    ))
+                self._buckets[priority].append(request)
+                self._size += 1
+                state.inflight += 1
+                self._count("accepted")
+                telemetry.gauge("server.queue.depth", self._size)
+                self._cond.notify()
+        except (QuotaExceededError, ServiceOverloadError,
+                ServingError) as exc:
+            self.recorder.record(
+                "reject", rid=rid, key=key, tenant=tenant,
+                reason=type(exc).__name__,
+            )
+            if ctx is not None:
+                telemetry.end_span(qspan, outcome="rejected")
+                telemetry.end_span(
+                    ctx.span, outcome="rejected",
+                    reason=type(exc).__name__,
+                )
+            raise
+        self._track(request)
+        self.recorder.record(
+            "admit", rid=rid, key=key, tenant=tenant,
+            priority=priority,
+        )
+        if victim is not None:
+            if victim.qspan is not None:
+                telemetry.end_span(victim.qspan, outcome="shed")
+            self.recorder.record(
+                "shed", rid=victim.rid, by=rid, key=victim.key
+            )
+            self._finish_request(victim, "shed", ok=False)
+            if shed_burst:
+                self.recorder.dump(
+                    "shed_burst",
+                    window_s=round(self._recent_sheds[-1]
+                                   - self._recent_sheds[0], 3),
+                    sheds=len(self._recent_sheds),
+                )
         return result
 
     def apply(self, name: str, a: np.ndarray, **kwargs) -> np.ndarray:
@@ -626,34 +849,66 @@ class PermutationServer:
         now = self._clock()
         live: list[_Request] = []
         for req in group:
+            wait = now - req.enqueued
+            if req.qspan is not None:
+                telemetry.end_span(req.qspan, wait_s=wait)
+            self.metrics.histogram(
+                "server_queue_wait_seconds",
+                priority=str(req.priority),
+            ).observe(wait)
             if req.deadline is not None and now >= req.deadline:
                 self._count("deadline_exceeded")
                 req.result._fail(DeadlineExceededError(
                     f"deadline expired after "
-                    f"{now - req.enqueued:.3f} s in the queue"
+                    f"{wait:.3f} s in the queue"
                 ))
+                self._finish_request(
+                    req, "deadline_exceeded", ok=False
+                )
             else:
-                req.result.wait_s = now - req.enqueued
+                req.result.wait_s = wait
                 live.append(req)
         if not live:
             return
+        # Adopt the group leader's request context on this worker
+        # thread: spans opened while serving nest under its root, so
+        # the whole serve renders as one connected tree.  Riders keep
+        # their own root spans and are linked by attribute.
+        leader = live[0]
         t0 = self._clock()
         try:
-            self._serve(live)
+            if leader.ctx is not None:
+                with telemetry.request_scope(leader.ctx):
+                    self._serve(live)
+            else:
+                self._serve(live)
         except Exception as exc:
             # Catch everything: an escaped exception would kill the
             # worker thread and leave every queued future unresolved.
             self._count("failed")
+            engine = leader.result.engine
             for req in live:
                 req.result._fail(exc)
+                self._finish_request(
+                    req, type(exc).__name__, ok=False, engine=engine
+                )
+            if not isinstance(exc, ReproError):
+                # Anything outside the library's failure taxonomy is
+                # a bug, not an operational condition: freeze the ring.
+                self.recorder.dump(
+                    "unexpected_error", rid=leader.rid,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             return
         elapsed = self._clock() - t0
         with self._stats_lock:
             self._latency_ema = (
                 0.9 * self._latency_ema + 0.1 * elapsed
             )
+        engine = leader.result.engine
         for req in live:
             req.result.service_s = elapsed
+            self._finish_request(req, "ok", ok=True, engine=engine)
         self._count("served", len(live))
 
     # ------------------------------------------------------------------
@@ -701,6 +956,9 @@ class PermutationServer:
             breaker = self._engine_breaker(engine)
             if not breaker.allow():
                 self._count("breaker.engine_skipped")
+                self.recorder.record(
+                    "breaker_skip", rid=group[0].rid, engine=engine
+                )
                 continue
             all_open = False
             for attempt in range(1, self.max_attempts + 1):
@@ -711,12 +969,29 @@ class PermutationServer:
                         "deadline expired while retrying "
                         f"(engine {engine!r}, attempt {attempt})"
                     )
+                if attempts_total == 0:
+                    t_first = self._clock()
+                    for req in group:
+                        self.metrics.histogram(
+                            "server_first_attempt_seconds",
+                            priority=str(req.priority),
+                        ).observe(t_first - req.enqueued)
                 attempts_total += 1
                 try:
-                    out = self._apply_group(key, group, engine)
+                    with telemetry.span(
+                        "serve.attempt",
+                        engine=engine,
+                        attempt=attempts_total,
+                        riders=[r.rid for r in group[1:]],
+                    ):
+                        out = self._apply_group(key, group, engine)
                 except TRANSIENT_ERRORS:
                     breaker.record_failure()
                     self._count("faults_absorbed")
+                    self.recorder.record(
+                        "fault", rid=group[0].rid, engine=engine,
+                        attempt=attempts_total, transient=True,
+                    )
                     if attempt < self.max_attempts and \
                             breaker.state == CLOSED:
                         self._count("retries")
@@ -737,6 +1012,10 @@ class PermutationServer:
                     # retrying cannot help — drop down the ladder.
                     breaker.record_failure()
                     self._count("faults_absorbed")
+                    self.recorder.record(
+                        "fault", rid=group[0].rid, engine=engine,
+                        attempt=attempts_total, transient=False,
+                    )
                     break
                 breaker.record_success()
                 if engine != registered:
@@ -808,23 +1087,57 @@ class PermutationServer:
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
-        """Server counters merged with the underlying service stats."""
-        with self._stats_lock:
-            merged: dict = {
-                f"server.{k}": v for k, v in self._counters.items()
-            }
-            merged["server.latency_ema_s"] = self._latency_ema
+        """Server counters merged with the underlying service stats.
+
+        The server-side fields are captured as **one consistent
+        snapshot**: the queue state and every ``server.*`` counter are
+        read under a single combined lock section, so within one
+        ``stats()`` dict invariants like ``accepted == served + failed
+        + shed + deadline_exceeded + in-flight`` hold exactly.
+
+        Two field classes — read them accordingly:
+
+        * **monotonic counters** (``server.accepted``,
+          ``server.served``, ``server.shed``, ``server.retries``,
+          ``service.requests``-style fields, ...): only ever increase;
+          rates are meaningful as deltas between two snapshots.
+        * **instantaneous gauges** (``server.queue_depth``,
+          ``server.latency_ema_s``): the value at snapshot time;
+          deltas are meaningless.
+
+        The ``service.*``/planner fields are sampled *after* the
+        server fields (outside the server lock, since the service has
+        its own): a concurrently served request can make the service
+        counts slightly newer than the server counts, which preserves
+        the observable invariant ``service requests >= server.served``
+        (the service increments before the server marks a request
+        served) — the reverse ordering could transiently violate it.
+        """
         with self._cond:
-            merged["server.queue_depth"] = self._size
-            merged["server.queue_capacity"] = self.queue_capacity
+            with self._stats_lock:
+                counters = dict(self._counters)
+                ema = self._latency_ema
+                inflight = len(self._inflight_reqs)
+            depth = self._size
+        merged: dict = {
+            f"server.{k}": v for k, v in counters.items()
+        }
+        merged["server.latency_ema_s"] = ema
+        merged["server.queue_depth"] = depth
+        merged["server.queue_capacity"] = self.queue_capacity
+        merged["server.inflight"] = inflight
         merged.update(self.service.stats())
         return merged
 
     def health(self) -> dict:
         """A point-in-time health snapshot.
 
-        ``status`` is ``"ok"`` when every breaker is closed and the
-        queue has headroom, else ``"degraded"``.
+        ``status`` is ``"ok"`` when every breaker is closed, the queue
+        has headroom, and the SLO is met, else ``"degraded"``.  The
+        ``slo`` block carries the rolling-window availability, p99
+        latency and error-budget burn rate
+        (:meth:`~repro.telemetry.SLOMonitor.status`), and
+        ``recorder`` summarises flight-recorder activity.
         """
         with self._stats_lock:
             breakers = {
@@ -844,14 +1157,21 @@ class PermutationServer:
                 name: state.snapshot()
                 for name, state in sorted(self._tenants.items())
             }
+        slo_status = self.slo_monitor.status()
         degraded = (
             any(b["state"] != CLOSED for b in breakers.values())
             or queue["depth"] >= queue["capacity"]
             or not queue["accepting"]
+            or slo_status["breached"]
         )
         return {
             "status": "degraded" if degraded else "ok",
             "queue": queue,
             "breakers": breakers,
             "tenants": tenants,
+            "slo": slo_status,
+            "recorder": {
+                "events": self.recorder.recorded,
+                "dumps": self.recorder.dumps,
+            },
         }

@@ -1,10 +1,26 @@
-"""repro.telemetry — structured spans, counters and exportable traces.
+"""repro.telemetry — spans, metrics, SLOs and a flight recorder.
 
-The observability layer of the reproduction: a zero-dependency tracer
-(:class:`Tracer`) with nestable wall-clock spans, monotonic counters
-and gauges, pluggable sinks (in-memory, JSONL event log) and exporters
-(Chrome ``trace_event`` JSON for ``chrome://tracing``/Perfetto,
-Prometheus text exposition).  See ``docs/observability.md``.
+The observability layer of the reproduction, in four tiers:
+
+* **tracer** (:class:`Tracer`) — nestable wall-clock spans with
+  thread-local nesting, cross-thread hand-off (:func:`begin_span` /
+  :func:`end_span` / :func:`request_scope`), monotonic counters and
+  gauges, pluggable sinks (in-memory, JSONL) and exporters (Chrome
+  ``trace_event`` JSON, Prometheus text);
+* **request context** (:class:`RequestContext`) — the identity one
+  serving request carries across threads; while bound, module-level
+  :func:`span` tags every span with the ``request_id``;
+* **metrics** (:class:`MetricsRegistry`) — labeled counters, gauges
+  and log-bucketed mergeable :class:`Histogram` instruments for
+  cross-request distributions (p50/p99/p999), exposable over HTTP
+  (:class:`MetricsHTTPServer`) and renderable as a terminal dashboard
+  (:func:`render_dashboard`, ``repro top``);
+* **SLO + flight recorder** (:class:`SLOMonitor`,
+  :class:`FlightRecorder`) — rolling-window objectives with
+  error-budget burn rate, and a bounded ring of structured events that
+  dumps a post-mortem bundle on breach.
+
+See ``docs/observability.md``.
 
 Instrumented library code calls the *module-level* :func:`span`,
 :func:`count` and :func:`gauge`, which dispatch to the process-wide
@@ -23,20 +39,40 @@ the hot path stays effectively uninstrumented until someone opts in:
 {'things.done': 1}
 
 ``python -m repro profile <perm>`` wires this up end to end and writes
-the exportable artefacts.
+the exportable artefacts; ``python -m repro serve-demo --concurrent``
+adds the serving metrics, ``/metrics`` endpoint and flight recorder.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.telemetry.context import (
+    RequestContext,
+    current_context,
+    set_context,
+    use_context,
+)
+from repro.telemetry.dashboard import histogram_series, render_dashboard
 from repro.telemetry.export import (
     chrome_trace,
+    parse_prometheus_text,
     prometheus_text,
     render_span_tree,
     validate_chrome_trace,
+    validate_prometheus_text,
+    validate_span_tree,
     write_chrome_trace,
 )
+from repro.telemetry.httpd import MetricsHTTPServer
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
+from repro.telemetry.recorder import FlightRecorder
 from repro.telemetry.sinks import (
     InMemorySink,
     JsonlSink,
@@ -44,6 +80,7 @@ from repro.telemetry.sinks import (
     read_jsonl,
     span_event,
 )
+from repro.telemetry.slo import SLO, SLOMonitor
 from repro.telemetry.tracer import NULL_SPAN, NullSpan, Span, Tracer
 
 #: The process-wide active tracer; ``None`` means telemetry is off.
@@ -74,11 +111,71 @@ def use_tracer(tracer: Tracer | None):
 
 
 def span(name: str, **attributes):
-    """A span on the active tracer (shared no-op span when inactive)."""
+    """A span on the active tracer (shared no-op span when inactive).
+
+    When the calling thread has a bound :class:`RequestContext`
+    (:func:`use_context` / :func:`request_scope`), the span is tagged
+    with its ``request_id`` automatically.
+    """
     tracer = _ACTIVE
     if tracer is None:
         return NULL_SPAN
+    ctx = current_context()
+    if ctx is not None and "request_id" not in attributes:
+        attributes["request_id"] = ctx.request_id
     return tracer.span(name, **attributes)
+
+
+def begin_span(name: str, parent=None, **attributes):
+    """Start a *detached* span on the active tracer.
+
+    Returns :data:`NULL_SPAN` when telemetry is off, so call sites can
+    unconditionally hold the result and later pass it to
+    :func:`end_span`.  ``parent`` may be another detached span (or
+    ``None`` to nest under the calling thread's current span).
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    ctx = current_context()
+    if ctx is not None and "request_id" not in attributes:
+        attributes["request_id"] = ctx.request_id
+    if isinstance(parent, NullSpan):
+        parent = None
+    return tracer.begin(name, parent=parent, **attributes)
+
+
+def end_span(span_obj, **attributes):
+    """Finish a span from :func:`begin_span` (no-op for the null span)."""
+    tracer = _ACTIVE
+    if tracer is None or isinstance(span_obj, NullSpan):
+        return span_obj
+    return tracer.end(span_obj, **attributes)
+
+
+@contextmanager
+def request_scope(ctx: RequestContext | None):
+    """Activate a request's context *and* span on the calling thread.
+
+    The worker-side half of cross-thread propagation: binds ``ctx``
+    thread-locally (so :func:`span` tags ``request_id``) and adopts the
+    request's root span onto this thread's stack (so spans opened here
+    become its children).  A ``None`` context, inactive tracer, or
+    context without a real root span each degrade gracefully to
+    whatever subset applies.
+    """
+    tracer = _ACTIVE
+    root = ctx.span if ctx is not None else None
+    adoptable = (
+        tracer is not None
+        and isinstance(root, Span)
+    )
+    with use_context(ctx):
+        if adoptable:
+            with tracer.adopt(root):
+                yield ctx
+        else:
+            yield ctx
 
 
 def count(name: str, n: float = 1) -> None:
@@ -96,24 +193,45 @@ def gauge(name: str, value: float) -> None:
 
 
 __all__ = [
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
     "InMemorySink",
     "JsonlSink",
+    "MetricsHTTPServer",
+    "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
+    "RequestContext",
+    "SLO",
+    "SLOMonitor",
     "Sink",
     "Span",
     "Tracer",
+    "begin_span",
     "chrome_trace",
     "count",
+    "current_context",
+    "end_span",
     "gauge",
     "get_tracer",
+    "histogram_series",
+    "parse_prometheus_text",
     "prometheus_text",
+    "quantile_from_buckets",
     "read_jsonl",
+    "render_dashboard",
     "render_span_tree",
+    "request_scope",
+    "set_context",
     "set_tracer",
     "span",
     "span_event",
+    "use_context",
     "use_tracer",
     "validate_chrome_trace",
+    "validate_prometheus_text",
+    "validate_span_tree",
     "write_chrome_trace",
 ]

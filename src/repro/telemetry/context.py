@@ -1,0 +1,110 @@
+"""Per-request context propagation.
+
+A :class:`RequestContext` is the identity a serving request carries
+through every layer it touches — admission, queue wait, each
+retry/degradation attempt, planner cache tiers, executors.  It is
+created once at ``PermutationServer.submit`` (only when a tracer is
+active: the inactive fast path never allocates one), travels with the
+queued request object, and is *activated* on whichever thread is
+currently doing the request's work.
+
+Activation is thread-local: :func:`set_context` / :func:`use_context`
+bind a context to the calling thread, and
+:func:`repro.telemetry.request_scope` combines that binding with
+adopting the request's root span onto the thread's span stack — the
+hand-off that makes one serve render as a single connected span tree
+even though submit, queue wait and execution happen on different
+threads.
+
+While a context is bound, every span opened through the module-level
+:func:`repro.telemetry.span` helper is automatically tagged with the
+``request_id`` attribute, so JSONL event logs and the flight recorder
+can be joined back to the request without threading the id through
+every call signature.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any
+
+__all__ = [
+    "RequestContext",
+    "current_context",
+    "set_context",
+    "use_context",
+]
+
+
+class RequestContext:
+    """Identity and budget of one in-flight serving request.
+
+    Attributes
+    ----------
+    request_id:
+        Process-unique integer id assigned at admission.
+    tenant / name:
+        The tenant namespace and registration the request targets.
+    priority:
+        Queue priority (``HIGH``/``NORMAL``/``LOW`` integer).
+    deadline:
+        Absolute monotonic deadline in seconds, or ``None``.
+    span:
+        The request's root :class:`~repro.telemetry.tracer.Span`
+        (detached; lives from admission to delivery), or ``None``.
+    """
+
+    __slots__ = ("request_id", "tenant", "name", "priority",
+                 "deadline", "span")
+
+    #: Total contexts ever allocated in this process — the
+    #: inactive-fast-path regression tests assert this stays flat when
+    #: no tracer is active.
+    created = 0
+
+    def __init__(
+        self,
+        request_id: int,
+        tenant: str = "default",
+        name: str = "",
+        priority: int = 1,
+        deadline: float | None = None,
+        span: Any = None,
+    ) -> None:
+        self.request_id = request_id
+        self.tenant = tenant
+        self.name = name
+        self.priority = priority
+        self.deadline = deadline
+        self.span = span
+        RequestContext.created += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RequestContext(id={self.request_id}, "
+                f"tenant={self.tenant!r}, name={self.name!r})")
+
+
+_LOCAL = threading.local()
+
+
+def current_context() -> RequestContext | None:
+    """The context bound to the calling thread, or ``None``."""
+    return getattr(_LOCAL, "context", None)
+
+
+def set_context(ctx: RequestContext | None) -> RequestContext | None:
+    """Bind ``ctx`` to the calling thread; returns the previous one."""
+    previous = getattr(_LOCAL, "context", None)
+    _LOCAL.context = ctx
+    return previous
+
+
+@contextmanager
+def use_context(ctx: RequestContext | None):
+    """Bind ``ctx`` to the calling thread for the ``with`` block."""
+    previous = set_context(ctx)
+    try:
+        yield ctx
+    finally:
+        set_context(previous)

@@ -1,0 +1,184 @@
+"""Terminal dashboard over a Prometheus exposition (``repro top``).
+
+Works from *exposition text only* — the same ``/metrics`` payload any
+Prometheus server scrapes — so one code path serves both modes of
+``repro top``: scraping a live ``--url`` and rendering an embedded
+demo server.  Histogram quantiles are re-estimated from the cumulative
+``le`` buckets with the standard ``histogram_quantile`` interpolation
+(:func:`~repro.telemetry.metrics.quantile_from_buckets`), exactly what
+a Grafana panel would do.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.telemetry.export import parse_prometheus_text
+from repro.telemetry.metrics import quantile_from_buckets
+
+__all__ = [
+    "histogram_series",
+    "render_dashboard",
+]
+
+
+def _labels_sans_le(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(
+        (k, v) for k, v in labels.items() if k != "le"
+    ))
+
+
+def histogram_series(families: dict[str, dict]) -> dict:
+    """Regroup parsed histogram samples by base metric and label set.
+
+    Returns ``{base_name: {label_tuple: {"buckets": [(le, count)...],
+    "sum": float, "count": float}}}`` where ``label_tuple`` is the
+    sorted ``(key, value)`` tuple without ``le`` and buckets are
+    sorted ascending (``+Inf`` last).
+    """
+    out: dict[str, dict] = {}
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        for suffix, field in (("_bucket", "buckets"), ("_sum", "sum"),
+                              ("_count", "count")):
+            if not name.endswith(suffix):
+                continue
+            base = name[: -len(suffix)]
+            series = out.setdefault(base, {})
+            for labels, value in family["samples"]:
+                key = _labels_sans_le(labels)
+                row = series.setdefault(
+                    key, {"buckets": [], "sum": 0.0, "count": 0.0}
+                )
+                if field == "buckets":
+                    le = labels.get("le", "+Inf")
+                    bound = (math.inf if le == "+Inf" else float(le))
+                    row["buckets"].append((bound, value))
+                else:
+                    row[field] = value
+    for series in out.values():
+        for row in series.values():
+            row["buckets"].sort(key=lambda b: b[0])
+    return out
+
+
+def _fmt_labels(key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return "(all)"
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+def _fmt_seconds(value: float) -> str:
+    if value <= 0:
+        return "0"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def _sparkline(buckets: list[tuple[float, float]], width: int = 24) -> str:
+    """A unicode bar chart of the (non-cumulative) bucket counts."""
+    if not buckets:
+        return ""
+    finite = [(le, c) for le, c in buckets if not math.isinf(le)]
+    if not finite:
+        finite = buckets
+    counts = []
+    prev = 0.0
+    for _le, cum in finite:
+        counts.append(max(0.0, cum - prev))
+        prev = cum
+    if len(counts) > width:
+        # Fold adjacent buckets so the sparkline fits.
+        folded = [0.0] * width
+        for i, c in enumerate(counts):
+            folded[i * width // len(counts)] += c
+        counts = folded
+    peak = max(counts) if counts else 0.0
+    if peak <= 0:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    return "".join(
+        blocks[min(8, int(math.ceil(c / peak * 8)))] for c in counts
+    )
+
+
+def render_dashboard(text: str, title: str = "repro top") -> str:
+    """Render exposition ``text`` as a fixed-width terminal dashboard.
+
+    Sections: histograms (count / mean / p50 / p90 / p99 + a bucket
+    sparkline per label set), then counters, then gauges.  Returns the
+    dashboard as a string so callers decide how to paint the screen.
+    """
+    families = parse_prometheus_text(text)
+    lines = [title, "=" * len(title)]
+
+    histograms = histogram_series(families)
+    if histograms:
+        lines.append("")
+        lines.append("latency / size distributions")
+        lines.append("-" * 70)
+        header = (f"  {'series':<44}{'count':>7}{'mean':>9}"
+                  f"{'p50':>9}{'p90':>9}{'p99':>9}")
+        lines.append(header)
+        for base in sorted(histograms):
+            lines.append(f"{base}")
+            for key in sorted(histograms[base]):
+                row = histograms[base][key]
+                buckets = row["buckets"]
+                count = row["count"] or (
+                    buckets[-1][1] if buckets else 0.0
+                )
+                mean = (row["sum"] / count) if count else 0.0
+                p50 = quantile_from_buckets(buckets, 0.50)
+                p90 = quantile_from_buckets(buckets, 0.90)
+                p99 = quantile_from_buckets(buckets, 0.99)
+                lines.append(
+                    f"  {_fmt_labels(key):<44}{count:>7.0f}"
+                    f"{_fmt_seconds(mean):>9}{_fmt_seconds(p50):>9}"
+                    f"{_fmt_seconds(p90):>9}{_fmt_seconds(p99):>9}"
+                )
+                spark = _sparkline(buckets)
+                if spark:
+                    lines.append(f"    {spark}")
+
+    counters = {
+        name: family for name, family in families.items()
+        if family["type"] == "counter"
+    }
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        lines.append("-" * 70)
+        for name in sorted(counters):
+            for labels, value in sorted(
+                counters[name]["samples"],
+                key=lambda s: sorted(s[0].items()),
+            ):
+                key = _labels_sans_le(labels)
+                lines.append(
+                    f"  {name} {_fmt_labels(key):<40}{value:>12g}"
+                )
+
+    gauges = {
+        name: family for name, family in families.items()
+        if family["type"] == "gauge"
+    }
+    if gauges:
+        lines.append("")
+        lines.append("gauges")
+        lines.append("-" * 70)
+        for name in sorted(gauges):
+            for labels, value in sorted(
+                gauges[name]["samples"],
+                key=lambda s: sorted(s[0].items()),
+            ):
+                key = _labels_sans_le(labels)
+                lines.append(
+                    f"  {name} {_fmt_labels(key):<40}{value:>12g}"
+                )
+
+    return "\n".join(lines) + "\n"

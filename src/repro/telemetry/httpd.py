@@ -1,0 +1,134 @@
+"""A stdlib-only HTTP endpoint exposing ``/metrics`` and ``/health``.
+
+:class:`MetricsHTTPServer` wraps :class:`http.server.ThreadingHTTPServer`
+in a daemon thread so a :class:`~repro.service.server.PermutationServer`
+(or any process owning a :class:`~repro.telemetry.metrics.MetricsRegistry`)
+can be scraped by Prometheus — zero dependencies, ephemeral-port
+friendly for tests (``port=0``), shut down cleanly via
+:meth:`MetricsHTTPServer.close`.
+
+Routes:
+
+* ``GET /metrics`` — Prometheus text exposition (version 0.0.4
+  content type), produced by the ``metrics_fn`` callable on every
+  scrape, so gauges refresh at scrape time;
+* ``GET /health`` (alias ``/healthz``) — JSON health snapshot from
+  ``health_fn`` with status code 200 (``status: ok``) or 503
+  (anything else), suitable for a readiness probe;
+* anything else — 404.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["MetricsHTTPServer"]
+
+#: The Prometheus text exposition content type.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsHTTPServer:
+    """Serve ``/metrics`` and ``/health`` from a daemon thread.
+
+    Parameters
+    ----------
+    metrics_fn:
+        Zero-arg callable returning the Prometheus exposition text.
+    health_fn:
+        Optional zero-arg callable returning a JSON-safe dict with a
+        ``status`` key (``"ok"`` maps to HTTP 200, else 503).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port, exposed as
+        :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, metrics_fn, health_fn=None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.metrics_fn = metrics_fn
+        self.health_fn = health_fn
+        self.host = host
+        self._requested_port = int(port)
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsHTTPServer":
+        if self._httpd is not None:
+            return self
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):   # noqa: ARG002
+                pass   # scrapes must not spam stderr
+
+            def _send(self, code: int, content_type: str,
+                      body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):   # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        body = outer.metrics_fn().encode("utf-8")
+                        self._send(200, _METRICS_CONTENT_TYPE, body)
+                    elif path in ("/health", "/healthz") \
+                            and outer.health_fn is not None:
+                        health = outer.health_fn()
+                        code = (200 if health.get("status") == "ok"
+                                else 503)
+                        body = json.dumps(
+                            health, indent=1, default=repr
+                        ).encode("utf-8")
+                        self._send(code, "application/json", body)
+                    else:
+                        self._send(404, "text/plain",
+                                   b"not found\n")
+                except Exception as exc:   # pragma: no cover
+                    self._send(
+                        500, "text/plain",
+                        f"{type(exc).__name__}: {exc}\n".encode(),
+                    )
+
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,205 @@
+"""Rolling-window SLO monitoring with error-budget burn rate.
+
+An :class:`SLO` states the serving objectives — availability and a
+p99 latency bound over a rolling window.  The :class:`SLOMonitor`
+ingests one ``(ok, latency)`` sample per finished request and answers,
+at any moment:
+
+* **availability** over the window (successes / total);
+* **p99 latency** over the window (from merged per-slice
+  :class:`~repro.telemetry.metrics.Histogram` objects — this is what
+  "mergeable" buys: the window rolls by dropping a slice, never by
+  rescanning samples);
+* **error-budget burn rate** — the rate unavailability is consuming
+  the budget, normalised so ``1.0`` means "exactly on target": a
+  99.9 % objective burning at ``10×`` exhausts a 30-day budget in
+  3 days.  Burn rate is *the* paging signal recommended by the SRE
+  workbook, because raw availability hides how fast things are
+  getting worse;
+* **breached** — whether either objective is currently violated
+  (after a minimum sample count, so one slow request cannot flap the
+  monitor).
+
+:meth:`SLOMonitor.record` returns ``True`` exactly on the transition
+into breach — the serving core uses that edge to trigger a flight
+recorder post-mortem dump (:mod:`repro.telemetry.recorder`) without
+dumping again on every subsequent bad sample.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.telemetry.metrics import Histogram
+
+__all__ = ["SLO", "SLOMonitor"]
+
+#: Number of sub-intervals the rolling window is divided into; the
+#: window rolls with slice granularity.
+_SLICES = 6
+
+
+class SLO:
+    """Serving objectives over a rolling window.
+
+    Parameters
+    ----------
+    availability:
+        Target success fraction, e.g. ``0.999``.
+    latency_p99_s:
+        Upper bound on the window's p99 latency, in seconds
+        (``None`` disables the latency objective).
+    window_s:
+        Rolling-window length in seconds.
+    min_samples:
+        Breach is only declared once the window holds at least this
+        many samples.
+    """
+
+    __slots__ = ("availability", "latency_p99_s", "window_s",
+                 "min_samples")
+
+    def __init__(
+        self,
+        availability: float = 0.99,
+        latency_p99_s: float | None = 0.25,
+        window_s: float = 60.0,
+        min_samples: int = 20,
+    ) -> None:
+        if not 0.0 < availability <= 1.0:
+            raise ValueError(
+                f"availability target must be in (0, 1], got "
+                f"{availability}"
+            )
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        self.availability = float(availability)
+        self.latency_p99_s = (
+            float(latency_p99_s) if latency_p99_s is not None else None
+        )
+        self.window_s = float(window_s)
+        self.min_samples = int(min_samples)
+
+    def describe(self) -> dict:
+        return {
+            "availability": self.availability,
+            "latency_p99_s": self.latency_p99_s,
+            "window_s": self.window_s,
+            "min_samples": self.min_samples,
+        }
+
+
+class _Slice:
+    """One sub-interval of the rolling window."""
+
+    __slots__ = ("start", "ok", "total", "latency")
+
+    def __init__(self, start: float) -> None:
+        self.start = start
+        self.ok = 0
+        self.total = 0
+        self.latency = Histogram()
+
+
+class SLOMonitor:
+    """Ingest per-request outcomes, report objective compliance.
+
+    Thread-safe; uses an injectable monotonic clock for deterministic
+    tests.
+    """
+
+    def __init__(self, slo: SLO | None = None,
+                 clock=time.monotonic) -> None:
+        self.slo = slo or SLO()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._slice_s = self.slo.window_s / _SLICES
+        self._slices: list[_Slice] = [_Slice(clock())]
+        self._breached = False
+        #: Breach transitions observed (monotonic).
+        self.breaches = 0
+
+    # ------------------------------------------------------------------
+
+    def _roll(self, now: float) -> None:
+        """Advance to ``now``'s slice and drop expired ones (locked)."""
+        current = self._slices[-1]
+        while now - current.start >= self._slice_s:
+            current = _Slice(current.start + self._slice_s)
+            self._slices.append(current)
+        horizon = now - self.slo.window_s
+        while len(self._slices) > 1 and (
+            self._slices[0].start + self._slice_s <= horizon
+        ):
+            self._slices.pop(0)
+
+    def record(self, ok: bool, latency_s: float) -> bool:
+        """Ingest one finished request.
+
+        Returns ``True`` exactly when this sample *transitions* the
+        monitor into breach (the edge the flight recorder dumps on).
+        """
+        now = self._clock()
+        with self._lock:
+            self._roll(now)
+            sl = self._slices[-1]
+            sl.total += 1
+            if ok:
+                sl.ok += 1
+            sl.latency.observe(latency_s)
+            status = self._status_locked(now)
+            newly = status["breached"] and not self._breached
+            self._breached = status["breached"]
+            if newly:
+                self.breaches += 1
+            return newly
+
+    def _status_locked(self, now: float) -> dict:
+        ok = sum(s.ok for s in self._slices)
+        total = sum(s.total for s in self._slices)
+        merged = Histogram()
+        for s in self._slices:
+            merged.merge(s.latency)
+        availability = ok / total if total else 1.0
+        p99 = merged.quantile(0.99)
+        target = self.slo.availability
+        budget = 1.0 - target
+        error_rate = 1.0 - availability
+        burn = error_rate / budget if budget > 0 else (
+            0.0 if error_rate == 0 else float("inf")
+        )
+        enough = total >= self.slo.min_samples
+        breach_avail = enough and availability < target
+        breach_latency = (
+            enough
+            and self.slo.latency_p99_s is not None
+            and p99 > self.slo.latency_p99_s
+        )
+        return {
+            "availability": availability,
+            "p99_s": p99,
+            "samples": total,
+            "burn_rate": burn,
+            "budget_remaining": (
+                1.0 - burn if budget > 0 else 1.0
+            ),
+            "breached": bool(breach_avail or breach_latency),
+            "breach_availability": bool(breach_avail),
+            "breach_latency": bool(breach_latency),
+        }
+
+    def status(self) -> dict:
+        """Point-in-time compliance snapshot (rolls the window)."""
+        now = self._clock()
+        with self._lock:
+            self._roll(now)
+            out = self._status_locked(now)
+        out["objective"] = self.slo.describe()
+        out["breaches"] = self.breaches
+        return out
+
+    @property
+    def breached(self) -> bool:
+        with self._lock:
+            return self._breached

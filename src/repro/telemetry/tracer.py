@@ -4,14 +4,27 @@ A :class:`Tracer` records three kinds of signal:
 
 * **spans** — nestable wall-clock intervals with attributes, opened
   with ``with tracer.span("coloring.euler", edges=n):``.  Nesting is
-  tracked with an explicit stack, so every finished :class:`Span`
-  knows its parent and depth and the whole run renders as a tree (or
-  exports to Chrome ``trace_event`` JSON, see
-  :mod:`repro.telemetry.export`);
+  tracked with a **thread-local** stack, so every finished
+  :class:`Span` knows its parent and depth and the whole run renders
+  as a tree (or exports to Chrome ``trace_event`` JSON, see
+  :mod:`repro.telemetry.export`) even when many threads record spans
+  concurrently;
 * **counters** — monotonically increasing totals (rows coloured,
   fallback activations, fault detections);
 * **gauges** — last-value-wins measurements (plan bytes, overhead
   fractions).
+
+Cross-thread requests (a serving request is admitted on the client
+thread and executed on a worker thread) are supported by three
+primitives on top of the ``with``-block span:
+
+* :meth:`Tracer.begin` — start a *detached* span that is not pushed
+  onto any thread's stack (the request-root span that outlives the
+  submitting call);
+* :meth:`Tracer.adopt` — push an already-open span onto the *calling*
+  thread's stack for the duration of a ``with`` block, so spans opened
+  there become its children (the worker-side context hand-off);
+* :meth:`Tracer.end` — finish a detached span from any thread.
 
 Everything is collected in memory on the tracer itself (the in-memory
 collector of the sink family); additional :class:`~repro.telemetry.sinks.Sink`
@@ -39,10 +52,13 @@ class Span:
     (``tracer.span(name, key=value)``) or later via :meth:`set` —
     the pattern used to bridge model-time numbers (``model_time``,
     ``model_rounds``) into the wall-clock view after simulation.
+
+    ``tid`` is the identity of the thread the span *started* on, so
+    exporters can render one track per thread.
     """
 
-    __slots__ = ("name", "span_id", "parent_id", "depth", "start_ns",
-                 "end_ns", "attributes", "_tracer")
+    __slots__ = ("name", "span_id", "parent_id", "depth", "tid",
+                 "start_ns", "end_ns", "attributes", "_tracer")
 
     def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
         self._tracer = tracer
@@ -51,6 +67,7 @@ class Span:
         self.span_id = -1
         self.parent_id: int | None = None
         self.depth = 0
+        self.tid = 0
         self.start_ns = 0
         self.end_ns: int | None = None
 
@@ -115,6 +132,12 @@ NULL_SPAN = NullSpan()
 class Tracer:
     """In-memory telemetry collector with optional streaming sinks.
 
+    Thread-safe: span nesting is tracked per thread (thread-local
+    stacks), span-id allocation and the finished-span list are
+    lock-guarded, and counters/gauges take the same metrics lock, so
+    concurrent server workers can record freely without corrupting
+    each other's parent/child trees.
+
     Parameters
     ----------
     sinks:
@@ -128,15 +151,17 @@ class Tracer:
     def __init__(self, sinks=(), clock=time.perf_counter_ns) -> None:
         self.sinks = list(sinks)
         self._clock = clock
-        self._stack: list[Span] = []
+        self._local = threading.local()
         self._next_id = 0
+        # Guards id allocation, the finished-span list and sink
+        # dispatch: spans finish concurrently on worker threads.
+        self._span_lock = threading.Lock()
         # Counters and gauges are incremented from server worker
         # threads; a read-modify-write without the lock loses updates.
-        # (Span nesting remains single-threaded by design: concurrent
-        # code records counters, not spans.)
         self._metrics_lock = threading.Lock()
         self.created_ns = clock()
-        #: Finished spans in completion order (children before parents).
+        #: Finished spans in completion order (children before parents
+        #: within a thread; interleaved across threads).
         self.spans: list[Span] = []
         #: Counter totals by name.
         self.counters: dict[str, float] = {}
@@ -151,36 +176,95 @@ class Tracer:
     # Spans
     # ------------------------------------------------------------------
 
+    def _stack(self) -> list[Span]:
+        """The calling thread's open-span stack (created on demand)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     def span(self, name: str, **attributes) -> Span:
         """A new span; start/stop happen on ``with`` entry/exit."""
         return Span(self, name, attributes)
 
     def current(self) -> Span | None:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The calling thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _allocate_id(self, span: Span) -> None:
+        with self._span_lock:
+            span.span_id = self._next_id
+            self._next_id += 1
 
     def _start(self, span: Span) -> None:
-        span.span_id = self._next_id
-        self._next_id += 1
-        if self._stack:
-            parent = self._stack[-1]
+        self._allocate_id(span)
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
             span.parent_id = parent.span_id
             span.depth = parent.depth + 1
-        self._stack.append(span)
+        stack.append(span)
+        span.tid = threading.get_ident()
         span.start_ns = self._clock()
+
+    def _record_finished(self, span: Span) -> None:
+        with self._span_lock:
+            self.spans.append(span)
+        for sink in self.sinks:
+            sink.on_span(span)
 
     def _finish(self, span: Span) -> None:
         span.end_ns = self._clock()
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
-        elif span in self._stack:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
             # Out-of-order exit (a caller kept a span open across a
             # sibling): unwind to it rather than corrupt the stack.
-            while self._stack and self._stack.pop() is not span:
+            while stack and stack.pop() is not span:
                 pass
-        self.spans.append(span)
-        for sink in self.sinks:
-            sink.on_span(span)
+        self._record_finished(span)
+
+    # -- cross-thread spans -------------------------------------------
+
+    def begin(self, name: str, parent: Span | None = None,
+              **attributes) -> Span:
+        """Start a *detached* span: open, but on no thread's stack.
+
+        The span nests under ``parent`` when given, else under the
+        calling thread's innermost open span.  Finish it — from any
+        thread — with :meth:`end`, and hand it to another thread with
+        :meth:`adopt` so work there records as its children.
+        """
+        span = Span(self, name, attributes)
+        self._allocate_id(span)
+        if parent is None:
+            parent = self.current()
+        if parent is not None:
+            span.parent_id = parent.span_id
+            span.depth = parent.depth + 1
+        span.tid = threading.get_ident()
+        span.start_ns = self._clock()
+        return span
+
+    def end(self, span: Span, **attributes) -> Span:
+        """Finish a detached span started with :meth:`begin`."""
+        if attributes:
+            span.attributes.update(attributes)
+        if span.end_ns is None:
+            span.end_ns = self._clock()
+            self._record_finished(span)
+        return span
+
+    def adopt(self, span: Span):
+        """Make ``span`` the calling thread's current span for a
+        ``with`` block — the context hand-off at a thread boundary.
+
+        The span itself is neither started nor finished here; spans
+        opened inside the block become its children.
+        """
+        return _Adoption(self, span)
 
     # ------------------------------------------------------------------
     # Counters and gauges
@@ -235,3 +319,26 @@ class Tracer:
         return (f"Tracer({len(self.spans)} spans, "
                 f"{len(self.counters)} counters, "
                 f"{len(self.gauges)} gauges)")
+
+
+class _Adoption:
+    """Context manager pushing an open span onto this thread's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: Tracer, span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack().append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        elif self._span in stack:
+            while stack and stack.pop() is not self._span:
+                pass
+        return False

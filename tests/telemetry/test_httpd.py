@@ -1,0 +1,65 @@
+"""The stdlib ``/metrics`` + ``/health`` HTTP endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import telemetry
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5.0) as resp:
+        return resp.status, resp.headers, resp.read().decode()
+
+
+def test_metrics_endpoint_serves_fresh_exposition():
+    reg = telemetry.MetricsRegistry()
+    counter = reg.counter("hits_total")
+    with telemetry.MetricsHTTPServer(reg.prometheus_text) as srv:
+        counter.inc()
+        status, headers, body = _get(srv.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        telemetry.validate_prometheus_text(body)
+        assert "repro_hits_total 1" in body
+        counter.inc()               # gauges refresh per scrape
+        _status, _headers, body2 = _get(srv.url + "/metrics")
+        assert "repro_hits_total 2" in body2
+
+
+def test_health_endpoint_status_codes():
+    health = {"status": "ok"}
+    srv = telemetry.MetricsHTTPServer(
+        lambda: "", health_fn=lambda: dict(health)
+    ).start()
+    try:
+        status, _h, body = _get(srv.url + "/health")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+        health["status"] = "degraded"
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(srv.url + "/healthz")
+        assert err.value.code == 503
+        assert json.loads(err.value.read())["status"] == "degraded"
+    finally:
+        srv.close()
+
+
+def test_unknown_path_is_404():
+    with telemetry.MetricsHTTPServer(lambda: "") as srv:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(srv.url + "/nope")
+        assert err.value.code == 404
+
+
+def test_ephemeral_port_and_idempotent_lifecycle():
+    srv = telemetry.MetricsHTTPServer(lambda: "x 1\n")
+    srv.start()
+    srv.start()                     # idempotent
+    assert srv.port > 0
+    assert srv.url.endswith(str(srv.port))
+    srv.close()
+    srv.close()                     # idempotent

@@ -1,0 +1,93 @@
+"""Flight recorder: ring semantics, providers, dumps, rate limiting."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+
+
+class _Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def test_ring_keeps_newest_events():
+    rec = telemetry.FlightRecorder(capacity=4)
+    for i in range(10):
+        rec.record("tick", i=i)
+    events = rec.events()
+    assert [e["i"] for e in events] == [6, 7, 8, 9]
+    assert rec.recorded == 10
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError, match="capacity"):
+        telemetry.FlightRecorder(capacity=0)
+
+
+def test_dump_bundle_contents():
+    clock = _Clock()
+    rec = telemetry.FlightRecorder(capacity=8, clock=clock)
+    rec.add_provider("queue", lambda: {"depth": 3})
+    rec.record("admit", rid=1)
+    clock.t = 2.0
+    bundle = rec.dump("slo_breach", rid=1)
+    assert bundle["bundle"] == "repro-flight-recorder"
+    assert bundle["reason"] == "slo_breach"
+    assert bundle["seq"] == 1
+    assert bundle["context"] == {"rid": 1}
+    assert bundle["events"][0]["kind"] == "admit"
+    assert bundle["snapshots"]["queue"] == {"depth": 3}
+    assert rec.last_bundle is bundle
+    assert rec.dumps == 1
+
+
+def test_dump_rate_limited_per_reason():
+    clock = _Clock()
+    rec = telemetry.FlightRecorder(clock=clock,
+                                   min_dump_interval_s=1.0)
+    assert rec.dump("breach") is not None
+    clock.t = 0.5
+    assert rec.dump("breach") is None          # same reason, too soon
+    assert rec.dump("shed_burst") is not None  # other reason is fine
+    clock.t = 1.6
+    assert rec.dump("breach") is not None      # interval elapsed
+    assert rec.dump("breach", force=True) is not None
+    assert rec.dumps == 4
+
+
+def test_dump_writes_file(tmp_path):
+    rec = telemetry.FlightRecorder(dump_dir=tmp_path)
+    rec.record("x", value=1)
+    bundle = rec.dump("unexpected_error")
+    [path] = rec.dump_paths
+    assert path.name == "postmortem-0001-unexpected_error.json"
+    on_disk = json.loads(path.read_text())
+    assert on_disk["reason"] == "unexpected_error"
+    assert on_disk["events"] == bundle["events"]
+    assert bundle["path"] == str(path)
+
+
+def test_provider_failure_is_captured_not_raised():
+    rec = telemetry.FlightRecorder()
+
+    def bad():
+        raise RuntimeError("boom")
+
+    rec.add_provider("bad", bad)
+    rec.add_provider("good", lambda: 42)
+    bundle = rec.dump("breach")
+    assert bundle["snapshots"]["good"] == 42
+    assert "RuntimeError" in bundle["snapshots"]["bad"]["error"]
+
+
+def test_events_are_json_safe():
+    import numpy as np
+
+    rec = telemetry.FlightRecorder()
+    rec.record("odd", arr=np.int64(7), path=object())
+    json.dumps(rec.events())        # must not raise

@@ -1,0 +1,213 @@
+"""Concurrent tracing: thread-local stacks and cross-thread spans.
+
+The regression this file pins down: the tracer used to keep ONE shared
+open-span stack, so two threads recording simultaneously interleaved
+pushes/pops and produced garbage parent links (spans parented to
+another thread's span, negative depths after double pops).  Nesting is
+now tracked per thread; these tests hammer ``span()`` from many
+threads and assert every recorded tree is well-formed, then exercise
+the ``begin``/``end``/``adopt`` hand-off that stitches one request's
+spans across threads.
+"""
+
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.errors import TelemetryError
+from repro.telemetry.tracer import Tracer
+
+_THREADS = 8
+_REPEATS = 25
+
+
+def _tree_check(tracer: Tracer) -> None:
+    """Assert structural well-formedness of every finished span."""
+    by_id = {s.span_id: s for s in tracer.spans}
+    assert len(by_id) == len(tracer.spans), "duplicate span ids"
+    for s in tracer.spans:
+        assert s.end_ns is not None
+        assert s.end_ns >= s.start_ns
+        if s.parent_id is None:
+            assert s.depth == 0
+        else:
+            parent = by_id[s.parent_id]
+            assert s.depth == parent.depth + 1
+            # A child starts on its parent's thread stack, so the
+            # parent must have been open when the child started.
+            assert parent.start_ns <= s.start_ns
+            assert parent.end_ns >= s.end_ns
+            assert parent.tid == s.tid
+
+
+def test_concurrent_span_trees_are_well_formed():
+    tracer = Tracer()
+    barrier = threading.Barrier(_THREADS)
+    errors: list[BaseException] = []
+
+    def hammer(worker: int) -> None:
+        try:
+            barrier.wait()
+            for i in range(_REPEATS):
+                with tracer.span("outer", worker=worker, i=i):
+                    with tracer.span("mid"):
+                        with tracer.span("inner"):
+                            pass
+                    with tracer.span("mid2"):
+                        pass
+        except BaseException as exc:  # pragma: no cover - on failure
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(w,))
+        for w in range(_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors
+    assert len(tracer.spans) == _THREADS * _REPEATS * 4
+    _tree_check(tracer)
+    # Every outer is a root; every thread's nesting survived intact.
+    outers = tracer.find("outer")
+    assert len(outers) == _THREADS * _REPEATS
+    assert all(s.parent_id is None for s in outers)
+    for mid in tracer.find("mid"):
+        assert tracer.spans and mid.parent_id is not None
+    # Each worker used a distinct OS thread id.
+    assert len({s.tid for s in outers}) == _THREADS
+
+
+def test_current_is_thread_local():
+    tracer = Tracer()
+    seen = {}
+
+    def probe():
+        seen["other"] = tracer.current()
+
+    with tracer.span("root"):
+        t = threading.Thread(target=probe)
+        t.start()
+        t.join()
+        assert tracer.current() is not None
+        assert tracer.current().name == "root"
+    assert seen["other"] is None
+
+
+def test_begin_end_detached_span_across_threads():
+    tracer = Tracer()
+    root = tracer.begin("request", rid=1)
+    done = threading.Event()
+
+    def worker():
+        with tracer.adopt(root):
+            with tracer.span("work"):
+                pass
+        tracer.end(root, outcome="ok")
+        done.set()
+
+    t = threading.Thread(target=worker)
+    t.start()
+    assert done.wait(5.0)
+    t.join()
+
+    work = tracer.find("work")[0]
+    assert work.parent_id == root.span_id
+    assert root.end_ns is not None
+    assert root.attributes["outcome"] == "ok"
+    _tree_check_cross(tracer)
+
+
+def _tree_check_cross(tracer: Tracer) -> None:
+    """Like _tree_check but without the same-thread requirement."""
+    by_id = {s.span_id: s for s in tracer.spans}
+    for s in tracer.spans:
+        if s.parent_id is not None:
+            assert s.depth == by_id[s.parent_id].depth + 1
+
+
+def test_end_is_idempotent():
+    tracer = Tracer()
+    span = tracer.begin("once")
+    tracer.end(span)
+    first_end = span.end_ns
+    tracer.end(span)
+    assert span.end_ns == first_end
+    assert len(tracer.find("once")) == 1
+
+
+def test_begin_nests_under_current_span():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        detached = tracer.begin("queued")
+    tracer.end(detached)
+    outer = tracer.find("outer")[0]
+    assert detached.parent_id == outer.span_id
+
+
+def test_concurrent_detached_requests_build_connected_trees():
+    """N client threads begin request roots, N workers adopt + finish
+    them; every request must render as one connected tree."""
+    tracer = Tracer()
+    requests = 16
+    roots = [tracer.begin(f"req", rid=i) for i in range(requests)]
+
+    def serve(root):
+        with tracer.adopt(root):
+            with tracer.span("attempt"):
+                with tracer.span("apply"):
+                    pass
+        tracer.end(root)
+
+    threads = [
+        threading.Thread(target=serve, args=(r,)) for r in roots
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    obj = telemetry.chrome_trace(tracer)
+    children = telemetry.validate_span_tree(obj)
+    # Exactly `requests` roots, each with attempt -> apply below it.
+    root_ids = {r.span_id for r in roots}
+    for rid in root_ids:
+        assert len(children[rid]) == 1          # attempt
+        attempt = children[rid][0]
+        assert len(children[attempt]) == 1      # apply
+    spans_per_tree = 3
+    assert len(tracer.spans) == requests * spans_per_tree
+
+
+def test_validate_span_tree_rejects_unknown_parent():
+    tracer = Tracer()
+    span = tracer.begin("orphan")
+    span.parent_id = 999
+    tracer.end(span)
+    with pytest.raises(TelemetryError, match="unknown parent"):
+        telemetry.validate_span_tree(telemetry.chrome_trace(tracer))
+
+
+def test_chrome_trace_has_per_thread_tracks():
+    tracer = Tracer()
+
+    def record(name):
+        with tracer.span(name):
+            pass
+
+    record("main-span")
+    t = threading.Thread(target=record, args=("worker-span",))
+    t.start()
+    t.join()
+    obj = telemetry.chrome_trace(tracer)
+    xs = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+    tids = {e["name"]: e["tid"] for e in xs}
+    assert tids["main-span"] != tids["worker-span"]
+    names = [
+        e for e in obj["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    assert len(names) == 2
