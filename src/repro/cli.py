@@ -12,8 +12,13 @@ Commands
 ``verify-plan`` reload a saved plan and re-verify it (exit 1 + one-line
                 diagnostic on a corrupt/stale/unreadable file); prints
                 the pass-pipeline + fingerprint provenance when stamped
-``check``       run the project's static lint rules (REP101..REP105)
-                over the package or given paths; exit 1 on findings
+``check``       run the project's static lint rules (REP101..REP107)
+                over the package or given paths; exit 1 on findings.
+                ``--semantics <perm-or-plan.npz>`` instead denotes a
+                program op by op, proves bijectivity, and
+                translation-validates the pass pipeline against it,
+                printing the per-op denotation summary and the
+                certificate verdict (exit 1 on any divergence)
 ``profile``     trace one permutation end to end: per-phase wall/model
                 table, optional Chrome trace + JSONL event log
 ``serve-demo``  the compile-once/apply-many service: register, warm,
@@ -300,10 +305,90 @@ def cmd_verify_plan(args) -> str:
     )
 
 
+def _cmd_check_semantics(args) -> str:
+    """``repro check --semantics <target>``: denote, prove, validate.
+
+    ``target`` is either a saved plan file (``.npz``) — reloaded, so
+    the embedded certificates are re-verified on the way in — or a
+    named permutation, planned fresh with ``--engine``.  Either way the
+    program is denoted op by op, the denotation is proved bijective,
+    and the pass pipeline is translation-validated against it.  Any
+    divergence exits nonzero with the counterexample.
+    """
+    from pathlib import Path
+
+    from repro.errors import ReproError, SemanticValidationError
+    from repro.passes import aggressive_pipeline, default_pipeline
+    from repro.staticcheck.semantics import (
+        denote_program,
+        validate_translation,
+    )
+
+    target = args.semantics
+    pipeline = (
+        aggressive_pipeline() if args.pipeline == "aggressive"
+        else default_pipeline()
+    )
+    parts = []
+    if target.endswith(".npz") or Path(target).exists():
+        try:
+            plan = load_plan(target)
+        except ReproError as exc:
+            message = " ".join(str(exc).split())
+            raise SystemExit(
+                f"check --semantics: REJECTED: {type(exc).__name__}: "
+                f"{message}"
+            ) from exc
+        plan = getattr(plan, "inner", plan)
+        parts.append(f"loaded plan {target} (certificates re-verified)")
+        embedded = getattr(plan, "semantic_certificate", None)
+        if embedded is not None:
+            parts.append(f"embedded {embedded.summary()}")
+    else:
+        if target not in PAPER_PERMUTATIONS:
+            raise SystemExit(
+                f"check --semantics: {target!r} is neither a plan file "
+                f"nor a named permutation "
+                f"({', '.join(sorted(PAPER_PERMUTATIONS))})"
+            )
+        from repro.ir.registry import get_engine
+
+        p = named_permutation(target, args.n, seed=args.seed)
+        plan = get_engine(args.engine).plan(p, width=args.width)
+        parts.append(
+            f"planned {target} (n = {args.n}, w = {args.width}) "
+            f"with engine {args.engine!r}"
+        )
+    raw = plan.lower()
+    denotation = denote_program(raw)
+    parts.append("")
+    parts.append(denotation.describe())
+    parts.append("")
+    try:
+        optimized = pipeline.run(raw, validate=True)
+        cert = validate_translation(
+            raw, optimized, requested=np.asarray(plan.p),
+            pipeline_signature=pipeline.signature(),
+        )
+    except SemanticValidationError as exc:
+        cert = exc.certificate
+    parts.append(f"pipeline {pipeline.signature()}")
+    parts.append(cert.summary() if cert is not None
+                 else "no certificate produced")
+    if cert is None or not cert.ok:
+        raise SystemExit("\n".join(parts + ["", "check --semantics: "
+                                            "DIVERGENCE"]))
+    parts.append("")
+    parts.append("check --semantics OK: raw == optimized == requested")
+    return "\n".join(parts)
+
+
 def cmd_check(args) -> str:
     from repro.errors import StaticCheckError
     from repro.staticcheck.lint import LINT_RULES, run_lint
 
+    if getattr(args, "semantics", None):
+        return _cmd_check_semantics(args)
     try:
         findings = run_lint(
             paths=args.paths or None, rules=args.rule or None
@@ -976,6 +1061,30 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--rule", action="append", metavar="REPxxx",
         help="restrict to the given rule (repeatable)",
+    )
+    check.add_argument(
+        "--semantics", metavar="PERM_OR_PLAN",
+        help="instead of linting: denote this plan file (.npz) or "
+             "named permutation op by op, prove bijectivity, and "
+             "translation-validate the pass pipeline against it "
+             "(exit 1 on divergence)",
+    )
+    check.add_argument("--n", type=int, default=1024,
+                       help="with --semantics <name>: permutation size")
+    check.add_argument("--width", type=int, default=32,
+                       help="with --semantics <name>: warp width")
+    check.add_argument("--seed", type=int, default=0,
+                       help="with --semantics <name>: random seed")
+    check.add_argument(
+        "--engine", choices=engines, default="scheduled",
+        metavar="ENGINE",
+        help="with --semantics <name>: engine to plan with "
+             f"(one of: {', '.join(engines)})",
+    )
+    check.add_argument(
+        "--pipeline", choices=("default", "aggressive"),
+        default="default",
+        help="with --semantics: pipeline to translation-validate",
     )
     check.set_defaults(func=cmd_check)
 

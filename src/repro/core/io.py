@@ -28,18 +28,30 @@ Files of the previous format (version 2: the fixed thirteen-key layout
 of a scheduled plan) still load — the golden plan in ``tests/data`` is
 one — but new files are always written as version 3.
 
-On top of integrity, files whose engine carries a scheduled plan (the
-``scheduled`` engine itself, or ``padded`` wrapping one) embed an
-*optimality proof*: by default :func:`save_plan` computes the static
-conflict-freedom certificate of :mod:`repro.staticcheck`, binds it to
-the payload checksum and stores it; :func:`load_plan` re-validates it —
-a loaded plan is then proven both authentic **and** bank-conflict-free/
-coalesced without running the simulator.  The certificate is an
-optional extra key, so its presence does not change the payload
-checksum or the format version.
+On top of integrity, files embed machine-checked *proofs*:
+
+* files whose engine carries a scheduled plan (the ``scheduled``
+  engine itself, or ``padded`` wrapping one) embed an *optimality
+  proof*: by default :func:`save_plan` computes the static
+  conflict-freedom certificate of :mod:`repro.staticcheck`, binds it
+  to the payload checksum and stores it;
+* **every** v3 file embeds a *correctness proof*: the semantic
+  certificate of :mod:`repro.staticcheck.semantics`, recording that
+  the stored program's symbolically-computed denotation is a bijection
+  equal to the stored permutation ``p``.
+
+:func:`load_plan` re-validates both — not just the SHA binding: the
+semantic certificate's denotation is *recomputed* from the unpacked
+program and compared against the certificate digest and the stored
+``p``, so a file whose program no longer denotes its permutation is
+refused as corrupt even if internally self-consistent.  A loaded plan
+is then proven authentic, bank-conflict-free/coalesced (when
+applicable) **and** semantically correct without running an executor.
+Both certificates are optional extra keys, so their presence does not
+change the payload checksum or the format version.
 
 See ``docs/robustness.md`` for the exact file layout and checksum
-definition, and ``docs/static-analysis.md`` for the certificate.
+definition, and ``docs/static-analysis.md`` for both certificates.
 """
 
 from __future__ import annotations
@@ -79,6 +91,7 @@ METADATA_KEYS = (
     "checksum",
     "library_version",
     "certificate",
+    "semantic_certificate",
     "pipeline",
     "fingerprint",
 )
@@ -231,8 +244,14 @@ def save_plan(path, plan, certify: bool = True,
     its own proof raises :class:`~repro.errors.CertificateError` and
     nothing is written — a conflicted plan must never be persisted as
     trusted.  Engines without a certifiable schedule (conventional,
-    CPU, DMM) are saved without a certificate.  Pass ``certify=False``
-    to write a bare (still checksummed) file.
+    CPU, DMM) are saved without a conflict certificate.  In the same
+    mode, a *semantic* certificate is computed for **every** engine:
+    the program's denotation (:func:`repro.staticcheck.semantics.
+    denote_program`) is proved a bijection equal to the stored
+    permutation, and the digest-bound proof is embedded for the loader
+    to re-verify.  A program that fails its own denotation proof also
+    raises :class:`~repro.errors.CertificateError` unwritten.  Pass
+    ``certify=False`` to write a bare (still checksummed) file.
 
     ``provenance`` optionally records the planner's compile context —
     :data:`PROVENANCE_KEYS` only (the pass-pipeline signature and the
@@ -280,6 +299,18 @@ def save_plan(path, plan, certify: bool = True,
                 )
             certifiable.certificate = cert
             extra["certificate"] = np.str_(cert.to_json())
+        if certify:
+            from repro.staticcheck.semantics import validate_translation
+
+            sem = validate_translation(
+                program, program, requested=plan.p
+            ).bound_to(checksum)
+            if not sem.ok:
+                raise CertificateError(
+                    f"refusing to save {path}: program does not denote "
+                    f"its own permutation — {sem.summary()}"
+                )
+            extra["semantic_certificate"] = np.str_(sem.to_json())
         np.savez_compressed(
             Path(path),
             checksum=np.str_(checksum),
@@ -288,7 +319,8 @@ def save_plan(path, plan, certify: bool = True,
             **arrays,
         )
         sp.set(file_bytes=Path(path).stat().st_size,
-               certified="certificate" in extra)
+               certified="certificate" in extra,
+               semantically_certified="semantic_certificate" in extra)
         telemetry.count("plan_io.saved")
 
 
@@ -352,9 +384,12 @@ def save_plan_v2(path, plan: ScheduledPermutation,
 # ----------------------------------------------------------------------
 
 
-def _read_payload(path) -> tuple[int, dict, str, str | None]:
+def _read_payload(
+    path,
+) -> tuple[int, dict, str, str | None, str | None]:
     """Open ``path`` and return ``(format version, payload arrays,
-    stored checksum, certificate JSON or None)``.
+    stored checksum, conflict-certificate JSON or None, semantic-
+    certificate JSON or None)``.
 
     All the ways a file can be unreadable — not a zip at all, truncated
     mid-archive, a metadata key deleted — surface here and are wrapped
@@ -400,10 +435,12 @@ def _read_payload(path) -> tuple[int, dict, str, str | None]:
     stored = str(arrays.pop("checksum"))
     cert_arr = arrays.pop("certificate", None)
     cert_json = str(cert_arr) if cert_arr is not None else None
+    sem_arr = arrays.pop("semantic_certificate", None)
+    sem_json = str(sem_arr) if sem_arr is not None else None
     arrays.pop("library_version", None)
     for key in PROVENANCE_KEYS:
         arrays.pop(key, None)
-    return version, arrays, stored, cert_json
+    return version, arrays, stored, cert_json, sem_json
 
 
 def read_plan_provenance(path) -> dict:
@@ -465,10 +502,12 @@ def load_plan(path):
 
 
 def _load_plan_inner(path, sp):
-    version, arrays, stored, cert_json = _read_payload(path)
+    version, arrays, stored, cert_json, sem_json = _read_payload(path)
     if version == 2:
+        # v2 files predate semantic certificates; any stray
+        # semantic_certificate key is ignored.
         return _load_plan_v2(path, arrays, stored, cert_json, sp)
-    return _load_plan_v3(path, arrays, stored, cert_json, sp)
+    return _load_plan_v3(path, arrays, stored, cert_json, sem_json, sp)
 
 
 def _checksum_mismatch(path, stored: str, actual: str) -> PlanCorruptionError:
@@ -479,7 +518,7 @@ def _checksum_mismatch(path, stored: str, actual: str) -> PlanCorruptionError:
     )
 
 
-def _load_plan_v3(path, arrays, stored, cert_json, sp):
+def _load_plan_v3(path, arrays, stored, cert_json, sem_json, sp):
     actual = plan_checksum(arrays)
     if actual != stored:
         raise _checksum_mismatch(path, stored, actual)
@@ -495,7 +534,14 @@ def _load_plan_v3(path, arrays, stored, cert_json, sp):
             f"is not in this build's registry: {exc}"
         ) from exc
     p = np.asarray(arrays["p"])
+    semantic = None
+    if sem_json is not None:
+        semantic = _validate_semantic_certificate(
+            path, sem_json, actual, program, p
+        )
     plan = engine_cls.from_program(program, p)
+    if semantic is not None:
+        plan.semantic_certificate = semantic
     if certificate is not None:
         certifiable = _certifiable_plan(plan)
         if certifiable is None:
@@ -519,7 +565,8 @@ def _load_plan_v3(path, arrays, stored, cert_json, sp):
         else:
             _reference_check(path, plan, program)
     sp.set(n=program.n, width=program.width, engine=program.engine,
-           certified=certificate is not None)
+           certified=certificate is not None,
+           semantically_certified=semantic is not None)
     return plan
 
 
@@ -625,5 +672,73 @@ def _validate_certificate(path, cert_json: str, checksum: str):
             f"{path}: embedded certificate records a conflict "
             f"({cert.counterexample.describe()}); a negative "
             "certificate must never be persisted"
+        )
+    return cert
+
+
+def _validate_semantic_certificate(
+    path, sem_json: str, checksum: str, program: KernelProgram,
+    p: np.ndarray,
+):
+    """Parse and *re-prove* an embedded semantic certificate.
+
+    Beyond the structural checks (well-formed JSON, bound to this
+    payload checksum, positive verdict), the program's denotation is
+    recomputed from the unpacked ops and compared against both the
+    certificate's digest and the stored permutation — so the
+    certificate cannot vouch for a program that no longer denotes its
+    permutation, even if the rest of the file is self-consistent.
+    """
+    from repro.staticcheck.semantics import (
+        SemanticCertificate,
+        denotation_digest,
+        denote_program,
+    )
+
+    try:
+        cert = SemanticCertificate.from_json(sem_json)
+    except CertificateError as exc:
+        raise PlanCorruptionError(
+            f"{path}: embedded semantic certificate is malformed: {exc}"
+        ) from exc
+    if cert.plan_sha != checksum:
+        raise PlanCorruptionError(
+            f"{path}: embedded semantic certificate is bound to "
+            f"payload {str(cert.plan_sha)[:12]}..., not this file's "
+            f"{checksum[:12]}... — certificate and payload do not "
+            "belong together"
+        )
+    if not cert.ok:
+        raise PlanCorruptionError(
+            f"{path}: embedded semantic certificate records a "
+            f"refutation ({cert.summary()}); a negative certificate "
+            "must never be persisted"
+        )
+    denotation = denote_program(program)
+    if not denotation.ok:
+        assert denotation.failure is not None
+        raise PlanCorruptionError(
+            f"{path}: stored program does not denote a permutation "
+            f"({denotation.failure.describe()}), but the file carries "
+            "a positive semantic certificate"
+        )
+    if denotation.digest() != cert.denotation_sha:
+        raise PlanCorruptionError(
+            f"{path}: recomputed program denotation "
+            f"{denotation.digest()[:12]}... does not match the "
+            f"certified {cert.denotation_sha[:12]}... — the program "
+            "was altered after certification"
+        )
+    stored_p = np.asarray(p, dtype=np.int64)
+    if not np.array_equal(denotation.index_map, stored_p):
+        raise PlanCorruptionError(
+            f"{path}: stored program denotes a different permutation "
+            "than the stored p — the schedule arrays are inconsistent"
+        )
+    if (cert.requested_sha is not None
+            and cert.requested_sha != denotation_digest(stored_p)):
+        raise PlanCorruptionError(
+            f"{path}: embedded semantic certificate was issued for a "
+            "different requested permutation than the stored p"
         )
     return cert

@@ -140,6 +140,24 @@ class CertificateError(StaticCheckError):
     """
 
 
+class SemanticValidationError(StaticCheckError):
+    """Translation validation refuted a program rewrite.
+
+    Raised by :meth:`repro.passes.PassPipeline.run` in ``validate=True``
+    mode when an optimization pass changed the denoted index map of a
+    kernel program, and by the planner when a lowered program does not
+    denote the requested permutation.  Carries the refuting
+    :class:`~repro.staticcheck.semantics.SemanticCertificate` as
+    ``certificate`` (``None`` when no certificate could be built), whose
+    ``blame`` names the offending pass and whose ``counterexample``
+    pinpoints the first diverging index.
+    """
+
+    def __init__(self, message: str, certificate=None) -> None:
+        super().__init__(message)
+        self.certificate = certificate
+
+
 # ---------------------------------------------------------------------------
 # Telemetry
 # ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.passes.framework import (
     Pass,
     PassChange,
     PassPipeline,
+    ValidatedPass,
     identity_guard,
     is_identity_guard,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "PassChange",
     "PassPipeline",
     "SimplifyPadSlice",
+    "ValidatedPass",
     "aggressive_pipeline",
     "default_pipeline",
     "identity_guard",
@@ -77,15 +79,19 @@ def aggressive_pipeline() -> PassPipeline:
     """The default passes plus full identity-op elimination.
 
     Opt-in: deleting a standalone identity kernel changes the
-    program's *modelled* cost (those rounds are real on the HMM), so
-    the simulator-facing default keeps them.
+    program's *modelled* cost (those rounds are real on the HMM — see
+    the Table II identity-pricing note in ``docs/architecture.md``), so
+    the simulator-facing default keeps them.  The drop is gated behind
+    :class:`~repro.passes.framework.ValidatedPass`: a drop that would
+    change the program's denoted index map is refused rather than
+    applied, so aggressive mode is provably semantics-preserving.
     """
     return PassPipeline(
         (
             SimplifyPadSlice(),
             FuseRowwiseSteps(),
             FuseCasualChains(),
-            DropIdentityOps(),
+            ValidatedPass(DropIdentityOps()),
             CancelAdjacentTransposes(),
             AnnotateCost(),
         ),

@@ -26,11 +26,16 @@ records it as provenance metadata in plan files.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
 
 from repro import telemetry
 from repro.ir.ops import Slice
 from repro.ir.program import KernelProgram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.staticcheck.semantics import SemanticChecker
 
 #: Version of the pass-pipeline *semantics*; bump whenever a pass
 #: changes behaviour so content-addressed plan caches are invalidated.
@@ -133,17 +138,37 @@ class PassPipeline:
             lines.append(f"  {p.name:<20} {summary}")
         return "\n".join(lines)
 
-    def run(self, program: KernelProgram) -> KernelProgram:
+    def run(
+        self, program: KernelProgram, validate: bool = False
+    ) -> KernelProgram:
         """Optimize ``program``; the result is semantically identical
-        and never costs more rounds."""
-        optimized, _changes = self.explain(program)
+        and never costs more rounds.
+
+        With ``validate=True`` every applied rewrite is translation-
+        validated: the pipeline denotes the input program once
+        (:func:`repro.staticcheck.semantics.denote_program`), re-denotes
+        after each applied pass, and raises
+        :class:`~repro.errors.SemanticValidationError` — blaming the
+        exact pass on the attached certificate — the moment a rewrite
+        changes the denoted index map.  No executor runs and no payload
+        moves in either mode.
+        """
+        optimized, _changes = self.explain(program, validate=validate)
         return optimized
 
     def explain(
-        self, program: KernelProgram
+        self, program: KernelProgram, validate: bool = False
     ) -> tuple[KernelProgram, list[PassChange]]:
         """Like :meth:`run`, but also return the per-pass diff."""
         program.validate()
+        checker = None
+        if validate:
+            # Deferred import: repro.staticcheck.semantics depends on
+            # the IR only, but the staticcheck package as a whole pulls
+            # in layers that import this module.
+            from repro.staticcheck.semantics import SemanticChecker
+
+            checker = SemanticChecker(program)
         changes: list[PassChange] = []
         with telemetry.span(
             "passes.pipeline", engine=program.engine,
@@ -156,7 +181,9 @@ class PassPipeline:
             for _sweep in range(len(program.ops) + 2):
                 before_sweep = current
                 for p in self.passes:
-                    current = self._apply_one(p, current, changes)
+                    current = self._apply_one(
+                        p, current, changes, checker
+                    )
                 if current is before_sweep:
                     break
             sp.set(
@@ -173,6 +200,7 @@ class PassPipeline:
         p: Pass,
         current: KernelProgram,
         changes: list[PassChange],
+        checker: "SemanticChecker | None" = None,
     ) -> KernelProgram:
         with telemetry.span("passes." + p.name):
             after = p.run(current)
@@ -185,6 +213,8 @@ class PassPipeline:
                 return current
             after = identity_guard(after)
         after.validate()
+        if checker is not None:
+            checker.check(p.name, after)
         changes.append(
             PassChange(
                 name=p.name,
@@ -195,4 +225,58 @@ class PassPipeline:
             )
         )
         telemetry.count("passes.applied." + p.name)
+        return after
+
+
+class ValidatedPass:
+    """Gate a pass behind the semantic validator.
+
+    Wraps an inner pass and refuses any rewrite whose denoted index
+    map differs from the input's: the unproven rewrite is simply not
+    applied (the input program is returned unchanged) and a
+    ``passes.semantic.refused.<name>`` telemetry counter records the
+    refusal.  This is how ``aggressive_pipeline`` makes
+    ``drop-identities`` provably safe without giving up on it — a bad
+    drop degrades to a no-op instead of a wrong answer.
+
+    The wrapper's name (``validated(<inner>)``) is part of the
+    pipeline signature, so gating a pass invalidates content-addressed
+    plan caches exactly like changing the pass itself would.
+    """
+
+    def __init__(self, inner: Pass) -> None:
+        self.inner = inner
+
+    @property
+    def name(self) -> str:
+        return f"validated({self.inner.name})"
+
+    def run(self, program: KernelProgram) -> KernelProgram:
+        after = self.inner.run(program)
+        if after is program:
+            return program
+        from repro.staticcheck.semantics import denote_program
+
+        before_den = denote_program(program)
+        if not before_den.ok:
+            # Nothing provable to preserve; keep the input untouched.
+            telemetry.count("passes.semantic.refused." + self.inner.name)
+            return program
+        if after.ops:
+            after_den = denote_program(after)
+            preserved = after_den.ok and np.array_equal(
+                before_den.index_map, after_den.index_map
+            )
+        else:
+            # The framework will substitute the identity guard, which
+            # denotes the identity map.
+            preserved = bool(
+                np.array_equal(
+                    before_den.index_map,
+                    np.arange(program.n, dtype=np.int64),
+                )
+            )
+        if not preserved:
+            telemetry.count("passes.semantic.refused." + self.inner.name)
+            return program
         return after

@@ -136,11 +136,12 @@ class DiskPlanCache:
     Entries are ordinary :func:`repro.core.io.save_plan` files named
     ``<fingerprint>.npz``, stamped with pipeline/fingerprint
     provenance.  Loading reuses :func:`repro.core.io.load_plan`, so
-    every integrity check (checksum, certificate binding, structural
-    verify) guards the cache; an entry that fails any of them is
-    counted as corrupt and treated as a miss — the caller re-plans and
-    overwrites it.  Foreign files in the directory are ignored, never
-    deleted.
+    every integrity check (checksum, certificate binding and
+    re-verification against the recomputed program denotation,
+    structural verify) guards the cache; an entry that fails any of
+    them is invalidated on the spot — deleted, counted as corrupt,
+    treated as a miss — and the caller re-plans it.  Foreign files in
+    the directory are ignored, never deleted.
     """
 
     def __init__(self, directory: str | Path) -> None:
@@ -172,8 +173,13 @@ class DiskPlanCache:
         try:
             plan = load_plan(path)
         except PlanIntegrityError:
-            # Bit rot or tampering: never serve it.  Count it, report
-            # a miss; the caller's fresh re-plan overwrites the entry.
+            # Bit rot, tampering, or a certificate that failed
+            # re-verification against the recomputed denotation: never
+            # serve it, never raise through the serving path.  The
+            # entry is invalidated (deleted) so it cannot poison later
+            # loads, counted, and reported as a miss; the caller's
+            # fresh re-plan rewrites it.
+            path.unlink(missing_ok=True)
             self._count("corrupt", "planner.cache.corrupt")
             self._count("misses", "planner.cache.miss.disk")
             return None

@@ -20,6 +20,7 @@ from typing import Any
 import numpy as np
 
 from repro import telemetry
+from repro.errors import SemanticValidationError
 from repro.ir.program import KernelProgram
 from repro.ir.registry import get_engine
 from repro.passes import PassPipeline, default_pipeline
@@ -27,6 +28,10 @@ from repro.planner.cache import DiskPlanCache, LRUPlanCache
 from repro.planner.fingerprint import (
     permutation_digest,
     plan_fingerprint,
+)
+from repro.staticcheck.semantics import (
+    SemanticCertificate,
+    validate_translation,
 )
 
 
@@ -45,11 +50,16 @@ class CompiledPermutation:
         program: KernelProgram,
         fingerprint: str,
         pipeline_signature: str,
+        semantic_certificate: SemanticCertificate | None = None,
     ) -> None:
         self.engine = engine
         self.program = program
         self.fingerprint = fingerprint
         self.pipeline_signature = pipeline_signature
+        #: The translation-validation proof issued when the planner
+        #: optimized this handle's program (``None`` for handles built
+        #: outside the planner).
+        self.semantic_certificate = semantic_certificate
 
     @property
     def p(self) -> np.ndarray:
@@ -108,6 +118,8 @@ class CompiledPermutation:
             f"{self.fingerprint[:12]}...",
             f"  pipeline {self.pipeline_signature}",
         ]
+        if self.semantic_certificate is not None:
+            lines.append("  " + self.semantic_certificate.summary())
         lines.append(self.program.describe())
         return "\n".join(lines)
 
@@ -144,6 +156,7 @@ class Planner:
         )
         self.backend = backend
         self.plans = 0
+        self.semantic_rejections = 0
         #: Optional :class:`~repro.telemetry.MetricsRegistry`; when set
         #: every compile records ``planner_compile_seconds`` labeled by
         #: the cache tier that answered (``memory``/``disk``/``cold``)
@@ -236,15 +249,63 @@ class Planner:
                 if self.disk is not None:
                     self.disk.store(fp, plan,
                                     self.pipeline.signature())
-            program = plan.lower_optimized(self.pipeline)
+            program, cert, proven = self._optimize_validated(plan)
             compiled = CompiledPermutation(
                 engine=plan,
                 program=program,
                 fingerprint=fp,
                 pipeline_signature=self.pipeline.signature(),
+                semantic_certificate=cert,
             )
-            self.memory.put(fp, compiled)
+            if proven:
+                self.memory.put(fp, compiled)
             return compiled, tier
+
+    def _optimize_validated(
+        self, plan: Any
+    ) -> tuple[KernelProgram, SemanticCertificate, bool]:
+        """Optimize a plan's program under translation validation.
+
+        Runs the pipeline in ``validate=True`` mode and certifies the
+        result against the requested permutation.  On refutation the
+        compile is *not* failed: the raw (unoptimized) program — which
+        must itself denote the requested permutation, or
+        :class:`~repro.errors.SemanticValidationError` is raised — is
+        served instead, the ``planner.semantic.rejected`` telemetry
+        counter is bumped, and the returned ``proven`` flag is False so
+        callers refuse to cache the handle.
+        """
+        raw = plan.lower()
+        requested = np.asarray(plan.p)
+        signature = self.pipeline.signature()
+        try:
+            optimized = self.pipeline.run(raw, validate=True)
+            cert = validate_translation(
+                raw, optimized, requested=requested,
+                pipeline_signature=signature,
+            )
+            if cert.ok:
+                return optimized, cert, True
+        except SemanticValidationError as exc:
+            cert = exc.certificate
+        telemetry.count("planner.semantic.rejected")
+        with self._lock:
+            self.semantic_rejections += 1
+        blame = getattr(cert, "blame", None) or "<pipeline>"
+        telemetry.count("planner.semantic.rejected." + blame)
+        # Fall back to the raw program — still proved against the
+        # requested permutation, because an unproven optimization must
+        # degrade to slower, never to wrong.
+        fallback = validate_translation(raw, raw, requested=requested)
+        if not fallback.ok:
+            raise SemanticValidationError(
+                f"lowered program of engine "
+                f"{getattr(type(plan), 'engine_name', '?')!r} does not "
+                f"denote the requested permutation: "
+                f"{fallback.summary()}",
+                certificate=fallback,
+            )
+        return raw, fallback, False
 
     def _flight(self, fingerprint: str) -> threading.Lock:
         """The single-flight lock serialising cold compiles of one
@@ -262,7 +323,10 @@ class Planner:
         plan = self.disk.load(fingerprint)
         if plan is None:
             return False
-        program = plan.lower_optimized(self.pipeline)
+        program, cert, proven = self._optimize_validated(plan)
+        if not proven:
+            # An unproven optimization must not be pinned in memory.
+            return False
         self.memory.put(
             fingerprint,
             CompiledPermutation(
@@ -270,13 +334,17 @@ class Planner:
                 program=program,
                 fingerprint=fingerprint,
                 pipeline_signature=self.pipeline.signature(),
+                semantic_certificate=cert,
             ),
         )
         return True
 
     def stats(self) -> dict:
         """Merged hit/miss/eviction counters across both tiers."""
-        merged = {"cold_plans": self.plans}
+        merged = {
+            "cold_plans": self.plans,
+            "semantic_rejections": self.semantic_rejections,
+        }
         merged.update(self.memory.stats())
         if self.disk is not None:
             merged.update(self.disk.stats())

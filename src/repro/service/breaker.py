@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Callable
 
 from repro import telemetry
 from repro.errors import ValidationError
@@ -66,7 +67,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         reset_timeout: float = 0.5,
         half_open_probes: int = 1,
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if failure_threshold < 1:
             raise ValidationError(

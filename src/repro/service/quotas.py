@@ -19,6 +19,7 @@ bucket and gauges here are deliberately lock-free.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.errors import ValidationError
@@ -58,7 +59,9 @@ class TenantState:
     """Live accounting for one tenant (guarded by the server lock)."""
 
     def __init__(
-        self, quota: TenantQuota, clock=time.monotonic
+        self,
+        quota: TenantQuota,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.quota = quota
         self._clock = clock

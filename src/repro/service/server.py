@@ -56,6 +56,8 @@ import itertools
 import threading
 import time
 from collections import deque
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
@@ -163,9 +165,11 @@ class _Request:
     __slots__ = ("key", "payload", "batch", "priority", "deadline",
                  "enqueued", "tenant", "result", "rid", "ctx", "qspan")
 
-    def __init__(self, key, payload, batch, priority, deadline,
-                 enqueued, tenant, result, rid=0, ctx=None,
-                 qspan=None) -> None:
+    def __init__(self, key: str, payload: np.ndarray, batch: bool,
+                 priority: int, deadline: float | None,
+                 enqueued: float, tenant: str, result: "ServeResult",
+                 rid: int = 0, ctx: Any = None,
+                 qspan: Any = None) -> None:
         self.key = key
         self.payload = payload
         self.batch = batch
@@ -190,11 +194,11 @@ class _GuardedDiskCache:
     repeated heal-on-every-load work.
     """
 
-    def __init__(self, inner, breaker: CircuitBreaker) -> None:
+    def __init__(self, inner: Any, breaker: CircuitBreaker) -> None:
         self._inner = inner
         self.breaker = breaker
 
-    def load(self, fingerprint: str):
+    def load(self, fingerprint: str) -> Any:
         if not self.breaker.allow():
             telemetry.count("server.disk.bypassed")
             return None
@@ -206,7 +210,9 @@ class _GuardedDiskCache:
             self.breaker.record_success()
         return plan
 
-    def store(self, fingerprint: str, plan, pipeline_signature: str):
+    def store(
+        self, fingerprint: str, plan: Any, pipeline_signature: str
+    ) -> Any:
         path = self._inner.path_for(fingerprint)
         if not self.breaker.allow():
             telemetry.count("server.disk.bypassed")
@@ -224,7 +230,7 @@ class _GuardedDiskCache:
         self.breaker.record_success()
         return path
 
-    def __getattr__(self, attr):
+    def __getattr__(self, attr: str) -> Any:
         return getattr(self._inner, attr)
 
 
@@ -288,7 +294,7 @@ class PermutationServer:
         service: PermutationService | None = None,
         *,
         width: int = 32,
-        cache_dir=None,
+        cache_dir: Any = None,
         workers: int = 2,
         queue_capacity: int = 64,
         default_deadline_s: float | None = None,
@@ -302,13 +308,13 @@ class PermutationServer:
         quotas: dict[str, TenantQuota] | None = None,
         default_quota: TenantQuota = UNLIMITED_QUOTA,
         self_check: bool = False,
-        metrics=None,
-        slo=None,
-        recorder=None,
-        postmortem_dir=None,
+        metrics: Any = None,
+        slo: Any = None,
+        recorder: Any = None,
+        postmortem_dir: Any = None,
         metrics_port: int | None = None,
-        clock=time.monotonic,
-        sleep=time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
@@ -466,7 +472,7 @@ class PermutationServer:
     def __enter__(self) -> "PermutationServer":
         return self.start()
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         self.close()
 
     # ------------------------------------------------------------------

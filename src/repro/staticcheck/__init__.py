@@ -1,6 +1,6 @@
 """Static analysis for scheduled-permutation plans.
 
-Three layers, all pure functions over arrays and source text — nothing
+Four layers, all pure functions over arrays and source text — nothing
 here runs the simulator:
 
 * :mod:`repro.staticcheck.certifier` — proves the memory-access rounds
@@ -9,11 +9,17 @@ here runs the simulator:
   :func:`certify_program`) bank-conflict-free (DMM) and fully coalesced
   (UMM) from the schedule arrays alone, emitting a :class:`Certificate`
   or a precise :class:`Counterexample`;
+* :mod:`repro.staticcheck.semantics` — abstractly interprets any
+  kernel program into its denoted index map (:func:`denote_program`),
+  proves it a bijection, and performs translation validation of the
+  pass pipeline (:func:`validate_translation`), emitting a
+  :class:`SemanticCertificate`;
 * :mod:`repro.staticcheck.races` — write-write / read-write race
   detection over access-round traces, wired into the emulators behind
   ``detect_races=True``;
 * :mod:`repro.staticcheck.lint` — project-specific AST rules
-  (``python -m repro check``).
+  (``python -m repro check``), including the REP106/REP107
+  concurrency rules over the serving core.
 """
 
 from __future__ import annotations
@@ -50,6 +56,17 @@ from repro.staticcheck.races import (
     find_cross_round_hazards,
     find_intra_round_races,
 )
+from repro.staticcheck.semantics import (
+    SEMANTIC_CERTIFICATE_VERSION,
+    OpDenotation,
+    ProgramDenotation,
+    SemanticCertificate,
+    SemanticCounterexample,
+    denotation_digest,
+    denote_program,
+    prove_bijection,
+    validate_translation,
+)
 
 __all__ = [
     "CERTIFICATE_VERSION",
@@ -57,23 +74,32 @@ __all__ = [
     "Counterexample",
     "LINT_RULES",
     "LintFinding",
+    "OpDenotation",
+    "ProgramDenotation",
     "RaceFinding",
     "RoundVerdict",
+    "SEMANTIC_CERTIFICATE_VERSION",
+    "SemanticCertificate",
+    "SemanticCounterexample",
     "StaticRound",
     "analyze_round",
     "certify_plan",
     "certify_program",
     "certify_rounds",
     "check_races",
+    "denotation_digest",
+    "denote_program",
     "detect_races",
     "find_cross_round_hazards",
     "find_intra_round_races",
     "global_group_counts",
     "lint_source",
+    "prove_bijection",
     "plan_rounds",
     "program_rounds",
     "rowwise_rounds",
     "run_lint",
     "shared_bank_multiplicities",
     "transpose_rounds",
+    "validate_translation",
 ]

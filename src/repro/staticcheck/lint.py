@@ -1,6 +1,6 @@
 """Project-specific AST lint rules (``python -m repro check``).
 
-Generic linters cannot know this codebase's layering rules; these five
+Generic linters cannot know this codebase's layering rules; these seven
 checks encode them:
 
 ``REP101`` **bank/group arithmetic outside the machine layer** — the
@@ -49,6 +49,29 @@ checks encode them:
     syntactic: it flags the inline-call pattern, not programs passed
     through variables.
 
+``REP106`` **lock acquisition against the declared hierarchy** — in the
+    concurrency layers (``repro.service``, ``repro.planner``) a class's
+    lock hierarchy *is* its ``__init__`` declaration order: a method
+    may only acquire a later-declared lock while holding an
+    earlier-declared one (the server's ``stats()`` nesting ``_cond``
+    then ``_stats_lock`` is the canonical shape).  Detected via an AST
+    call-graph walk per class: direct ``with self.<lock>`` nesting
+    *and* calls — transitively — to methods that acquire, so
+    ``submit()`` holding ``_cond`` and calling ``_count()`` (which
+    takes ``_stats_lock``) is analysed exactly like inline nesting.
+    Re-acquiring a held non-reentrant ``Lock`` (a guaranteed
+    self-deadlock) is flagged too; ``RLock``/``Condition`` re-entry is
+    legal and exempt.
+
+``REP107`` **unguarded write to lock-shared state** — in the same
+    layers, an attribute written under ``with self.<lock>`` anywhere in
+    a class is *shared state*; a plain write to it elsewhere without
+    the lock is a lost-update bug (``x += 1`` under concurrency drops
+    increments).  Constructor writes are initialization and exempt, as
+    are writes in methods whose every same-class call site holds a
+    lock (the ``# Caller holds the lock`` helper pattern, proved by
+    the call-graph walk rather than taken on comment trust).
+
 Suppression: a source line containing ``staticcheck: ignore`` silences
 all rules on that line; ``staticcheck: ignore[REP105]`` silences one.
 """
@@ -70,7 +93,18 @@ LINT_RULES: dict[str, str] = {
     "REP103": "hard-coded narrow integer dtype (overflow pitfall)",
     "REP104": "engine class not registered with @register_engine",
     "REP105": "raw lower() result executed without the pass pipeline",
+    "REP106": "lock acquisition against the declared lock hierarchy",
+    "REP107": "write to lock-shared state outside its lock block",
 }
+
+#: Module prefixes the REP106/REP107 concurrency rules cover: the
+#: serving core and the planner's cache tiers, where locks guard state
+#: shared across server workers.
+_CONCURRENCY_LAYERS = ("repro.service", "repro.planner")
+
+#: ``threading`` constructors whose ``self.<attr> = ...`` assignment in
+#: ``__init__`` declares a lock; declaration order is the hierarchy.
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition"})
 
 #: Module prefixes REP104 treats as engine layers: a class defining
 #: ``lower()`` here must carry the ``@register_engine`` decorator.
@@ -383,6 +417,315 @@ class _Visitor(ast.NodeVisitor):
         return "pipeline" in name.lower()
 
 
+# ---------------------------------------------------------------------
+# REP106 / REP107: per-class concurrency analysis
+# ---------------------------------------------------------------------
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``attr`` when ``node`` is ``self.<attr>``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_declarations(cls: ast.ClassDef) -> dict[str, tuple[int, str]]:
+    """``{attr: (rank, kind)}`` for the locks ``__init__`` declares.
+
+    Rank is declaration order — the class's lock hierarchy.  ``kind``
+    is the ``threading`` factory name (``Lock`` is non-reentrant,
+    ``RLock``/``Condition`` re-enter legally).
+    """
+    init = next(
+        (
+            item
+            for item in cls.body
+            if isinstance(item, ast.FunctionDef)
+            and item.name == "__init__"
+        ),
+        None,
+    )
+    if init is None:
+        return {}
+    locks: dict[str, tuple[int, str]] = {}
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        func = value.func
+        factory = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        if factory not in _LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None and attr not in locks:
+                locks[attr] = (len(locks), factory)
+    return locks
+
+
+@dataclass
+class _MethodFacts:
+    """What one method does with locks, state and peer methods.
+
+    Every entry carries the tuple of declared locks lexically held at
+    that point (outermost first).
+    """
+
+    acquisitions: list[tuple[str, tuple[str, ...], ast.AST]]
+    calls: list[tuple[str, tuple[str, ...], ast.AST]]
+    writes: list[tuple[str, tuple[str, ...], ast.AST]]
+
+
+def _collect_method_facts(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    locks: dict[str, tuple[int, str]],
+) -> _MethodFacts:
+    facts = _MethodFacts(acquisitions=[], calls=[], writes=[])
+
+    def write_target(target: ast.expr) -> str | None:
+        attr = _self_attr(target)
+        if attr is not None:
+            return attr
+        if isinstance(target, ast.Subscript):
+            # `self.d[k] = v` mutates self.d just like `self.x = v`.
+            return _self_attr(target.value)
+        return None
+
+    def visit(node: ast.AST, held: tuple[str, ...]) -> None:
+        if (
+            isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            )
+            and node is not fn
+        ):
+            # Nested scopes run at another time, under another stack;
+            # the lexically-held set does not apply to them.
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                visit(item.context_expr, inner)
+                attr = _self_attr(item.context_expr)
+                if attr in locks:
+                    facts.acquisitions.append((attr, inner, node))
+                    inner = inner + (attr,)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                attr = _self_attr(func)
+                if attr is not None:
+                    facts.calls.append((attr, held, node))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = write_target(target)
+                if attr is not None:
+                    facts.writes.append((attr, held, node))
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            attr = write_target(node.target)
+            if attr is not None:
+                facts.writes.append((attr, held, node))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    visit(fn, ())
+    return facts
+
+
+def _transitive_locks(
+    methods: dict[str, _MethodFacts],
+) -> dict[str, set[str]]:
+    """Fixpoint of "locks method m may acquire", through self-calls."""
+    acquired = {
+        name: {lock for lock, _held, _node in facts.acquisitions}
+        for name, facts in methods.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, facts in methods.items():
+            for callee, _held, _node in facts.calls:
+                extra = acquired.get(callee, set()) - acquired[name]
+                if extra:
+                    acquired[name] |= extra
+                    changed = True
+    return acquired
+
+
+def _guarded_methods(methods: dict[str, _MethodFacts]) -> set[str]:
+    """Methods whose *every* same-class call site holds a lock.
+
+    Greatest fixpoint: start from every method that has at least one
+    internal call site, then drop any with an unguarded call site in a
+    non-guarded method.  Methods callable from outside the class
+    (no internal call sites) are never guarded.
+    """
+    callsites: dict[str, list[tuple[str, tuple[str, ...]]]] = {}
+    for caller, facts in methods.items():
+        for callee, held, _node in facts.calls:
+            if callee in methods:
+                callsites.setdefault(callee, []).append((caller, held))
+    guarded = {name for name in methods if callsites.get(name)}
+    changed = True
+    while changed:
+        changed = False
+        for name in list(guarded):
+            for caller, held in callsites[name]:
+                if not held and caller not in guarded:
+                    guarded.discard(name)
+                    changed = True
+                    break
+    return guarded
+
+
+class _ConcurrencyChecker:
+    """Runs REP106/REP107 over one lock-declaring class."""
+
+    def __init__(
+        self,
+        cls: ast.ClassDef,
+        locks: dict[str, tuple[int, str]],
+        path: str,
+    ) -> None:
+        self.cls = cls
+        self.locks = locks
+        self.path = path
+        self.findings: list[LintFinding] = []
+        self.methods = {
+            item.name: _collect_method_facts(item, locks)
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        self.transitive = _transitive_locks(self.methods)
+        self.guarded = _guarded_methods(self.methods)
+
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            LintFinding(
+                rule=rule,
+                path=self.path,
+                line=int(getattr(node, "lineno", 1)),
+                col=int(getattr(node, "col_offset", 0)),
+                message=f"[{self.cls.name}] {message}",
+            )
+        )
+
+    def _hierarchy(self) -> str:
+        ordered = sorted(self.locks, key=lambda a: self.locks[a][0])
+        return " -> ".join(f"self.{attr}" for attr in ordered)
+
+    # -- REP106 --------------------------------------------------------
+
+    def _check_order(
+        self,
+        acquires: str,
+        held: tuple[str, ...],
+        node: ast.AST,
+        via: str | None,
+    ) -> None:
+        rank, kind = self.locks[acquires]
+        route = f" (via self.{via}())" if via else ""
+        for outer in held:
+            outer_rank, _outer_kind = self.locks[outer]
+            if acquires == outer:
+                if kind == "Lock":
+                    self._report(
+                        "REP106", node,
+                        f"re-acquires non-reentrant self.{acquires} "
+                        f"while holding it{route} — guaranteed "
+                        "self-deadlock",
+                    )
+                continue
+            if rank < outer_rank:
+                self._report(
+                    "REP106", node,
+                    f"acquires self.{acquires} while holding "
+                    f"self.{outer}{route}, against the declared lock "
+                    f"hierarchy {self._hierarchy()} (declaration "
+                    "order in __init__)",
+                )
+
+    def check_rep106(self) -> None:
+        for facts in self.methods.values():
+            for lock, held, node in facts.acquisitions:
+                if held:
+                    self._check_order(lock, held, node, via=None)
+            for callee, held, node in facts.calls:
+                if not held:
+                    continue
+                for lock in sorted(self.transitive.get(callee, ())):
+                    self._check_order(lock, held, node, via=callee)
+
+    # -- REP107 --------------------------------------------------------
+
+    def check_rep107(self) -> None:
+        # Shared state: attributes with at least one lock-guarded
+        # write — lexically, via a fully call-site-guarded method, or
+        # in a method that is *sometimes* entered under a lock (one
+        # locked call site makes every write in it lock-shared).
+        sometimes_locked = {
+            callee
+            for facts in self.methods.values()
+            for callee, held, _node in facts.calls
+            if held and callee in self.methods
+        }
+        guarding: dict[str, set[str]] = {}
+        for name, facts in self.methods.items():
+            if name == "__init__":
+                continue
+            for attr, held, _node in facts.writes:
+                if attr in self.locks:
+                    continue
+                if held:
+                    guarding.setdefault(attr, set()).add(held[-1])
+                elif name in self.guarded or name in sometimes_locked:
+                    guarding.setdefault(attr, set())
+        for name, facts in self.methods.items():
+            if name == "__init__" or name in self.guarded:
+                continue
+            for attr, held, node in facts.writes:
+                if attr not in guarding or held:
+                    continue
+                locks = sorted(guarding[attr]) or ["<lock>"]
+                self._report(
+                    "REP107", node,
+                    f"write to shared attribute self.{attr} outside a "
+                    f"`with self.{locks[0]}` block; other writes are "
+                    "lock-guarded, so this one races them",
+                )
+
+
+def _concurrency_findings(
+    tree: ast.Module, module: str, path: str
+) -> list[LintFinding]:
+    """REP106/REP107 over every lock-declaring class in a module."""
+    if not _allowed(module, _CONCURRENCY_LAYERS):
+        return []
+    findings: list[LintFinding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        locks = _lock_declarations(node)
+        if not locks:
+            continue
+        checker = _ConcurrencyChecker(node, locks, path)
+        checker.check_rep106()
+        checker.check_rep107()
+        findings.extend(checker.findings)
+    return findings
+
+
 def _suppressed(source_lines: list[str], finding: LintFinding) -> bool:
     if not 1 <= finding.line <= len(source_lines):
         return False
@@ -410,11 +753,14 @@ def lint_source(
         ) from exc
     visitor = _Visitor(module=module, path=path)
     visitor.visit(tree)
+    collected = visitor.findings + _concurrency_findings(
+        tree, module, path
+    )
     lines = source.splitlines()
     selected = set(rules) if rules is not None else None
     findings = [
         finding
-        for finding in visitor.findings
+        for finding in collected
         if (selected is None or finding.rule in selected)
         and not _suppressed(lines, finding)
     ]

@@ -1,0 +1,144 @@
+"""Hypothesis strategies generating random, well-formed
+:class:`~repro.ir.program.KernelProgram` values.
+
+Shared by the semantics tests (denotation vs. executor differential),
+the certifier property tests, and the pass-pipeline fuzz: one
+generator, three independent oracles.  Every generated program
+``validate()``s and denotes a bijection by construction — each op is a
+permutation of position space — so any disagreement downstream is a
+bug in the code under test, not in the generator.
+
+The generator covers every permutation-shaped op kind: casual
+write/read, cycle rotate, gather/scatter, per-row rowwise scatter,
+transpose (when ``n`` is square), and an optional pad/permute/slice
+envelope around the whole chain.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.ir.ops import (
+    CasualRead,
+    CasualWrite,
+    CycleRotate,
+    GatherScatter,
+    KernelOp,
+    Pad,
+    RowwiseScatter,
+    Slice,
+    Transpose,
+)
+from repro.ir.program import KernelProgram
+
+#: Sizes small enough to denote instantly yet large enough to hit
+#: every code path (square and non-square, even and odd).
+PROGRAM_SIZES = (4, 9, 16, 30, 64)
+
+
+def _perm(rng: np.random.Generator, size: int) -> np.ndarray:
+    return rng.permutation(size).astype(np.int64)
+
+
+def _square_side(size: int) -> int | None:
+    side = math.isqrt(size)
+    return side if side * side == size else None
+
+
+def _op_at(rng: np.random.Generator, size: int, index: int) -> KernelOp:
+    """One random permutation-shaped op acting on ``size`` elements."""
+    side = _square_side(size)
+    kinds = ["casual-write", "casual-read", "cycle-rotate",
+             "gather-scatter"]
+    if side is not None and side > 1:
+        kinds += ["rowwise-scatter", "transpose"]
+    kind = kinds[int(rng.integers(len(kinds)))]
+    label = f"fuzz{index}.{kind}"
+    if kind == "casual-write":
+        return CasualWrite(label=label, p=_perm(rng, size))
+    if kind == "casual-read":
+        return CasualRead(label=label, q=_perm(rng, size))
+    if kind == "cycle-rotate":
+        return CycleRotate(label=label, p=_perm(rng, size))
+    if kind == "gather-scatter":
+        return GatherScatter(
+            label=label, s=_perm(rng, size), t=_perm(rng, size)
+        )
+    if kind == "rowwise-scatter":
+        gamma = np.stack(
+            [_perm(rng, side) for _ in range(side)]
+        ).astype(np.int64)
+        return RowwiseScatter(label=label, gamma=gamma, width=0)
+    return Transpose(label=label, m=side, width=0)
+
+
+def build_program(
+    seed: int, n: int, num_ops: int, padded: bool
+) -> KernelProgram:
+    """Deterministically build one random bijective program.
+
+    With ``padded`` the op chain runs at ``N > n`` inside a
+    ``Pad(n -> N) ... CasualWrite(restore) Slice(n)`` envelope, where
+    ``restore`` sends every live element back under ``n`` so the final
+    slice provably drops only padding.
+    """
+    rng = np.random.default_rng(seed)
+    ops: list[KernelOp] = []
+    if padded:
+        size = n + int(rng.integers(1, n + 1))
+        ops.append(Pad(label="fuzz.pad", n=n, padded_n=size))
+    else:
+        size = n
+    for index in range(num_ops):
+        ops.append(_op_at(rng, size, index))
+    if padded:
+        # Track where the live elements ended up, then write them back
+        # into 0..n-1 so the slice is semantics-preserving.
+        dest = np.arange(size, dtype=np.int64)
+        for op in ops[1:]:
+            if isinstance(op, CasualWrite):
+                dest = op.p[dest]
+            elif isinstance(op, CasualRead):
+                inv = np.empty(size, dtype=np.int64)
+                inv[op.q] = np.arange(size, dtype=np.int64)
+                dest = inv[dest]
+            elif isinstance(op, CycleRotate):
+                dest = op.p[dest]
+            elif isinstance(op, GatherScatter):
+                inv_s = np.empty(size, dtype=np.int64)
+                inv_s[op.s] = np.arange(size, dtype=np.int64)
+                dest = op.t[inv_s[dest]]
+            elif isinstance(op, RowwiseScatter):
+                m = op.m
+                dest = (dest // m) * m + op.gamma[dest // m, dest % m]
+            elif isinstance(op, Transpose):
+                dest = (dest % op.m) * op.m + dest // op.m
+        live = dest[:n]
+        padding = dest[n:]
+        restore = np.empty(size, dtype=np.int64)
+        restore[live] = np.arange(n, dtype=np.int64)
+        restore[padding] = np.arange(n, size, dtype=np.int64)
+        ops.append(CasualWrite(label="fuzz.restore", p=restore))
+        ops.append(Slice(label="fuzz.slice", n=n))
+    program = KernelProgram(
+        engine="fuzz", n=n, width=0, ops=tuple(ops)
+    )
+    program.validate()
+    return program
+
+
+@st.composite
+def kernel_programs(
+    draw, sizes: tuple[int, ...] = PROGRAM_SIZES,
+    max_ops: int = 5, allow_padded: bool = True,
+) -> KernelProgram:
+    """Strategy over random bijective kernel programs."""
+    return build_program(
+        seed=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        n=draw(st.sampled_from(sizes)),
+        num_ops=draw(st.integers(min_value=1, max_value=max_ops)),
+        padded=allow_padded and draw(st.booleans()),
+    )

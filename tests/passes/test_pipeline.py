@@ -139,3 +139,62 @@ class TestIdentityGuard:
         assert is_identity_guard(optimized)
         a = np.arange(_N, dtype=np.float32)
         assert np.array_equal(ReferenceExecutor().run(optimized, a), a)
+
+
+class TestValidateMode:
+    """``run(validate=True)``: per-pass translation validation."""
+
+    def test_clean_pipeline_validates_unchanged(self):
+        p = random_permutation(_N, seed=7)
+        raw = get_engine("scheduled").plan(p, width=_WIDTH).lower()
+        checked = default_pipeline().run(raw, validate=True)
+        plain = default_pipeline().run(raw)
+        assert [op.kind for op in checked.ops] == \
+            [op.kind for op in plain.ops]
+
+    def test_broken_pass_raises_with_blame(self):
+        import dataclasses
+
+        from repro.errors import SemanticValidationError
+        from repro.ir.ops import CasualWrite
+
+        class Swapper:
+            name = "swap-two"
+
+            def run(self, program):
+                q = np.arange(program.n, dtype=np.int64)
+                q[0], q[1] = q[1], q[0]
+                return dataclasses.replace(
+                    program,
+                    ops=(*program.ops,
+                         CasualWrite(label="swap", p=q)),
+                    meta=None,
+                )
+
+        p = random_permutation(_N, seed=7)
+        raw = get_engine("cpu-blocked").plan(p, width=_WIDTH).lower()
+        pipeline = PassPipeline(
+            (*default_pipeline().passes, Swapper()), name="broken"
+        )
+        with pytest.raises(SemanticValidationError) as excinfo:
+            pipeline.run(raw, validate=True)
+        cert = excinfo.value.certificate
+        assert cert is not None
+        assert cert.blame == "swap-two"
+        assert cert.counterexample is not None
+        # The counterexample pinpoints one of the swapped elements.
+        swapped = {int(np.flatnonzero(p == 0)[0]),
+                   int(np.flatnonzero(p == 1)[0])}
+        assert cert.counterexample.index in swapped
+
+    def test_explain_validate_reports_same_changes(self):
+        p = bit_reversal(_N)
+        engine = get_engine("scheduled").plan(p, width=_WIDTH)
+        raw = concat_programs(
+            engine.lower(), engine.inverse().lower(),
+            engine="roundtrip",
+        )
+        _opt, changes = default_pipeline().explain(raw)
+        _opt2, checked = default_pipeline().explain(raw, validate=True)
+        assert [c.name for c in changes] == \
+            [c.name for c in checked]

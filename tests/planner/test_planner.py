@@ -225,3 +225,85 @@ class TestLRUInvalidate:
         before = cache.stats()["memory_misses"]
         assert cache.get_if_present("0" * 64) is None
         assert cache.stats()["memory_misses"] == before
+
+
+class TestSemanticRejection:
+    """An unproven optimization degrades to the raw program — slower,
+    never wrong, never cached."""
+
+    @staticmethod
+    def _broken_pipeline():
+        import dataclasses
+
+        from repro.ir.ops import CasualWrite
+        from repro.passes import PassPipeline, default_pipeline
+
+        class Swapper:
+            name = "swap-two"
+
+            def run(self, program):
+                q = np.arange(program.n, dtype=np.int64)
+                q[0], q[1] = q[1], q[0]
+                return dataclasses.replace(
+                    program,
+                    ops=(*program.ops,
+                         CasualWrite(label="swap", p=q)),
+                    meta=None,
+                )
+
+        return PassPipeline(
+            (*default_pipeline().passes, Swapper()), name="broken"
+        )
+
+    def test_fallback_serves_raw_program_correctly(self):
+        p = random_permutation(_N, seed=9)
+        planner = Planner(pipeline=self._broken_pipeline())
+        tracer = telemetry.Tracer()
+        with telemetry.use_tracer(tracer):
+            compiled = planner.compile(p, engine="scheduled",
+                                       width=_WIDTH)
+        a = np.random.default_rng(1).random(_N).astype(np.float32)
+        np.testing.assert_array_equal(compiled.apply(a),
+                                      _expected(p, a))
+        # The refutation is attached, counted, and blamed.
+        cert = compiled.semantic_certificate
+        assert cert is not None and cert.ok   # the *fallback* proof
+        assert planner.stats()["semantic_rejections"] == 1
+        assert tracer.counters["planner.semantic.rejected"] == 1
+        assert tracer.counters[
+            "planner.semantic.rejected.swap-two"] == 1
+
+    def test_unproven_handle_not_cached(self):
+        p = random_permutation(_N, seed=9)
+        planner = Planner(pipeline=self._broken_pipeline())
+        first = planner.compile(p, engine="scheduled", width=_WIDTH)
+        assert first.fingerprint not in planner.memory
+        # Every compile re-resolves (and re-rejects) — no poisoning.
+        planner.compile(p, engine="scheduled", width=_WIDTH)
+        assert planner.stats()["semantic_rejections"] == 2
+
+    def test_healthy_pipeline_is_cached_and_certified(self, tmp_path):
+        p = random_permutation(_N, seed=9)
+        planner = Planner(cache_dir=tmp_path)
+        compiled = planner.compile(p, engine="scheduled",
+                                   width=_WIDTH)
+        assert compiled.fingerprint in planner.memory
+        cert = compiled.semantic_certificate
+        assert cert is not None and cert.ok
+        assert cert.matches_requested is True
+        assert planner.stats()["semantic_rejections"] == 0
+        assert "semantics certified" in compiled.describe()
+
+    def test_warm_from_disk_refuses_unproven(self, tmp_path):
+        p = random_permutation(_N, seed=9)
+        seed_planner = Planner(cache_dir=tmp_path)
+        fp = seed_planner.fingerprint(p, engine="scheduled",
+                                      width=_WIDTH)
+        seed_planner.compile(p, engine="scheduled", width=_WIDTH)
+
+        broken = Planner(cache_dir=tmp_path,
+                         pipeline=self._broken_pipeline())
+        # Same disk entry, but the broken pipeline cannot prove its
+        # optimization — warming must refuse to pin it in memory.
+        assert not broken.warm_from_disk(fp)
+        assert fp not in broken.memory

@@ -288,9 +288,188 @@ class TestRep105:
         assert findings_of(src, "repro.apps.sorting") == []
 
 
+_LOCKED_CLASS = """
+import threading
+
+class Server:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._stats_lock = threading.Lock()
+        self.served = 0
+"""
+
+
+class TestRep106:
+    def test_inversion_flagged(self):
+        src = _LOCKED_CLASS + (
+            "    def bad(self):\n"
+            "        with self._stats_lock:\n"
+            "            with self._cond:\n"
+            "                pass\n"
+        )
+        findings = findings_of(src, "repro.service.server")
+        assert [f.rule for f in findings] == ["REP106"]
+        assert "hierarchy" in findings[0].message
+
+    def test_declared_order_clean(self):
+        src = _LOCKED_CLASS + (
+            "    def good(self):\n"
+            "        with self._cond:\n"
+            "            with self._stats_lock:\n"
+            "                pass\n"
+        )
+        assert findings_of(src, "repro.service.server") == []
+
+    def test_inversion_through_call_graph_flagged(self):
+        """The acquisition hides one self-call deep — the transitive
+        lock-set fixpoint still sees it."""
+        src = _LOCKED_CLASS + (
+            "    def helper(self):\n"
+            "        with self._cond:\n"
+            "            pass\n\n"
+            "    def bad(self):\n"
+            "        with self._stats_lock:\n"
+            "            self.helper()\n"
+        )
+        findings = findings_of(src, "repro.service.server")
+        assert [f.rule for f in findings] == ["REP106"]
+        assert "via self.helper()" in findings[0].message
+
+    def test_nonreentrant_self_deadlock_flagged(self):
+        src = _LOCKED_CLASS + (
+            "    def bad(self):\n"
+            "        with self._stats_lock:\n"
+            "            with self._stats_lock:\n"
+            "                pass\n"
+        )
+        findings = findings_of(src, "repro.service.server")
+        assert [f.rule for f in findings] == ["REP106"]
+        assert "self-deadlock" in findings[0].message
+
+    def test_reentrant_kinds_may_reenter(self):
+        src = _LOCKED_CLASS + (
+            "    def notify(self):\n"
+            "        with self._cond:\n"
+            "            with self._cond:\n"
+            "                pass\n"
+        )
+        assert findings_of(src, "repro.service.server") == []
+
+    def test_outside_concurrency_layers_exempt(self):
+        src = _LOCKED_CLASS + (
+            "    def bad(self):\n"
+            "        with self._stats_lock:\n"
+            "            with self._cond:\n"
+            "                pass\n"
+        )
+        assert findings_of(src, "repro.machine.dmm") == []
+
+    def test_call_typed_with_items_not_locks(self):
+        """`with self._flight(fp):` is a call, not a declared lock."""
+        src = _LOCKED_CLASS + (
+            "    def _flight(self, fp):\n"
+            "        return self._cond\n\n"
+            "    def serve(self, fp):\n"
+            "        with self._stats_lock:\n"
+            "            with self._flight(fp):\n"
+            "                pass\n"
+        )
+        findings = findings_of(src, "repro.service.server")
+        # _flight acquires nothing itself, so the call contributes no
+        # transitive locks and the with-item is not an acquisition.
+        assert findings == []
+
+    def test_inline_suppression(self):
+        src = _LOCKED_CLASS + (
+            "    def bad(self):\n"
+            "        with self._stats_lock:\n"
+            "            with self._cond:"
+            "  # staticcheck: ignore[REP106]\n"
+            "                pass\n"
+        )
+        assert findings_of(src, "repro.service.server") == []
+
+
+class TestRep107:
+    def test_unguarded_write_to_shared_attr_flagged(self):
+        src = _LOCKED_CLASS + (
+            "    def inc(self):\n"
+            "        with self._stats_lock:\n"
+            "            self.served += 1\n\n"
+            "    def racy(self):\n"
+            "        self.served = 0\n"
+        )
+        findings = findings_of(src, "repro.service.server")
+        assert [f.rule for f in findings] == ["REP107"]
+        assert "self.served" in findings[0].message
+
+    def test_subscript_write_also_tracked(self):
+        src = _LOCKED_CLASS + (
+            "    def put(self, k, v):\n"
+            "        with self._stats_lock:\n"
+            "            self.served = {}\n\n"
+            "    def racy(self, k, v):\n"
+            "        self.served[k] = v\n"
+        )
+        findings = findings_of(src, "repro.service.server")
+        assert [f.rule for f in findings] == ["REP107"]
+
+    def test_init_writes_exempt(self):
+        src = _LOCKED_CLASS + (
+            "    def inc(self):\n"
+            "        with self._stats_lock:\n"
+            "            self.served += 1\n"
+        )
+        # __init__'s unguarded `self.served = 0` must not count.
+        assert findings_of(src, "repro.service.server") == []
+
+    def test_never_guarded_attr_is_not_shared(self):
+        src = _LOCKED_CLASS + (
+            "    def set_meta(self, m):\n"
+            "        self.meta = m\n"
+        )
+        assert findings_of(src, "repro.service.server") == []
+
+    def test_callsite_guarded_method_clean(self):
+        """A helper only ever invoked under the lock writes safely."""
+        src = _LOCKED_CLASS + (
+            "    def _bump(self):\n"
+            "        self.served += 1\n\n"
+            "    def serve(self):\n"
+            "        with self._stats_lock:\n"
+            "            self._bump()\n"
+        )
+        assert findings_of(src, "repro.service.server") == []
+
+    def test_one_unguarded_callsite_breaks_the_guard(self):
+        src = _LOCKED_CLASS + (
+            "    def _bump(self):\n"
+            "        self.served += 1\n\n"
+            "    def serve(self):\n"
+            "        with self._stats_lock:\n"
+            "            self._bump()\n\n"
+            "    def sneak(self):\n"
+            "        self._bump()\n"
+        )
+        findings = findings_of(src, "repro.service.server")
+        assert [f.rule for f in findings] == ["REP107"]
+
+    def test_inline_suppression(self):
+        src = _LOCKED_CLASS + (
+            "    def inc(self):\n"
+            "        with self._stats_lock:\n"
+            "            self.served += 1\n\n"
+            "    def racy(self):\n"
+            "        self.served = 0"
+            "  # staticcheck: ignore[REP107]\n"
+        )
+        assert findings_of(src, "repro.service.server") == []
+
+
 class TestCatalogue:
     def test_rules_documented(self):
         assert set(LINT_RULES) == {
-            "REP101", "REP102", "REP103", "REP104", "REP105"
+            "REP101", "REP102", "REP103", "REP104", "REP105",
+            "REP106", "REP107",
         }
         assert all(LINT_RULES.values())
