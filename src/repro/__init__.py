@@ -62,6 +62,7 @@ from repro.core.io import load_plan, save_plan
 from repro.core.selector import (
     AutoPermutation,
     predict_all,
+    predict_sharded,
     predict_times,
     recommend,
 )
@@ -189,6 +190,7 @@ __all__ = [
     "plan_fingerprint",
     "planner",
     "predict_all",
+    "predict_sharded",
     "predict_times",
     "recommend",
     "register_engine",

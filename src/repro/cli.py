@@ -89,6 +89,34 @@ def _add_machine_args(sub) -> None:
     sub.add_argument("--latency", type=int, default=100,
                      help="global memory latency l")
     sub.add_argument("--dmms", type=int, default=8, help="number of DMMs d")
+    sub.add_argument(
+        "--d", type=int, default=None, dest="shard_d", metavar="WORKERS",
+        help="also price the out-of-core row-stripe sharding for this "
+             "shard count (plus 1, 2, 4, 8), with the exact inter-DMM "
+             "exchange charge for this permutation",
+    )
+
+
+def _sharded_section(p, machine, dtype, shard_d) -> str:
+    """The ``--d`` addendum: a d-scaling table of the three-phase
+    out-of-core model (local per-DMM rounds + inter-DMM exchange)."""
+    from repro.core.selector import predict_sharded
+
+    ds = tuple(sorted({1, 2, 4, 8, int(shard_d)}))
+    times = predict_sharded(p, machine, dtype=dtype, ds=ds)
+    if not times:
+        return ("\nsharded model: n/a (no requested shard count "
+                "divides n)")
+    rows = [
+        [d, t["local"], t["exchange"], t["total"]]
+        for d, t in sorted(times.items())
+    ]
+    return "\n\n" + format_table(
+        ["d", "local time", "exchange time", "total time"],
+        rows,
+        title="out-of-core sharding (three-phase model, exact "
+              "exchange volume)",
+    )
 
 
 def cmd_cost(args) -> str:
@@ -152,6 +180,8 @@ def cmd_cost(args) -> str:
             f"{stats['disk_misses']} miss(es), "
             f"{stats['cold_plans']} cold plan(s)"
         )
+    if getattr(args, "shard_d", None):
+        table += _sharded_section(p, machine, dtype, args.shard_d)
     return table
 
 
@@ -207,10 +237,32 @@ def cmd_plan(args) -> str:
         )
     else:
         plan = get_engine(args.engine).plan(p, width=args.width)
-    save_plan(
-        args.out, plan,
-        provenance={"pipeline": signature, "fingerprint": fingerprint},
-    )
+    provenance = {"pipeline": signature, "fingerprint": fingerprint}
+    shard_note = ""
+    if getattr(args, "shard_d", None):
+        # Prove the d-stripe sharding before stamping it: a plan file
+        # only ever advertises a shard count its program was actually
+        # factorized and translation-validated at.
+        from repro.errors import ShardingError
+        from repro.planner import shard_fingerprint
+        from repro.shard import shard_program
+
+        try:
+            sharded = shard_program(plan.lower(), args.shard_d)
+        except ShardingError as exc:
+            raise SystemExit(
+                f"plan: sharding at d = {args.shard_d} refused: "
+                + " ".join(str(exc).split())
+            ) from exc
+        shard_fp = shard_fingerprint(fingerprint, args.shard_d)
+        provenance["shard_d"] = str(args.shard_d)
+        provenance["shard_fingerprint"] = shard_fp
+        shard_note = (
+            f"\nsharded at d = {args.shard_d}: proven "
+            f"({sharded.exchange_elements} exchange element(s)); "
+            f"shard fingerprint {shard_fp[:12]}..."
+        )
+    save_plan(args.out, plan, provenance=provenance)
     if isinstance(plan, ScheduledPermutation):
         return (
             f"planned {args.perm} permutation of n = {args.n} "
@@ -218,14 +270,14 @@ def cmd_plan(args) -> str:
             f"schedule data: {plan.schedule_bytes()} bytes; shared "
             f"memory per block: {plan.shared_bytes(np.float32)} B "
             f"(float) / {plan.shared_bytes(np.float64)} B (double)\n"
-            f"saved to {args.out}" + cache_note
+            f"saved to {args.out}" + cache_note + shard_note
         )
     program = plan.lower()
     return (
         f"planned {args.perm} permutation of n = {args.n} with engine "
         f"{args.engine} ({len(program.ops)} kernel op(s), "
         f"{program.num_rounds} access rounds)\n"
-        f"saved to {args.out}" + cache_note
+        f"saved to {args.out}" + cache_note + shard_note
     )
 
 
@@ -277,6 +329,14 @@ def cmd_verify_plan(args) -> str:
         prov_line = (
             "provenance: none recorded (file predates the planner or "
             "was saved outside it)"
+        )
+    if "shard_d" in provenance:
+        shard_fp = provenance.get("shard_fingerprint", "")
+        fp_part = f"; shard fingerprint {shard_fp[:12]}..." \
+            if shard_fp else ""
+        prov_line += (
+            f"\nsharding: proven at d = {provenance['shard_d']}"
+            f"{fp_part}"
         )
     footer = (
         f"{cert_line}\n"
@@ -589,6 +649,10 @@ def cmd_profile(args) -> str:
         parts.append(
             f"wrote Chrome trace to {args.trace_out} "
             "(load in chrome://tracing or https://ui.perfetto.dev)"
+        )
+    if getattr(args, "shard_d", None):
+        parts.append(
+            _sharded_section(p, machine, dtype, args.shard_d).lstrip("\n")
         )
     if args.events_out:
         parts.append(f"wrote JSONL event log to {args.events_out}")
@@ -1047,6 +1111,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ENGINE",
         help="registered engine to plan with (default: scheduled); "
              f"one of: {', '.join(engines)}",
+    )
+    plan.add_argument(
+        "--d", type=int, default=None, dest="shard_d",
+        metavar="WORKERS",
+        help="prove the d-stripe out-of-core sharding (refusing the "
+             "save if it fails validation) and stamp the shard count "
+             "and fingerprint into the plan file's provenance",
     )
     _add_cache_dir_flag(plan)
     plan.set_defaults(func=cmd_plan)

@@ -29,7 +29,12 @@ from repro.core.transpose import TiledTranspose
 from repro.core.rowwise import RowwiseSchedule
 from repro.core.colwise import ColumnwiseSchedule
 from repro.core.scheduler import ThreeStepDecomposition, decompose
-from repro.core.selector import AutoPermutation, predict_times, recommend
+from repro.core.selector import (
+    AutoPermutation,
+    predict_sharded,
+    predict_times,
+    recommend,
+)
 from repro.core.scheduled import ScheduledPermutation
 from repro.core.distribution import (
     distribution,
@@ -67,6 +72,7 @@ __all__ = [
     "expected_random_distribution",
     "load_plan",
     "padded_length",
+    "predict_sharded",
     "predict_times",
     "recommend",
     "save_plan",

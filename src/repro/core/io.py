@@ -94,12 +94,17 @@ METADATA_KEYS = (
     "semantic_certificate",
     "pipeline",
     "fingerprint",
+    "shard_d",
+    "shard_fingerprint",
 )
 
 #: Optional provenance metadata the planner stamps on cached plans:
-#: the pass-pipeline signature the plan was optimized under and the
-#: content-addressed fingerprint it is cached by.
-PROVENANCE_KEYS = ("pipeline", "fingerprint")
+#: the pass-pipeline signature the plan was optimized under, the
+#: content-addressed fingerprint it is cached by, and — when the plan
+#: was sharded for out-of-core streaming — the shard count and the
+#: ``d``-scoped shard fingerprint.
+PROVENANCE_KEYS = ("pipeline", "fingerprint", "shard_d",
+                   "shard_fingerprint")
 
 #: Version-2 payload keys in their canonical (checksum) order; kept for
 #: loading legacy scheduled-plan files.
@@ -147,6 +152,50 @@ def plan_checksum(arrays: dict, keys: tuple[str, ...] | None = None) -> str:
 # ----------------------------------------------------------------------
 
 
+def _narrow_index_array(arr: np.ndarray) -> np.ndarray:
+    """The narrowest sufficient unsigned dtype for an index array.
+
+    Plan arrays are indices (permutations, schedules, colourings):
+    non-negative integers bounded by ``n``.  Stored at ``int64`` they
+    waste 4--8x the bytes actually needed, so v3 files narrow them to
+    the smallest unsigned dtype that holds the maximum value.  Arrays
+    that are not integer, are empty, or contain negatives (sentinel
+    conventions) are stored as-is.
+    """
+    arr = np.asarray(arr)
+    if arr.dtype.kind not in "iu" or arr.size == 0:
+        return arr
+    if arr.dtype.kind == "i" and int(arr.min()) < 0:
+        return arr
+    return arr.astype(np.min_scalar_type(int(arr.max())))
+
+
+def _store_narrowed(arrays: dict, key: str, value: np.ndarray) -> None:
+    """Store ``value`` under ``key``, narrowed when that saves bytes.
+
+    When narrowing changes the dtype, the original dtype string is
+    recorded under ``key + ".dtype"`` so the loader can restore the
+    array *bitwise identical* — the simulator prices schedule arrays
+    by their in-memory width, so load must not change what the
+    planner built.  Sidecar keys are payload (checksummed), never
+    metadata: retyping one is tampering.
+    """
+    value = np.asarray(value)
+    narrowed = _narrow_index_array(value)
+    arrays[key] = narrowed
+    if narrowed.dtype != value.dtype:
+        arrays[key + ".dtype"] = np.str_(str(value.dtype))
+
+
+def _restore_narrowed(arrays: dict, key: str) -> np.ndarray:
+    """Load ``arrays[key]``, widening back to its recorded dtype."""
+    value = np.asarray(arrays[key])
+    sidecar = key + ".dtype"
+    if sidecar in arrays:
+        value = value.astype(np.dtype(str(arrays[sidecar])))
+    return value
+
+
 def _pack_program(program: KernelProgram, p: np.ndarray) -> dict:
     """Flatten a lowered program (plus its permutation) to npz keys."""
     arrays: dict = {
@@ -155,8 +204,8 @@ def _pack_program(program: KernelProgram, p: np.ndarray) -> dict:
         "n": np.int64(program.n),
         "width": np.int64(program.width),
         "num_ops": np.int64(len(program.ops)),
-        "p": np.asarray(p),
     }
+    _store_narrowed(arrays, "p", np.asarray(p))
     for i, op in enumerate(program.ops):
         prefix = f"op{i}."
         arrays[prefix + "kind"] = np.str_(op.kind)
@@ -164,7 +213,7 @@ def _pack_program(program: KernelProgram, p: np.ndarray) -> dict:
         for field in op._ARRAY_FIELDS:
             value = getattr(op, field)
             if value is not None:
-                arrays[prefix + field] = np.asarray(value)
+                _store_narrowed(arrays, prefix + field, value)
         for field in op._SCALAR_FIELDS:
             arrays[prefix + field] = np.int64(getattr(op, field))
         for field in op._BOOL_FIELDS:
@@ -193,7 +242,9 @@ def _unpack_program(path, arrays: dict) -> KernelProgram:
         kwargs: dict = {"label": str(arrays[prefix + "label"])}
         for field in op_cls._ARRAY_FIELDS:
             if prefix + field in arrays:
-                kwargs[field] = np.asarray(arrays[prefix + field])
+                kwargs[field] = _restore_narrowed(
+                    arrays, prefix + field
+                )
         for field in op_cls._SCALAR_FIELDS:
             kwargs[field] = int(arrays[prefix + field])
         for field in op_cls._BOOL_FIELDS:
@@ -533,7 +584,7 @@ def _load_plan_v3(path, arrays, stored, cert_json, sem_json, sp):
             f"{path}: plan file names engine {program.engine!r}, which "
             f"is not in this build's registry: {exc}"
         ) from exc
-    p = np.asarray(arrays["p"])
+    p = _restore_narrowed(arrays, "p")
     semantic = None
     if sem_json is not None:
         semantic = _validate_semantic_certificate(

@@ -147,6 +147,44 @@ def _predict_times_inner(p, params, dtype, n, w, latency, d, _sp):
     )
 
 
+def predict_sharded(
+    p: np.ndarray,
+    params: MachineParams | None = None,
+    dtype=np.float32,
+    ds: tuple[int, ...] = (1, 2, 4, 8),
+) -> dict[int, dict[str, int]]:
+    """Closed-form ``d``-stripe out-of-core model times (O(n) per d).
+
+    For each shard count in ``ds`` that divides ``n``, prices the
+    three-phase row-stripe factorization *for this permutation*: the
+    local phases are per-DMM round-priced on stripes of ``n/d``, and
+    the inter-DMM exchange is charged for the elements that actually
+    cross a stripe boundary (``i // s != p[i] // s``) — the MCM-style
+    transfer term, exact rather than worst-case.  Returns
+    ``{d: {"local": ..., "exchange": ..., "total": ...}}`` without
+    planning anything.
+    """
+    p = check_permutation(p)
+    params = params or MachineParams()
+    n = int(p.shape[0])
+    w, latency = params.width, params.latency
+    k = element_cells_of(dtype)
+    src = np.arange(n)
+    out: dict[int, dict[str, int]] = {}
+    with telemetry.span("selector.predict_sharded", n=n) as sp:
+        for d in ds:
+            if d < 1 or n % d != 0:
+                continue
+            s = n // d
+            crossing = int(np.count_nonzero(src // s != p // s))
+            out[d] = theory.sharded_time_breakdown(
+                n, w, latency, d,
+                exchange_elements=crossing, element_cells=k,
+            )
+        sp.set(ds=sorted(out))
+    return out
+
+
 def recommend(
     p: np.ndarray,
     params: MachineParams | None = None,

@@ -241,3 +241,84 @@ def optimality_ratio(n: int, w: int, l: int, d: int = 1) -> float:
     if lb == 0:
         return 0.0
     return scheduled_time(n, w, l, d) / lb
+
+
+def inter_dmm_transfer_time(
+    elements: int, w: int, l: int, d: int = 1, element_cells: int = 1
+) -> int:
+    """MCM-style inter-DMM transfer charge for a column exchange.
+
+    "A Many-core Machine Model for Designing Algorithms with Minimum
+    Parallelism Overheads" (arXiv 1402.0264) charges data moved between
+    workers' private memories at the global-channel rate plus a fixed
+    per-transfer latency.  On the HMM the exchanged elements make one
+    round trip through the UMM — a coalesced write out of the source
+    DMM and a coalesced read into the destination — so ``x`` crossing
+    ``k``-cell elements cost ``2 (ceil(k x / w) + l - 1)``.  Free when
+    nothing crosses (``x = 0`` or ``d = 1``).
+    """
+    if elements < 0:
+        raise SizeError(f"elements must be >= 0, got {elements}")
+    if w < 1 or l < 1 or d < 1:
+        raise SizeError("w, l and d must be >= 1")
+    if element_cells < 1:
+        raise SizeError(f"element_cells must be >= 1, got {element_cells}")
+    if elements == 0 or d == 1:
+        return 0
+    return 2 * (-(-(element_cells * elements) // w) + l - 1)
+
+
+def sharded_time_breakdown(
+    n: int,
+    w: int,
+    l: int,
+    d: int = 1,
+    exchange_elements: int | None = None,
+    element_cells: int = 1,
+) -> dict[str, int]:
+    """Model time of the stripe / exchange / stripe scheme over ``d`` DMMs.
+
+    Each DMM holds one stripe of ``s = ceil(n/d)`` elements and runs the
+    two stripe-local phases independently; a local phase is one casual
+    pass over the stripe (coalesced read + destination-designated
+    write), ``2 (ceil(k s / w) + l - 1)`` per phase, and the ``d`` DMMs
+    proceed in parallel so the busiest stripe bounds the term.  Between
+    the phases the crossing elements pay the
+    :func:`inter_dmm_transfer_time` charge; when the exchange volume is
+    unknown the worst case ``n (1 - 1/d)`` (every element leaves its
+    stripe) is assumed.  Returns ``{"local", "exchange", "total"}``.
+    """
+    if n < 0:
+        raise SizeError(f"n must be >= 0, got {n}")
+    if w < 1 or l < 1 or d < 1:
+        raise SizeError("w, l and d must be >= 1")
+    if element_cells < 1:
+        raise SizeError(f"element_cells must be >= 1, got {element_cells}")
+    if exchange_elements is None:
+        exchange_elements = n - -(-n // d)
+    if n == 0:
+        return {"local": 0, "exchange": 0, "total": 0}
+    s = -(-n // d)
+    local = 4 * (-(-(element_cells * s) // w) + l - 1)
+    exchange = inter_dmm_transfer_time(
+        exchange_elements, w, l, d, element_cells
+    )
+    return {
+        "local": local,
+        "exchange": exchange,
+        "total": local + exchange,
+    }
+
+
+def sharded_time(
+    n: int,
+    w: int,
+    l: int,
+    d: int = 1,
+    exchange_elements: int | None = None,
+    element_cells: int = 1,
+) -> int:
+    """Total model time of :func:`sharded_time_breakdown`."""
+    return sharded_time_breakdown(
+        n, w, l, d, exchange_elements, element_cells
+    )["total"]

@@ -159,6 +159,41 @@ class SemanticValidationError(StaticCheckError):
 
 
 # ---------------------------------------------------------------------------
+# Sharding / out-of-core streaming
+# ---------------------------------------------------------------------------
+
+
+class ShardingError(ReproError):
+    """Base class for errors raised by :mod:`repro.shard` and the
+    streaming executor."""
+
+
+class ShardRefutedError(ShardingError):
+    """A sharded decomposition failed its denotation proof.
+
+    Raised by :func:`repro.shard.shard_program` when the reassembled
+    stripe/exchange/stripe program does not denote the same index map
+    as the whole program.  Carries the refuting
+    :class:`~repro.staticcheck.semantics.SemanticCertificate` as
+    ``certificate`` so callers can inspect the counterexample.
+    """
+
+    def __init__(self, message: str, certificate=None) -> None:
+        super().__init__(message)
+        self.certificate = certificate
+
+
+class ResidentBudgetError(ShardingError):
+    """A streaming execution cannot fit its tiles in the resident budget.
+
+    Raised by :class:`repro.exec.StreamingExecutor` *before* any payload
+    is moved when even the smallest tile of some phase would exceed
+    ``max_resident_bytes``; the fix is a larger budget or a larger shard
+    count ``d`` (smaller stripes).
+    """
+
+
+# ---------------------------------------------------------------------------
 # Telemetry
 # ---------------------------------------------------------------------------
 

@@ -1,21 +1,32 @@
 """Pluggable executors that run any lowered :class:`KernelProgram`.
 
-Three executors, one IR:
+Four executors, one IR:
 
 * :class:`ReferenceExecutor` — pure-numpy semantic ground truth;
 * :class:`BatchExecutor` — vectorized ``(k, n)`` throughput mode,
   giving every engine ``apply_batch``;
 * :class:`SimulatorExecutor` — replays each op's access rounds
   through the HMM cost model, replacing per-engine ``simulate``
-  plumbing.
+  plumbing;
+* :class:`StreamingExecutor` — out-of-core: applies a sharded plan
+  tile-by-tile against memory-mapped payload files under a hard
+  ``max_resident_bytes`` budget.
 """
 
 from repro.exec.batch import BatchExecutor
 from repro.exec.reference import ReferenceExecutor
 from repro.exec.simulator import SimulatorExecutor
+from repro.exec.streaming import (
+    StreamingExecutor,
+    StreamingJob,
+    StreamingStats,
+)
 
 __all__ = [
     "BatchExecutor",
     "ReferenceExecutor",
     "SimulatorExecutor",
+    "StreamingExecutor",
+    "StreamingJob",
+    "StreamingStats",
 ]

@@ -24,6 +24,7 @@ which case global stage counts are filtered through the cache model
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro import telemetry
 from repro.errors import SharedMemoryCapacityError
@@ -42,6 +43,9 @@ from repro.machine.trace import (
     RoundCost,
     make_round_cost,
 )
+
+if TYPE_CHECKING:
+    from repro.shard import ShardedProgram
 
 
 class HMM:
@@ -148,6 +152,77 @@ class HMM:
         for kernel in kernels:
             trace.kernels.append(self.run_kernel(kernel))
         return trace
+
+    # ------------------------------------------------------------------
+    # Multi-DMM sharding
+    # ------------------------------------------------------------------
+
+    def transfer_time(
+        self,
+        elements: int,
+        element_cells: int = 1,
+        d: int | None = None,
+    ) -> int:
+        """Inter-DMM transfer charge for ``elements`` crossing elements.
+
+        The MCM-style term (arXiv 1402.0264): data leaving one DMM's
+        memory for another's makes a coalesced round trip through the
+        UMM.  Free when ``d == 1`` (nothing can cross).  ``d`` defaults
+        to the machine's DMM count.
+        """
+        from repro.core.theory import inter_dmm_transfer_time
+
+        if d is None:
+            d = self.params.num_dmms
+        return inter_dmm_transfer_time(
+            elements,
+            self.params.width,
+            self.params.latency,
+            d,
+            element_cells,
+        )
+
+    def run_sharded(
+        self, sharded: ShardedProgram, element_cells: int = 1
+    ) -> dict[str, int]:
+        """Price a :class:`~repro.shard.ShardedProgram` on this machine.
+
+        Per-DMM round pricing: the ``d`` stripes are assigned
+        round-robin to the machine's ``num_dmms`` DMMs, each stripe's
+        two local phases cost one casual pass each, and DMMs run in
+        parallel — so the local term is the *busiest* DMM's stripe
+        count times the per-stripe pass cost.  The exchange volume then
+        pays the :meth:`transfer_time` charge for the elements that
+        actually cross stripes.  Returns a breakdown dict with keys
+        ``d``, ``stripe``, ``stripes_per_dmm``, ``local``,
+        ``exchange`` and ``total``.
+        """
+        w = self.params.width
+        latency = self.params.latency
+        with telemetry.span(
+            "hmm.sharded", d=sharded.d, n=sharded.n
+        ) as sp:
+            per_stripe = 0
+            if sharded.stripe:
+                per_stripe = 4 * (
+                    -(-(element_cells * sharded.stripe) // w) + latency - 1
+                )
+            stripes_per_dmm = -(-sharded.d // self.params.num_dmms)
+            local = per_stripe * stripes_per_dmm
+            exchange = self.transfer_time(
+                sharded.exchange_elements, element_cells, d=sharded.d
+            )
+            total = local + exchange
+            sp.set(model_time=total, exchange=exchange)
+            telemetry.count("hmm.time_units", total)
+        return {
+            "d": sharded.d,
+            "stripe": sharded.stripe,
+            "stripes_per_dmm": stripes_per_dmm,
+            "local": local,
+            "exchange": exchange,
+            "total": total,
+        }
 
     def reset_cache(self) -> None:
         """Clear the L2 model's state (between benchmark repetitions)."""

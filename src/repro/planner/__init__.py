@@ -31,6 +31,7 @@ from repro.planner.compiled import CompiledPermutation, Planner
 from repro.planner.fingerprint import (
     permutation_digest,
     plan_fingerprint,
+    shard_fingerprint,
 )
 
 __all__ = [
@@ -40,4 +41,5 @@ __all__ = [
     "Planner",
     "permutation_digest",
     "plan_fingerprint",
+    "shard_fingerprint",
 ]

@@ -15,7 +15,7 @@ from __future__ import annotations
 import threading
 import time
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -28,11 +28,16 @@ from repro.planner.cache import DiskPlanCache, LRUPlanCache
 from repro.planner.fingerprint import (
     permutation_digest,
     plan_fingerprint,
+    shard_fingerprint,
 )
 from repro.staticcheck.semantics import (
     SemanticCertificate,
     validate_translation,
 )
+
+if TYPE_CHECKING:
+    from repro.exec.streaming import StreamingStats
+    from repro.shard import ShardedProgram
 
 
 class CompiledPermutation:
@@ -60,6 +65,9 @@ class CompiledPermutation:
         #: optimized this handle's program (``None`` for handles built
         #: outside the planner).
         self.semantic_certificate = semantic_certificate
+        # Proven shardings, memoized per stripe count.
+        self._shards: dict[int, ShardedProgram] = {}
+        self._shard_lock = threading.Lock()
 
     @property
     def p(self) -> np.ndarray:
@@ -112,6 +120,59 @@ class CompiledPermutation:
             self.program, machine, dtype=dtype
         )
 
+    def shard(self, d: int) -> "ShardedProgram":
+        """The proven ``d``-stripe sharding of this handle's program.
+
+        Factors the stored optimized program into ``d`` row stripes
+        plus a column exchange, proves the factorisation against the
+        whole program's denotation, and memoizes the result per ``d``
+        (sharding denotes the full program — worth amortizing exactly
+        like planning is).
+        """
+        with self._shard_lock:
+            sharded = self._shards.get(d)
+        if sharded is not None:
+            return sharded
+        from repro.shard import shard_program
+
+        with telemetry.span(
+            "planner.shard", d=d, fingerprint=self.fingerprint[:12]
+        ):
+            sharded = shard_program(self.program, d)
+        with self._shard_lock:
+            return self._shards.setdefault(d, sharded)
+
+    def shard_fingerprint(self, d: int) -> str:
+        """Content-addressed identity of the ``d``-stripe shard plan."""
+        return shard_fingerprint(self.fingerprint, d)
+
+    def apply_stream(
+        self,
+        path_in: str | Path,
+        path_out: str | Path,
+        d: int = 8,
+        max_resident_bytes: int | None = None,
+        tmp_dir: str | Path | None = None,
+    ) -> "StreamingStats":
+        """Permute an on-disk payload out-of-core.
+
+        Reads the ``.npy`` payload at ``path_in``, streams it through
+        the proven ``d``-stripe sharding under the resident-bytes
+        budget, and writes the permuted payload to ``path_out``.
+        """
+        from repro.exec.streaming import (
+            DEFAULT_RESIDENT_BYTES,
+            StreamingExecutor,
+        )
+
+        executor = StreamingExecutor(
+            max_resident_bytes=max_resident_bytes
+            or DEFAULT_RESIDENT_BYTES
+        )
+        return executor.run_sharded(
+            self.shard(d), path_in, path_out, tmp_dir=tmp_dir
+        )
+
     def describe(self) -> str:
         lines = [
             f"compiled {self.engine_name!r}: fingerprint "
@@ -156,6 +217,7 @@ class Planner:
         )
         self.backend = backend
         self.plans = 0
+        self.shard_plans = 0
         self.semantic_rejections = 0
         #: Optional :class:`~repro.telemetry.MetricsRegistry`; when set
         #: every compile records ``planner_compile_seconds`` labeled by
@@ -261,6 +323,33 @@ class Planner:
                 self.memory.put(fp, compiled)
             return compiled, tier
 
+    def compile_sharded(
+        self,
+        p: np.ndarray,
+        d: int,
+        engine: str = "scheduled",
+        width: int = 32,
+        digest: str | None = None,
+        backend: str | None = None,
+    ) -> "tuple[CompiledPermutation, ShardedProgram]":
+        """Compile ``p`` and return its proven ``d``-stripe sharding.
+
+        The handle comes from the usual cache tiers; the sharding is
+        memoized on the handle, so repeated calls with the same ``d``
+        pay nothing after the first.
+        """
+        compiled = self.compile(
+            p, engine=engine, width=width, digest=digest,
+            backend=backend,
+        )
+        fresh = d not in compiled._shards
+        sharded = compiled.shard(d)
+        if fresh:
+            with self._lock:
+                self.shard_plans += 1
+            telemetry.count("planner.sharded")
+        return compiled, sharded
+
     def _optimize_validated(
         self, plan: Any
     ) -> tuple[KernelProgram, SemanticCertificate, bool]:
@@ -343,6 +432,7 @@ class Planner:
         """Merged hit/miss/eviction counters across both tiers."""
         merged = {
             "cold_plans": self.plans,
+            "shard_plans": self.shard_plans,
             "semantic_rejections": self.semantic_rejections,
         }
         merged.update(self.memory.stats())

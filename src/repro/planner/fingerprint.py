@@ -57,3 +57,19 @@ def plan_fingerprint(
         h.update(part.encode())
         h.update(b"\x00")
     return h.hexdigest()
+
+
+def shard_fingerprint(fingerprint: str, d: int) -> str:
+    """SHA-256 hex digest naming one ``d``-stripe sharding of a plan.
+
+    Scopes a :func:`plan_fingerprint` by the shard count, so the same
+    compiled plan sharded at different ``d`` gets distinct identities
+    (the stripe boundaries — and hence the exchange — differ).
+    """
+    if d < 1:
+        raise ValidationError(f"shard count d must be >= 1, got {d}")
+    h = hashlib.sha256()
+    for part in ("shard-v1", fingerprint, str(int(d))):
+        h.update(part.encode())
+        h.update(b"\x00")
+    return h.hexdigest()

@@ -286,6 +286,47 @@ class PermutationService:
         telemetry.count("service.requests", k)
         return out
 
+    def apply_stream(
+        self,
+        name: str,
+        path_in: str | Path,
+        path_out: str | Path,
+        d: int = 8,
+        engine: str | None = None,
+        max_resident_bytes: int | None = None,
+        tmp_dir: str | Path | None = None,
+    ) -> Any:
+        """Serve an on-disk payload out-of-core.
+
+        Streams the ``.npy`` payload at ``path_in`` through the named
+        permutation's proven ``d``-stripe sharding under the
+        resident-bytes budget, writing the result to ``path_out``.
+        Returns the :class:`~repro.exec.StreamingStats`.
+        """
+        compiled = self.compiled(name, engine=engine)
+        with telemetry.span(
+            "service.apply_stream", plan=name, d=d
+        ) as sp:
+            t0 = time.perf_counter()
+            stats = compiled.apply_stream(
+                path_in,
+                path_out,
+                d=d,
+                max_resident_bytes=max_resident_bytes,
+                tmp_dir=tmp_dir,
+            )
+            elapsed = time.perf_counter() - t0
+            sp.set(
+                tiles=stats.tiles_loaded,
+                peak_resident=stats.peak_resident_total_bytes,
+            )
+        self._observe_apply(compiled, elapsed, "stream")
+        with self._lock:
+            self.requests += 1
+            self.elements_served += int(compiled.n)
+        telemetry.count("service.requests")
+        return stats
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

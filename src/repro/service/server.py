@@ -57,6 +57,7 @@ import threading
 import time
 from collections import deque
 from collections.abc import Callable
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -159,17 +160,22 @@ class _Request:
     ``ctx`` / ``qspan`` carry the request's
     :class:`~repro.telemetry.RequestContext` and detached queue-wait
     span, and stay ``None`` when no tracer is active — the disabled
-    fast path allocates neither.
+    fast path allocates neither.  Out-of-core stream *stripes* are
+    queue entries too: they carry their shared :class:`_StreamJob` in
+    ``stream`` plus their ``phase``/``stripe`` assignment, and an
+    empty payload.
     """
 
     __slots__ = ("key", "payload", "batch", "priority", "deadline",
-                 "enqueued", "tenant", "result", "rid", "ctx", "qspan")
+                 "enqueued", "tenant", "result", "rid", "ctx", "qspan",
+                 "stream", "phase", "stripe")
 
     def __init__(self, key: str, payload: np.ndarray, batch: bool,
                  priority: int, deadline: float | None,
                  enqueued: float, tenant: str, result: "ServeResult",
                  rid: int = 0, ctx: Any = None,
-                 qspan: Any = None) -> None:
+                 qspan: Any = None, stream: "Any | None" = None,
+                 phase: str = "", stripe: int = -1) -> None:
         self.key = key
         self.payload = payload
         self.batch = batch
@@ -181,6 +187,117 @@ class _Request:
         self.rid = rid
         self.ctx = ctx
         self.qspan = qspan
+        self.stream = stream
+        self.phase = phase
+        self.stripe = stripe
+
+
+class _StreamJob:
+    """Shared state of one out-of-core stream request.
+
+    ``submit_stream`` enqueues ``2 d`` stripe requests (``d`` pre
+    stripes, then ``d`` post stripes) that all point here.  The first
+    stripe a worker picks up compiles, shards and prepares the
+    streaming job under the registered engine's circuit breaker;
+    later stripes reuse it.  FIFO order within a priority bucket
+    guarantees every pre stripe is running or done before any worker
+    blocks on a post stripe, so the phase barrier inside
+    :class:`~repro.exec.StreamingJob` cannot deadlock.  The caller's
+    future resolves with the :class:`~repro.exec.StreamingStats` when
+    the last stripe finishes, or fails once on the first error, shed,
+    or server shutdown.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        path_in: Path,
+        path_out: Path,
+        d: int,
+        max_resident_bytes: int | None,
+        tmp_dir: Any,
+        result: "ServeResult",
+    ) -> None:
+        self.key = key
+        self.path_in = path_in
+        self.path_out = path_out
+        self.d = int(d)
+        self.max_resident_bytes = max_resident_bytes
+        self.tmp_dir = tmp_dir
+        self.user_result = result
+        self.total_stripes = 2 * self.d
+        self.engine_name: str | None = None
+        self.cancelled = False
+        self._completed = 0
+        self._lock = threading.Lock()
+        self._prepared: Any = None
+
+    def ensure_prepared(self, server: "PermutationServer") -> Any:
+        """Compile + shard + open the streaming job (exactly once)."""
+        with self._lock:
+            if self.cancelled:
+                raise ServingError(
+                    f"stream for {self.key!r} was cancelled"
+                )
+            if self._prepared is not None:
+                return self._prepared
+            from repro.exec.streaming import (
+                DEFAULT_RESIDENT_BYTES,
+                StreamingExecutor,
+            )
+
+            registered = server.service._registration(self.key).engine
+            breaker = server._engine_breaker(registered)
+            if not breaker.allow():
+                server._count("breaker.engine_skipped")
+                raise CircuitOpenError(
+                    f"breaker for engine {registered!r} is open; "
+                    "retry the stream after its reset timeout"
+                )
+            try:
+                compiled = server.service.compiled(self.key)
+                sharded = compiled.shard(self.d)
+                executor = StreamingExecutor(
+                    max_resident_bytes=self.max_resident_bytes
+                    or DEFAULT_RESIDENT_BYTES,
+                    metrics=server.metrics,
+                )
+                self._prepared = executor.prepare(
+                    sharded,
+                    self.path_in,
+                    self.path_out,
+                    tmp_dir=self.tmp_dir,
+                    concurrency=min(server.workers, self.d),
+                )
+            except ReproError:
+                breaker.record_failure()
+                raise
+            breaker.record_success()
+            self.engine_name = compiled.engine_name
+            return self._prepared
+
+    def stripe_finished(self) -> bool:
+        """Count one finished stripe; True when it was the last."""
+        with self._lock:
+            self._completed += 1
+            return self._completed == self.total_stripes
+
+    def finalize(self) -> Any:
+        return self._prepared.finalize()
+
+    def fail(self, error: BaseException) -> None:
+        """Fail the caller's future once and release any waiters."""
+        with self._lock:
+            if self.cancelled:
+                return
+            self.cancelled = True
+            prepared = self._prepared
+        self.user_result._fail(error)
+        if prepared is not None:
+            prepared.abort(str(error))
+
+    def cancel(self, reason: str) -> None:
+        self.fail(ServingError(reason))
 
 
 class _GuardedDiskCache:
@@ -459,6 +576,10 @@ class PermutationServer:
         for req in dropped:
             # Outside the queue lock: finishing a request can trigger
             # a flight-recorder dump whose providers re-take it.
+            if req.stream is not None:
+                req.stream.cancel(
+                    "server closed before the stream was served"
+                )
             if req.qspan is not None:
                 telemetry.end_span(req.qspan, outcome="dropped")
             self._finish_request(req, "dropped", ok=False)
@@ -768,6 +889,14 @@ class PermutationServer:
             priority=priority,
         )
         if victim is not None:
+            if victim.stream is not None:
+                # Shedding one stripe strands the rest of its plan:
+                # fail the whole stream (its queued siblings then
+                # drain as no-ops).
+                victim.stream.cancel(
+                    "a stripe of this stream was shed from the queue "
+                    "by a higher-priority request"
+                )
             if victim.qspan is not None:
                 telemetry.end_span(victim.qspan, outcome="shed")
             self.recorder.record(
@@ -783,6 +912,131 @@ class PermutationServer:
                 )
         return result
 
+    def submit_stream(
+        self,
+        name: str,
+        path_in: str | Path,
+        path_out: str | Path,
+        *,
+        d: int = 8,
+        tenant: str = "default",
+        priority: int = NORMAL,
+        deadline_s: float | None = None,
+        max_resident_bytes: int | None = None,
+        tmp_dir: str | Path | None = None,
+    ) -> ServeResult:
+        """Enqueue an out-of-core stream as ``2 d`` stripe tasks.
+
+        The on-disk ``.npy`` payload at ``path_in`` is permuted into
+        ``path_out`` through the registration's proven ``d``-stripe
+        sharding, under the streaming executor's resident-bytes
+        budget.  The stream is admitted once (one rate token, one
+        bulkhead check) but occupies ``2 d`` queue slots and in-flight
+        counts: ``d`` pre stripes followed by ``d`` post stripes, all
+        in the same priority bucket, so any number of workers can pull
+        stripes concurrently — FIFO order within the bucket guarantees
+        every pre stripe is running or done before a worker blocks on
+        a post stripe, which makes the phase barrier deadlock-free.
+
+        The returned future resolves with the
+        :class:`~repro.exec.StreamingStats` when the last stripe
+        finishes.  Any stripe failure, shed, or server shutdown fails
+        the whole stream once and aborts the in-flight stripes.
+        """
+        if priority not in _PRIORITIES:
+            raise ValidationError(
+                f"priority must be one of {_PRIORITIES}, got {priority}"
+            )
+        if d < 1:
+            raise ValidationError(
+                f"shard count d must be >= 1, got {d}"
+            )
+        key = self._key(tenant, name)
+        self.service._registration(key)
+        src = Path(path_in)
+        if not src.exists():
+            raise ValidationError(
+                f"input payload {str(src)!r} does not exist"
+            )
+        self.start()
+        now = self._clock()
+        limit = deadline_s if deadline_s is not None \
+            else self.default_deadline_s
+        deadline = now + limit if limit is not None else None
+        result = ServeResult(name=name, tenant=tenant,
+                             priority=priority)
+        job = _StreamJob(
+            key=key, path_in=src, path_out=Path(path_out), d=d,
+            max_resident_bytes=max_resident_bytes, tmp_dir=tmp_dir,
+            result=result,
+        )
+        requests = [
+            _Request(
+                key=key, payload=np.empty(0), batch=False,
+                priority=priority, deadline=deadline, enqueued=now,
+                tenant=tenant,
+                result=ServeResult(name=name, tenant=tenant,
+                                   priority=priority),
+                rid=next(self._rid), stream=job, phase=phase,
+                stripe=k,
+            )
+            for phase in ("pre", "post")
+            for k in range(d)
+        ]
+        try:
+            with self._cond:
+                if self._stopping:
+                    raise ServingError("server is closed")
+                state = self._tenant(tenant)
+                wait = state.try_acquire()
+                if wait > 0:
+                    self._count("rejected.rate")
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} exceeded "
+                        f"{state.quota.rps} requests/sec",
+                        retry_after=wait,
+                    )
+                if not state.inflight_available():
+                    self._count("rejected.bulkhead")
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} is at its in-flight "
+                        f"bulkhead ({state.quota.max_inflight})",
+                        retry_after=self._retry_after(),
+                    )
+                if self._size + len(requests) > self.queue_capacity:
+                    # A stream is all-or-nothing: admitting a partial
+                    # stripe set (or shedding on its behalf) could
+                    # strand the phase barrier, so it simply waits for
+                    # room instead of displacing queued work.
+                    self._count("rejected.queue_full")
+                    raise ServiceOverloadError(
+                        f"queue cannot hold {len(requests)} stripe "
+                        f"tasks ({self.queue_capacity - self._size} "
+                        "slots free)",
+                        retry_after=self._retry_after(),
+                    )
+                self._buckets[priority].extend(requests)
+                self._size += len(requests)
+                state.inflight += len(requests)
+                self._count("accepted")
+                self._count("stream.accepted")
+                telemetry.gauge("server.queue.depth", self._size)
+                self._cond.notify_all()
+        except (QuotaExceededError, ServiceOverloadError,
+                ServingError) as exc:
+            self.recorder.record(
+                "reject", rid=requests[0].rid, key=key, tenant=tenant,
+                reason=type(exc).__name__,
+            )
+            raise
+        for req in requests:
+            self._track(req)
+        self.recorder.record(
+            "admit_stream", rid=requests[0].rid, key=key,
+            tenant=tenant, d=d, stripes=len(requests),
+        )
+        return result
+
     def apply(self, name: str, a: np.ndarray, **kwargs) -> np.ndarray:
         """Synchronous convenience: ``submit(...).result()``."""
         return self.submit(name, a, **kwargs).result()
@@ -792,6 +1046,14 @@ class PermutationServer:
     ) -> np.ndarray:
         """Synchronous convenience for a stacked ``(k, n)`` payload."""
         return self.submit(name, batch, batch=True, **kwargs).result()
+
+    def apply_stream(
+        self, name: str, path_in: str | Path, path_out: str | Path,
+        **kwargs: Any,
+    ) -> Any:
+        """Synchronous convenience: ``submit_stream(...).result()``."""
+        return self.submit_stream(name, path_in, path_out,
+                                  **kwargs).result()
 
     # ------------------------------------------------------------------
     # Workers
@@ -825,7 +1087,9 @@ class PermutationServer:
         assert first is not None
         self._size -= 1
         group = [first]
-        if not self.coalesce or first.batch:
+        if not self.coalesce or first.batch or first.stream is not None:
+            # Stream stripes never coalesce: each is one unit of an
+            # ordered plan, not an independent same-shape payload.
             return group
         shape, dtype = first.payload.shape, first.payload.dtype
         for prio in _PRIORITIES:
@@ -835,6 +1099,7 @@ class PermutationServer:
                 req = bucket.popleft()
                 if (
                     not req.batch
+                    and req.stream is None
                     and req.key == first.key
                     and req.payload.shape == shape
                     and req.payload.dtype == dtype
@@ -864,10 +1129,14 @@ class PermutationServer:
             ).observe(wait)
             if req.deadline is not None and now >= req.deadline:
                 self._count("deadline_exceeded")
-                req.result._fail(DeadlineExceededError(
+                error = DeadlineExceededError(
                     f"deadline expired after "
                     f"{wait:.3f} s in the queue"
-                ))
+                )
+                req.result._fail(error)
+                if req.stream is not None:
+                    # One expired stripe fails the whole stream.
+                    req.stream.fail(error)
                 self._finish_request(
                     req, "deadline_exceeded", ok=False
                 )
@@ -882,12 +1151,16 @@ class PermutationServer:
         # their own root spans and are linked by attribute.
         leader = live[0]
         t0 = self._clock()
+        serve = (
+            self._serve_stream if leader.stream is not None
+            else self._serve
+        )
         try:
             if leader.ctx is not None:
                 with telemetry.request_scope(leader.ctx):
-                    self._serve(live)
+                    serve(live)
             else:
-                self._serve(live)
+                serve(live)
         except Exception as exc:
             # Catch everything: an escaped exception would kill the
             # worker thread and leave every queued future unresolved.
@@ -1040,6 +1313,49 @@ class PermutationServer:
             f"(ladder {' -> '.join(self._ladder(registered))}, "
             f"{attempts_total} attempts)"
         )
+
+    def _serve_stream(self, group: list[_Request]) -> None:
+        """Serve one dequeued stream stripe (groups are singletons).
+
+        The first stripe of a job compiles/shards/prepares under the
+        registered engine's breaker; every stripe then runs its
+        assigned ``(phase, k)`` slice of the plan.  The last finisher
+        finalizes the job and resolves the caller's future with the
+        :class:`~repro.exec.StreamingStats`.  Failures fail the shared
+        future exactly once and abort the job, so sibling stripes
+        (queued or in flight) drain as no-ops.
+        """
+        req = group[0]
+        job = req.stream
+        assert job is not None
+        if job.cancelled:
+            # The job already failed (another stripe, a shed, or
+            # shutdown); drain this stripe so the worker frees up.
+            req.result._resolve(np.empty(0))
+            self._count("stream.stripe_drained")
+            return
+        try:
+            with telemetry.span(
+                "serve.stripe", phase=req.phase, stripe=req.stripe
+            ):
+                prepared = job.ensure_prepared(self)
+                timeout = None
+                if req.deadline is not None:
+                    timeout = max(0.0,
+                                  req.deadline - self._clock())
+                prepared.run_stripe(req.phase, req.stripe,
+                                    timeout=timeout)
+        except Exception as exc:
+            job.fail(exc)
+            raise
+        req.result.engine = job.engine_name
+        req.result._resolve(np.empty(0))
+        if job.stripe_finished():
+            stats = job.finalize()
+            job.user_result.engine = job.engine_name
+            job.user_result.service_s = stats.seconds
+            job.user_result._resolve(stats)
+            self._count("stream.completed")
 
     def _apply_group(
         self, key: str, group: list[_Request], engine: str

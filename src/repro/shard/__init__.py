@@ -1,0 +1,42 @@
+"""Sharded permutation programs: row stripes + one column exchange.
+
+The paper's scheduled algorithm decomposes an arbitrary permutation of
+a :math:`\\sqrt{n}\\times\\sqrt{n}` matrix into row-local steps around
+one global column shuffle.  This package applies the same idea one
+level up, across *DMMs* instead of warps: any size-preserving
+:class:`~repro.ir.program.KernelProgram` is partitioned into ``d``
+**row stripes** of ``n/d`` contiguous elements, and its denoted
+permutation is factored into
+
+1. ``d`` independent *stripe-local* pre-permutations (each stripe
+   groups its elements by destination stripe),
+2. one explicit **column-exchange** shuffle whose traffic is purely
+   contiguous block transfers between stripes, and
+3. ``d`` independent stripe-local post-permutations (each stripe
+   places its arrivals at their final offsets).
+
+Because each factor is itself a permutation program, the decomposition
+is *proved* — not assumed — semantics-preserving: the reassembled
+three-op program is denoted by :mod:`repro.staticcheck.semantics` and
+compared element-wise against the whole program's denotation.  A
+broken shuffle is refused with a counterexample
+(:class:`~repro.errors.ShardRefutedError`).
+
+The stripe structure is exactly what the out-of-core
+:class:`~repro.exec.StreamingExecutor` needs: stripes are processed
+one at a time inside a resident-bytes budget, and the exchange step
+degenerates to ``d**2`` contiguous block copies that need no index
+arrays at all.
+"""
+
+from repro.shard.program import (
+    ExchangeSegment,
+    ShardedProgram,
+    shard_program,
+)
+
+__all__ = [
+    "ExchangeSegment",
+    "ShardedProgram",
+    "shard_program",
+]

@@ -1,0 +1,115 @@
+"""Tests for the d > 1 cost terms and the shard-aware predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core import theory
+from repro.core.selector import predict_sharded
+from repro.errors import SizeError
+from repro.machine.params import MachineParams
+from repro.permutations.named import bit_reversal, identical
+
+
+class TestInterDmmTransferTime:
+    def test_free_when_nothing_crosses(self):
+        assert theory.inter_dmm_transfer_time(0, 32, 100, d=4) == 0
+
+    def test_free_on_single_dmm(self):
+        assert theory.inter_dmm_transfer_time(512, 32, 100, d=1) == 0
+
+    def test_round_trip_charge(self):
+        # x crossing k-cell elements: 2 * (ceil(kx/w) + l - 1).
+        assert theory.inter_dmm_transfer_time(
+            64, 32, 100, d=2
+        ) == 2 * (64 // 32 + 99)
+        assert theory.inter_dmm_transfer_time(
+            64, 32, 100, d=2, element_cells=2
+        ) == 2 * (128 // 32 + 99)
+
+    def test_validation(self):
+        with pytest.raises(SizeError):
+            theory.inter_dmm_transfer_time(-1, 32, 100)
+        with pytest.raises(SizeError):
+            theory.inter_dmm_transfer_time(1, 0, 100)
+        with pytest.raises(SizeError):
+            theory.inter_dmm_transfer_time(1, 32, 100, d=0)
+        with pytest.raises(SizeError):
+            theory.inter_dmm_transfer_time(1, 32, 100, element_cells=0)
+
+
+class TestShardedTimeBreakdown:
+    def test_d1_equals_casual_round_trip(self):
+        # One stripe, no exchange: two local casual passes.
+        n, w, latency = 1024, 32, 100
+        out = theory.sharded_time_breakdown(n, w, latency, d=1)
+        assert out["exchange"] == 0
+        assert out["local"] == 4 * (n // w + latency - 1)
+        assert out["total"] == out["local"]
+
+    def test_breakdown_sums(self):
+        out = theory.sharded_time_breakdown(
+            1024, 32, 100, d=4, exchange_elements=768
+        )
+        assert out["total"] == out["local"] + out["exchange"]
+        assert out["local"] == 4 * (256 // 32 + 99)
+
+    def test_worst_case_exchange_default(self):
+        n, d = 1024, 4
+        defaulted = theory.sharded_time_breakdown(n, 32, 100, d=d)
+        explicit = theory.sharded_time_breakdown(
+            n, 32, 100, d=d, exchange_elements=n - n // d
+        )
+        assert defaulted == explicit
+
+    def test_zero_n(self):
+        assert theory.sharded_time_breakdown(0, 32, 100, d=2) == {
+            "local": 0, "exchange": 0, "total": 0,
+        }
+
+    def test_sharded_time_is_total(self):
+        assert theory.sharded_time(
+            1024, 32, 100, d=4, exchange_elements=768
+        ) == theory.sharded_time_breakdown(
+            1024, 32, 100, d=4, exchange_elements=768
+        )["total"]
+
+    def test_local_term_shrinks_with_d(self):
+        locals_ = [
+            theory.sharded_time_breakdown(1 << 20, 32, 100, d=d)["local"]
+            for d in (1, 2, 4, 8)
+        ]
+        assert locals_ == sorted(locals_, reverse=True)
+
+
+class TestPredictSharded:
+    def test_exact_crossing_volume(self):
+        n = 1024
+        p = bit_reversal(n)
+        params = MachineParams(width=32)
+        out = predict_sharded(p, params, ds=(1, 2, 4))
+        assert set(out) == {1, 2, 4}
+        for d, times in out.items():
+            s = n // d
+            crossing = int(
+                np.count_nonzero(np.arange(n) // s != p // s)
+            )
+            assert times == theory.sharded_time_breakdown(
+                n, 32, params.latency, d, exchange_elements=crossing
+            )
+
+    def test_identity_has_no_exchange(self):
+        out = predict_sharded(identical(1024), MachineParams(width=32))
+        assert all(t["exchange"] == 0 for t in out.values())
+
+    def test_indivisible_d_skipped(self):
+        out = predict_sharded(
+            bit_reversal(64), MachineParams(width=32), ds=(1, 3, 64, 128)
+        )
+        assert set(out) == {1, 64}
+
+    def test_element_cells_scale_with_dtype(self):
+        p = bit_reversal(1024)
+        params = MachineParams(width=32)
+        f32 = predict_sharded(p, params, dtype=np.float32, ds=(2,))
+        f64 = predict_sharded(p, params, dtype=np.float64, ds=(2,))
+        assert f64[2]["total"] > f32[2]["total"]

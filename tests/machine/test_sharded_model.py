@@ -1,0 +1,75 @@
+"""HMM multi-DMM pricing: transfer_time and run_sharded."""
+
+import pytest
+
+from repro.core import theory
+from repro.ir.registry import get_engine
+from repro.machine.hmm import HMM
+from repro.machine.params import MachineParams
+from repro.permutations.named import bit_reversal, identical
+from repro.shard import shard_program
+
+N, WIDTH = 1024, 32
+
+
+def _sharded(p, d):
+    program = get_engine("d-designated").plan(p, width=WIDTH).lower()
+    return shard_program(program, d)
+
+
+class TestTransferTime:
+    def test_matches_theory_term(self):
+        machine = HMM(MachineParams(width=WIDTH))
+        latency = machine.params.latency
+        assert machine.transfer_time(768, d=4) == (
+            theory.inter_dmm_transfer_time(768, WIDTH, latency, d=4)
+        )
+
+    def test_defaults_to_machine_dmm_count(self):
+        params = MachineParams(width=WIDTH, num_dmms=2)
+        machine = HMM(params)
+        assert machine.transfer_time(64) == (
+            theory.inter_dmm_transfer_time(
+                64, WIDTH, params.latency, d=2
+            )
+        )
+
+    def test_free_when_single_dmm(self):
+        machine = HMM(MachineParams(width=WIDTH))
+        assert machine.transfer_time(512, d=1) == 0
+
+
+class TestRunSharded:
+    @pytest.mark.parametrize("d", (1, 2, 4, 8))
+    def test_breakdown_keys_and_sum(self, d):
+        machine = HMM(MachineParams(width=WIDTH))
+        out = machine.run_sharded(_sharded(bit_reversal(N), d))
+        assert out["d"] == d
+        assert out["stripe"] == N // d
+        assert out["total"] == out["local"] + out["exchange"]
+        assert out["stripes_per_dmm"] >= 1
+
+    def test_identity_is_exchange_free(self):
+        machine = HMM(MachineParams(width=WIDTH))
+        out = machine.run_sharded(_sharded(identical(N), 4))
+        assert out["exchange"] == 0
+
+    def test_more_dmms_fewer_stripes_each(self):
+        sharded = _sharded(bit_reversal(N), 8)
+        one = HMM(MachineParams(width=WIDTH, num_dmms=1)).run_sharded(
+            sharded
+        )
+        four = HMM(MachineParams(width=WIDTH, num_dmms=4)).run_sharded(
+            sharded
+        )
+        assert one["stripes_per_dmm"] == 8
+        assert four["stripes_per_dmm"] == 2
+        assert four["local"] < one["local"]
+        # Exchange volume is a property of the plan, not the machine.
+        assert four["exchange"] == one["exchange"]
+
+    def test_element_cells_increase_cost(self):
+        machine = HMM(MachineParams(width=WIDTH))
+        sharded = _sharded(bit_reversal(N), 4)
+        assert (machine.run_sharded(sharded, element_cells=2)["total"]
+                > machine.run_sharded(sharded)["total"])

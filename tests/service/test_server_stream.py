@@ -1,0 +1,225 @@
+"""PermutationServer stream routing tests: stripe fan-out, phase
+ordering, all-or-nothing admission, failure propagation, shedding and
+shutdown interplay — real workers where the data must actually move,
+stalled workers where the queue must be observed synchronously."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ResidentBudgetError,
+    ServiceOverloadError,
+    ServingError,
+    ValidationError,
+)
+from repro.exec.streaming import StreamingStats
+from repro.permutations.named import bit_reversal
+from repro.service import PermutationServer
+from repro.service.server import HIGH, NORMAL
+
+_N, _WIDTH = 4096, 32
+
+
+def _payload(path, n=_N):
+    a = np.arange(n, dtype=np.float64) * 2.0 + 0.5
+    np.save(path, a)
+    return a
+
+
+def _expected(p, a):
+    out = np.empty_like(a)
+    out[p] = a
+    return out
+
+
+def _stall_workers(server):
+    server._worker = lambda: None
+    return server
+
+
+@pytest.fixture
+def stream_server():
+    srv = PermutationServer(width=_WIDTH, workers=2)
+    srv.register("bitrev", bit_reversal(_N))
+    yield srv
+    srv.close()
+
+
+class TestStreamCorrectness:
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_streamed_output_matches_scatter(self, tmp_path, workers):
+        srv = PermutationServer(width=_WIDTH, workers=workers)
+        try:
+            p = bit_reversal(_N)
+            srv.register("bitrev", p)
+            src, dst = tmp_path / "in.npy", tmp_path / "out.npy"
+            a = _payload(src)
+            stats = srv.apply_stream(
+                "bitrev", src, dst, d=4,
+                max_resident_bytes=64 * 1024, tmp_dir=tmp_path,
+            )
+            assert isinstance(stats, StreamingStats)
+            assert stats.d == 4
+            assert np.array_equal(np.load(dst), _expected(p, a))
+        finally:
+            srv.close()
+
+    def test_result_metadata_and_counters(self, stream_server, tmp_path):
+        src, dst = tmp_path / "in.npy", tmp_path / "out.npy"
+        _payload(src)
+        res = stream_server.submit_stream(
+            "bitrev", src, dst, d=2, max_resident_bytes=64 * 1024,
+        )
+        stats = res.result(timeout=30.0)
+        assert stats.peak_resident_total_bytes <= 64 * 1024
+        assert res.engine
+        assert res.service_s == stats.seconds
+        snap = stream_server.stats()
+        assert snap["server.stream.accepted"] == 1
+        assert snap["server.stream.completed"] == 1
+
+    def test_normal_traffic_still_served_alongside_stream(
+        self, stream_server, tmp_path
+    ):
+        src, dst = tmp_path / "in.npy", tmp_path / "out.npy"
+        a32 = np.arange(_N, dtype=np.float32)
+        _payload(src)
+        stream_res = stream_server.submit_stream(
+            "bitrev", src, dst, d=4, max_resident_bytes=64 * 1024,
+        )
+        normal = stream_server.submit("bitrev", a32, priority=HIGH)
+        assert np.array_equal(
+            normal.result(timeout=30.0),
+            _expected(bit_reversal(_N), a32),
+        )
+        stream_res.result(timeout=30.0)
+
+
+class TestStreamValidation:
+    def test_unknown_name(self, stream_server, tmp_path):
+        _payload(tmp_path / "in.npy")
+        with pytest.raises(ValidationError, match="registered"):
+            stream_server.submit_stream(
+                "nope", tmp_path / "in.npy", tmp_path / "out.npy"
+            )
+
+    def test_missing_input_file(self, stream_server, tmp_path):
+        with pytest.raises(ValidationError, match="exist"):
+            stream_server.submit_stream(
+                "bitrev", tmp_path / "missing.npy", tmp_path / "o.npy"
+            )
+
+    def test_bad_d(self, stream_server, tmp_path):
+        _payload(tmp_path / "in.npy")
+        with pytest.raises(ValidationError):
+            stream_server.submit_stream(
+                "bitrev", tmp_path / "in.npy", tmp_path / "o.npy", d=0
+            )
+
+    def test_bad_priority(self, stream_server, tmp_path):
+        _payload(tmp_path / "in.npy")
+        with pytest.raises(ValidationError):
+            stream_server.submit_stream(
+                "bitrev", tmp_path / "in.npy", tmp_path / "o.npy",
+                priority="urgent",
+            )
+
+
+class TestStreamAdmission:
+    def test_all_or_nothing_queue_admission(self, tmp_path):
+        srv = _stall_workers(PermutationServer(
+            width=_WIDTH, workers=1, queue_capacity=6,
+        ))
+        try:
+            srv.register("bitrev", bit_reversal(_N))
+            _payload(tmp_path / "in.npy")
+            # 2d = 16 stripe tasks cannot fit a 6-slot queue, even
+            # empty: the stream is rejected as a unit, nothing enqueued.
+            with pytest.raises(ServiceOverloadError, match="stripe"):
+                srv.submit_stream(
+                    "bitrev", tmp_path / "in.npy", tmp_path / "o.npy",
+                    d=8,
+                )
+            assert srv.stats()["server.queue_depth"] == 0
+            # A d=2 stream (4 stripes) fits.
+            res = srv.submit_stream(
+                "bitrev", tmp_path / "in.npy", tmp_path / "o.npy", d=2,
+            )
+            assert not res.done()
+            assert srv.stats()["server.queue_depth"] == 4
+        finally:
+            srv.close()
+
+    def test_stream_counts_against_tenant_inflight(self, tmp_path):
+        srv = _stall_workers(PermutationServer(width=_WIDTH, workers=1))
+        try:
+            srv.register("bitrev", bit_reversal(_N), tenant="acme")
+            _payload(tmp_path / "in.npy")
+            srv.submit_stream(
+                "bitrev", tmp_path / "in.npy", tmp_path / "o.npy",
+                d=2, tenant="acme",
+            )
+            # 2d stripe requests are in flight on the tenant's ledger.
+            assert srv._tenant("acme").inflight == 4
+        finally:
+            srv.close()
+
+    def test_stripes_never_coalesce(self, tmp_path):
+        srv = _stall_workers(PermutationServer(
+            width=_WIDTH, workers=1, coalesce=True,
+        ))
+        try:
+            srv.register("bitrev", bit_reversal(_N))
+            _payload(tmp_path / "in.npy")
+            srv.submit_stream(
+                "bitrev", tmp_path / "in.npy", tmp_path / "o.npy", d=2,
+            )
+            with srv._cond:
+                group = srv._take_group()
+            assert len(group) == 1
+            assert group[0].stream is not None
+            assert group[0].phase == "pre"
+        finally:
+            srv.close()
+
+    def test_pre_stripes_enqueued_before_post(self, tmp_path):
+        srv = _stall_workers(PermutationServer(width=_WIDTH, workers=1))
+        try:
+            srv.register("bitrev", bit_reversal(_N))
+            _payload(tmp_path / "in.npy")
+            srv.submit_stream(
+                "bitrev", tmp_path / "in.npy", tmp_path / "o.npy", d=4,
+            )
+            phases = [req.phase for req in srv._buckets[NORMAL]]
+            assert phases == ["pre"] * 4 + ["post"] * 4
+        finally:
+            srv.close()
+
+
+class TestStreamFailure:
+    def test_budget_failure_fails_stream_not_server(
+        self, stream_server, tmp_path
+    ):
+        src = tmp_path / "in.npy"
+        _payload(src)
+        res = stream_server.submit_stream(
+            "bitrev", src, tmp_path / "o.npy", d=2,
+            max_resident_bytes=16,   # cannot hold one element
+        )
+        with pytest.raises(ResidentBudgetError):
+            res.result(timeout=30.0)
+        # The server remains healthy for ordinary traffic.
+        a32 = np.arange(_N, dtype=np.float32)
+        out = stream_server.submit("bitrev", a32).result(timeout=30.0)
+        assert np.array_equal(out, _expected(bit_reversal(_N), a32))
+
+    def test_close_cancels_queued_stream(self, tmp_path):
+        srv = _stall_workers(PermutationServer(width=_WIDTH, workers=1))
+        srv.register("bitrev", bit_reversal(_N))
+        _payload(tmp_path / "in.npy")
+        res = srv.submit_stream(
+            "bitrev", tmp_path / "in.npy", tmp_path / "o.npy", d=2,
+        )
+        srv.close(drain=False)
+        with pytest.raises(ServingError, match="closed"):
+            res.result(timeout=5.0)

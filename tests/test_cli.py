@@ -436,3 +436,46 @@ class TestParser:
     def test_plan_requires_out(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["plan"])
+
+
+class TestShardFlag:
+    def test_cost_with_d_appends_scaling_table(self, capsys):
+        out = _run(capsys, "cost", "--n", "1024", "--width", "8",
+                   "--perm", "bit-reversal", "--d", "4")
+        assert "out-of-core sharding" in out
+        assert "exchange time" in out
+        for d in ("1", "2", "4", "8"):
+            assert d in out
+
+    def test_cost_without_d_has_no_table(self, capsys):
+        out = _run(capsys, "cost", "--n", "1024", "--width", "8",
+                   "--perm", "bit-reversal")
+        assert "out-of-core sharding" not in out
+
+    def test_profile_with_d_appends_scaling_table(self, capsys):
+        out = _run(capsys, "profile", "bit-reversal", "--n", "1024",
+                   "--width", "8", "--d", "2")
+        assert "out-of-core sharding" in out
+
+    def test_plan_with_d_stamps_and_verify_reports(self, capsys,
+                                                   tmp_path):
+        path = str(tmp_path / "plan.npz")
+        out = _run(capsys, "plan", "--perm", "bit-reversal", "--n",
+                   "256", "--width", "4", "--out", path, "--d", "4")
+        assert "sharded at d = 4: proven" in out
+        assert "shard fingerprint" in out
+        out = _run(capsys, "verify-plan", path)
+        assert "sharding: proven at d = 4" in out
+
+    def test_plan_without_d_verify_says_nothing(self, capsys, tmp_path):
+        path = str(tmp_path / "plan.npz")
+        _run(capsys, "plan", "--perm", "bit-reversal", "--n", "256",
+             "--width", "4", "--out", path)
+        out = _run(capsys, "verify-plan", path)
+        assert "sharding" not in out
+
+    def test_plan_with_indivisible_d_exits_1(self, tmp_path):
+        with pytest.raises(SystemExit, match="refused"):
+            main(["plan", "--perm", "bit-reversal", "--n", "256",
+                  "--width", "4", "--out",
+                  str(tmp_path / "plan.npz"), "--d", "3"])
