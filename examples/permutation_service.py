@@ -84,11 +84,12 @@ def main() -> None:
             fresh.apply("bitrev", a), expected(perms["bitrev"], a)
         )
         stats = fresh.stats()
-        assert stats["disk_hits"] == len(perms)
+        assert stats["sealed_hits"] == len(perms)
         assert stats["cold_plans"] == 0
         print(f"\na second service on the same cache dir warmed "
-              f"{len(perms)} plan(s) entirely from disk "
-              f"(disk_hits = {stats['disk_hits']}, cold_plans = 0)\n")
+              f"{len(perms)} plan(s) entirely from sealed sidecars "
+              f"(sealed_hits = {stats['sealed_hits']}, "
+              f"cold_plans = 0)\n")
 
         print("cache statistics:")
         print(fresh.describe())

@@ -195,7 +195,7 @@ def _roundtrip_rows(plan, machine, dtype) -> list[list[object]]:
     """
     from repro.exec.simulator import SimulatorExecutor
     from repro.ir.program import concat_programs
-    from repro.passes import default_pipeline
+    from repro.passes import default_pipeline, seal_program
 
     engine = getattr(plan, "engine", plan)   # unwrap CompiledPermutation
     engine = getattr(engine, "inner", engine)  # unwrap padded
@@ -203,9 +203,13 @@ def _roundtrip_rows(plan, machine, dtype) -> list[list[object]]:
     raw = concat_programs(engine.lower(), inverse.lower(),
                           engine="roundtrip")
     optimized = default_pipeline().run(raw)
+    # The terminal tier: the roundtrip's denotation collapsed to one
+    # proven gather (the identity here), priced like any program.
+    sealed = seal_program(optimized).as_program()
     rows: list[list[object]] = []
     for label, program in (("roundtrip raw", raw),
-                           ("roundtrip optimized", optimized)):
+                           ("roundtrip optimized", optimized),
+                           ("roundtrip sealed", sealed)):
         trace = SimulatorExecutor().simulate(program, machine,
                                              dtype=dtype)
         rows.append([label, trace.num_rounds, trace.time])
@@ -281,12 +285,59 @@ def cmd_plan(args) -> str:
     )
 
 
+def _verify_sealed(path: str) -> str:
+    """``verify-plan`` on a ``*.sealed.npz`` sidecar: reload (which
+    re-proves checksum, range, mutual inverses, denotation digest and
+    certificate consistency) and print the sealed provenance."""
+    import time
+    from pathlib import Path
+
+    from repro.core.io import load_sealed
+    from repro.errors import ReproError
+
+    start = time.perf_counter()
+    try:
+        sealed = load_sealed(path)
+    except ReproError as exc:
+        message = " ".join(str(exc).split())
+        raise SystemExit(
+            f"verify-plan: REJECTED: {type(exc).__name__}: {message}"
+        ) from exc
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    file_bytes = Path(path).stat().st_size
+    cert = sealed.certificate
+    cert_line = (
+        f"certificate: {cert.summary()}" if cert is not None
+        else "certificate: none embedded"
+    )
+    pipe = sealed.meta.get("pipeline", "<unknown>")
+    fp = str(sealed.meta.get("fingerprint", ""))
+    fp_part = f"; fingerprint {fp[:12]}..." if fp else ""
+    plan_sha = str(sealed.meta.get("plan_sha", ""))
+    bind_part = (
+        f"\nbinding: plan payload {plan_sha[:12]}..." if plan_sha
+        else "\nbinding: none recorded (sealed without a plan file)"
+    )
+    return (
+        f"sealed OK: engine = {sealed.engine}, n = {sealed.n}, "
+        f"width = {sealed.width}, {sealed.nbytes} resident bytes of "
+        "index maps; gather and scatter re-proven as mutual inverses "
+        "and the denotation digest matches\n"
+        f"{cert_line}\n"
+        f"provenance: pipeline {pipe}{fp_part}{bind_part}\n"
+        f"file: {file_bytes} bytes on disk, loaded and re-proven in "
+        f"{elapsed_ms:.1f} ms"
+    )
+
+
 def cmd_verify_plan(args) -> str:
     import time
     from pathlib import Path
 
     from repro.errors import ReproError
 
+    if str(args.path).endswith(".sealed.npz"):
+        return _verify_sealed(args.path)
     start = time.perf_counter()
     try:
         plan = load_plan(args.path)   # load_plan verifies end to end
@@ -390,6 +441,51 @@ def _cmd_check_semantics(args) -> str:
         else default_pipeline()
     )
     parts = []
+    if target.endswith(".sealed.npz"):
+        from repro.core.io import load_sealed
+        from repro.staticcheck.semantics import denotation_digest
+
+        try:
+            sealed = load_sealed(target)
+        except ReproError as exc:
+            message = " ".join(str(exc).split())
+            raise SystemExit(
+                f"check --semantics: REJECTED: {type(exc).__name__}: "
+                f"{message}"
+            ) from exc
+        parts.append(
+            f"loaded sealed artifact {target} (checksum, inverses and "
+            "denotation digest re-proven on load)"
+        )
+        if sealed.certificate is not None:
+            parts.append(f"embedded {sealed.certificate.summary()}")
+        parts.append("")
+        # Independent re-proof: denote the one-op bridge program and
+        # compare against the stored scatter, digest and all.
+        denotation = denote_program(sealed.as_program())
+        parts.append(denotation.describe())
+        if not denotation.ok or not np.array_equal(
+            denotation.index_map, sealed.scatter
+        ):
+            raise SystemExit("\n".join(
+                parts + ["", "check --semantics: DIVERGENCE (sealed "
+                         "scatter does not match its own denotation)"]
+            ))
+        digest = denotation_digest(sealed.scatter)
+        stored = str(sealed.meta.get("denotation_sha", ""))
+        if stored and stored != digest:
+            raise SystemExit("\n".join(
+                parts + ["", "check --semantics: DIVERGENCE (stored "
+                         "denotation_sha does not match the scatter)"]
+            ))
+        parts.append(f"denotation digest {digest[:12]}... matches "
+                     "the sealed meta")
+        parts.append("")
+        parts.append(
+            "check --semantics OK: sealed gather == scatter^-1 == "
+            "denoted permutation"
+        )
+        return "\n".join(parts)
     if target.endswith(".npz") or Path(target).exists():
         try:
             plan = load_plan(target)

@@ -85,6 +85,11 @@ from repro.ir.registry import get_engine
 #: kernel programs (any registered engine, ``op{i}.*`` key groups).
 FORMAT_VERSION = 3
 
+#: Format tag of sealed sidecar files (``save_sealed``); independent of
+#: :data:`FORMAT_VERSION` because sealed artifacts are derived caches,
+#: not plans — losing one costs a re-seal, never a re-plan.
+SEALED_FORMAT_VERSION = 1
+
 #: Keys that describe the file rather than the plan; excluded from the
 #: checksum so adding a certificate does not change the payload digest.
 METADATA_KEYS = (
@@ -793,3 +798,253 @@ def _validate_semantic_certificate(
             "different requested permutation than the stored p"
         )
     return cert
+
+
+# ----------------------------------------------------------------------
+# Sealed artifacts (the third compilation tier)
+# ----------------------------------------------------------------------
+
+#: Metadata keys of sealed sidecar files — excluded from the payload
+#: checksum, like :data:`METADATA_KEYS` for plan files.
+SEALED_METADATA_KEYS = (
+    "checksum",
+    "library_version",
+    "semantic_certificate",
+    "plan_sha",
+    "fingerprint",
+    "pipeline",
+)
+
+
+def read_plan_checksum(path) -> str:
+    """The stored payload checksum of a plan file (metadata read only).
+
+    The cheap identity the sealed sidecar binds to: no arrays are
+    decompressed beyond the checksum string.  Unreadable or
+    checksum-less files raise :class:`PlanCorruptionError`.
+    """
+    try:
+        with np.load(Path(path)) as data:
+            if "checksum" not in data.files:
+                raise PlanCorruptionError(
+                    f"{path}: plan file is incomplete: checksum is not "
+                    "a file in the archive"
+                )
+            return str(np.asarray(data["checksum"]))
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+        raise PlanCorruptionError(
+            f"{path}: plan file is unreadable (truncated or not a "
+            f"save_plan archive): {exc}"
+        ) from exc
+
+
+def _zigzag_encode(deltas: np.ndarray) -> np.ndarray:
+    """Map signed deltas onto small unsigned values (order-preserving
+    in magnitude), so near-sorted gathers narrow to tiny dtypes."""
+    d = np.ascontiguousarray(deltas, dtype=np.int64)
+    return ((d << 1) ^ (d >> 63)).view(np.uint64)
+
+
+def _zigzag_decode(codes: np.ndarray) -> np.ndarray:
+    zz = np.ascontiguousarray(codes, dtype=np.uint64)
+    half = (zz >> np.uint64(1)).view(np.int64)
+    sign = (zz & np.uint64(1)).view(np.int64)
+    return half ^ -sign
+
+
+def save_sealed(path, sealed, plan_sha: str | None = None) -> None:
+    """Serialise a :class:`~repro.ir.sealed.SealedProgram` to ``path``.
+
+    The gather index is stored **delta-encoded**: zigzagged first
+    differences of the (near-sorted for structured permutations)
+    gather array, narrowed to the smallest sufficient unsigned dtype —
+    a sealed sidecar for ``n = 2^20`` costs a fraction of its ``int64``
+    in-memory form.  The scatter map is not stored at all; the loader
+    re-derives it as the gather's inverse.
+
+    Integrity mirrors plan files: a SHA-256 checksum over the payload
+    keys, the denotation digest of the scatter map as a payload key
+    (so a decoded artifact is re-provable), an optional ``plan_sha``
+    binding the sidecar to one plan file's payload checksum, and the
+    semantic certificate carried by the sealed program embedded as
+    metadata.  The artifact is *re-proved on load*; a sealed program
+    that fails its own :meth:`verify` is refused unwritten.
+    """
+    from repro import __version__
+    from repro.staticcheck.semantics import denotation_digest
+
+    sealed.verify()
+    with telemetry.span(
+        "plan_io.save_sealed", n=sealed.n, engine=sealed.engine
+    ) as sp:
+        deltas = np.diff(sealed.gather, prepend=np.int64(0))
+        arrays: dict = {
+            "sealed_version": np.int64(SEALED_FORMAT_VERSION),
+            "engine": np.str_(sealed.engine),
+            "n": np.int64(sealed.n),
+            "width": np.int64(sealed.width),
+            "denotation_sha": np.str_(
+                denotation_digest(sealed.scatter)
+            ),
+        }
+        _store_narrowed(arrays, "gather_delta", _zigzag_encode(deltas))
+        rounds = sealed.meta.get("predicted_rounds")
+        if isinstance(rounds, int) and rounds > 0:
+            arrays["predicted_rounds"] = np.int64(rounds)
+        checksum = plan_checksum(
+            arrays, keys=tuple(sorted(arrays))
+        )
+        extra: dict = {}
+        bound = plan_sha or sealed.meta.get("plan_sha")
+        if bound:
+            extra["plan_sha"] = np.str_(str(bound))
+        for key in ("fingerprint", "pipeline"):
+            if sealed.meta.get(key):
+                extra[key] = np.str_(str(sealed.meta[key]))
+        if sealed.certificate is not None:
+            extra["semantic_certificate"] = np.str_(
+                sealed.certificate.to_json()
+            )
+        np.savez_compressed(
+            Path(path),
+            checksum=np.str_(checksum),
+            library_version=np.str_(__version__),
+            **extra,
+            **arrays,
+        )
+        sp.set(file_bytes=Path(path).stat().st_size)
+        telemetry.count("plan_io.sealed_saved")
+
+
+def load_sealed(path, expected_plan_sha: str | None = None):
+    """Rebuild and **re-prove** a sealed artifact saved by
+    :func:`save_sealed`.
+
+    Verification ladder, cheapest first: payload checksum, delta
+    decode, scatter re-derivation, denotation digest comparison
+    against the stored ``denotation_sha``, mutual-inverse proof
+    (:meth:`~repro.ir.sealed.SealedProgram.verify`), and — when the
+    caller knows which plan the sidecar must belong to —
+    ``expected_plan_sha`` against the recorded binding.  Any failure
+    raises :class:`~repro.errors.PlanCorruptionError`; a sealed
+    artifact is a derived cache, so the caller heals by re-sealing
+    from the plan, never by trusting the file.
+    """
+    with telemetry.span("plan_io.load_sealed") as sp:
+        try:
+            with np.load(Path(path)) as data:
+                arrays = {k: np.asarray(data[k]) for k in data.files}
+        except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+            telemetry.count("plan_io.sealed_rejected")
+            raise PlanCorruptionError(
+                f"{path}: sealed artifact is unreadable (truncated or "
+                f"not a save_sealed archive): {exc}"
+            ) from exc
+        try:
+            sealed = _decode_sealed(path, arrays, expected_plan_sha)
+        except Exception:
+            telemetry.count("plan_io.sealed_rejected")
+            raise
+        sp.set(n=sealed.n, engine=sealed.engine)
+        telemetry.count("plan_io.sealed_loaded")
+        return sealed
+
+
+def _decode_sealed(path, arrays: dict, expected_plan_sha: str | None):
+    from repro.ir.sealed import SealedProgram, invert_permutation
+    from repro.staticcheck.semantics import (
+        SemanticCertificate,
+        denotation_digest,
+    )
+
+    for key in ("checksum", "sealed_version", "n", "gather_delta"):
+        if key not in arrays:
+            raise PlanCorruptionError(
+                f"{path}: sealed artifact is incomplete: {key} is not "
+                "a file in the archive"
+            )
+    version = int(arrays["sealed_version"])
+    if version != SEALED_FORMAT_VERSION:
+        raise PlanVersionError(
+            f"{path}: unsupported sealed format version {version}; "
+            f"this build reads version {SEALED_FORMAT_VERSION}"
+        )
+    stored = str(arrays.pop("checksum"))
+    sem_arr = arrays.pop("semantic_certificate", None)
+    bound_arr = arrays.pop("plan_sha", None)
+    fingerprint_arr = arrays.pop("fingerprint", None)
+    pipeline_arr = arrays.pop("pipeline", None)
+    arrays.pop("library_version", None)
+    actual = plan_checksum(arrays, keys=tuple(sorted(arrays)))
+    if actual != stored:
+        raise _checksum_mismatch(path, stored, actual)
+    if bound_arr is not None and expected_plan_sha is not None:
+        if str(bound_arr) != expected_plan_sha:
+            raise PlanCorruptionError(
+                f"{path}: sealed artifact is bound to plan payload "
+                f"{str(bound_arr)[:12]}..., not the expected "
+                f"{expected_plan_sha[:12]}... — sidecar and plan do "
+                "not belong together"
+            )
+    n = int(arrays["n"])
+    deltas = _zigzag_decode(
+        _restore_narrowed(arrays, "gather_delta")
+    )
+    if deltas.shape[0] != n:
+        raise PlanCorruptionError(
+            f"{path}: sealed artifact stores {deltas.shape[0]} gather "
+            f"deltas for n = {n} — the index data is inconsistent"
+        )
+    gather = np.cumsum(deltas, dtype=np.int64)
+    if n and (int(gather.min()) < 0 or int(gather.max()) >= n):
+        raise PlanCorruptionError(
+            f"{path}: decoded sealed gather leaves the range "
+            f"0..{n - 1} — the index data is corrupted"
+        )
+    scatter = invert_permutation(gather)
+    if str(arrays["denotation_sha"]) != denotation_digest(scatter):
+        raise PlanCorruptionError(
+            f"{path}: decoded sealed map digests "
+            f"{denotation_digest(scatter)[:12]}..., not the stored "
+            f"{str(arrays['denotation_sha'])[:12]}... — the artifact "
+            "no longer encodes its certified permutation"
+        )
+    certificate = None
+    if sem_arr is not None:
+        try:
+            certificate = SemanticCertificate.from_json(str(sem_arr))
+        except CertificateError as exc:
+            raise PlanCorruptionError(
+                f"{path}: embedded semantic certificate is malformed: "
+                f"{exc}"
+            ) from exc
+        if not certificate.ok:
+            raise PlanCorruptionError(
+                f"{path}: embedded semantic certificate records a "
+                "refutation; a negative certificate must never be "
+                "persisted"
+            )
+        if certificate.denotation_sha != str(arrays["denotation_sha"]):
+            raise PlanCorruptionError(
+                f"{path}: embedded semantic certificate digests a "
+                "different denotation than the sealed map"
+            )
+    meta: dict = {"denotation_sha": str(arrays["denotation_sha"])}
+    if bound_arr is not None:
+        meta["plan_sha"] = str(bound_arr)
+    if fingerprint_arr is not None:
+        meta["fingerprint"] = str(fingerprint_arr)
+    if pipeline_arr is not None:
+        meta["pipeline"] = str(pipeline_arr)
+    if "predicted_rounds" in arrays:
+        meta["predicted_rounds"] = int(arrays["predicted_rounds"])
+    sealed = SealedProgram(
+        engine=str(arrays.get("engine", "")),
+        width=int(arrays.get("width", 0)),
+        scatter=scatter,
+        gather=gather,
+        meta=meta,
+        certificate=certificate,
+    )
+    sealed.verify()
+    return sealed

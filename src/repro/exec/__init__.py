@@ -1,6 +1,6 @@
 """Pluggable executors that run any lowered :class:`KernelProgram`.
 
-Four executors, one IR:
+Five executors, one IR:
 
 * :class:`ReferenceExecutor` — pure-numpy semantic ground truth;
 * :class:`BatchExecutor` — vectorized ``(k, n)`` throughput mode,
@@ -10,11 +10,15 @@ Four executors, one IR:
   plumbing;
 * :class:`StreamingExecutor` — out-of-core: applies a sharded plan
   tile-by-tile against memory-mapped payload files under a hard
-  ``max_resident_bytes`` budget.
+  ``max_resident_bytes`` budget;
+* :class:`SealedExecutor` — the terminal tier: applies a
+  :class:`~repro.ir.sealed.SealedProgram` as a single proven flat
+  gather (chunked across threads for large payloads).
 """
 
 from repro.exec.batch import BatchExecutor
 from repro.exec.reference import ReferenceExecutor
+from repro.exec.sealed import SealedExecutor
 from repro.exec.simulator import SimulatorExecutor
 from repro.exec.streaming import (
     StreamingExecutor,
@@ -25,6 +29,7 @@ from repro.exec.streaming import (
 __all__ = [
     "BatchExecutor",
     "ReferenceExecutor",
+    "SealedExecutor",
     "SimulatorExecutor",
     "StreamingExecutor",
     "StreamingJob",

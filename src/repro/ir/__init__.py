@@ -23,6 +23,7 @@ from repro.ir.ops import (
 )
 from repro.ir.program import KernelProgram, concat_programs
 from repro.ir.registry import engine_names, get_engine, register_engine
+from repro.ir.sealed import SealedProgram
 
 __all__ = [
     "OP_KINDS",
@@ -36,6 +37,7 @@ __all__ = [
     "KernelProgram",
     "Pad",
     "RowwiseScatter",
+    "SealedProgram",
     "Slice",
     "Transpose",
     "concat_programs",

@@ -1,0 +1,175 @@
+"""The sealed (terminal) compilation form: one proven flat gather.
+
+A lowered :class:`~repro.ir.program.KernelProgram` denotes a single
+permutation — the composition of all its ops — and once that index map
+has been materialized and proved bijective there is nothing left to
+optimize: applying the program *is* one gather.  A
+:class:`SealedProgram` is that terminal form, the third compilation
+tier after raw and pipeline-optimized programs:
+
+* ``scatter`` — the denoted index map ``p`` in the repo-wide
+  destination-designated convention, ``out[scatter[i]] = a[i]``;
+* ``gather`` — its inverse, so ``out = a[gather]`` in one fancy-index
+  pass (the form :class:`~repro.exec.sealed.SealedExecutor` executes);
+* ``meta`` — provenance: the plan fingerprint, the pass-pipeline
+  signature, the denotation digest the semantic certificate recorded,
+  and the cost model's predicted rounds for the program it collapsed.
+
+Sealing never *computes* anything new: the index map comes from
+:func:`repro.staticcheck.semantics.denote_program` (or from a
+translation-validated certificate that already proved the plan's
+permutation equal to the denotation), so a sealed program is correct
+by construction and re-provable at any time via :meth:`verify`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.ir.ops import CasualWrite
+from repro.ir.program import KernelProgram
+
+__all__ = ["SealedProgram"]
+
+
+def _as_index(name: str, arr: np.ndarray) -> np.ndarray:
+    out = np.ascontiguousarray(np.asarray(arr, dtype=np.int64))
+    if out.ndim != 1:
+        raise ValidationError(
+            f"sealed {name} must be 1-D, got shape {out.shape}"
+        )
+    return out
+
+
+def invert_permutation(p: np.ndarray) -> np.ndarray:
+    """The inverse index map: ``inv[p[i]] = i``.
+
+    Assumes ``p`` is a permutation of ``0..n-1`` (the caller proves it
+    — sealing sits downstream of a bijectivity proof).
+    """
+    arr = _as_index("permutation", p)
+    inv = np.empty_like(arr)
+    inv[arr] = np.arange(arr.shape[0], dtype=np.int64)
+    return inv
+
+
+class SealedProgram:
+    """A permutation collapsed to its proven flat index maps.
+
+    Parameters
+    ----------
+    engine:
+        Engine name of the program that was sealed (provenance).
+    width:
+        Warp width the plan was built for (provenance; sealing itself
+        is width-free — one gather has no bank structure left).
+    scatter:
+        The denoted map ``p``: ``out[scatter[i]] = a[i]``.
+    gather:
+        Optional inverse (``out = a[gather]``); derived from
+        ``scatter`` when omitted.
+    meta:
+        Provenance mapping (fingerprint, pipeline signature,
+        ``denotation_sha``, ``plan_sha``, ``predicted_rounds``, ...).
+    certificate:
+        Optional :class:`~repro.staticcheck.semantics.
+        SemanticCertificate` carried along from the translation
+        validation that proved the sealed map.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        width: int,
+        scatter: np.ndarray,
+        gather: np.ndarray | None = None,
+        meta: dict[str, Any] | None = None,
+        certificate: Any | None = None,
+    ) -> None:
+        self.engine = str(engine)
+        self.width = int(width)
+        self.scatter = _as_index("scatter", scatter)
+        self.gather = (
+            invert_permutation(self.scatter)
+            if gather is None
+            else _as_index("gather", gather)
+        )
+        if self.gather.shape != self.scatter.shape:
+            raise ValidationError(
+                f"sealed gather length {self.gather.shape[0]} does not "
+                f"match scatter length {self.scatter.shape[0]}"
+            )
+        self.meta: dict[str, Any] = dict(meta or {})
+        self.certificate = certificate
+
+    @property
+    def n(self) -> int:
+        return int(self.scatter.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of both index maps (cache accounting)."""
+        return int(self.scatter.nbytes + self.gather.nbytes)
+
+    def verify(self) -> None:
+        """Re-prove the sealed pair: mutual inverses over ``0..n-1``.
+
+        ``gather[scatter] == identity`` forces ``scatter`` to be
+        injective into range and ``gather`` to be its left inverse;
+        equal lengths then make both bijections.  Raises
+        :class:`~repro.errors.ValidationError` on any refutation.
+        """
+        n = self.n
+        if n == 0:
+            return
+        lo = int(min(self.scatter.min(), self.gather.min()))
+        hi = int(max(self.scatter.max(), self.gather.max()))
+        if lo < 0 or hi >= n:
+            raise ValidationError(
+                f"sealed index maps leave the range 0..{n - 1} "
+                f"(saw {lo}..{hi})"
+            )
+        identity = np.arange(n, dtype=np.int64)
+        if not np.array_equal(self.gather[self.scatter], identity):
+            bad = np.nonzero(self.gather[self.scatter] != identity)[0]
+            i = int(bad[0])
+            raise ValidationError(
+                "sealed gather is not the inverse of scatter: element "
+                f"{i} scatters to {int(self.scatter[i])} but gathers "
+                f"back to {int(self.gather[self.scatter[i]])}"
+            )
+
+    def as_program(self) -> KernelProgram:
+        """The sealed form as a one-op :class:`KernelProgram`.
+
+        A single destination-designated
+        :class:`~repro.ir.ops.CasualWrite` carrying ``scatter`` — the
+        bridge back into the executor/simulator/denotation tooling, so
+        a sealed plan can be priced on the HMM cost model and denoted
+        symbolically like any other program.
+        """
+        return KernelProgram(
+            engine=self.engine,
+            n=self.n,
+            width=self.width,
+            ops=(CasualWrite(p=self.scatter, label="sealed gather"),),
+            meta=dict(self.meta) or None,
+        )
+
+    def describe(self) -> str:
+        fp = str(self.meta.get("fingerprint", ""))
+        fp_part = f", fingerprint {fp[:12]}..." if fp else ""
+        return (
+            f"sealed {self.engine!r}: n = {self.n}, "
+            f"width = {self.width}, {self.nbytes} resident "
+            f"bytes{fp_part}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SealedProgram(engine={self.engine!r}, n={self.n}, "
+            f"width={self.width})"
+        )

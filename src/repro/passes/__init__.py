@@ -35,6 +35,7 @@ from repro.passes.optimizations import (
     FuseRowwiseSteps,
     SimplifyPadSlice,
 )
+from repro.passes.seal import seal_program
 
 __all__ = [
     "PIPELINE_VERSION",
@@ -52,6 +53,7 @@ __all__ = [
     "default_pipeline",
     "identity_guard",
     "is_identity_guard",
+    "seal_program",
 ]
 
 _DEFAULT: PassPipeline | None = None

@@ -2,18 +2,23 @@
 :class:`CompiledPermutation` handle it returns.
 
 ``Planner.compile(p)`` resolves a permutation to a compiled handle by
-walking the cache tiers cheapest-first — in-memory LRU, then the disk
-cache, then a cold ``Engine.plan`` — and the handle's ``apply`` /
-``apply_batch`` / ``simulate`` never re-plan: they run the stored
-*optimized* program straight through the executor layer.  On the
-workload the paper targets (one permutation, many payloads) this
-turns every call after the first into pure apply time.
+walking the cache tiers cheapest-first — in-memory LRU, then the
+**sealed** sidecar on disk, then the full v3 disk entry, then a cold
+``Engine.plan`` — and the handle's ``apply`` / ``apply_batch`` /
+``simulate`` never re-plan.  On the workload the paper targets (one
+permutation, many payloads) this turns every call after the first into
+pure apply time, and with the sealed tier that apply is a *single*
+proven flat gather: a handle resolved from a sealed sidecar serves
+``apply`` without ever rehydrating the v3 plan file (the full program
+is loaded lazily, only if something asks for ``lower()`` /
+``simulate()`` / ``shard()`` / a recorder).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Callable
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -23,7 +28,8 @@ from repro import telemetry
 from repro.errors import SemanticValidationError
 from repro.ir.program import KernelProgram
 from repro.ir.registry import get_engine
-from repro.passes import PassPipeline, default_pipeline
+from repro.ir.sealed import SealedProgram
+from repro.passes import PassPipeline, default_pipeline, seal_program
 from repro.planner.cache import DiskPlanCache, LRUPlanCache
 from repro.planner.fingerprint import (
     permutation_digest,
@@ -39,69 +45,182 @@ if TYPE_CHECKING:
     from repro.exec.streaming import StreamingStats
     from repro.shard import ShardedProgram
 
+#: What a lazy handle's loader returns: the planned engine, its
+#: optimized program, and the translation-validation certificate.
+_Loaded = tuple[Any, KernelProgram, "SemanticCertificate | None"]
+
 
 class CompiledPermutation:
     """A planned, optimized, fingerprinted permutation.
 
     Wraps the planned engine together with its pipeline-optimized
-    program; every method here executes that stored program (or
-    delegates to the already-planned engine) — none of them ever
-    re-plans.
+    program and — when the planner sealed it — the proven flat index
+    maps of :class:`~repro.ir.sealed.SealedProgram`; every method here
+    executes the stored artifacts (or delegates to the already-planned
+    engine) — none of them ever re-plans.
+
+    Handles resolved from a sealed disk sidecar are **lazy**: the
+    engine and full program stay unloaded (``loader`` rehydrates them
+    on first demand), while ``apply`` / ``apply_batch`` / ``p`` /
+    ``n`` are served from the sealed maps alone.
     """
 
     def __init__(
         self,
         engine: Any,
-        program: KernelProgram,
+        program: KernelProgram | None,
         fingerprint: str,
         pipeline_signature: str,
         semantic_certificate: SemanticCertificate | None = None,
+        sealed: SealedProgram | None = None,
+        loader: "Callable[[], _Loaded] | None" = None,
     ) -> None:
-        self.engine = engine
-        self.program = program
+        if program is None and loader is None:
+            raise ValueError(
+                "CompiledPermutation needs a program or a loader"
+            )
+        self._engine = engine
+        self._program = program
+        self._loader = loader
         self.fingerprint = fingerprint
         self.pipeline_signature = pipeline_signature
         #: The translation-validation proof issued when the planner
         #: optimized this handle's program (``None`` for handles built
         #: outside the planner).
         self.semantic_certificate = semantic_certificate
+        #: The sealed (single proven gather) form, when the planner
+        #: sealed this handle; ``apply``/``apply_batch`` route through
+        #: it.
+        self.sealed = sealed
+        self._load_lock = threading.Lock()
         # Proven shardings, memoized per stripe count.
         self._shards: dict[int, ShardedProgram] = {}
         self._shard_lock = threading.Lock()
 
+    # -- lazy rehydration ----------------------------------------------
+
+    def _ensure_loaded(self) -> None:
+        if self._program is not None:
+            return
+        with self._load_lock:
+            if self._program is not None:
+                return
+            assert self._loader is not None
+            telemetry.count("planner.sealed.rehydrated")
+            engine, program, cert = self._loader()
+            self._engine = engine
+            if self.semantic_certificate is None:
+                self.semantic_certificate = cert
+            # Assigned last: _ensure_loaded's unlocked fast path keys
+            # off _program, so it must only become visible once the
+            # engine is in place.
+            self._program = program
+
+    @property
+    def engine(self) -> Any:
+        """The planned engine (rehydrated on first demand)."""
+        self._ensure_loaded()
+        return self._engine
+
+    @property
+    def program(self) -> KernelProgram:
+        """The optimized program (rehydrated on first demand)."""
+        self._ensure_loaded()
+        assert self._program is not None
+        return self._program
+
+    @property
+    def is_loaded(self) -> bool:
+        """Whether the engine/program are resident (False only for
+        sealed handles that have served every request so far from the
+        sealed maps)."""
+        return self._program is not None
+
+    # -- cheap accessors (never force rehydration) ---------------------
+
     @property
     def p(self) -> np.ndarray:
+        if self.sealed is not None:
+            return self.sealed.scatter
         return np.asarray(self.engine.p)
 
     @property
     def n(self) -> int:
+        if self.sealed is not None:
+            return self.sealed.n
         return int(self.program.n)
 
     @property
     def width(self) -> int:
+        if self.sealed is not None:
+            return self.sealed.width
         return int(self.program.width)
 
     @property
     def engine_name(self) -> str:
+        if self._engine is None and self.sealed is not None:
+            return self.sealed.engine
         return str(getattr(type(self.engine), "engine_name", ""))
+
+    def predicted_rounds(self) -> int | None:
+        """The annotate-cost pass's round prediction, from the sealed
+        meta when available (so observing an apply never forces a
+        lazy handle to rehydrate its program)."""
+        if self.sealed is not None:
+            rounds = self.sealed.meta.get("predicted_rounds")
+        else:
+            rounds = (self.program.meta or {}).get("predicted_rounds")
+        if isinstance(rounds, int) and rounds > 0:
+            return rounds
+        return None
+
+    def resident_bytes(self) -> int:
+        """Bytes this handle pins in memory (cache accounting): the
+        sealed index maps plus the program's schedule arrays, counting
+        only what is actually resident."""
+        total = 0
+        if self.sealed is not None:
+            total += self.sealed.nbytes
+        program = self._program
+        if program is not None:
+            for op in program.ops:
+                for field in op._ARRAY_FIELDS:
+                    value = getattr(op, field)
+                    if value is not None:
+                        total += int(np.asarray(value).nbytes)
+        return total
+
+    # -- execution ------------------------------------------------------
 
     def apply(
         self, a: np.ndarray, recorder: Any | None = None
     ) -> np.ndarray:
-        """Permute one array with the stored optimized program.
+        """Permute one array.
 
+        Sealed handles serve this as a single proven flat gather.
         With a ``recorder`` the call delegates to the planned engine's
         traced kernels (recorders observe real access rounds, which
-        the optimized reference path does not emit).
+        neither the sealed nor the optimized reference path emits).
         """
         if recorder is not None:
             return np.asarray(self.engine.apply(a, recorder))
+        if self.sealed is not None:
+            from repro.exec.sealed import SealedExecutor
+
+            return np.asarray(SealedExecutor().run(self.sealed, a))
         from repro.exec.reference import ReferenceExecutor
 
         return np.asarray(ReferenceExecutor().run(self.program, a))
 
     def apply_batch(self, batch: np.ndarray) -> np.ndarray:
-        """Permute ``k`` stacked payloads, one pass per kernel op."""
+        """Permute ``k`` stacked payloads (one 2-D gather when sealed,
+        one pass per kernel op otherwise)."""
+        if self.sealed is not None:
+            from repro.exec.sealed import SealedExecutor
+
+            return np.asarray(
+                SealedExecutor().run_batch(self.sealed, batch)
+            )
         from repro.exec.batch import BatchExecutor
 
         return np.asarray(BatchExecutor().run(self.program, batch))
@@ -181,7 +300,15 @@ class CompiledPermutation:
         ]
         if self.semantic_certificate is not None:
             lines.append("  " + self.semantic_certificate.summary())
-        lines.append(self.program.describe())
+        if self.sealed is not None:
+            lines.append("  " + self.sealed.describe())
+        if self._program is not None:
+            lines.append(self._program.describe())
+        else:
+            lines.append(
+                "  program: not resident (sealed handle; rehydrates "
+                "on demand)"
+            )
         return "\n".join(lines)
 
 
@@ -191,7 +318,7 @@ class Planner:
     Parameters
     ----------
     cache_size:
-        Capacity of the in-memory LRU tier.
+        Capacity (entry count) of the in-memory LRU tier.
     cache_dir:
         Optional directory for the persistent disk tier (created on
         demand); ``None`` disables it.
@@ -201,6 +328,12 @@ class Planner:
         pipeline's signature is part of every fingerprint.
     backend:
         Default colouring backend forwarded to ``Engine.plan``.
+    cache_max_bytes:
+        Optional bound on the memory tier's resident bytes (programs
+        plus sealed index maps); LRU-evicted past it.
+    disk_max_bytes:
+        Optional bound on the disk tier's total file bytes (plans plus
+        sealed sidecars); LRU-evicted past it.
     """
 
     def __init__(
@@ -209,21 +342,28 @@ class Planner:
         cache_dir: str | Path | None = None,
         pipeline: PassPipeline | None = None,
         backend: str = "auto",
+        cache_max_bytes: int | None = None,
+        disk_max_bytes: int | None = None,
     ) -> None:
         self.pipeline = pipeline or default_pipeline()
-        self.memory = LRUPlanCache(cache_size)
+        self.memory = LRUPlanCache(
+            cache_size, max_bytes=cache_max_bytes
+        )
         self.disk = (
-            DiskPlanCache(cache_dir) if cache_dir is not None else None
+            DiskPlanCache(cache_dir, max_bytes=disk_max_bytes)
+            if cache_dir is not None
+            else None
         )
         self.backend = backend
         self.plans = 0
         self.shard_plans = 0
+        self.sealed_plans = 0
         self.semantic_rejections = 0
         #: Optional :class:`~repro.telemetry.MetricsRegistry`; when set
         #: every compile records ``planner_compile_seconds`` labeled by
-        #: the cache tier that answered (``memory``/``disk``/``cold``)
-        #: and the engine, so the latency cliff between tiers is
-        #: measurable per request, not just countable.
+        #: the cache tier that answered (``memory``/``sealed``/
+        #: ``disk``/``cold``) and the engine, so the latency cliff
+        #: between tiers is measurable per request, not just countable.
         self.metrics = None
         self._lock = threading.Lock()
         # One lock per in-flight fingerprint: concurrent compiles of
@@ -255,10 +395,11 @@ class Planner:
     ) -> CompiledPermutation:
         """Resolve ``p`` to a :class:`CompiledPermutation`.
 
-        Tier order: memory LRU, disk cache, cold ``Engine.plan``.  A
-        caller that already holds the permutation's digest (e.g. the
-        resilience chain hopping engines) passes it via ``digest`` so
-        the array is never re-hashed.
+        Tier order: memory LRU, sealed disk sidecar, full v3 disk
+        entry, cold ``Engine.plan``.  A caller that already holds the
+        permutation's digest (e.g. the resilience chain hopping
+        engines) passes it via ``digest`` so the array is never
+        re-hashed.
         """
         fp = self.fingerprint(p, engine=engine, width=width,
                               digest=digest)
@@ -293,6 +434,12 @@ class Planner:
             compiled = self.memory.get_if_present(fp)
             if compiled is not None:
                 return compiled, "memory"
+            if self.disk is not None:
+                sealed = self.disk.load_sealed(fp)
+                if sealed is not None:
+                    compiled = self._from_sealed(fp, sealed, backend)
+                    self.memory.put(fp, compiled)
+                    return compiled, "sealed"
             plan = (
                 self.disk.load(fp) if self.disk is not None else None
             )
@@ -312,16 +459,116 @@ class Planner:
                     self.disk.store(fp, plan,
                                     self.pipeline.signature())
             program, cert, proven = self._optimize_validated(plan)
+            sealed = self._seal(plan, program, cert) if proven else None
             compiled = CompiledPermutation(
                 engine=plan,
                 program=program,
                 fingerprint=fp,
                 pipeline_signature=self.pipeline.signature(),
                 semantic_certificate=cert,
+                sealed=sealed,
             )
             if proven:
                 self.memory.put(fp, compiled)
+                if self.disk is not None and sealed is not None:
+                    self._store_sealed(fp, sealed)
             return compiled, tier
+
+    def _seal(
+        self,
+        plan: Any,
+        program: KernelProgram,
+        cert: SemanticCertificate | None,
+    ) -> SealedProgram | None:
+        """Collapse a proven optimized program to its sealed form.
+
+        Reuses the just-issued translation-validation certificate, so
+        sealing costs one inversion pass, not a re-denotation.  A seal
+        that fails (it should not, the map is proven) degrades to an
+        unsealed handle, never to an error on the compile path.
+        """
+        try:
+            sealed = seal_program(
+                program,
+                requested=np.asarray(plan.p),
+                certificate=cert,
+                pipeline_signature=self.pipeline.signature(),
+            )
+        except SemanticValidationError:  # pragma: no cover - belt
+            telemetry.count("planner.sealed.refused")
+            return None
+        sealed.certificate = cert
+        with self._lock:
+            self.sealed_plans += 1
+        telemetry.count("planner.sealed.planned")
+        return sealed
+
+    def _store_sealed(
+        self, fp: str, sealed: SealedProgram
+    ) -> None:
+        """Persist the sealed sidecar, bound to its plan file's
+        payload checksum (read back cheaply from the just-stored v3
+        entry)."""
+        assert self.disk is not None
+        from repro.core.io import read_plan_checksum
+        from repro.errors import PlanIntegrityError
+
+        sealed.meta["fingerprint"] = fp
+        plan_path = self.disk.path_for(fp)
+        if plan_path.exists():
+            try:
+                sealed.meta["plan_sha"] = read_plan_checksum(plan_path)
+            except PlanIntegrityError:
+                sealed.meta.pop("plan_sha", None)
+        try:
+            self.disk.store_sealed(fp, sealed)
+        except OSError:
+            # A failed sidecar persist must not fail the compile; the
+            # sealed form still serves from memory.
+            telemetry.count("planner.sealed.store_failed")
+
+    def _from_sealed(
+        self, fp: str, sealed: SealedProgram, backend: str | None
+    ) -> CompiledPermutation:
+        """A lazy handle over a sealed sidecar hit.
+
+        Applies are served from the sealed maps immediately; the v3
+        plan is rehydrated (or, if its file has meanwhile vanished,
+        re-planned from the sealed scatter map — which *is* the
+        permutation) only when a caller needs the full program.
+        """
+
+        def loader() -> _Loaded:
+            plan = (
+                self.disk.load(fp) if self.disk is not None else None
+            )
+            if plan is None:
+                with telemetry.span(
+                    "planner.plan", engine=sealed.engine
+                ):
+                    plan = get_engine(sealed.engine).plan(
+                        sealed.scatter,
+                        width=sealed.width,
+                        backend=backend or self.backend,
+                    )
+                with self._lock:
+                    self.plans += 1
+                telemetry.count("planner.planned")
+                if self.disk is not None:
+                    self.disk.store(fp, plan,
+                                    self.pipeline.signature())
+            program, cert, _proven = self._optimize_validated(plan)
+            return plan, program, cert
+
+        return CompiledPermutation(
+            engine=None,
+            program=None,
+            fingerprint=fp,
+            pipeline_signature=self.pipeline.signature(),
+            semantic_certificate=sealed.certificate,
+            sealed=sealed,
+            loader=loader,
+        )
 
     def compile_sharded(
         self,
@@ -362,7 +609,7 @@ class Planner:
         :class:`~repro.errors.SemanticValidationError` is raised — is
         served instead, the ``planner.semantic.rejected`` telemetry
         counter is bumped, and the returned ``proven`` flag is False so
-        callers refuse to cache the handle.
+        callers refuse to cache (or seal) the handle.
         """
         raw = plan.lower()
         requested = np.asarray(plan.p)
@@ -406,9 +653,28 @@ class Planner:
             )
 
     def warm_from_disk(self, fingerprint: str) -> bool:
-        """Promote one disk entry into the memory tier; True on hit."""
+        """Promote one disk entry into the memory tier; True on hit.
+
+        Prefers the sealed sidecar (no v3 rehydration); falls back to
+        the full plan, sealing it on the way in so the sidecar exists
+        next time.
+        """
         if self.disk is None:
             return False
+        sealed = self.disk.load_sealed(fingerprint)
+        if (
+            sealed is not None
+            and sealed.meta.get("pipeline")
+            == self.pipeline.signature()
+        ):
+            # The sidecar's proof is bound to the pipeline that issued
+            # it; a foreign-pipeline fingerprint falls through to the
+            # full plan, where this planner must re-prove it.
+            self.memory.put(
+                fingerprint,
+                self._from_sealed(fingerprint, sealed, None),
+            )
+            return True
         plan = self.disk.load(fingerprint)
         if plan is None:
             return False
@@ -416,6 +682,7 @@ class Planner:
         if not proven:
             # An unproven optimization must not be pinned in memory.
             return False
+        fresh = self._seal(plan, program, cert)
         self.memory.put(
             fingerprint,
             CompiledPermutation(
@@ -424,15 +691,19 @@ class Planner:
                 fingerprint=fingerprint,
                 pipeline_signature=self.pipeline.signature(),
                 semantic_certificate=cert,
+                sealed=fresh,
             ),
         )
+        if fresh is not None:
+            self._store_sealed(fingerprint, fresh)
         return True
 
     def stats(self) -> dict:
-        """Merged hit/miss/eviction counters across both tiers."""
+        """Merged hit/miss/eviction counters across all tiers."""
         merged = {
             "cold_plans": self.plans,
             "shard_plans": self.shard_plans,
+            "sealed_plans": self.sealed_plans,
             "semantic_rejections": self.semantic_rejections,
         }
         merged.update(self.memory.stats())

@@ -243,8 +243,15 @@ def _check_serving() -> str:
                 pass
             # A corrupted disk entry plus a transient colouring fault
             # heal end to end: detect, re-plan, retry — same answer.
+            # The sealed sidecar carries its own proof and would serve
+            # despite the poisoned plan; corrupt it too so the resolve
+            # falls through to the plan tier and must re-plan.
             FaultPlan(seed=7).corrupt_plan_file(
                 server.service.planner.disk.path_for(fp), "bit-flip"
+            )
+            FaultPlan(seed=7).corrupt_plan_file(
+                server.service.planner.disk.sealed_path_for(fp),
+                "bit-flip",
             )
             server.service.planner.memory.invalidate(fp)
             with FaultPlan(seed=7, transient_coloring_failures=1):
@@ -365,17 +372,18 @@ def _check_passes() -> str:
         assert warm is cold and planner.stats()["memory_hits"] == 1
         fresh = Planner(cache_dir=tmp)
         fresh.compile(p, width=_WIDTH)
-        assert fresh.stats()["disk_hits"] == 1
+        assert fresh.stats()["sealed_hits"] == 1
         assert fresh.stats()["cold_plans"] == 0
         path = planner.disk.path_for(cold.fingerprint)
         FaultPlan(seed=0).corrupt_plan_file(path, "bit-flip")
+        planner.disk.sealed_path_for(cold.fingerprint).unlink()
         tampered = Planner(cache_dir=tmp)
         out = tampered.compile(p, width=_WIDTH).apply(a)
         assert np.array_equal(out, expected)
         assert tampered.stats()["disk_corrupt"] == 1
         assert tampered.stats()["cold_plans"] == 1
     return ("roundtrip 64 -> 0 rounds, pipeline idempotent; cache: "
-            "memory + disk hits served, tampered entry re-planned")
+            "memory + sealed hits served, tampered entry re-planned")
 
 
 def _check_semantics() -> str:

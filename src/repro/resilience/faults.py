@@ -72,6 +72,13 @@ _V3_PROTECTED_KEYS = frozenset(
     ("format_version", "checksum", "library_version", "certificate")
 )
 
+#: Keys never corrupted in sealed sidecar files: the metadata that
+#: binds the artifact (checksum / provenance) plus sealed_version.
+_SEALED_PROTECTED_KEYS = frozenset(
+    ("sealed_version", "checksum", "library_version",
+     "semantic_certificate", "plan_sha", "fingerprint", "pipeline")
+)
+
 
 def _corruptible_keys(arrays: dict) -> list[str]:
     """Numeric payload keys eligible for bit flips / deletion.
@@ -80,15 +87,18 @@ def _corruptible_keys(arrays: dict) -> list[str]:
     files (generic kernel programs) take every non-metadata numeric
     array with at least one byte of payload, sorted for determinism.
     """
-    version = int(arrays.get("format_version", 0))
-    if version >= 3:
-        return sorted(
-            k for k, arr in arrays.items()
-            if k not in _V3_PROTECTED_KEYS
-            and np.asarray(arr).dtype.kind in "iufb"
-            and np.asarray(arr).size > 0
-        )
-    return [k for k in _CORRUPTIBLE_KEYS if k in arrays]
+    if "sealed_version" in arrays:
+        protected = _SEALED_PROTECTED_KEYS
+    else:
+        protected = _V3_PROTECTED_KEYS
+        if int(arrays.get("format_version", 0)) < 3:
+            return [k for k in _CORRUPTIBLE_KEYS if k in arrays]
+    return sorted(
+        k for k, arr in arrays.items()
+        if k not in protected
+        and np.asarray(arr).dtype.kind in "iufb"
+        and np.asarray(arr).size > 0
+    )
 
 #: The currently active plan (at most one; nesting is an error).
 _active: "FaultPlan | None" = None

@@ -98,10 +98,14 @@ class PermutationService:
         backend: str = "auto",
         planner: Planner | None = None,
         metrics: Any | None = None,
+        cache_max_bytes: int | None = None,
+        disk_max_bytes: int | None = None,
     ) -> None:
         self.width = width
         self.planner = planner or Planner(
-            cache_size=cache_size, cache_dir=cache_dir, backend=backend
+            cache_size=cache_size, cache_dir=cache_dir,
+            backend=backend, cache_max_bytes=cache_max_bytes,
+            disk_max_bytes=disk_max_bytes,
         )
         #: Optional :class:`~repro.telemetry.MetricsRegistry` shared
         #: with the owned planner; when set, every apply records
@@ -240,17 +244,21 @@ class PermutationService:
         ``exec_seconds_per_round`` divides it by the annotate-cost
         pass's ``predicted_rounds``, so a drifting measured-vs-model
         ratio (per engine) flags an executor regression the cost model
-        did not predict.
+        did not predict.  Sealed handles are observed under
+        ``mode="sealed"`` (the single-gather fast path) and read their
+        predicted rounds from the sealed meta — observation never
+        forces a lazy handle to rehydrate its full program.
         """
         if self.metrics is None:
             return
+        if compiled.sealed is not None and mode in ("single", "batch"):
+            mode = "sealed"
         engine = compiled.engine_name or "unknown"
         self.metrics.histogram(
             "exec_apply_seconds", engine=engine, mode=mode
         ).observe(elapsed)
-        meta = compiled.program.meta or {}
-        rounds = meta.get("predicted_rounds")
-        if isinstance(rounds, int) and rounds > 0:
+        rounds = compiled.predicted_rounds()
+        if rounds is not None:
             self.metrics.gauge(
                 "exec_seconds_per_round", engine=engine, mode=mode
             ).set(elapsed / rounds)

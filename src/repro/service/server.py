@@ -347,6 +347,34 @@ class _GuardedDiskCache:
         self.breaker.record_success()
         return path
 
+    def load_sealed(self, fingerprint: str) -> Any:
+        if not self.breaker.allow():
+            telemetry.count("server.disk.bypassed")
+            return None
+        corrupt_before = self._inner.sealed_corrupt
+        sealed = self._inner.load_sealed(fingerprint)
+        if self._inner.sealed_corrupt > corrupt_before:
+            self.breaker.record_failure()
+        elif sealed is not None:
+            self.breaker.record_success()
+        return sealed
+
+    def store_sealed(self, fingerprint: str, sealed: Any) -> Any:
+        path = self._inner.sealed_path_for(fingerprint)
+        if not self.breaker.allow():
+            telemetry.count("server.disk.bypassed")
+            return path
+        try:
+            path = self._inner.store_sealed(fingerprint, sealed)
+        except OSError:
+            # Same contract as ``store``: a failed sidecar persist
+            # never fails the request; the sealed form stays resident.
+            self.breaker.record_failure()
+            telemetry.count("server.disk.store_failed")
+            return path
+        self.breaker.record_success()
+        return path
+
     def __getattr__(self, attr: str) -> Any:
         return getattr(self._inner, attr)
 
@@ -737,6 +765,22 @@ class PermutationServer:
         gauges("slo_breached").set(1.0 if status["breached"] else 0.0)
         gauges("recorder_events_total").set(self.recorder.recorded)
         gauges("recorder_dumps_total").set(self.recorder.dumps)
+        planner = self.service.planner
+        pstats = planner.stats()
+        gauges("planner_memory_bytes").set(
+            pstats.get("memory_bytes", 0)
+        )
+        gauges("planner_sealed_plans_total").set(
+            pstats.get("sealed_plans", 0)
+        )
+        if "disk_bytes" in pstats:
+            gauges("planner_disk_bytes").set(pstats["disk_bytes"])
+            gauges("planner_disk_evictions_total").set(
+                pstats.get("disk_evictions", 0)
+            )
+            gauges("planner_sealed_hits_total").set(
+                pstats.get("sealed_hits", 0)
+            )
         return self.metrics.prometheus_text()
 
     def _retry_after(self) -> float:

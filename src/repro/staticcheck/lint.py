@@ -1,6 +1,6 @@
 """Project-specific AST lint rules (``python -m repro check``).
 
-Generic linters cannot know this codebase's layering rules; these seven
+Generic linters cannot know this codebase's layering rules; these eight
 checks encode them:
 
 ``REP101`` **bank/group arithmetic outside the machine layer** — the
@@ -72,6 +72,17 @@ checks encode them:
     lock (the ``# Caller holds the lock`` helper pattern, proved by
     the call-graph walk rather than taken on comment trust).
 
+``REP108`` **warm-path replay of a full KernelProgram where a sealed
+    handle may exist** — in the serving layers (``repro.planner``,
+    ``repro.service``) a warm apply should route through the sealed
+    tier's single proven gather; an executor ``.run(...)`` call whose
+    program argument is a ``....program`` attribute replays the whole
+    kernel schedule on every request, silently forfeiting the sealed
+    fast path.  Functions that consult a ``sealed`` handle (the
+    dispatch pattern in ``CompiledPermutation.apply``) are exempt —
+    they already route; so are pipeline receivers, mirroring REP105.
+    Sites that are genuinely cold-only suppress inline.
+
 Suppression: a source line containing ``staticcheck: ignore`` silences
 all rules on that line; ``staticcheck: ignore[REP105]`` silences one.
 """
@@ -95,6 +106,7 @@ LINT_RULES: dict[str, str] = {
     "REP105": "raw lower() result executed without the pass pipeline",
     "REP106": "lock acquisition against the declared lock hierarchy",
     "REP107": "write to lock-shared state outside its lock block",
+    "REP108": "warm-path program replay where a sealed handle may exist",
 }
 
 #: Module prefixes the REP106/REP107 concurrency rules cover: the
@@ -220,6 +232,10 @@ class _Visitor(ast.NodeVisitor):
         self.path = path
         self.findings: list[LintFinding] = []
         self._compare_depth = 0
+        # Enclosing function stack (innermost last) with a memoized
+        # does-it-mention-``sealed`` flag per function, for REP108.
+        self._function_stack: list[ast.AST] = []
+        self._mentions_sealed: dict[ast.AST, bool] = {}
 
     def _report(self, rule: str, node: ast.AST, message: str) -> None:
         self.findings.append(
@@ -294,7 +310,24 @@ class _Visitor(ast.NodeVisitor):
             )
         self._check_rep103(node)
         self._check_rep105(node)
+        self._check_rep108(node)
         self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_stack.append(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._function_stack.pop()
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef
+    ) -> None:
+        self._function_stack.append(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._function_stack.pop()
 
     def visit_Expr(self, node: ast.Expr) -> None:
         value = node.value
@@ -394,6 +427,69 @@ class _Visitor(ast.NodeVisitor):
                     "program through a pipeline first)",
                 )
                 return
+
+    # -- REP108 --------------------------------------------------------
+
+    #: Module prefixes REP108 covers: the layers that serve warm
+    #: requests and therefore should prefer the sealed tier.
+    _SEALED_LAYERS = ("repro.planner", "repro.service")
+
+    def _enclosing_mentions_sealed(self) -> bool:
+        """Whether any enclosing function's body mentions ``sealed``
+        (an attribute, name or call containing the word) — the
+        dispatch pattern that checks for a sealed handle before
+        replaying the program."""
+        for fn in reversed(self._function_stack):
+            flag = self._mentions_sealed.get(fn)
+            if flag is None:
+                flag = any(
+                    (
+                        isinstance(sub, ast.Attribute)
+                        and "sealed" in sub.attr.lower()
+                    )
+                    or (
+                        isinstance(sub, ast.Name)
+                        and "sealed" in sub.id.lower()
+                    )
+                    for sub in ast.walk(fn)
+                )
+                self._mentions_sealed[fn] = flag
+            if flag:
+                return True
+        return False
+
+    def _check_rep108(self, node: ast.Call) -> None:
+        if not _allowed(self.module, self._SEALED_LAYERS):
+            return
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute) and func.attr == "run"
+        ):
+            return
+        if self._is_pipeline_receiver(func.value):
+            return
+        replayed = next(
+            (
+                arg
+                for arg in node.args
+                if isinstance(arg, ast.Attribute)
+                and arg.attr == "program"
+            ),
+            None,
+        )
+        if replayed is None:
+            return
+        if self._enclosing_mentions_sealed():
+            # The function dispatches on a sealed handle already; the
+            # program replay is its (correct) unsealed fallback.
+            return
+        self._report(
+            "REP108", node,
+            "warm-path executor replay of a full `.program` where a "
+            "sealed handle may exist; dispatch through the sealed "
+            "tier first (CompiledPermutation.apply does), or "
+            "suppress if this site is cold-only",
+        )
 
     @staticmethod
     def _is_pipeline_receiver(node: ast.expr) -> bool:

@@ -60,9 +60,24 @@ class TestPlanner:
         assert stats["memory_hits"] == 1
         assert stats["disk_stores"] == 1
 
-    def test_disk_hit_across_planners(self, tmp_path):
+    def test_sealed_hit_across_planners(self, tmp_path):
         p = bit_reversal(_N)
         Planner(cache_dir=tmp_path).compile(p, width=_WIDTH)
+        fresh = Planner(cache_dir=tmp_path)
+        compiled = fresh.compile(p, width=_WIDTH)
+        stats = fresh.stats()
+        assert stats["sealed_hits"] == 1
+        assert stats["cold_plans"] == 0
+        a = np.arange(_N, dtype=np.float32)
+        assert np.array_equal(compiled.apply(a), _expected(p, a))
+        # The sealed sidecar answered; the full plan never rehydrated.
+        assert not compiled.is_loaded
+
+    def test_disk_hit_when_sidecar_absent(self, tmp_path):
+        p = bit_reversal(_N)
+        first = Planner(cache_dir=tmp_path)
+        fp = first.compile(p, width=_WIDTH).fingerprint
+        first.disk.sealed_path_for(fp).unlink()
         fresh = Planner(cache_dir=tmp_path)
         compiled = fresh.compile(p, width=_WIDTH)
         stats = fresh.stats()
@@ -70,6 +85,8 @@ class TestPlanner:
         assert stats["cold_plans"] == 0
         a = np.arange(_N, dtype=np.float32)
         assert np.array_equal(compiled.apply(a), _expected(p, a))
+        # The disk hit re-sealed and backfilled the sidecar.
+        assert fresh.disk.sealed_path_for(fp).exists()
 
     def test_memory_only_planner(self):
         planner = Planner()
@@ -84,6 +101,9 @@ class TestPlanner:
         cold = first.compile(p, width=_WIDTH)
         path = first.disk.path_for(cold.fingerprint)
         FaultPlan(seed=0).corrupt_plan_file(path, "bit-flip")
+        # Drop the sealed sidecar too, so the corrupt plan itself is
+        # what the fresh planner must survive.
+        first.disk.sealed_path_for(cold.fingerprint).unlink()
         tampered = Planner(cache_dir=tmp_path)
         compiled = tampered.compile(p, width=_WIDTH)
         stats = tampered.stats()
@@ -91,10 +111,30 @@ class TestPlanner:
         assert stats["cold_plans"] == 1
         a = np.arange(_N, dtype=np.float32)
         assert np.array_equal(compiled.apply(a), _expected(p, a))
-        # The fresh re-plan overwrote the tampered entry in place.
+        # The fresh re-plan overwrote the tampered entry in place (and
+        # re-sealed it, so the next planner takes the sealed tier).
         healed = Planner(cache_dir=tmp_path)
         healed.compile(p, width=_WIDTH)
-        assert healed.stats()["disk_hits"] == 1
+        assert healed.stats()["sealed_hits"] == 1
+
+    def test_corrupt_sidecar_healed_from_plan(self, tmp_path):
+        p = bit_reversal(_N)
+        first = Planner(cache_dir=tmp_path)
+        fp = first.compile(p, width=_WIDTH).fingerprint
+        sidecar = first.disk.sealed_path_for(fp)
+        FaultPlan(seed=0).corrupt_plan_file(sidecar, "bit-flip")
+        fresh = Planner(cache_dir=tmp_path)
+        compiled = fresh.compile(p, width=_WIDTH)
+        stats = fresh.stats()
+        assert stats["sealed_corrupt"] == 1
+        assert stats["disk_hits"] == 1
+        assert stats["cold_plans"] == 0
+        a = np.arange(_N, dtype=np.float32)
+        assert np.array_equal(compiled.apply(a), _expected(p, a))
+        # The intact plan re-sealed; the sidecar is whole again.
+        assert sidecar.exists()
+        assert Planner(cache_dir=tmp_path).disk.load_sealed(fp) \
+            is not None
 
     def test_lru_eviction_bounds_memory(self):
         planner = Planner(cache_size=2)
@@ -174,9 +214,10 @@ class TestDiskPlanCache:
         planner.compile(bit_reversal(_N), engine="scheduled",
                         width=_WIDTH)
         files = sorted(f.name for f in tmp_path.iterdir())
-        assert len(files) == 1
-        assert files[0].endswith(".npz")
-        assert not files[0].startswith(".")     # no leftover temp
+        # One v3 plan entry plus its sealed sidecar.
+        assert len(files) == 2
+        assert all(f.endswith(".npz") for f in files)
+        assert not any(f.startswith(".") for f in files)  # no temp
 
     def test_concurrent_stores_never_leave_torn_files(self, tmp_path):
         import threading
@@ -215,10 +256,11 @@ class TestLRUInvalidate:
         assert planner.memory.invalidate(compiled.fingerprint)
         assert not planner.memory.invalidate(compiled.fingerprint)
         assert planner.stats()["memory_invalidations"] == 1
-        # The next compile resolves from disk, not a stale handle.
+        # The next compile resolves from disk (sealed sidecar first),
+        # not a stale handle.
         again = planner.compile(p, engine="scheduled", width=_WIDTH)
         assert again.fingerprint == compiled.fingerprint
-        assert planner.stats()["disk_hits"] == 1
+        assert planner.stats()["sealed_hits"] == 1
 
     def test_get_if_present_never_counts_miss(self):
         cache = LRUPlanCache(4)

@@ -72,6 +72,11 @@ class TestHammer:
                         faults.corrupt_plan_file(
                             path, modes[cycle % len(modes)]
                         )
+                    sidecar = planner.disk.sealed_path_for(
+                        fingerprints[name]
+                    )
+                    if sidecar.exists():
+                        faults.corrupt_plan_file(sidecar, "bit-flip")
                 except Exception:
                     pass
                 planner.memory.invalidate(fingerprints[name])
@@ -126,6 +131,7 @@ class TestHammer:
         # healed, and/or injected planning faults were absorbed.
         assert (
             stats.get("disk_corrupt", 0)
+            + stats.get("sealed_corrupt", 0)
             + stats.get("server.faults_absorbed", 0)
         ) >= 1
         assert stats["server.served"] >= total - len(failed)
@@ -236,8 +242,12 @@ class TestObservableFailures:
         )
         fp = server.register("bitrev", bit_reversal(_N))
         server.warm()
-        FaultPlan(seed=1).corrupt_plan_file(
+        faults = FaultPlan(seed=1)
+        faults.corrupt_plan_file(
             server.service.planner.disk.path_for(fp), "truncate"
+        )
+        faults.corrupt_plan_file(
+            server.service.planner.disk.sealed_path_for(fp), "truncate"
         )
         server.service.planner.memory.invalidate(fp)
         a = np.arange(_N)

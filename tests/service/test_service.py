@@ -200,5 +200,5 @@ class TestServing:
         second = PermutationService(width=_WIDTH, cache_dir=tmp_path)
         second.register("bitrev", p)
         second.warm()
-        assert second.stats()["disk_hits"] == 1
+        assert second.stats()["sealed_hits"] == 1
         assert second.stats()["cold_plans"] == 0

@@ -339,6 +339,9 @@ class TestPersistence:
         cert["denotation_sha"] = "f" * 64
         contents["semantic_certificate"] = np.str_(json.dumps(cert))
         np.savez_compressed(entry, **contents)
+        # Drop the sealed sidecar: it carries its own (valid) proof
+        # and would otherwise shield the poisoned plan entirely.
+        planner.disk.sealed_path_for(fp).unlink()
 
         fresh = Planner(cache_dir=tmp_path)
         compiled = fresh.compile(p, engine="scheduled", width=WIDTH)

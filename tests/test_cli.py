@@ -394,8 +394,9 @@ class TestServeDemo:
              "--requests", "1", "--cache-dir", cache)
         again = _run(capsys, "serve-demo", "--n", "256", "--width", "4",
                      "--requests", "1", "--cache-dir", cache)
+        # Warm restarts resolve from the sealed sidecars.
         hits = next(line for line in again.splitlines()
-                    if "disk_hits" in line)
+                    if "sealed_hits" in line)
         assert hits.split()[-1] == "3"
 
     def test_concurrent_mode(self, capsys):
